@@ -1,0 +1,55 @@
+//! DAQ measurement-chain throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use livephase_daq::{DaqSystem, SenseCircuit};
+use livephase_pmsim::trace::{PowerSegment, PowerTrace};
+use std::hint::black_box;
+
+fn waveform(seconds: f64) -> PowerTrace {
+    // Alternating 10 ms segments, like a managed run's phase structure.
+    let mut t = PowerTrace::new();
+    let mut elapsed = 0.0;
+    let mut hot = true;
+    while elapsed < seconds {
+        t.push(PowerSegment {
+            duration_s: 0.01,
+            power_w: if hot { 12.0 } else { 3.0 },
+            voltage_v: if hot { 1.484 } else { 0.956 },
+            pport_bits: u8::from(hot),
+        });
+        hot = !hot;
+        elapsed += 0.01;
+    }
+    t
+}
+
+fn bench_sense_math(c: &mut Criterion) {
+    let circuit = SenseCircuit::pentium_m();
+    c.bench_function("sense_forward_reconstruct", |b| {
+        b.iter(|| {
+            let ch = circuit.forward(black_box(11.5), black_box(1.42));
+            black_box(circuit.reconstruct_power(ch))
+        })
+    });
+}
+
+/// Full-chain throughput, reported in DAQ samples per second of CPU time
+/// measured (1 s of simulated time = 25 000 samples at 40 µs).
+fn bench_measurement_chain(c: &mut Criterion) {
+    let trace = waveform(1.0);
+    let samples = (trace.total_time_s() / 40e-6) as u64;
+    let mut group = c.benchmark_group("daq_chain");
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function("noisy", |b| {
+        let daq = DaqSystem::pentium_m(7);
+        b.iter(|| black_box(daq.measure(&trace)))
+    });
+    group.bench_function("ideal", |b| {
+        let daq = DaqSystem::ideal();
+        b.iter(|| black_box(daq.measure(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sense_math, bench_measurement_chain);
+criterion_main!(benches);

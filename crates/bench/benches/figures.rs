@@ -1,0 +1,62 @@
+//! One bench per paper artifact: the end-to-end cost of regenerating each
+//! table and figure (at the experiment drivers' full scale for the cheap
+//! ones, reduced sampling for the management sweeps via the drivers'
+//! seeds — the drivers themselves fix their scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use livephase_experiments::{
+    fig02, fig03, fig04, fig05, fig06, fig07, fig10, fig11, fig12, fig13, table1, table2,
+};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| black_box(table1::run())));
+    c.bench_function("table2", |b| b.iter(|| black_box(table2::run())));
+}
+
+fn bench_prediction_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prediction_figures");
+    group.sample_size(10);
+    group.bench_function("fig02_applu_trace", |b| {
+        b.iter(|| black_box(fig02::run(42)))
+    });
+    group.bench_function("fig03_quadrants", |b| b.iter(|| black_box(fig03::run(42))));
+    group.bench_function("fig04_accuracy_sweep", |b| {
+        b.iter(|| black_box(fig04::run(42)))
+    });
+    group.bench_function("fig05_pht_sweep", |b| b.iter(|| black_box(fig05::run(42))));
+    group.finish();
+}
+
+fn bench_characterization_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization_figures");
+    group.sample_size(10);
+    group.bench_function("fig06_space", |b| b.iter(|| black_box(fig06::run(42))));
+    group.bench_function("fig07_frequency_sweep", |b| {
+        b.iter(|| black_box(fig07::run(42)))
+    });
+    group.finish();
+}
+
+fn bench_management_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("management_figures");
+    group.sample_size(10);
+    group.bench_function("fig10_daq_run", |b| b.iter(|| black_box(fig10::run(42))));
+    group.bench_function("fig11_full_sweep", |b| b.iter(|| black_box(fig11::run(42))));
+    group.bench_function("fig12_head_to_head", |b| {
+        b.iter(|| black_box(fig12::run(42)))
+    });
+    group.bench_function("fig13_conservative", |b| {
+        b.iter(|| black_box(fig13::run(42)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_prediction_figures,
+    bench_characterization_figures,
+    bench_management_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Full management-loop cost per sampling interval for each policy the
+//! paper compares, plus the conservative-derivation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use livephase_core::{Gpht, GphtConfig};
+use livephase_governor::{
+    AdaptiveSampling, ConservativeDerivation, Manager, ManagerConfig, MinDwell,
+    PowerEstimator, Proactive, ThermalAware, TranslationTable,
+};
+use livephase_pmsim::{PlatformConfig, ThermalModel};
+use livephase_workloads::spec;
+use std::hint::black_box;
+
+/// Whole managed runs (baseline / reactive / GPHT) over a 200-interval
+/// applu slice, measured per interval.
+fn bench_managed_runs(c: &mut Criterion) {
+    let trace = spec::benchmark("applu_in")
+        .expect("registered")
+        .with_length(200)
+        .generate(1);
+    let mut group = c.benchmark_group("managed_run_per_interval");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for label in ["baseline", "reactive", "gpht"] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, &label| {
+            b.iter(|| {
+                let manager = match label {
+                    "baseline" => Manager::baseline(),
+                    "reactive" => Manager::reactive(),
+                    _ => Manager::gpht_deployed(),
+                };
+                black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Deriving the conservative phase definitions (done once per
+/// reconfiguration on the deployed system).
+fn bench_conservative_derivation(c: &mut Criterion) {
+    let d = ConservativeDerivation::pentium_m();
+    c.bench_function("conservative_derive_5pct", |b| {
+        b.iter(|| black_box(d.derive(0.05)))
+    });
+}
+
+/// Workload generation cost (trace synthesis is on every experiment's
+/// critical path).
+fn bench_workload_generation(c: &mut Criterion) {
+    let spec = spec::benchmark("equake_in").expect("registered").with_length(2000);
+    c.bench_function("workload_generate_2000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(spec.generate(seed))
+        })
+    });
+}
+
+/// The extension policies' whole-run cost relative to plain GPHT: thermal
+/// tracking, adaptive sampling, and min-dwell hysteresis.
+fn bench_extension_policies(c: &mut Criterion) {
+    let trace = spec::benchmark("applu_in")
+        .expect("registered")
+        .with_length(200)
+        .generate(1);
+    let mut group = c.benchmark_group("extension_policies");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("thermal_aware", |b| {
+        b.iter(|| {
+            let manager = Manager::new(
+                Box::new(ThermalAware::new(
+                    Gpht::new(GphtConfig::DEPLOYED),
+                    TranslationTable::pentium_m(),
+                    PowerEstimator::pentium_m(),
+                    ThermalModel::pentium_m(),
+                    70.0,
+                )),
+                ManagerConfig {
+                    thermal: Some(ThermalModel::pentium_m()),
+                    ..ManagerConfig::pentium_m()
+                },
+            );
+            black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+        });
+    });
+    group.bench_function("adaptive_sampling", |b| {
+        b.iter(|| {
+            let manager = Manager::new(
+                Box::new(Proactive::gpht_deployed()),
+                ManagerConfig {
+                    adaptive_sampling: Some(AdaptiveSampling::pentium_m()),
+                    ..ManagerConfig::pentium_m()
+                },
+            );
+            black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+        });
+    });
+    group.bench_function("min_dwell", |b| {
+        b.iter(|| {
+            let manager = Manager::new(
+                Box::new(MinDwell::new(Proactive::gpht_deployed(), 2)),
+                ManagerConfig::pentium_m(),
+            );
+            black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_managed_runs,
+    bench_conservative_derivation,
+    bench_workload_generation,
+    bench_extension_policies
+);
+criterion_main!(benches);

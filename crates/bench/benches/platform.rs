@@ -1,0 +1,72 @@
+//! Platform-simulator throughput: timing/power evaluation, interval
+//! execution and DVFS switching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livephase_pmsim::{
+    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel,
+    TimingModel,
+};
+use std::hint::black_box;
+
+fn work() -> IntervalWork {
+    IntervalWork::new(100_000_000, 80_000_000, 1_200_000, 0.8, 2.0)
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let t = TimingModel::pentium_m();
+    let w = work();
+    let f = Frequency::from_mhz(1500);
+    c.bench_function("timing_execute", |b| {
+        b.iter(|| black_box(t.execute(black_box(&w), f)))
+    });
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let m = PowerModel::pentium_m();
+    let opp = OperatingPointTable::pentium_m().fastest();
+    c.bench_function("power_eval", |b| {
+        b.iter(|| black_box(m.power(opp, black_box(0.7))))
+    });
+}
+
+/// Cost of simulating one full 100 M-uop sampling interval, with and
+/// without power-waveform recording.
+fn bench_interval_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_interval");
+    for (label, record) in [("plain", false), ("with_waveform", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &record, |b, &record| {
+            let config = if record {
+                PlatformConfig::pentium_m().with_power_trace()
+            } else {
+                PlatformConfig::pentium_m()
+            };
+            let mut cpu = Cpu::new(config);
+            let w = work();
+            b.iter(|| {
+                cpu.push_work(w);
+                black_box(cpu.run_to_pmi().expect("one interval"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dvfs_switch(c: &mut Criterion) {
+    let mut cpu = Cpu::new(PlatformConfig::pentium_m());
+    let mut flip = false;
+    c.bench_function("dvfs_switch", |b| {
+        b.iter(|| {
+            flip = !flip;
+            cpu.set_dvfs(usize::from(flip) * 5).expect("valid");
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_timing_model,
+    bench_power_model,
+    bench_interval_execution,
+    bench_dvfs_switch
+);
+criterion_main!(benches);

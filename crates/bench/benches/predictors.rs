@@ -1,0 +1,124 @@
+//! Per-sample predictor cost — the code on the paper's PMI critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livephase_bench::synthetic_phase_pattern;
+use livephase_core::{
+    FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, PhaseId,
+    PhaseSample, Predictor, Selector, VariableWindow,
+};
+use std::hint::black_box;
+
+fn stream(len: usize) -> Vec<PhaseSample> {
+    synthetic_phase_pattern(len)
+        .into_iter()
+        .map(|p| PhaseSample::new(f64::from(p) * 0.005, PhaseId::new(p)))
+        .collect()
+}
+
+/// One `next()` call per sample for each predictor of Figure 4.
+fn bench_per_sample(c: &mut Criterion) {
+    let samples = stream(1024);
+    let mut group = c.benchmark_group("predictor_per_sample");
+    let predictors: Vec<Box<dyn Predictor>> = vec![
+        Box::new(LastValue::new()),
+        Box::new(FixedWindow::new(8, Selector::Majority)),
+        Box::new(FixedWindow::new(128, Selector::Majority)),
+        Box::new(VariableWindow::new(128, 0.005)),
+        Box::new(Gpht::new(GphtConfig::DEPLOYED)),
+        Box::new(Gpht::new(GphtConfig::REFERENCE)),
+        Box::new(HashedGpht::new(HashedGphtConfig::DEPLOYED)),
+        Box::new(HashedGpht::new(HashedGphtConfig { gphr_depth: 8, pht_entries: 1024 })),
+    ];
+    for p in predictors {
+        let name = p.name();
+        group.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            let mut p = p.clone_boxed_for_bench(&name);
+            let mut it = samples.iter().cycle();
+            b.iter(|| {
+                let s = *it.next().expect("cycle");
+                black_box(p.next(s))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Rebuild helper: Criterion closures need a fresh predictor per run;
+/// reconstruct from the display name.
+trait CloneBoxed {
+    fn clone_boxed_for_bench(&self, name: &str) -> Box<dyn Predictor>;
+}
+
+impl CloneBoxed for Box<dyn Predictor> {
+    fn clone_boxed_for_bench(&self, name: &str) -> Box<dyn Predictor> {
+        match name {
+            "LastValue" => Box::new(LastValue::new()),
+            "FixWindow_8" => Box::new(FixedWindow::new(8, Selector::Majority)),
+            "FixWindow_128" => Box::new(FixedWindow::new(128, Selector::Majority)),
+            "VarWindow_128_0.005" => Box::new(VariableWindow::new(128, 0.005)),
+            "GPHT_8_128" => Box::new(Gpht::new(GphtConfig::DEPLOYED)),
+            "GPHT_8_1024" => Box::new(Gpht::new(GphtConfig::REFERENCE)),
+            "HashedGPHT_8_128" => Box::new(HashedGpht::new(HashedGphtConfig::DEPLOYED)),
+            "HashedGPHT_8_1024" => Box::new(HashedGpht::new(HashedGphtConfig {
+                gphr_depth: 8,
+                pht_entries: 1024,
+            })),
+            other => unreachable!("unknown predictor {other}"),
+        }
+    }
+}
+
+/// GPHT cost as a function of PHT size (the performance counterpart of
+/// Figure 5's accuracy sweep — why the deployed system uses 128 entries,
+/// not 1024).
+fn bench_gpht_pht_sweep(c: &mut Criterion) {
+    let samples = stream(1024);
+    let mut group = c.benchmark_group("gpht_pht_size");
+    for entries in [1usize, 64, 128, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut g = Gpht::new(GphtConfig {
+                    gphr_depth: 8,
+                    pht_entries: entries,
+                });
+                // Warm the table so steady-state search cost is measured.
+                for &s in &samples {
+                    g.observe(s);
+                }
+                let mut it = samples.iter().cycle();
+                b.iter(|| black_box(g.next(*it.next().expect("cycle"))));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// GPHT cost as a function of history depth.
+fn bench_gpht_depth_sweep(c: &mut Criterion) {
+    let samples = stream(1024);
+    let mut group = c.benchmark_group("gpht_gphr_depth");
+    for depth in [2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut g = Gpht::new(GphtConfig {
+                gphr_depth: depth,
+                pht_entries: 128,
+            });
+            for &s in &samples {
+                g.observe(s);
+            }
+            let mut it = samples.iter().cycle();
+            b.iter(|| black_box(g.next(*it.next().expect("cycle"))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_sample,
+    bench_gpht_pht_sweep,
+    bench_gpht_depth_sweep
+);
+criterion_main!(benches);

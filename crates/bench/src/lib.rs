@@ -1,0 +1,38 @@
+//! # livephase-bench
+//!
+//! The Criterion benchmark harness for the workspace. The benches are the
+//! performance-measurement counterpart of the experiment drivers:
+//!
+//! * `predictors` — per-sample cost of every phase predictor (the code
+//!   that runs inside the paper's PMI handler, where "no visible
+//!   overheads" is a hard requirement), including the GPHT's sensitivity
+//!   to PHT size (the performance side of Figure 5);
+//! * `platform` — simulated-CPU interval throughput, timing/power model
+//!   evaluation and DVFS switching;
+//! * `daq` — sense-network math and 40 µs-sampling throughput;
+//! * `governor` — full management-loop cost per sampling interval for
+//!   each policy of the paper (baseline / reactive / GPHT);
+//! * `figures` — end-to-end regeneration cost of every table and figure
+//!   at reduced scale (one bench per paper artifact).
+//!
+//! Run with `cargo bench --workspace`.
+
+/// A deterministic phase-id sequence used by several benches: a rapidly
+/// varying applu-like pattern.
+#[must_use]
+pub fn synthetic_phase_pattern(len: usize) -> Vec<u8> {
+    [1u8, 1, 1, 3, 5, 5, 3, 1, 1, 2, 3, 3, 2, 1]
+        .iter()
+        .copied()
+        .cycle()
+        .take(len)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pattern_has_requested_length() {
+        assert_eq!(super::synthetic_phase_pattern(100).len(), 100);
+    }
+}

@@ -1,0 +1,238 @@
+//! Command-line parsing (hand-rolled; the sanctioned dependency set has no
+//! argument parser, and the surface is small enough not to want one).
+
+use std::error::Error;
+use std::fmt;
+
+/// A user-facing command-line error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The user-facing message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CliError {}
+
+/// The recognized subcommands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `list`
+    List,
+    /// `characterize <bench>`
+    Characterize,
+    /// `predict <bench>`
+    Predict,
+    /// `govern <bench>`
+    Govern,
+    /// `export <bench> --out <file>`
+    Export,
+    /// `replay <file.csv>`
+    Replay,
+    /// `repro <artifact>`
+    Repro,
+    /// `help` / `--help`
+    Help,
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// The subcommand.
+    pub command: Command,
+    /// The positional argument (benchmark name, file, or artifact).
+    pub target: Option<String>,
+    /// `--seed` (default 42, the experiments' default).
+    pub seed: u64,
+    /// `--length` override, if given.
+    pub length: Option<usize>,
+    /// `--predictor` specification (default `gpht:8:128`).
+    pub predictor: String,
+    /// `--policy` name (default `gpht`).
+    pub policy: String,
+    /// `--out` path for `export`.
+    pub out: Option<String>,
+}
+
+impl Default for Parsed {
+    fn default() -> Self {
+        Self {
+            command: Command::Help,
+            target: None,
+            seed: 42,
+            length: None,
+            predictor: "gpht:8:128".to_owned(),
+            policy: "gpht".to_owned(),
+            out: None,
+        }
+    }
+}
+
+/// Parses a command line (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands/options, missing values,
+/// or unparsable numbers.
+pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
+    let mut parsed = Parsed::default();
+    let mut it = argv.iter().peekable();
+
+    let Some(cmd) = it.next() else {
+        return Ok(parsed); // no args -> help
+    };
+    parsed.command = match cmd.as_str() {
+        "list" => Command::List,
+        "characterize" => Command::Characterize,
+        "predict" => Command::Predict,
+        "govern" => Command::Govern,
+        "export" => Command::Export,
+        "replay" => Command::Replay,
+        "repro" => Command::Repro,
+        "help" | "--help" | "-h" => Command::Help,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown command {other:?}; run `livephase help`"
+            )))
+        }
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => parsed.seed = take_value(&mut it, "--seed")?.parse().map_err(|e| {
+                CliError::new(format!("--seed: {e}"))
+            })?,
+            "--length" => {
+                let v: usize = take_value(&mut it, "--length")?
+                    .parse()
+                    .map_err(|e| CliError::new(format!("--length: {e}")))?;
+                if v == 0 {
+                    return Err(CliError::new("--length must be at least 1"));
+                }
+                parsed.length = Some(v);
+            }
+            "--predictor" => parsed.predictor = take_value(&mut it, "--predictor")?,
+            "--policy" => parsed.policy = take_value(&mut it, "--policy")?,
+            "--out" => parsed.out = Some(take_value(&mut it, "--out")?),
+            other if other.starts_with('-') => {
+                return Err(CliError::new(format!("unknown option {other:?}")))
+            }
+            positional => {
+                if parsed.target.is_some() {
+                    return Err(CliError::new(format!(
+                        "unexpected extra argument {positional:?}"
+                    )));
+                }
+                parsed.target = Some(positional.to_owned());
+            }
+        }
+    }
+
+    // Per-command positional requirements.
+    let needs_target = matches!(
+        parsed.command,
+        Command::Characterize
+            | Command::Predict
+            | Command::Govern
+            | Command::Export
+            | Command::Replay
+            | Command::Repro
+    );
+    if needs_target && parsed.target.is_none() {
+        return Err(CliError::new(format!(
+            "{cmd} requires an argument; run `livephase help`"
+        )));
+    }
+    if parsed.command == Command::Export && parsed.out.is_none() {
+        return Err(CliError::new("export requires --out <file>"));
+    }
+    Ok(parsed)
+}
+
+fn take_value(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError::new(format!("{flag} requires a value")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command() {
+        let p = parse(&argv(
+            "predict applu_in --seed 7 --length 100 --predictor gpht:4:64",
+        ))
+        .unwrap();
+        assert_eq!(p.command, Command::Predict);
+        assert_eq!(p.target.as_deref(), Some("applu_in"));
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.length, Some(100));
+        assert_eq!(p.predictor, "gpht:4:64");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse(&argv("govern swim_in")).unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.policy, "gpht");
+        assert_eq!(p.length, None);
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_option() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("list --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_requirements() {
+        assert!(parse(&argv("predict")).is_err());
+        assert!(parse(&argv("export applu_in")).is_err());
+        assert!(parse(&argv("predict a b")).is_err());
+        assert!(parse(&argv("predict applu_in --seed")).is_err());
+        assert!(parse(&argv("predict applu_in --seed banana")).is_err());
+        assert!(parse(&argv("predict applu_in --length 0")).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(!e.to_string().is_empty());
+        assert!(e.message().contains("frobnicate"));
+    }
+}

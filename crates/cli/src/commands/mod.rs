@@ -1,0 +1,446 @@
+//! Command implementations: pure functions from parsed arguments to
+//! report text.
+
+use crate::args::{CliError, Command, Parsed};
+use crate::spec;
+use livephase_core::{evaluate_confusion, PhaseMap, PhaseSample};
+use livephase_governor::RunReport;
+use livephase_workloads::{io as trace_io, spec as wspec, WorkloadTrace};
+use std::fmt::Write as _;
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Propagates per-command [`CliError`]s.
+pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
+    match parsed.command {
+        Command::Help => Ok(crate::usage()),
+        Command::List => list(parsed),
+        Command::Characterize => characterize(parsed),
+        Command::Predict => predict(parsed),
+        Command::Govern => govern(parsed),
+        Command::Export => export(parsed),
+        Command::Replay => replay(parsed),
+        Command::Repro => repro(parsed),
+    }
+}
+
+/// Resolves the benchmark named by the command line and generates its
+/// trace.
+fn workload(parsed: &Parsed) -> Result<WorkloadTrace, CliError> {
+    let name = parsed.target.as_deref().expect("validated by the parser");
+    let mut bench = wspec::benchmark(name).ok_or_else(|| {
+        CliError::new(format!(
+            "unknown benchmark {name:?}; run `livephase list`"
+        ))
+    })?;
+    if let Some(len) = parsed.length {
+        bench = bench.with_length(len);
+    }
+    Ok(bench.generate(parsed.seed))
+}
+
+fn list(parsed: &Parsed) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>4}  {:>12}  {:>11}  {:>9}",
+        "benchmark", "quad", "mean Mem/Uop", "variation %", "intervals"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    for bench in wspec::registry() {
+        let stats = bench
+            .clone()
+            .with_length(400)
+            .generate(parsed.seed)
+            .characterize();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>4}  {:>12.4}  {:>11.1}  {:>9}",
+            bench.name(),
+            bench.quadrant().to_string(),
+            stats.mean_mem_uop,
+            stats.sample_variation_pct,
+            bench.length(),
+        );
+    }
+    Ok(out)
+}
+
+fn characterize(parsed: &Parsed) -> Result<String, CliError> {
+    let trace = workload(parsed)?;
+    let stats = trace.characterize();
+    let map = PhaseMap::pentium_m();
+    let mut histogram = vec![0usize; map.phase_count()];
+    for w in &trace {
+        histogram[map.classify(w.mem_uop()).index()] += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} intervals, mean Mem/Uop {:.4}, sample variation {:.1}%",
+        trace.name(),
+        trace.len(),
+        stats.mean_mem_uop,
+        stats.sample_variation_pct
+    );
+    let _ = writeln!(out, "\nphase histogram (Table 1 definitions):");
+    for (i, &count) in histogram.iter().enumerate() {
+        let share = count as f64 / trace.len() as f64;
+        let bar = "#".repeat((share * 50.0).round() as usize);
+        let _ = writeln!(out, "  P{} {:>6} ({:>5.1}%) {}", i + 1, count, share * 100.0, bar);
+    }
+    Ok(out)
+}
+
+fn predict(parsed: &Parsed) -> Result<String, CliError> {
+    let trace = workload(parsed)?;
+    let mut predictor = spec::predictor(&parsed.predictor)?;
+    let map = PhaseMap::pentium_m();
+    let stream = trace
+        .iter()
+        .map(|w| PhaseSample::new(w.mem_uop(), map.classify(w.mem_uop())));
+    let (stats, matrix) = evaluate_confusion(predictor.as_mut(), stream);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {}: {}",
+        predictor.name(),
+        trace.name(),
+        stats
+    );
+    let _ = writeln!(out, "\nconfusion (rows = actual, cols = predicted):");
+    let phases = matrix.phases();
+    let _ = write!(out, "{:>6}", "");
+    for &p in &phases {
+        let _ = write!(out, "{:>8}", format!("P{p}"));
+    }
+    let _ = writeln!(out, "{:>9}", "recall");
+    for &a in &phases {
+        let _ = write!(out, "{:>6}", format!("P{a}"));
+        for &p in &phases {
+            let _ = write!(out, "{:>8}", matrix.get(a, p));
+        }
+        let _ = writeln!(out, "{:>8.1}%", matrix.recall(a) * 100.0);
+    }
+    let _ = writeln!(
+        out,
+        "\nof the mispredictions, {:.0}% guessed a more CPU-bound phase \
+         (energy-wasting direction), {:.0}% a more memory-bound one \
+         (performance-costing direction).",
+        matrix.underestimation_share() * 100.0,
+        (1.0 - matrix.underestimation_share()) * 100.0
+    );
+    Ok(out)
+}
+
+fn render_run(report: &RunReport, baseline: Option<&RunReport>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} under {}: {:.3} s, {:.1} J, {:.2} W avg, {:.2} BIPS, EDP {:.2} J.s",
+        report.workload,
+        report.policy,
+        report.totals.time_s,
+        report.totals.energy_j,
+        report.average_power_w(),
+        report.bips(),
+        report.edp()
+    );
+    let _ = writeln!(
+        out,
+        "prediction accuracy {:.1}%  |  DVFS transitions {}",
+        report.prediction.accuracy() * 100.0,
+        report.dvfs_transitions
+    );
+    if let Some(base) = baseline {
+        let c = report.compare_to(base);
+        let _ = writeln!(
+            out,
+            "vs baseline: EDP improvement {:.1}%, performance degradation \
+             {:.1}%, power savings {:.1}%, energy savings {:.1}%",
+            c.edp_improvement_pct(),
+            c.perf_degradation_pct(),
+            c.power_savings_pct(),
+            c.energy_savings_pct()
+        );
+    }
+    out
+}
+
+fn govern_trace(parsed: &Parsed, trace: &WorkloadTrace) -> Result<String, CliError> {
+    let platform = livephase_pmsim::PlatformConfig::pentium_m();
+    let manager = if parsed.policy == "gpht" && parsed.predictor != "gpht:8:128" {
+        // A custom predictor rides the standard proactive policy.
+        spec::proactive_manager(&parsed.predictor)?
+    } else {
+        spec::manager(&parsed.policy, trace)?
+    };
+    let report = manager.run(trace, platform.clone());
+    if parsed.policy == "baseline" {
+        Ok(render_run(&report, None))
+    } else {
+        let baseline = livephase_governor::Manager::baseline().run(trace, platform);
+        Ok(render_run(&report, Some(&baseline)))
+    }
+}
+
+fn govern(parsed: &Parsed) -> Result<String, CliError> {
+    let trace = workload(parsed)?;
+    govern_trace(parsed, &trace)
+}
+
+fn export(parsed: &Parsed) -> Result<String, CliError> {
+    let trace = workload(parsed)?;
+    let path = parsed.out.as_deref().expect("validated by the parser");
+    let csv = trace_io::to_csv(&trace);
+    std::fs::write(path, &csv)
+        .map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
+    Ok(format!(
+        "wrote {} intervals ({} bytes) to {path}",
+        trace.len(),
+        csv.len()
+    ))
+}
+
+fn replay(parsed: &Parsed) -> Result<String, CliError> {
+    let path = parsed.target.as_deref().expect("validated by the parser");
+    let csv = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path:?}: {e}")))?;
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("replay");
+    let trace = trace_io::from_csv(stem, &csv)
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    govern_trace(parsed, &trace)
+}
+
+fn repro(parsed: &Parsed) -> Result<String, CliError> {
+    use livephase_experiments as exp;
+    let artifact = parsed.target.as_deref().expect("validated by the parser");
+    let seed = parsed.seed;
+    let (body, violations): (String, Vec<String>) = match artifact {
+        "table1" => {
+            let t = exp::table1::run();
+            (t.to_string(), exp::table1::check(&t))
+        }
+        "table2" => {
+            let t = exp::table2::run();
+            (t.to_string(), exp::table2::check(&t))
+        }
+        "fig02" => {
+            let f = exp::fig02::run(seed);
+            (f.to_string(), exp::fig02::check(&f))
+        }
+        "fig03" => {
+            let f = exp::fig03::run(seed);
+            (f.to_string(), exp::fig03::check(&f))
+        }
+        "fig04" => {
+            let f = exp::fig04::run(seed);
+            (f.to_string(), exp::fig04::check(&f))
+        }
+        "fig05" => {
+            let f = exp::fig05::run(seed);
+            (f.to_string(), exp::fig05::check(&f))
+        }
+        "fig06" => {
+            let f = exp::fig06::run(seed);
+            (f.to_string(), exp::fig06::check(&f))
+        }
+        "fig07" => {
+            let f = exp::fig07::run(seed);
+            (f.to_string(), exp::fig07::check(&f))
+        }
+        "fig10" => {
+            let f = exp::fig10::run(seed);
+            (f.to_string(), exp::fig10::check(&f))
+        }
+        "fig11" => {
+            let f = exp::fig11::run(seed);
+            (f.to_string(), exp::fig11::check(&f))
+        }
+        "fig12" => {
+            let f = exp::fig12::run(seed);
+            (f.to_string(), exp::fig12::check(&f))
+        }
+        "fig13" => {
+            let f = exp::fig13::run(seed);
+            (f.to_string(), exp::fig13::check(&f))
+        }
+        // Ablations (design-choice probes beyond the published figures).
+        "gphr_depth" => {
+            let a = exp::ablations::gphr_depth::run(seed);
+            (a.to_string(), exp::ablations::gphr_depth::check(&a))
+        }
+        "upc_pitfall" => {
+            let a = exp::ablations::upc_pitfall::run(seed);
+            (a.to_string(), exp::ablations::upc_pitfall::check(&a))
+        }
+        "oracle_gap" => {
+            let a = exp::ablations::oracle_gap::run(seed);
+            (a.to_string(), exp::ablations::oracle_gap::check(&a))
+        }
+        "overheads" => {
+            let a = exp::ablations::overheads::run(seed);
+            (a.to_string(), exp::ablations::overheads::check(&a))
+        }
+        "granularity" => {
+            let a = exp::ablations::granularity::run(seed);
+            (a.to_string(), exp::ablations::granularity::check(&a))
+        }
+        "selector" => {
+            let a = exp::ablations::selector::run(seed);
+            (a.to_string(), exp::ablations::selector::check(&a))
+        }
+        "pht_organization" => {
+            let a = exp::ablations::pht_organization::run(seed);
+            (a.to_string(), exp::ablations::pht_organization::check(&a))
+        }
+        "confidence" => {
+            let a = exp::ablations::confidence::run(seed);
+            (a.to_string(), exp::ablations::confidence::check(&a))
+        }
+        "family_tour" => {
+            let a = exp::ablations::family_tour::run(seed);
+            (a.to_string(), exp::ablations::family_tour::check(&a))
+        }
+        // Extensions (the paper's Section 8 claims, built out).
+        "dtm" => {
+            let e = exp::extensions::dtm::run(seed);
+            (e.to_string(), exp::extensions::dtm::check(&e))
+        }
+        "power_cap" => {
+            let e = exp::extensions::power_cap::run(seed);
+            (e.to_string(), exp::extensions::power_cap::check(&e))
+        }
+        "multiprogram" => {
+            let e = exp::extensions::multiprogram::run(seed);
+            (e.to_string(), exp::extensions::multiprogram::check(&e))
+        }
+        "duration" => {
+            let e = exp::extensions::duration::run(seed);
+            (e.to_string(), exp::extensions::duration::check(&e))
+        }
+        "adaptive_sampling" => {
+            let e = exp::extensions::adaptive_sampling::run(seed);
+            (e.to_string(), exp::extensions::adaptive_sampling::check(&e))
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown artifact {other:?}; accepted: table1 table2 fig02 fig03 \
+                 fig04 fig05 fig06 fig07 fig10 fig11 fig12 fig13, ablations \
+                 (gphr_depth upc_pitfall oracle_gap overheads granularity \
+                 selector pht_organization confidence family_tour) and \
+                 extensions (dtm power_cap multiprogram duration \
+                 adaptive_sampling)"
+            )))
+        }
+    };
+    let mut out = body;
+    if violations.is_empty() {
+        let _ = writeln!(out, "\n[{artifact}] all of the paper's shape claims hold");
+    } else {
+        for v in &violations {
+            let _ = writeln!(out, "\n[{artifact}] SHAPE VIOLATION: {v}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(line: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        dispatch(&parse(&argv).unwrap())
+    }
+
+    #[test]
+    fn list_shows_all_benchmarks() {
+        let out = run("list").unwrap();
+        assert_eq!(out.lines().count(), 2 + 33);
+        assert!(out.contains("applu_in"));
+        assert!(out.contains("mcf_inp"));
+    }
+
+    #[test]
+    fn characterize_histogram_covers_trace() {
+        let out = run("characterize swim_in --length 50").unwrap();
+        assert!(out.contains("phase histogram"));
+        assert!(out.contains("P5"));
+    }
+
+    #[test]
+    fn predict_reports_accuracy_and_confusion() {
+        let out = run("predict applu_in --length 300 --predictor gpht:8:128").unwrap();
+        assert!(out.contains("GPHT_8_128 on applu_in"));
+        assert!(out.contains("confusion"));
+        assert!(out.contains("recall"));
+    }
+
+    #[test]
+    fn govern_compares_to_baseline() {
+        let out = run("govern swim_in --length 60 --policy reactive").unwrap();
+        assert!(out.contains("vs baseline"));
+        assert!(out.contains("EDP improvement"));
+    }
+
+    #[test]
+    fn govern_baseline_has_no_comparison() {
+        let out = run("govern swim_in --length 30 --policy baseline").unwrap();
+        assert!(!out.contains("vs baseline"));
+    }
+
+    #[test]
+    fn govern_with_custom_predictor() {
+        let out = run("govern applu_in --length 80 --predictor markov").unwrap();
+        assert!(out.contains("Proactive(Markov1)"));
+    }
+
+    #[test]
+    fn export_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("livephase_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("swim.csv");
+        let path_s = path.to_str().unwrap();
+        let out = run(&format!("export swim_in --length 20 --out {path_s}")).unwrap();
+        assert!(out.contains("wrote 20 intervals"));
+        let out = run(&format!("replay {path_s} --policy gpht")).unwrap();
+        assert!(out.contains("vs baseline"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn repro_runs_a_table() {
+        let out = run("repro table1").unwrap();
+        assert!(out.contains("shape claims hold"));
+    }
+
+    #[test]
+    fn repro_runs_an_ablation_and_an_extension() {
+        let out = run("repro upc_pitfall").unwrap();
+        assert!(out.contains("shape claims hold"), "{out}");
+        let out = run("repro duration").unwrap();
+        assert!(out.contains("shape claims hold"), "{out}");
+    }
+
+    #[test]
+    fn friendly_errors() {
+        assert!(run("characterize doom").unwrap_err().message().contains("unknown benchmark"));
+        assert!(run("repro fig99").unwrap_err().message().contains("unknown artifact"));
+        assert!(run("replay /nonexistent.csv").unwrap_err().message().contains("cannot read"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("repro"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # livephase-cli
+//!
+//! The `livephase` command-line tool: phase characterization, prediction,
+//! and DVFS management from a shell, over either the built-in SPEC
+//! CPU2000 stand-ins or replayed counter logs.
+//!
+//! ```text
+//! livephase list
+//! livephase characterize applu_in
+//! livephase predict applu_in --predictor gpht:8:128
+//! livephase govern applu_in --policy gpht
+//! livephase export applu_in --out applu.csv
+//! livephase replay applu.csv --policy reactive
+//! livephase repro fig04
+//! ```
+//!
+//! The crate is a thin, dependency-free argument layer over the workspace
+//! libraries; every command is a pure function from parsed arguments to a
+//! report string, so the whole surface is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+pub mod spec;
+
+use args::CliError;
+
+/// Executes a full command line (excluding `argv[0]`), returning the
+/// text to print on success.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message (and usage text)
+/// when the command line is malformed or names unknown entities.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let parsed = args::parse(argv)?;
+    commands::dispatch(&parsed)
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "livephase — runtime phase monitoring, prediction and DVFS management\n\
+     \n\
+     USAGE:\n\
+     \x20 livephase <command> [arguments] [options]\n\
+     \n\
+     COMMANDS:\n\
+     \x20 list                          list the built-in benchmarks\n\
+     \x20 characterize <bench>          stability / savings statistics\n\
+     \x20 predict <bench>               run a phase predictor, report accuracy\n\
+     \x20 govern <bench>                run DVFS management, report EDP\n\
+     \x20 export <bench> --out <file>   write the trace as CSV\n\
+     \x20 replay <file.csv>             govern a replayed counter log\n\
+     \x20 repro <artifact>              regenerate a paper table/figure\n\
+     \n\
+     OPTIONS:\n\
+     \x20 --seed <n>            workload seed (default 42)\n\
+     \x20 --length <n>          trace length in sampling intervals\n\
+     \x20 --predictor <spec>    lastvalue | markov | fixwindow:<n> |\n\
+     \x20                       varwindow:<n>:<thr> | gpht:<depth>:<entries> |\n\
+     \x20                       hashedgpht:<depth>:<entries>\n\
+     \x20 --policy <name>       baseline | reactive | gpht | oracle | conservative\n\
+     \x20 --out <file>          output path for `export`\n"
+        .to_owned()
+}

@@ -1,0 +1,12 @@
+//! The `livephase` command-line entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match livephase_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end tests spawning the real `livephase-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_livephase-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn help_and_no_args_print_usage() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("USAGE"));
+    let out = run_ok(&[]);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn list_prints_the_registry() {
+    let out = run_ok(&["list"]);
+    assert!(out.contains("applu_in"));
+    assert!(out.contains("equake_in"));
+    assert!(out.lines().count() >= 35);
+}
+
+#[test]
+fn govern_pipeline_works_end_to_end() {
+    let out = run_ok(&["govern", "applu_in", "--length", "80", "--seed", "3"]);
+    assert!(out.contains("vs baseline"));
+    assert!(out.contains("EDP improvement"));
+}
+
+#[test]
+fn bad_input_exits_nonzero_with_message() {
+    let out = cli().args(["govern", "not_a_benchmark"]).output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown benchmark"), "{err}");
+}
+
+#[test]
+fn export_then_replay_round_trips_through_files() {
+    let dir = std::env::temp_dir().join(format!("livephase_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("t.csv");
+    let csv_s = csv.to_str().unwrap();
+    let out = run_ok(&["export", "mgrid_in", "--length", "30", "--out", csv_s]);
+    assert!(out.contains("wrote 30 intervals"));
+    let out = run_ok(&["replay", csv_s, "--policy", "reactive"]);
+    assert!(out.contains("Reactive"));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn repro_verifies_a_figure() {
+    let out = run_ok(&["repro", "table2"]);
+    assert!(out.contains("shape claims hold"));
+}

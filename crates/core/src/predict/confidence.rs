@@ -1,0 +1,227 @@
+//! Confidence gating for phase predictors.
+//!
+//! A misprediction costs a dynamic manager twice: the wrong setting for
+//! one interval *and* a possibly useless voltage transition. A standard
+//! architecture trick — an n-bit saturating confidence counter, as used
+//! in branch-predictor confidence estimation — suppresses a predictor's
+//! output while its recent track record is poor, falling back to the last
+//! observed phase (the reactive choice). This is a faithful "optional
+//! extension" in the spirit of the paper's Section 8 generality claims.
+
+use super::{last_value::LastValue, PhaseSample, Predictor};
+use crate::phase::PhaseId;
+
+/// Wraps any [`Predictor`] with an n-bit saturating confidence counter.
+///
+/// The counter increments on each correct prediction and decrements on a
+/// miss; the inner predictor's output is used only while the counter is
+/// at or above the threshold, otherwise the last observed phase is
+/// emitted.
+///
+/// ```
+/// use livephase_core::{Gpht, GphtConfig, PhaseSample, PhaseId, Predictor};
+/// use livephase_core::predict::confidence::ConfidentPredictor;
+///
+/// let gpht = Gpht::new(GphtConfig::DEPLOYED);
+/// let mut p = ConfidentPredictor::new(gpht, 2, 2);
+/// let s = PhaseSample::new(0.001, PhaseId::new(1));
+/// let _ = p.next(s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfidentPredictor<P> {
+    inner: P,
+    fallback: LastValue,
+    /// Saturating counter value.
+    counter: u8,
+    /// Saturation ceiling (`2^bits - 1` for an n-bit counter).
+    max: u8,
+    /// Counter value at or above which the inner predictor is trusted.
+    threshold: u8,
+    /// What the inner predictor said last period (to score it).
+    last_inner: Option<PhaseId>,
+}
+
+impl<P: Predictor> ConfidentPredictor<P> {
+    /// Creates a gate with `bits`-wide counter and the given trust
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8, or the threshold does not
+    /// fit the counter.
+    #[must_use]
+    pub fn new(inner: P, bits: u8, threshold: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = if bits == 8 { u8::MAX } else { (1 << bits) - 1 };
+        assert!(threshold <= max, "threshold must fit the counter");
+        Self {
+            inner,
+            fallback: LastValue::new(),
+            // Start trusting: a cold predictor behaves as last value
+            // anyway, so early trust costs nothing.
+            counter: max,
+            max,
+            threshold,
+            last_inner: None,
+        }
+    }
+
+    /// The wrapped predictor.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Current confidence counter value.
+    #[must_use]
+    pub fn confidence(&self) -> u8 {
+        self.counter
+    }
+
+    /// Whether the inner predictor is currently trusted.
+    #[must_use]
+    pub fn is_confident(&self) -> bool {
+        self.counter >= self.threshold
+    }
+}
+
+impl<P: Predictor> Predictor for ConfidentPredictor<P> {
+    fn observe(&mut self, sample: PhaseSample) {
+        // Score the inner predictor's previous call, whether or not it
+        // was the emitted output — confidence must track the predictor
+        // itself, or it can never re-earn trust while suppressed.
+        if let Some(said) = self.last_inner {
+            if said == sample.phase {
+                self.counter = (self.counter + 1).min(self.max);
+            } else {
+                self.counter = self.counter.saturating_sub(1);
+            }
+        }
+        self.inner.observe(sample);
+        self.fallback.observe(sample);
+        self.last_inner = Some(self.inner.predict());
+    }
+
+    fn predict(&self) -> PhaseId {
+        if self.is_confident() {
+            self.inner.predict()
+        } else {
+            self.fallback.predict()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.fallback.reset();
+        self.counter = self.max;
+        self.last_inner = None;
+    }
+
+    fn name(&self) -> String {
+        format!("Confident_{}({})", self.threshold, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::predict::gpht::{Gpht, GphtConfig};
+
+    fn s(id: u8) -> PhaseSample {
+        PhaseSample::new(f64::from(id) * 0.005, PhaseId::new(id))
+    }
+
+    /// A predictor that always answers the same phase — wrong on most
+    /// streams, for driving confidence down.
+    #[derive(Debug)]
+    struct Stubborn(u8);
+    impl Predictor for Stubborn {
+        fn observe(&mut self, _s: PhaseSample) {}
+        fn predict(&self) -> PhaseId {
+            PhaseId::new(self.0)
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> String {
+            "Stubborn".into()
+        }
+    }
+
+    #[test]
+    fn suppresses_a_bad_predictor() {
+        // Stream of constant phase 1; inner insists on 6.
+        let mut p = ConfidentPredictor::new(Stubborn(6), 2, 2);
+        let mut correct = 0;
+        for _ in 0..50 {
+            let pred = p.predict();
+            if pred.get() == 1 {
+                correct += 1;
+            }
+            p.observe(s(1));
+        }
+        // After the counter drains (3 misses), the gate emits last value.
+        assert!(correct >= 46, "{correct}/50");
+        assert!(!p.is_confident());
+    }
+
+    #[test]
+    fn trusts_a_good_predictor() {
+        let mut gated = ConfidentPredictor::new(Gpht::new(GphtConfig::DEPLOYED), 2, 2);
+        let mut plain = Gpht::new(GphtConfig::DEPLOYED);
+        let seq: Vec<u8> = [1u8, 3, 6, 3].iter().copied().cycle().take(300).collect();
+        let g = evaluate(&mut gated, seq.iter().map(|&i| s(i)));
+        let p = evaluate(&mut plain, seq.iter().map(|&i| s(i)));
+        // On a learnable stream the gate must not cost more than the few
+        // intervals it takes to earn trust.
+        assert!(g.correct + 8 >= p.correct, "gated {g:?} vs plain {p:?}");
+        assert!(gated.is_confident());
+    }
+
+    #[test]
+    fn confidence_recovers_after_disruption() {
+        let mut p = ConfidentPredictor::new(Gpht::new(GphtConfig::DEPLOYED), 2, 2);
+        // Learn a pattern...
+        for _ in 0..50 {
+            for id in [1u8, 4, 1, 4] {
+                p.observe(s(id));
+            }
+        }
+        assert!(p.is_confident());
+        // ...disrupt it with noise long enough to drain confidence...
+        for id in [2u8, 6, 3, 5, 2, 6, 3, 5] {
+            p.observe(s(id));
+        }
+        // ...then return to the pattern: trust must re-accumulate.
+        for _ in 0..50 {
+            for id in [1u8, 4, 1, 4] {
+                p.observe(s(id));
+            }
+        }
+        assert!(p.is_confident(), "confidence should recover");
+    }
+
+    #[test]
+    fn name_and_reset() {
+        let mut p = ConfidentPredictor::new(Stubborn(2), 3, 4);
+        assert_eq!(p.name(), "Confident_4(Stubborn)");
+        for _ in 0..20 {
+            p.observe(s(1));
+        }
+        p.reset();
+        assert_eq!(p.confidence(), 7, "3-bit counter resets to max");
+        assert!(p.is_confident(), "reset restores initial trust");
+        assert_eq!(p.predict().get(), 2, "trusted inner output after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_bits_rejected() {
+        let _ = ConfidentPredictor::new(Stubborn(1), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must fit")]
+    fn oversized_threshold_rejected() {
+        let _ = ConfidentPredictor::new(Stubborn(1), 2, 4);
+    }
+}

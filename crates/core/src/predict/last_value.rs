@@ -1,0 +1,76 @@
+//! The last value predictor: `Phase[t+1] = Phase[t]`.
+//!
+//! The simplest statistical predictor and the reactive baseline used by most
+//! prior dynamic-management systems (Section 6.2 calls DVFS driven by it the
+//! "reactive" approach). Near-optimal for stable applications, poor for
+//! rapidly varying ones — on `applu` it mispredicts more than half the
+//! intervals (Figure 2).
+
+use super::{PhaseSample, Predictor};
+use crate::phase::PhaseId;
+
+/// Predicts that the next interval repeats the last observed phase.
+///
+/// ```
+/// use livephase_core::{LastValue, PhaseSample, PhaseId, Predictor};
+/// let mut p = LastValue::new();
+/// assert_eq!(p.next(PhaseSample::new(0.012, PhaseId::new(3))).get(), 3);
+/// assert_eq!(p.next(PhaseSample::new(0.001, PhaseId::new(1))).get(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LastValue {
+    last: Option<PhaseId>,
+}
+
+impl LastValue {
+    /// Creates an empty last-value predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, sample: PhaseSample) {
+        self.last = Some(sample.phase);
+    }
+
+    fn predict(&self) -> PhaseId {
+        self.last.unwrap_or(PhaseId::CPU_BOUND)
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+
+    fn name(&self) -> String {
+        "LastValue".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_prediction_is_cpu_bound() {
+        assert_eq!(LastValue::new().predict(), PhaseId::CPU_BOUND);
+    }
+
+    #[test]
+    fn tracks_last_observation() {
+        let mut p = LastValue::new();
+        for id in [2u8, 5, 3, 6] {
+            p.observe(PhaseSample::new(0.01, PhaseId::new(id)));
+            assert_eq!(p.predict().get(), id);
+        }
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut p = LastValue::new();
+        p.observe(PhaseSample::new(0.04, PhaseId::new(6)));
+        p.reset();
+        assert_eq!(p.predict(), PhaseId::CPU_BOUND);
+    }
+}

@@ -1,0 +1,184 @@
+//! A first-order Markov phase predictor.
+//!
+//! A natural middle ground between the statistical predictors and the
+//! GPHT: predict the most frequent successor of the *current* phase,
+//! learned online from transition counts. Equivalent to a GPHT with
+//! depth 1 and per-phase frequency (rather than last-outcome) training —
+//! included as a baseline the paper's line-up omits, to show that one
+//! level of context is not enough for rapidly varying workloads (the same
+//! phase recurs at several positions of a pattern with different
+//! successors).
+
+use super::{PhaseSample, Predictor};
+use crate::phase::PhaseId;
+
+/// Maximum phase id the transition table covers (ids are `u8`, so this is
+/// simply the full range).
+const PHASES: usize = 256;
+
+/// Predicts the historically most frequent successor of the current phase.
+///
+/// ```
+/// use livephase_core::{MarkovPredictor, PhaseSample, PhaseId, Predictor};
+/// let mut m = MarkovPredictor::new();
+/// // 1 is always followed by 5 in this stream.
+/// for _ in 0..10 {
+///     m.observe(PhaseSample::new(0.001, PhaseId::new(1)));
+///     m.observe(PhaseSample::new(0.025, PhaseId::new(5)));
+/// }
+/// m.observe(PhaseSample::new(0.001, PhaseId::new(1)));
+/// assert_eq!(m.predict().get(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovPredictor {
+    /// `counts[from][to]`: observed transitions, laid out flat.
+    counts: Vec<u32>,
+    current: Option<PhaseId>,
+}
+
+impl MarkovPredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; PHASES * PHASES],
+            current: None,
+        }
+    }
+
+    /// Observed transitions out of `from`.
+    #[must_use]
+    pub fn outgoing(&self, from: PhaseId) -> u32 {
+        let base = from.index() * PHASES;
+        self.counts[base..base + PHASES].iter().sum()
+    }
+
+    /// The learned most likely successor of `from`, if any transition out
+    /// of it has been seen. Ties break toward the more CPU-bound phase
+    /// (the conservative management choice).
+    #[must_use]
+    pub fn most_likely_successor(&self, from: PhaseId) -> Option<PhaseId> {
+        let base = from.index() * PHASES;
+        let row = &self.counts[base..base + PHASES];
+        let (idx, &count) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        if count == 0 {
+            None
+        } else {
+            Some(PhaseId::new(u8::try_from(idx + 1).expect("< 256")))
+        }
+    }
+}
+
+impl Default for MarkovPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for MarkovPredictor {
+    fn observe(&mut self, sample: PhaseSample) {
+        if let Some(prev) = self.current {
+            self.counts[prev.index() * PHASES + sample.phase.index()] += 1;
+        }
+        self.current = Some(sample.phase);
+    }
+
+    fn predict(&self) -> PhaseId {
+        match self.current {
+            None => PhaseId::CPU_BOUND,
+            Some(cur) => self.most_likely_successor(cur).unwrap_or(cur),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.current = None;
+    }
+
+    fn name(&self) -> String {
+        "Markov1".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::predict::gpht::{Gpht, GphtConfig};
+    use crate::predict::last_value::LastValue;
+
+    fn s(id: u8) -> PhaseSample {
+        PhaseSample::new(f64::from(id) * 0.005, PhaseId::new(id))
+    }
+
+    fn stream(pattern: &[u8], len: usize) -> Vec<PhaseSample> {
+        pattern.iter().copied().cycle().take(len).map(s).collect()
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        // 1 -> 3 -> 6 -> 1: every phase has a unique successor; Markov-1
+        // is perfect after warm-up.
+        let st = stream(&[1, 3, 6], 300);
+        let acc = evaluate(&mut MarkovPredictor::new(), st).accuracy();
+        assert!(acc > 0.97, "{acc}");
+    }
+
+    #[test]
+    fn ambiguous_context_defeats_markov_but_not_gpht() {
+        // Phase 1 is followed by 3 half the time and 6 half the time, but
+        // deeper history disambiguates (…,6,1 -> 3 and …,3,1 -> 6).
+        let st = stream(&[1, 3, 1, 6], 400);
+        let markov = evaluate(&mut MarkovPredictor::new(), st.iter().copied()).accuracy();
+        let gpht =
+            evaluate(&mut Gpht::new(GphtConfig::DEPLOYED), st.iter().copied()).accuracy();
+        assert!(gpht > 0.95, "GPHT disambiguates: {gpht}");
+        assert!(
+            markov < gpht - 0.2,
+            "one level of context is not enough: markov {markov} vs gpht {gpht}"
+        );
+    }
+
+    #[test]
+    fn beats_last_value_on_alternation() {
+        let st = stream(&[1, 6], 200);
+        let markov = evaluate(&mut MarkovPredictor::new(), st.iter().copied()).accuracy();
+        let lv = evaluate(&mut LastValue::new(), st.iter().copied()).accuracy();
+        assert!(markov > 0.95);
+        assert!(lv < 0.05);
+    }
+
+    #[test]
+    fn falls_back_to_last_value_when_ignorant() {
+        let mut m = MarkovPredictor::new();
+        m.observe(s(4));
+        assert_eq!(m.predict().get(), 4, "no transitions seen yet");
+        assert_eq!(m.most_likely_successor(PhaseId::new(4)), None);
+    }
+
+    #[test]
+    fn ties_break_toward_cpu_bound() {
+        let mut m = MarkovPredictor::new();
+        for id in [2u8, 1, 2, 5] {
+            m.observe(s(id));
+        }
+        // Out of 2: one transition to 1, one to 5 — tie -> phase 1.
+        assert_eq!(m.most_likely_successor(PhaseId::new(2)), Some(PhaseId::new(1)));
+        assert_eq!(m.outgoing(PhaseId::new(2)), 2);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut m = MarkovPredictor::new();
+        for id in [1u8, 5, 1, 5] {
+            m.observe(s(id));
+        }
+        m.reset();
+        assert_eq!(m.predict(), PhaseId::CPU_BOUND);
+        assert_eq!(m.outgoing(PhaseId::new(1)), 0);
+        assert_eq!(m.name(), "Markov1");
+    }
+}

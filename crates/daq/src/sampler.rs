@@ -1,0 +1,139 @@
+//! The DAQPad sampler: fixed-period sampling of the analog waveform.
+
+use crate::sense::{ChannelVoltages, SenseCircuit};
+use livephase_pmsim::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+/// One raw DAQ sample: the three analog channels plus the digital
+/// parallel-port lines captured at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaqSample {
+    /// Sample timestamp in seconds from the start of the capture.
+    pub time_s: f64,
+    /// The three measured voltages.
+    pub channels: ChannelVoltages,
+    /// The parallel-port bits at the sampling instant.
+    pub pport_bits: u8,
+}
+
+/// A fixed-period sampler over a piecewise-constant power waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampler {
+    period_s: f64,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given period (the paper's DAQ runs at
+    /// 40 µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not positive and finite.
+    #[must_use]
+    pub fn new(period_s: f64) -> Self {
+        assert!(
+            period_s.is_finite() && period_s > 0.0,
+            "sampling period must be positive"
+        );
+        Self { period_s }
+    }
+
+    /// The sampling period in seconds.
+    #[must_use]
+    pub fn period_s(&self) -> f64 {
+        self.period_s
+    }
+
+    /// Iterates samples over the trace: one sample at the *end* of each
+    /// period (`t = k·period`, k ≥ 1), walking the segment list once.
+    pub fn samples<'a>(
+        &self,
+        trace: &'a PowerTrace,
+        circuit: &'a SenseCircuit,
+    ) -> impl Iterator<Item = DaqSample> + 'a {
+        let period = self.period_s;
+        let mut seg_idx = 0usize;
+        let mut seg_end = trace.segments().first().map_or(0.0, |s| s.duration_s);
+        let mut k = 0u64;
+        std::iter::from_fn(move || {
+            k += 1;
+            #[allow(clippy::cast_precision_loss)] // k stays far below 2^52
+            let t = k as f64 * period;
+            // Advance to the segment containing t.
+            while seg_idx < trace.segments().len() && t > seg_end + 1e-15 {
+                seg_idx += 1;
+                if let Some(seg) = trace.segments().get(seg_idx) {
+                    seg_end += seg.duration_s;
+                }
+            }
+            let seg = trace.segments().get(seg_idx)?;
+            Some(DaqSample {
+                time_s: t,
+                channels: circuit.forward(seg.power_w, seg.voltage_v),
+                pport_bits: seg.pport_bits,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livephase_pmsim::trace::PowerSegment;
+
+    fn seg(duration_s: f64, power_w: f64, bits: u8) -> PowerSegment {
+        PowerSegment {
+            duration_s,
+            power_w,
+            voltage_v: 1.0,
+            pport_bits: bits,
+        }
+    }
+
+    #[test]
+    fn sample_count_matches_duration() {
+        let mut t = PowerTrace::new();
+        t.push(seg(0.001, 5.0, 0));
+        let s = Sampler::new(40e-6);
+        assert_eq!(s.samples(&t, &SenseCircuit::pentium_m()).count(), 25);
+    }
+
+    #[test]
+    fn samples_pick_the_right_segment() {
+        let mut t = PowerTrace::new();
+        t.push(seg(100e-6, 10.0, 0b0));
+        t.push(seg(100e-6, 2.0, 0b1));
+        let c = SenseCircuit::pentium_m();
+        let all: Vec<DaqSample> = Sampler::new(40e-6).samples(&t, &c).collect();
+        assert_eq!(all.len(), 5);
+        // t = 40, 80 us -> segment 1; t = 120, 160, 200 us -> segment 2.
+        let p: Vec<f64> = all.iter().map(|s| c.reconstruct_power(s.channels)).collect();
+        assert!((p[0] - 10.0).abs() < 1e-9);
+        assert!((p[1] - 10.0).abs() < 1e-9);
+        assert!((p[2] - 2.0).abs() < 1e-9);
+        assert!((p[4] - 2.0).abs() < 1e-9);
+        assert_eq!(all[1].pport_bits, 0b0);
+        assert_eq!(all[2].pport_bits, 0b1);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_samples() {
+        let t = PowerTrace::new();
+        let s = Sampler::new(40e-6);
+        assert_eq!(s.samples(&t, &SenseCircuit::pentium_m()).count(), 0);
+    }
+
+    #[test]
+    fn sub_period_trace_yields_no_samples() {
+        let mut t = PowerTrace::new();
+        t.push(seg(10e-6, 5.0, 0));
+        let s = Sampler::new(40e-6);
+        assert_eq!(s.samples(&t, &SenseCircuit::pentium_m()).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_period_rejected() {
+        let _ = Sampler::new(0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The complete predictor-family tour: every predictor family in the
+//! repository over the variable six, in one table.
+//!
+//! Beyond the paper's Figure 4 line-up this includes the first-order
+//! Markov baseline (one level of context), the direct-mapped GPHT, and
+//! the confidence-gated GPHT — placing the paper's proposal inside the
+//! broader design space.
+
+use crate::format::{pct, Table};
+use crate::predictors::accuracy_on;
+use crate::ShapeViolations;
+use livephase_core::{
+    ConfidentPredictor, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue,
+    MarkovPredictor, Predictor,
+};
+use livephase_workloads::spec;
+use std::fmt;
+
+/// Builds the tour line-up (fresh instances).
+#[must_use]
+pub fn lineup() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(LastValue::new()),
+        Box::new(MarkovPredictor::new()),
+        Box::new(Gpht::new(GphtConfig::DEPLOYED)),
+        Box::new(HashedGpht::new(HashedGphtConfig::DEPLOYED)),
+        Box::new(ConfidentPredictor::new(
+            Gpht::new(GphtConfig::DEPLOYED),
+            2,
+            2,
+        )),
+    ]
+}
+
+/// One benchmark's per-family accuracy.
+#[derive(Debug, Clone)]
+pub struct TourRow {
+    /// Benchmark name.
+    pub name: String,
+    /// `(predictor name, accuracy)` in line-up order.
+    pub accuracies: Vec<(String, f64)>,
+}
+
+impl TourRow {
+    /// Accuracy of a named family.
+    #[must_use]
+    pub fn accuracy_of(&self, predictor: &str) -> Option<f64> {
+        self.accuracies
+            .iter()
+            .find(|(n, _)| n == predictor)
+            .map(|&(_, a)| a)
+    }
+}
+
+/// The tour result.
+#[derive(Debug, Clone)]
+pub struct FamilyTour {
+    /// One row per variable benchmark.
+    pub rows: Vec<TourRow>,
+}
+
+/// Evaluates the tour over the variable six.
+#[must_use]
+pub fn run(seed: u64) -> FamilyTour {
+    let rows = spec::variable_six()
+        .iter()
+        .map(|name| {
+            let trace = spec::benchmark(name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+                .generate(seed);
+            let accuracies = lineup()
+                .iter_mut()
+                .map(|p| (p.name(), accuracy_on(p.as_mut(), &trace).accuracy()))
+                .collect();
+            TourRow {
+                name: (*name).to_owned(),
+                accuracies,
+            }
+        })
+        .collect();
+    FamilyTour { rows }
+}
+
+/// The family ordering the design space predicts: pattern history (GPHT
+/// variants) ≥ one-level context (Markov) ≥ no context (last value), on
+/// every variable benchmark.
+#[must_use]
+pub fn check(t: &FamilyTour) -> ShapeViolations {
+    let mut v = Vec::new();
+    for r in &t.rows {
+        let lv = r.accuracy_of("LastValue").unwrap_or(0.0);
+        let markov = r.accuracy_of("Markov1").unwrap_or(0.0);
+        let gpht = r.accuracy_of("GPHT_8_128").unwrap_or(0.0);
+        let gated = r.accuracy_of("Confident_2(GPHT_8_128)").unwrap_or(0.0);
+        if markov < lv - 0.03 {
+            v.push(format!(
+                "{}: Markov ({markov:.3}) should not lose to last value ({lv:.3})",
+                r.name
+            ));
+        }
+        if gpht < markov - 0.02 {
+            v.push(format!(
+                "{}: GPHT ({gpht:.3}) should beat one-level context ({markov:.3})",
+                r.name
+            ));
+        }
+        if gated < gpht - 0.05 {
+            v.push(format!(
+                "{}: gating ({gated:.3}) should be nearly free over GPHT ({gpht:.3})",
+                r.name
+            ));
+        }
+    }
+    v
+}
+
+impl FamilyTour {
+    /// The tour as an accuracy table (percent).
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut header = vec!["benchmark".to_owned()];
+        if let Some(first) = self.rows.first() {
+            header.extend(first.accuracies.iter().map(|(n, _)| n.clone()));
+        }
+        let mut t = Table::new(header);
+        for r in &self.rows {
+            let mut row = vec![r.name.clone()];
+            row.extend(r.accuracies.iter().map(|&(_, a)| pct(a)));
+            t.row(row);
+        }
+        t
+    }
+}
+
+impl fmt::Display for FamilyTour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ablation: the predictor-family tour (accuracy %, variable six).\n\n{}",
+            self.table().render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_tour_shape_holds() {
+        let t = run(crate::DEFAULT_SEED);
+        let violations = check(&t);
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(lineup().len(), 5);
+    }
+}

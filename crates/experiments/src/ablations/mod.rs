@@ -1,0 +1,28 @@
+//! Ablation studies on the design choices the paper (and `DESIGN.md`)
+//! call out.
+//!
+//! These go beyond the published figures: each isolates one choice the
+//! deployed system makes and quantifies what it buys.
+//!
+//! | Module | Design choice probed |
+//! |--------|----------------------|
+//! | [`gphr_depth`] | GPHR depth 8 (vs 1–32) |
+//! | [`upc_pitfall`] | defining phases on Mem/Uop instead of UPC |
+//! | [`oracle_gap`] | how much of perfect-prediction headroom GPHT captures |
+//! | [`overheads`] | handler + DVFS-transition overheads at the 100 M-uop granularity |
+//! | [`granularity`] | the 100 M-uop sampling granularity itself |
+//! | [`selector`] | majority voting for windowed predictors |
+//! | [`confidence`] | confidence-gating the GPHT (an optional extension) |
+//! | [`pht_organization`] | associative search vs direct-mapped hashing at equal storage |
+//! | [`sampling_domain`] | fixed-instruction vs fixed-time sampling under DVFS (Section 5.1) |
+
+pub mod confidence;
+pub mod family_tour;
+pub mod granularity;
+pub mod gphr_depth;
+pub mod oracle_gap;
+pub mod overheads;
+pub mod pht_organization;
+pub mod sampling_domain;
+pub mod selector;
+pub mod upc_pitfall;

@@ -1,0 +1,139 @@
+//! Windowed-selector ablation: why majority voting.
+//!
+//! The paper mentions the fixed-window reduction "can be a simple
+//! averaging function, an exponential moving average or a selector, based
+//! on population counts". Phases are *categories*, not magnitudes —
+//! averaging phase ids interpolates across the Mem/Uop axis and lands the
+//! manager on settings no observed behaviour asked for. This ablation
+//! quantifies that.
+
+use crate::format::{pct, Table};
+use crate::predictors::accuracy_on;
+use crate::ShapeViolations;
+use livephase_core::{FixedWindow, Selector};
+use livephase_workloads::spec;
+use std::fmt;
+
+/// One benchmark's per-selector accuracy (window fixed at 8).
+#[derive(Debug, Clone)]
+pub struct SelectorRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Majority-vote accuracy.
+    pub majority: f64,
+    /// Arithmetic-mean accuracy.
+    pub mean: f64,
+    /// EMA (α = 0.5) accuracy.
+    pub ema: f64,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone)]
+pub struct SelectorAblation {
+    /// One row per benchmark from a mixed stable/variable selection.
+    pub rows: Vec<SelectorRow>,
+}
+
+/// The probed benchmarks: variable runs, where the selectors differ.
+pub const BENCHMARKS: [&str; 6] = [
+    "applu_in",
+    "equake_in",
+    "mgrid_in",
+    "bzip2_source",
+    "swim_in",
+    "crafty_in",
+];
+
+/// Evaluates the three selectors over the probe set.
+#[must_use]
+pub fn run(seed: u64) -> SelectorAblation {
+    let rows = BENCHMARKS
+        .iter()
+        .map(|name| {
+            let trace = spec::benchmark(name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+                .generate(seed);
+            let acc = |sel: Selector| {
+                accuracy_on(&mut FixedWindow::new(8, sel), &trace).accuracy()
+            };
+            SelectorRow {
+                name: (*name).to_owned(),
+                majority: acc(Selector::Majority),
+                mean: acc(Selector::Mean),
+                ema: acc(Selector::Ema { alpha: 0.5 }),
+            }
+        })
+        .collect();
+    SelectorAblation { rows }
+}
+
+/// Majority wins in aggregate and never loses badly; on staircase-shaped
+/// workloads (mgrid's V-cycles) interpolation can edge ahead by a little,
+/// which is allowed — adjacent phases are adjacent rates there.
+#[must_use]
+pub fn check(a: &SelectorAblation) -> ShapeViolations {
+    let mut v = Vec::new();
+    let mut clear_win = false;
+    for r in &a.rows {
+        if r.majority < r.mean - 0.06 || r.majority < r.ema - 0.06 {
+            v.push(format!(
+                "{}: majority ({:.3}) lost badly to mean ({:.3}) or EMA ({:.3})",
+                r.name, r.majority, r.mean, r.ema
+            ));
+        }
+        if r.majority > r.mean + 0.05 || r.majority > r.ema + 0.05 {
+            clear_win = true;
+        }
+    }
+    let n = a.rows.len() as f64;
+    let avg_majority: f64 = a.rows.iter().map(|r| r.majority).sum::<f64>() / n;
+    let avg_mean: f64 = a.rows.iter().map(|r| r.mean).sum::<f64>() / n;
+    let avg_ema: f64 = a.rows.iter().map(|r| r.ema).sum::<f64>() / n;
+    if avg_majority < avg_mean || avg_majority < avg_ema {
+        v.push(format!(
+            "majority ({avg_majority:.3}) should win in aggregate over \
+             mean ({avg_mean:.3}) and EMA ({avg_ema:.3})"
+        ));
+    }
+    if !clear_win {
+        v.push("majority should clearly beat interpolation somewhere".to_owned());
+    }
+    v
+}
+
+impl fmt::Display for SelectorAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(vec![
+            "benchmark".into(),
+            "majority %".into(),
+            "mean %".into(),
+            "EMA(0.5) %".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                pct(r.majority),
+                pct(r.mean),
+                pct(r.ema),
+            ]);
+        }
+        write!(
+            f,
+            "Ablation: fixed-window selector (window 8). Phases are \
+             categories; interpolating their ids invents behaviours.\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_ablation_shape_holds() {
+        let a = run(crate::DEFAULT_SEED);
+        let violations = check(&a);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The UPC pitfall, made concrete.
+//!
+//! Section 4 warns: "Directly using UPC in phase classification is not
+//! reliable for dynamic management, as the resulting phases vary with
+//! different power management settings." This ablation builds a UPC-based
+//! phase map of the same arity as Table 1 and measures, over the IPCxMEM
+//! grid, how many behaviours change phase when only the DVFS setting
+//! changes — the self-defeating feedback a UPC-phased manager would chase.
+
+use crate::format::{num, Table};
+use crate::ShapeViolations;
+use livephase_core::PhaseMap;
+use livephase_pmsim::{OperatingPointTable, TimingModel};
+use livephase_workloads::IpcxMemSuite;
+use std::fmt;
+
+/// One grid configuration's phase stability under DVFS.
+#[derive(Debug, Clone)]
+pub struct StabilityRow {
+    /// Configuration label.
+    pub config: String,
+    /// Distinct UPC-phases observed across the six frequencies.
+    pub upc_phases_seen: usize,
+    /// Distinct Mem/Uop-phases observed across the six frequencies.
+    pub mem_phases_seen: usize,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone)]
+pub struct UpcPitfall {
+    /// One row per grid configuration.
+    pub rows: Vec<StabilityRow>,
+}
+
+impl UpcPitfall {
+    /// Fraction of configurations whose UPC-phase moves under DVFS.
+    #[must_use]
+    pub fn upc_unstable_fraction(&self) -> f64 {
+        let unstable = self.rows.iter().filter(|r| r.upc_phases_seen > 1).count();
+        unstable as f64 / self.rows.len() as f64
+    }
+
+    /// Fraction of configurations whose Mem/Uop-phase moves under DVFS.
+    #[must_use]
+    pub fn mem_unstable_fraction(&self) -> f64 {
+        let unstable = self.rows.iter().filter(|r| r.mem_phases_seen > 1).count();
+        unstable as f64 / self.rows.len() as f64
+    }
+}
+
+/// Classifies every IPCxMEM grid configuration at all six frequencies
+/// under both a UPC map and the Mem/Uop map.
+#[must_use]
+pub fn run(_seed: u64) -> UpcPitfall {
+    let suite = IpcxMemSuite::pentium_m();
+    let timing = TimingModel::pentium_m();
+    let opps = OperatingPointTable::pentium_m();
+    // A six-phase UPC partition spanning the observable range, mirroring
+    // Table 1's arity.
+    let upc_map = PhaseMap::new(vec![0.3, 0.6, 0.9, 1.2, 1.6]).expect("increasing");
+    let mem_map = PhaseMap::pentium_m();
+
+    let rows = suite
+        .grid()
+        .into_iter()
+        .map(|cfg| {
+            let level = suite.solve(cfg).expect("grid points are feasible");
+            let work = level.interval(100_000_000, 1.25, level.mem_uop);
+            let mut upc_phases = std::collections::BTreeSet::new();
+            let mut mem_phases = std::collections::BTreeSet::new();
+            for (_, opp) in opps.iter() {
+                let upc = timing.upc(&work, opp.frequency);
+                upc_phases.insert(upc_map.classify(upc.min(10.0)));
+                mem_phases.insert(mem_map.classify(work.mem_uop()));
+            }
+            StabilityRow {
+                config: cfg.name(),
+                upc_phases_seen: upc_phases.len(),
+                mem_phases_seen: mem_phases.len(),
+            }
+        })
+        .collect();
+    UpcPitfall { rows }
+}
+
+/// The paper's warning quantified: a substantial share of behaviours
+/// change UPC-phase under DVFS alone, while none change Mem/Uop-phase.
+#[must_use]
+pub fn check(a: &UpcPitfall) -> ShapeViolations {
+    let mut v = Vec::new();
+    if a.mem_unstable_fraction() > 0.0 {
+        v.push(format!(
+            "{:.0}% of configs changed Mem/Uop phase under DVFS (must be 0)",
+            a.mem_unstable_fraction() * 100.0
+        ));
+    }
+    if a.upc_unstable_fraction() < 0.25 {
+        v.push(format!(
+            "only {:.0}% of configs changed UPC phase under DVFS — the pitfall \
+             should be widespread",
+            a.upc_unstable_fraction() * 100.0
+        ));
+    }
+    v
+}
+
+impl fmt::Display for UpcPitfall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(vec![
+            "config".into(),
+            "UPC phases seen".into(),
+            "Mem/Uop phases seen".into(),
+        ]);
+        for r in self.rows.iter().filter(|r| r.upc_phases_seen > 1) {
+            t.row(vec![
+                r.config.clone(),
+                r.upc_phases_seen.to_string(),
+                r.mem_phases_seen.to_string(),
+            ]);
+        }
+        writeln!(
+            f,
+            "Ablation: phase stability under DVFS alone (the Section 4 pitfall).\n\n\
+             Configurations whose *UPC-defined* phase moves when only the \
+             frequency changes:\n\n{}",
+            t.render()
+        )?;
+        writeln!(
+            f,
+            "UPC-phased: {} of {} configurations unstable ({:.0}%).\n\
+             Mem/Uop-phased: {} unstable.",
+            self.rows.iter().filter(|r| r.upc_phases_seen > 1).count(),
+            self.rows.len(),
+            self.upc_unstable_fraction() * 100.0,
+            num(self.mem_unstable_fraction() * self.rows.len() as f64, 0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upc_pitfall_shape_holds() {
+        let a = run(crate::DEFAULT_SEED);
+        let violations = check(&a);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}

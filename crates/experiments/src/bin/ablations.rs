@@ -1,0 +1,55 @@
+//! Runs every ablation study (design-choice probes beyond the paper's
+//! published figures) and verifies their expected shapes.
+
+use livephase_experiments::ablations::{
+    confidence, family_tour, gphr_depth, granularity, oracle_gap, overheads,
+    pht_organization, sampling_domain, selector, upc_pitfall,
+};
+use livephase_experiments::{report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let mut failures = 0;
+
+    let a = gphr_depth::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:gphr_depth", &gphr_depth::check(&a));
+
+    let a = upc_pitfall::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:upc_pitfall", &upc_pitfall::check(&a));
+
+    let a = oracle_gap::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:oracle_gap", &oracle_gap::check(&a));
+
+    let a = overheads::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:overheads", &overheads::check(&a));
+
+    let a = granularity::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:granularity", &granularity::check(&a));
+
+    let a = selector::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:selector", &selector::check(&a));
+
+    let a = pht_organization::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:pht_organization", &pht_organization::check(&a));
+
+    let a = confidence::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:confidence", &confidence::check(&a));
+
+    let a = sampling_domain::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:sampling_domain", &sampling_domain::check(&a));
+
+    let a = family_tour::run(seed);
+    println!("{a}");
+    failures += report_violations("ablation:family_tour", &family_tour::check(&a));
+
+    std::process::exit(i32::from(failures > 0));
+}

@@ -1,0 +1,38 @@
+//! Runs the extension experiments: the applications the paper names but
+//! does not evaluate (thermal management, power capping, multiprogrammed
+//! operation, duration prediction).
+
+use livephase_experiments::extensions::{
+    adaptive_sampling, dtm, duration, multiprogram, power_cap,
+};
+use livephase_experiments::{report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let mut failures = 0;
+
+    let e = dtm::run(seed);
+    println!("{e}");
+    failures += report_violations("extension:dtm", &dtm::check(&e));
+
+    let e = power_cap::run(seed);
+    println!("{e}");
+    failures += report_violations("extension:power_cap", &power_cap::check(&e));
+
+    let e = multiprogram::run(seed);
+    println!("{e}");
+    failures += report_violations("extension:multiprogram", &multiprogram::check(&e));
+
+    let e = duration::run(seed);
+    println!("{e}");
+    failures += report_violations("extension:duration", &duration::check(&e));
+
+    let e = adaptive_sampling::run(seed);
+    println!("{e}");
+    failures += report_violations(
+        "extension:adaptive_sampling",
+        &adaptive_sampling::check(&e),
+    );
+
+    std::process::exit(i32::from(failures > 0));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 02 of the paper and verifies its shape claims.
+use livephase_experiments::{fig02, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig02::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig02", &fig02::check(&fig)));
+}

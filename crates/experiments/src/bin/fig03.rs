@@ -1,0 +1,9 @@
+//! Regenerates Figure 03 of the paper and verifies its shape claims.
+use livephase_experiments::{fig03, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig03::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig03", &fig03::check(&fig)));
+}

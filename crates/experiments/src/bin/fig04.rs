@@ -1,0 +1,9 @@
+//! Regenerates Figure 04 of the paper and verifies its shape claims.
+use livephase_experiments::{fig04, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig04::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig04", &fig04::check(&fig)));
+}

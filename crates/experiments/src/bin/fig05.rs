@@ -1,0 +1,9 @@
+//! Regenerates Figure 05 of the paper and verifies its shape claims.
+use livephase_experiments::{fig05, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig05::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig05", &fig05::check(&fig)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 06 of the paper and verifies its shape claims.
+use livephase_experiments::{fig06, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig06::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig06", &fig06::check(&fig)));
+}

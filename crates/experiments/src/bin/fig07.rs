@@ -1,0 +1,9 @@
+//! Regenerates Figure 07 of the paper and verifies its shape claims.
+use livephase_experiments::{fig07, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig07::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig07", &fig07::check(&fig)));
+}

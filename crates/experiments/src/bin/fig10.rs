@@ -1,0 +1,9 @@
+//! Regenerates Figure 10 of the paper and verifies its shape claims.
+use livephase_experiments::{fig10, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig10::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig10", &fig10::check(&fig)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 11 of the paper and verifies its shape claims.
+use livephase_experiments::{fig11, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig11::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig11", &fig11::check(&fig)));
+}

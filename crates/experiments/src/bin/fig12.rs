@@ -1,0 +1,9 @@
+//! Regenerates Figure 12 of the paper and verifies its shape claims.
+use livephase_experiments::{fig12, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig12::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig12", &fig12::check(&fig)));
+}

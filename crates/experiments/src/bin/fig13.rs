@@ -1,0 +1,9 @@
+//! Regenerates Figure 13 of the paper and verifies its shape claims.
+use livephase_experiments::{fig13, report_violations, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let fig = fig13::run(seed);
+    println!("{fig}");
+    std::process::exit(report_violations("fig13", &fig13::check(&fig)));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 of the paper and verifies its shape claims.
+use livephase_experiments::{report_violations, table1};
+
+fn main() {
+    let t = table1::run();
+    println!("{t}");
+    std::process::exit(report_violations("table1", &table1::check(&t)));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2 of the paper and verifies its shape claims.
+use livephase_experiments::{report_violations, table2};
+
+fn main() {
+    let t = table2::run();
+    println!("{t}");
+    std::process::exit(report_violations("table2", &table2::check(&t)));
+}

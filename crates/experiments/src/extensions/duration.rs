@@ -1,0 +1,188 @@
+//! Phase-duration prediction (the companion IEEE Micro work, ref \[14\]).
+//!
+//! Evaluates the run-length predictors on the registered benchmarks:
+//! mean absolute error (in sampling intervals) of predicting each run's
+//! duration at the moment it starts, against the trivial "always 1"
+//! baseline a duration-oblivious manager implicitly assumes.
+
+use crate::format::{num, Table};
+use crate::ShapeViolations;
+use livephase_core::{
+    DurationPredictor, DurationScheme, PhaseMap, RunLengthEncoder,
+};
+use livephase_workloads::spec;
+use std::fmt;
+
+/// One benchmark's duration-prediction errors.
+#[derive(Debug, Clone)]
+pub struct DurationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Completed runs observed.
+    pub runs: usize,
+    /// Mean run length, in intervals.
+    pub mean_length: f64,
+    /// MAE of the last-duration scheme.
+    pub mae_last: f64,
+    /// MAE of the windowed-mean scheme (window 8).
+    pub mae_window: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct DurationExperiment {
+    /// Rows over a mixed benchmark selection.
+    pub rows: Vec<DurationRow>,
+}
+
+/// The probed benchmarks: patterned runs where duration is learnable.
+pub const BENCHMARKS: [&str; 5] = [
+    "applu_in",
+    "equake_in",
+    "mgrid_in",
+    "bzip2_source",
+    "gzip_log",
+];
+
+/// Streams each benchmark through both duration schemes.
+#[must_use]
+pub fn run(seed: u64) -> DurationExperiment {
+    let map = PhaseMap::pentium_m();
+    let rows = BENCHMARKS
+        .iter()
+        .map(|name| {
+            let trace = spec::benchmark(name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+                .generate(seed);
+            let phases: Vec<_> = trace.iter().map(|w| map.classify(w.mem_uop())).collect();
+
+            // Collect ground-truth runs.
+            let mut enc = RunLengthEncoder::new();
+            let mut runs = Vec::new();
+            for &p in &phases {
+                if let Some(r) = enc.observe(p) {
+                    runs.push(r);
+                }
+            }
+            if let Some(r) = enc.finish() {
+                runs.push(r);
+            }
+
+            // Score each scheme: when a run *starts*, ask for its duration.
+            let score = |scheme: DurationScheme| {
+                let mut pred = DurationPredictor::new(scheme);
+                let mut err_sum = 0.0;
+                let mut scored = 0u64;
+                let mut prev_phase = None;
+                for (i, &p) in phases.iter().enumerate() {
+                    if prev_phase != Some(p) {
+                        // A run of `p` starts at interval i: find its true
+                        // length and score the standing prediction.
+                        let true_len = phases[i..].iter().take_while(|&&q| q == p).count() as u64;
+                        if let Some(guess) = pred.predict_duration(p) {
+                            err_sum += (guess as f64 - true_len as f64).abs();
+                            scored += 1;
+                        }
+                    }
+                    pred.observe(p);
+                    prev_phase = Some(p);
+                }
+                if scored == 0 {
+                    f64::NAN
+                } else {
+                    err_sum / scored as f64
+                }
+            };
+
+            let mean_length =
+                runs.iter().map(|r| r.length as f64).sum::<f64>() / runs.len() as f64;
+            DurationRow {
+                name: (*name).to_owned(),
+                runs: runs.len(),
+                mean_length,
+                mae_last: score(DurationScheme::LastDuration),
+                mae_window: score(DurationScheme::WindowedMean { window: 8 }),
+            }
+        })
+        .collect();
+    DurationExperiment { rows }
+}
+
+/// Durations must be predictable on patterned workloads: both schemes
+/// should beat the "always 1 interval" strawman handily.
+#[must_use]
+pub fn check(e: &DurationExperiment) -> ShapeViolations {
+    let mut v = Vec::new();
+    for r in &e.rows {
+        // The strawman's MAE is (mean_length - 1).
+        let strawman = r.mean_length - 1.0;
+        if strawman > 1.0 {
+            if r.mae_last > strawman {
+                v.push(format!(
+                    "{}: last-duration MAE {:.2} worse than the strawman {:.2}",
+                    r.name, r.mae_last, strawman
+                ));
+            }
+            if r.mae_window > strawman {
+                v.push(format!(
+                    "{}: windowed MAE {:.2} worse than the strawman {:.2}",
+                    r.name, r.mae_window, strawman
+                ));
+            }
+        }
+        if r.runs < 50 {
+            v.push(format!("{}: only {} runs — trace too short", r.name, r.runs));
+        }
+    }
+    // On quasi-periodic workloads the MAE should be around one interval.
+    let applu = e.rows.iter().find(|r| r.name == "applu_in");
+    if let Some(r) = applu {
+        if r.mae_last > 1.5 {
+            v.push(format!(
+                "applu run lengths are near-deterministic; MAE {:.2} too high",
+                r.mae_last
+            ));
+        }
+    }
+    v
+}
+
+impl fmt::Display for DurationExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(vec![
+            "benchmark".into(),
+            "runs".into(),
+            "mean len".into(),
+            "MAE last".into(),
+            "MAE window8".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                r.runs.to_string(),
+                num(r.mean_length, 1),
+                num(r.mae_last, 2),
+                num(r.mae_window, 2),
+            ]);
+        }
+        write!(
+            f,
+            "Extension: phase-duration prediction (MAE in sampling \
+             intervals, scored at run start).\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_shape_holds() {
+        let e = run(crate::DEFAULT_SEED);
+        let violations = check(&e);
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert_eq!(e.rows.len(), 5);
+    }
+}

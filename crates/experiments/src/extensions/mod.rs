@@ -1,0 +1,16 @@
+//! Extension experiments: the applications the paper names but does not
+//! evaluate (Section 8's generality claims), demonstrated end to end.
+//!
+//! | Module | Claim exercised |
+//! |--------|-----------------|
+//! | [`dtm`] | "can be applied to ... dynamic thermal management" |
+//! | [`power_cap`] | "... or bounding power consumption" |
+//! | [`multiprogram`] | autonomous operation on *any* running applications, incl. timesliced mixes |
+//! | [`duration`] | phase-duration prediction (the companion IEEE Micro work, ref \[14\]) |
+//! | [`adaptive_sampling`] | duration predictions stretching the PMI window through stable phases |
+
+pub mod adaptive_sampling;
+pub mod dtm;
+pub mod duration;
+pub mod multiprogram;
+pub mod power_cap;

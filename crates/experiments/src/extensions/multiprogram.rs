@@ -1,0 +1,190 @@
+//! Phase prediction on multiprogrammed mixes.
+//!
+//! The deployed system monitors whatever the OS runs. When several
+//! programs timeslice the core, the PMI handler sees their phase streams
+//! spliced together. This experiment quantifies the damage and the fix:
+//!
+//! * a shared GPHT sees cross-program garbage in its history register;
+//! * a pid-indexed family of GPHTs ([`PerProcess`]) recovers most of each
+//!   program's isolated predictability, since the handler knows the pid.
+
+use crate::format::{pct, Table};
+use crate::ShapeViolations;
+use livephase_core::{
+    evaluate, Gpht, GphtConfig, LastValue, PerProcess, PhaseMap, PhaseSample,
+};
+use livephase_workloads::{multiprogram, spec, Job};
+use std::fmt;
+
+/// The mix used: three variable benchmarks, round-robin.
+pub const MIX: [&str; 3] = ["applu_in", "equake_in", "mgrid_in"];
+
+/// Accuracy of one prediction scheme on the mix.
+#[derive(Debug, Clone)]
+pub struct SchemeRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Next-phase accuracy over the interleaved stream.
+    pub accuracy: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct MultiprogramExperiment {
+    /// Scheduler timeslice, in sampling intervals.
+    pub timeslice: usize,
+    /// Context switches in the schedule.
+    pub context_switches: usize,
+    /// Accuracy per scheme.
+    pub rows: Vec<SchemeRow>,
+    /// Mean isolated (single-program) GPHT accuracy, for reference.
+    pub isolated_gpht: f64,
+}
+
+/// Builds the mix and evaluates the three schemes.
+#[must_use]
+pub fn run(seed: u64) -> MultiprogramExperiment {
+    let timeslice = 7;
+    let jobs: Vec<Job> = MIX
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            Job::new(
+                u32::try_from(i + 1).expect("small"),
+                spec::benchmark(name)
+                    .unwrap_or_else(|| panic!("{name} registered"))
+                    .with_length(800)
+                    .generate(seed),
+            )
+        })
+        .collect();
+    let mix = multiprogram::round_robin(&jobs, timeslice, "mix3");
+    let map = PhaseMap::pentium_m();
+
+    let samples: Vec<(u32, PhaseSample)> = mix
+        .iter()
+        .map(|(pid, w)| (pid, PhaseSample::new(w.mem_uop(), map.classify(w.mem_uop()))))
+        .collect();
+
+    // Shared predictors over the splice.
+    let shared_gpht = evaluate(
+        &mut Gpht::new(GphtConfig::DEPLOYED),
+        samples.iter().map(|&(_, s)| s),
+    )
+    .accuracy();
+    let shared_lv = evaluate(&mut LastValue::new(), samples.iter().map(|&(_, s)| s)).accuracy();
+
+    // Per-process family: score each pid's own stream, exactly as a
+    // pid-aware handler would.
+    let mut family = PerProcess::new(|| Gpht::new(GphtConfig::DEPLOYED));
+    let mut pending: std::collections::HashMap<u32, livephase_core::PhaseId> =
+        std::collections::HashMap::new();
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for &(pid, s) in &samples {
+        if let Some(&prev) = pending.get(&pid) {
+            total += 1;
+            if prev == s.phase {
+                correct += 1;
+            }
+        }
+        pending.insert(pid, family.next(pid, s));
+    }
+    let per_process = correct as f64 / total as f64;
+
+    // Isolated reference: each program alone.
+    let isolated: f64 = jobs
+        .iter()
+        .map(|j| {
+            let stream = j
+                .trace
+                .iter()
+                .map(|w| PhaseSample::new(w.mem_uop(), map.classify(w.mem_uop())));
+            evaluate(&mut Gpht::new(GphtConfig::DEPLOYED), stream).accuracy()
+        })
+        .sum::<f64>()
+        / jobs.len() as f64;
+
+    MultiprogramExperiment {
+        timeslice,
+        context_switches: mix.context_switches(),
+        rows: vec![
+            SchemeRow {
+                scheme: "shared LastValue".into(),
+                accuracy: shared_lv,
+            },
+            SchemeRow {
+                scheme: "shared GPHT_8_128".into(),
+                accuracy: shared_gpht,
+            },
+            SchemeRow {
+                scheme: "per-process GPHT_8_128".into(),
+                accuracy: per_process,
+            },
+        ],
+        isolated_gpht: isolated,
+    }
+}
+
+/// Per-process must recover (nearly) the isolated accuracy and beat the
+/// shared predictor, which in turn beats last value.
+#[must_use]
+pub fn check(e: &MultiprogramExperiment) -> ShapeViolations {
+    let mut v = Vec::new();
+    let acc = |name: &str| {
+        e.rows
+            .iter()
+            .find(|r| r.scheme.starts_with(name))
+            .map_or(0.0, |r| r.accuracy)
+    };
+    let lv = acc("shared LastValue");
+    let shared = acc("shared GPHT");
+    let pp = acc("per-process");
+    if shared < lv {
+        v.push(format!("shared GPHT ({shared:.3}) should beat LastValue ({lv:.3})"));
+    }
+    if pp < shared + 0.02 {
+        v.push(format!(
+            "per-process ({pp:.3}) should clearly beat shared ({shared:.3})"
+        ));
+    }
+    if pp < e.isolated_gpht - 0.05 {
+        v.push(format!(
+            "per-process ({pp:.3}) should approach isolated accuracy ({:.3})",
+            e.isolated_gpht
+        ));
+    }
+    v
+}
+
+impl fmt::Display for MultiprogramExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(vec!["scheme".into(), "accuracy %".into()]);
+        for r in &self.rows {
+            t.row(vec![r.scheme.clone(), pct(r.accuracy)]);
+        }
+        write!(
+            f,
+            "Extension: multiprogrammed mix of {:?} (round-robin, timeslice \
+             {}, {} context switches).\n\n{}\nisolated single-program GPHT \
+             reference: {}%",
+            MIX,
+            self.timeslice,
+            self.context_switches,
+            t.render(),
+            pct(self.isolated_gpht)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiprogram_shape_holds() {
+        let e = run(crate::DEFAULT_SEED);
+        let violations = check(&e);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Figure 2 — actual and predicted phases for the `applu` benchmark.
+//!
+//! The paper's running example: a sample execution region of `applu` with
+//! its Mem/Uop variation, the classified phases, and the predictions of
+//! both the GPHT(8, 1024) and last-value predictors. GPHT "almost
+//! perfectly" matches the phases while last value mispredicts more than a
+//! third of them.
+
+use crate::format::{num, Table};
+use crate::predictors::sample_stream;
+use crate::ShapeViolations;
+use livephase_core::{
+    evaluate_trace, EvaluationTrace, Gpht, GphtConfig, LastValue, PhaseMap,
+};
+use livephase_workloads::spec;
+use std::fmt;
+
+/// The Figure 2 data: full-trace evaluations of the two predictors.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// GPHT(8, 1024) evaluation trace.
+    pub gpht: EvaluationTrace,
+    /// Last-value evaluation trace.
+    pub last_value: EvaluationTrace,
+    /// The interval window rendered by `Display` (mirrors the paper's
+    /// 28–32 G-cycle excerpt).
+    pub window: std::ops::Range<usize>,
+}
+
+/// Runs both predictors over the full `applu` trace.
+///
+/// # Panics
+///
+/// Panics if `applu_in` is missing from the registry.
+#[must_use]
+pub fn run(seed: u64) -> Figure2 {
+    let trace = spec::benchmark("applu_in")
+        .expect("applu_in is registered")
+        .generate(seed);
+    let map = PhaseMap::pentium_m();
+    let stream = sample_stream(&trace, &map);
+    let gpht = evaluate_trace(&mut Gpht::new(GphtConfig::REFERENCE), stream.iter().copied());
+    let last_value = evaluate_trace(&mut LastValue::new(), stream.iter().copied());
+    // A mid-execution window, past predictor warm-up, like the paper's.
+    let end = stream.len().min(400);
+    let start = end.saturating_sub(120);
+    Figure2 {
+        gpht,
+        last_value,
+        window: start..end,
+    }
+}
+
+/// The paper's claims about this figure.
+#[must_use]
+pub fn check(fig: &Figure2) -> ShapeViolations {
+    let mut v = Vec::new();
+    let g = fig.gpht.stats.accuracy();
+    let l = fig.last_value.stats.accuracy();
+    if g < 0.85 {
+        v.push(format!("GPHT accuracy {g:.3} should be ~0.92 (>0.85)"));
+    }
+    if l > 0.55 {
+        v.push(format!(
+            "last value accuracy {l:.3} should be <0.47 (applu mispredicts >53%)"
+        ));
+    }
+    let reduction = (1.0 - l) / (1.0 - g).max(1e-9);
+    if reduction < 5.0 {
+        v.push(format!("misprediction reduction {reduction:.1}x should exceed 5x (paper: >6x)"));
+    }
+    // The two traces must describe the same observation stream.
+    if fig.gpht.observed.len() != fig.last_value.observed.len() {
+        v.push("predictors saw different streams".to_owned());
+    }
+    v
+}
+
+impl fmt::Display for Figure2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(vec![
+            "interval".into(),
+            "Mem/Uop".into(),
+            "actual".into(),
+            "GPHT_8_1024".into(),
+            "LastValue".into(),
+        ]);
+        for i in self.window.clone() {
+            let obs = &self.gpht.observed[i];
+            t.row(vec![
+                i.to_string(),
+                num(obs.rate.get(), 4),
+                obs.phase.to_string(),
+                self.gpht.predicted[i].to_string(),
+                self.last_value.predicted[i].to_string(),
+            ]);
+        }
+        writeln!(
+            f,
+            "Figure 2. Actual and predicted phases for applu benchmark \
+             (window {:?} of {} intervals).\n\n{}",
+            self.window,
+            self.gpht.observed.len(),
+            t.render()
+        )?;
+        let rates: Vec<f64> = self.window.clone().map(|i| self.gpht.observed[i].rate.get()).collect();
+        let actual: Vec<f64> = self
+            .window
+            .clone()
+            .map(|i| f64::from(self.gpht.observed[i].phase.get()))
+            .collect();
+        let gpht: Vec<f64> = self
+            .window
+            .clone()
+            .map(|i| f64::from(self.gpht.predicted[i].get()))
+            .collect();
+        writeln!(f, "Mem/Uop  {}", crate::format::sparkline(&rates))?;
+        writeln!(f, "actual   {}", crate::format::sparkline(&actual))?;
+        writeln!(f, "GPHT     {}", crate::format::sparkline(&gpht))?;
+        writeln!(
+            f,
+            "\nfull-trace accuracy: GPHT_8_1024 {} | LastValue {}",
+            self.gpht.stats, self.last_value.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_holds() {
+        let fig = run(crate::DEFAULT_SEED);
+        let violations = check(&fig);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn display_has_window_rows() {
+        let fig = run(1);
+        let s = fig.to_string();
+        assert!(s.contains("GPHT_8_1024"));
+        assert!(s.contains("full-trace accuracy"));
+        assert!(s.lines().count() > 100);
+    }
+}

@@ -1,0 +1,234 @@
+//! Figure 7 — observed UPC and Mem/Uop behaviour at six frequencies for
+//! IPCxMEM grid configurations.
+//!
+//! The paper's Section 4 pivot: UPC depends strongly on the DVFS setting
+//! for memory-bound code (up to ≈ 80 %) and not at all for CPU-bound code,
+//! while Mem/Uop is virtually constant everywhere — which is why phases
+//! are defined on Mem/Uop.
+//!
+//! The sweep here runs each configuration through the *full platform*
+//! (CPU + counters), not just the timing equations: metrics come out of
+//! the simulated PMCs exactly as the deployed monitor would read them.
+
+use crate::format::{num, Table};
+use crate::ShapeViolations;
+use livephase_core::IntervalMetrics;
+use livephase_pmsim::{Cpu, OperatingPointTable, PlatformConfig};
+use livephase_workloads::{IpcxMemConfig, IpcxMemSuite};
+use std::fmt;
+
+/// The eleven legend configurations of the paper's Figure 7.
+pub const LEGEND: [(f64, f64); 11] = [
+    (1.9, 0.0000),
+    (1.3, 0.0075),
+    (0.9, 0.0125),
+    (0.9, 0.0075),
+    (0.9, 0.0000),
+    (0.5, 0.0225),
+    (0.5, 0.0025),
+    (0.5, 0.0000),
+    (0.1, 0.0475),
+    (0.1, 0.0325),
+    (0.1, 0.0000),
+];
+
+/// One configuration's metrics across all frequencies.
+#[derive(Debug, Clone)]
+pub struct ConfigSweep {
+    /// The targeted coordinate.
+    pub config: IpcxMemConfig,
+    /// `(frequency MHz, UPC, Mem/Uop)` per setting, fastest first.
+    pub by_frequency: Vec<(u32, f64, f64)>,
+}
+
+impl ConfigSweep {
+    /// Relative UPC span across frequencies: `(max - min) / value@fastest`.
+    #[must_use]
+    pub fn upc_span(&self) -> f64 {
+        let at_fastest = self.by_frequency.first().map_or(0.0, |&(_, u, _)| u);
+        let max = self.by_frequency.iter().map(|&(_, u, _)| u).fold(0.0, f64::max);
+        let min = self
+            .by_frequency
+            .iter()
+            .map(|&(_, u, _)| u)
+            .fold(f64::INFINITY, f64::min);
+        if at_fastest == 0.0 {
+            0.0
+        } else {
+            (max - min) / at_fastest
+        }
+    }
+
+    /// Relative Mem/Uop span across frequencies.
+    #[must_use]
+    pub fn mem_uop_span(&self) -> f64 {
+        let max = self
+            .by_frequency
+            .iter()
+            .map(|&(_, _, m)| m)
+            .fold(0.0, f64::max);
+        let min = self
+            .by_frequency
+            .iter()
+            .map(|&(_, _, m)| m)
+            .fold(f64::INFINITY, f64::min);
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+/// The Figure 7 sweep results.
+#[derive(Debug, Clone)]
+pub struct Figure7 {
+    /// One sweep per legend configuration.
+    pub sweeps: Vec<ConfigSweep>,
+}
+
+/// Runs every legend configuration at every frequency through the platform.
+#[must_use]
+pub fn run(_seed: u64) -> Figure7 {
+    let suite = IpcxMemSuite::pentium_m();
+    let opps = OperatingPointTable::pentium_m();
+    let sweeps = LEGEND
+        .iter()
+        .map(|&(upc, mem)| {
+            let config = IpcxMemConfig {
+                target_upc: upc,
+                mem_uop: mem,
+            };
+            let trace = suite
+                .trace(config, 4)
+                .unwrap_or_else(|| panic!("legend point {} is achievable", config.name()));
+            let by_frequency = opps
+                .iter()
+                .map(|(idx, opp)| {
+                    let metrics = measure_at(&trace.intervals()[0], idx);
+                    (
+                        opp.frequency.mhz(),
+                        metrics.upc().get(),
+                        metrics.mem_uop().get(),
+                    )
+                })
+                .collect();
+            ConfigSweep {
+                config,
+                by_frequency,
+            }
+        })
+        .collect();
+    Figure7 { sweeps }
+}
+
+/// Executes one 100 M-uop interval at a pinned DVFS setting and reads the
+/// simulated counters.
+fn measure_at(work: &livephase_pmsim::IntervalWork, setting: usize) -> IntervalMetrics {
+    let mut cpu = Cpu::new(PlatformConfig::pentium_m());
+    cpu.set_dvfs(setting).expect("setting exists");
+    // The DVFS transition stall happened before the interval starts;
+    // re-base by reading intervals only from the PMI.
+    cpu.push_work(*work);
+    let pmi = cpu.run_to_pmi().expect("one full interval queued");
+    pmi.metrics
+}
+
+/// The paper's claims: Mem/Uop virtually frequency-invariant everywhere;
+/// CPU-bound UPC flat; memory-bound UPC rising toward ≈ 80 %.
+#[must_use]
+pub fn check(fig: &Figure7) -> ShapeViolations {
+    let mut v = Vec::new();
+    for s in &fig.sweeps {
+        if s.mem_uop_span() > 0.01 {
+            v.push(format!(
+                "{}: Mem/Uop varies {:.1}% across frequencies (must be ~0)",
+                s.config.name(),
+                s.mem_uop_span() * 100.0
+            ));
+        }
+        if s.config.mem_uop == 0.0 && s.upc_span() > 0.01 {
+            v.push(format!(
+                "{}: CPU-bound UPC varies {:.1}% (must be ~0)",
+                s.config.name(),
+                s.upc_span() * 100.0
+            ));
+        }
+    }
+    // The most memory-bound legend point moves the most, approaching 80%.
+    let extreme = fig
+        .sweeps
+        .iter()
+        .find(|s| s.config.target_upc == 0.1 && s.config.mem_uop == 0.0475);
+    match extreme {
+        Some(s) if s.upc_span() < 0.5 => v.push(format!(
+            "most memory-bound UPC span {:.1}% should approach 80%",
+            s.upc_span() * 100.0
+        )),
+        None => v.push("extreme legend point missing".to_owned()),
+        _ => {}
+    }
+    // UPC monotonically rises as frequency falls for memory-flavoured
+    // configurations.
+    for s in &fig.sweeps {
+        if s.config.mem_uop > 0.0 {
+            for w in s.by_frequency.windows(2) {
+                if w[1].1 < w[0].1 - 1e-9 {
+                    v.push(format!(
+                        "{}: UPC should not fall as frequency falls",
+                        s.config.name()
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    v
+}
+
+impl fmt::Display for Figure7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let freqs: Vec<u32> = self
+            .sweeps
+            .first()
+            .map(|s| s.by_frequency.iter().map(|&(mhz, _, _)| mhz).collect())
+            .unwrap_or_default();
+
+        writeln!(
+            f,
+            "Figure 7. Observed UPC and Mem/Uop behavior at six frequencies \
+             for IPCxMEM grid configurations.\n"
+        )?;
+        let mut header = vec!["config".to_owned()];
+        header.extend(freqs.iter().map(|mhz| format!("{mhz}MHz")));
+        let mut upc_t = Table::new(header.clone());
+        let mut mem_t = Table::new(header);
+        for s in &self.sweeps {
+            let label = format!(
+                "UPC={:.1}, Mem/Uop={:.4}",
+                s.config.target_upc, s.config.mem_uop
+            );
+            let mut urow = vec![label.clone()];
+            urow.extend(s.by_frequency.iter().map(|&(_, u, _)| num(u, 3)));
+            upc_t.row(urow);
+            let mut mrow = vec![label];
+            mrow.extend(s.by_frequency.iter().map(|&(_, _, m)| num(m, 4)));
+            mem_t.row(mrow);
+        }
+        writeln!(f, "UPC by frequency:\n{}", upc_t.render())?;
+        writeln!(f, "Mem/Uop by frequency:\n{}", mem_t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_shape_holds() {
+        let fig = run(crate::DEFAULT_SEED);
+        let violations = check(&fig);
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert_eq!(fig.sweeps.len(), 11);
+    }
+}

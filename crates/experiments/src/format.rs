@@ -1,0 +1,202 @@
+//! Plain-text table rendering shared by the experiment drivers.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width ASCII table builder.
+///
+/// ```
+/// use livephase_experiments::format::Table;
+/// let mut t = Table::new(vec!["bench".into(), "acc %".into()]);
+/// t.row(vec!["applu_in".into(), "92.1".into()]);
+/// let s = t.render();
+/// assert!(s.contains("applu_in"));
+/// assert!(s.contains("acc %"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        Self {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // First column left-aligned, the rest right-aligned
+                // (labels left, numbers right).
+                if i == 0 {
+                    let _ = write!(out, "{c:<w$}", w = width[i]);
+                } else {
+                    let _ = write!(out, "{c:>w$}", w = width[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting — cells must not contain
+    /// commas, which is true of all experiment outputs).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |row: &[String]| row.join(",");
+        let _ = writeln!(out, "{}", esc(&self.header));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", esc(row));
+        }
+        out
+    }
+}
+
+/// Renders a numeric series as a unicode sparkline (8 levels), scaled to
+/// the series' own min/max. Empty series render as an empty string;
+/// constant series render at the lowest level.
+///
+/// ```
+/// use livephase_experiments::format::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 2.0, 1.0]);
+/// assert_eq!(s.chars().count(), 6);
+/// ```
+#[must_use]
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    series
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                LEVELS[0]
+            } else {
+                let idx = ((v - min) / span * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `92.3`.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn num(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name".into(), "v".into()]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "10.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with(" 1.0"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        assert_eq!(t.to_csv(), "a,b\nx,1\n");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.923), "92.3");
+        assert_eq!(num(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn sparkline_scales_and_degenerates() {
+        let s = sparkline(&[0.0, 7.0]);
+        assert_eq!(s, "▁█");
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        assert_eq!(sparkline(&[1.0, 2.0, 3.0]).chars().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Shared plumbing for the dynamic-management experiments: every benchmark
+//! executed under the three systems the paper compares.
+
+use livephase_governor::{Manager, NormalizedComparison, RunReport};
+use livephase_pmsim::PlatformConfig;
+use livephase_workloads::{registry, BenchmarkSpec};
+
+/// One benchmark's outcomes under baseline, reactive and GPHT management.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Benchmark name.
+    pub name: String,
+    /// The unmanaged run (always 1500 MHz).
+    pub baseline: RunReport,
+    /// Last-value reactive management.
+    pub reactive: RunReport,
+    /// GPHT(8, 128) proactive management — the deployed system.
+    pub gpht: RunReport,
+}
+
+impl Outcome {
+    /// Runs one benchmark spec under the three systems.
+    #[must_use]
+    pub fn measure(spec: &BenchmarkSpec, seed: u64) -> Self {
+        let trace = spec.generate(seed);
+        let platform = PlatformConfig::pentium_m();
+        Self {
+            name: spec.name().to_owned(),
+            baseline: Manager::baseline().run(&trace, platform.clone()),
+            reactive: Manager::reactive().run(&trace, platform.clone()),
+            gpht: Manager::gpht_deployed().run(&trace, platform),
+        }
+    }
+
+    /// GPHT management normalized to baseline.
+    #[must_use]
+    pub fn gpht_vs_baseline(&self) -> NormalizedComparison {
+        self.gpht.compare_to(&self.baseline)
+    }
+
+    /// Reactive management normalized to baseline.
+    #[must_use]
+    pub fn reactive_vs_baseline(&self) -> NormalizedComparison {
+        self.reactive.compare_to(&self.baseline)
+    }
+}
+
+/// Measures every registered benchmark (the Figure 11 sweep).
+#[must_use]
+pub fn measure_all(seed: u64) -> Vec<Outcome> {
+    registry()
+        .iter()
+        .map(|spec| Outcome::measure(spec, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livephase_workloads::spec;
+
+    #[test]
+    fn outcome_covers_three_systems() {
+        let spec = spec::benchmark("swim_in").unwrap().with_length(100);
+        let o = Outcome::measure(&spec, 1);
+        assert_eq!(o.baseline.policy, "Baseline");
+        assert!(o.reactive.policy.contains("Reactive"));
+        assert!(o.gpht.policy.contains("GPHT"));
+        // swim: memory-bound -> both managed systems save a lot of EDP.
+        assert!(o.gpht_vs_baseline().edp_improvement_pct() > 30.0);
+        assert!(o.reactive_vs_baseline().edp_improvement_pct() > 30.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Table 1 — definition of phases based on Mem/Uop rates.
+
+use crate::format::Table;
+use crate::ShapeViolations;
+use livephase_core::PhaseMap;
+use std::fmt;
+
+/// The rendered Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// The phase map under test.
+    pub map: PhaseMap,
+}
+
+/// Builds the paper's Table 1.
+#[must_use]
+pub fn run() -> Table1 {
+    Table1 {
+        map: PhaseMap::pentium_m(),
+    }
+}
+
+/// Verifies the shape claims: six phases, the exact published boundaries.
+#[must_use]
+pub fn check(t: &Table1) -> ShapeViolations {
+    let mut v = Vec::new();
+    if t.map.phase_count() != 6 {
+        v.push(format!("expected 6 phases, got {}", t.map.phase_count()));
+    }
+    let expected = [0.005, 0.010, 0.015, 0.020, 0.030];
+    if t.map.boundaries() != expected {
+        v.push(format!(
+            "boundaries {:?} differ from Table 1 {:?}",
+            t.map.boundaries(),
+            expected
+        ));
+    }
+    v
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(vec!["Mem/Uop".into(), "Phase #".into()]);
+        for phase in self.map.phases() {
+            let (lo, hi) = self.map.interval(phase);
+            let range = if lo == 0.0 {
+                format!("< {hi:.3}")
+            } else if hi.is_infinite() {
+                format!("> {lo:.3}")
+            } else {
+                format!("[{lo:.3},{hi:.3})")
+            };
+            let label = match phase.get() {
+                1 => format!("{phase} (highly cpu-bound)"),
+                p if usize::from(p) == self.map.phase_count() => {
+                    format!("{phase} (highly memory-bound)")
+                }
+                _ => phase.to_string(),
+            };
+            t.row(vec![range, label]);
+        }
+        write!(f, "Table 1. Definition of phases based on Mem/Uop rates.\n\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_checks_clean() {
+        let t = run();
+        assert!(check(&t).is_empty());
+        let s = t.to_string();
+        assert!(s.contains("highly cpu-bound"));
+        assert!(s.contains("highly memory-bound"));
+        assert!(s.contains("< 0.005"));
+        assert!(s.contains("> 0.030"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Table 2 — translation of phases to DVFS settings.
+
+use crate::format::Table;
+use crate::ShapeViolations;
+use livephase_core::PhaseMap;
+use livephase_governor::TranslationTable;
+use livephase_pmsim::OperatingPointTable;
+use std::fmt;
+
+/// The rendered Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Phase definitions (Table 1).
+    pub map: PhaseMap,
+    /// Phase → setting mapping.
+    pub table: TranslationTable,
+    /// The platform's operating points.
+    pub opps: OperatingPointTable,
+}
+
+/// Builds the paper's Table 2.
+#[must_use]
+pub fn run() -> Table2 {
+    Table2 {
+        map: PhaseMap::pentium_m(),
+        table: TranslationTable::pentium_m(),
+        opps: OperatingPointTable::pentium_m(),
+    }
+}
+
+/// Verifies the published (frequency, voltage) pairs and the monotone
+/// phase → setting mapping.
+#[must_use]
+pub fn check(t: &Table2) -> ShapeViolations {
+    let mut v = Vec::new();
+    let published = [
+        (1500u32, 1484u32),
+        (1400, 1452),
+        (1200, 1356),
+        (1000, 1228),
+        (800, 1116),
+        (600, 956),
+    ];
+    if t.opps.len() != published.len() {
+        v.push(format!("expected 6 settings, got {}", t.opps.len()));
+    }
+    for (i, (mhz, mv)) in published.iter().enumerate() {
+        if let Some(p) = t.opps.get(i) {
+            if p.frequency.mhz() != *mhz || p.voltage.mv() != *mv {
+                v.push(format!("setting {i}: {p} differs from ({mhz} MHz, {mv} mV)"));
+            }
+        }
+    }
+    if !t.table.covers(&t.map) {
+        v.push("translation table does not cover the phase map".to_owned());
+    }
+    if t.table.settings() != [0, 1, 2, 3, 4, 5] {
+        v.push(format!(
+            "mapping {:?} differs from the identity mapping of Table 2",
+            t.table.settings()
+        ));
+    }
+    v
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = Table::new(vec![
+            "Mem/Uop".into(),
+            "Phase #".into(),
+            "DVFS Setting".into(),
+        ]);
+        for phase in self.map.phases() {
+            let (lo, hi) = self.map.interval(phase);
+            let range = if lo == 0.0 {
+                format!("< {hi:.3}")
+            } else if hi.is_infinite() {
+                format!("> {lo:.3}")
+            } else {
+                format!("[{lo:.3},{hi:.3})")
+            };
+            let opp = self
+                .opps
+                .get(self.table.setting_for(phase))
+                .expect("table2 settings are valid");
+            out.row(vec![range, phase.to_string(), opp.to_string()]);
+        }
+        write!(
+            f,
+            "Table 2. Translation of phases to DVFS settings.\n\n{}",
+            out.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_checks_clean() {
+        let t = run();
+        assert!(check(&t).is_empty());
+        let s = t.to_string();
+        assert!(s.contains("(1500 MHz, 1484 mV)"));
+        assert!(s.contains("(600 MHz, 956 mV)"));
+    }
+
+    #[test]
+    fn check_flags_wrong_mapping() {
+        let mut t = run();
+        t.table = TranslationTable::new(vec![0, 0, 0, 0, 0, 0], 6).unwrap();
+        assert!(!check(&t).is_empty());
+    }
+}

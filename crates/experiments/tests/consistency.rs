@@ -1,0 +1,94 @@
+//! Cross-driver consistency: where two experiment drivers measure the same
+//! quantity (same seed, same benchmark, same configuration), their numbers
+//! must agree exactly — the drivers share generators and models, so any
+//! disagreement is a harness bug.
+
+use livephase_experiments::{fig02, fig04, fig05, fig11, fig12, DEFAULT_SEED};
+
+/// Figure 4's GPHT(8, 1024) column and Figure 5's PHT:1024 column measure
+/// the identical predictor on the identical traces.
+#[test]
+fn fig04_and_fig05_agree_on_gpht_1024() {
+    let f4 = fig04::run(DEFAULT_SEED);
+    let f5 = fig05::run(DEFAULT_SEED);
+    for r5 in &f5.rows {
+        let a5 = r5.at(1024).expect("1024 swept");
+        let a4 = f4
+            .row(&r5.name)
+            .and_then(|r| r.accuracy_of("GPHT_8_1024"))
+            .expect("fig04 covers all fig05 benchmarks");
+        assert!(
+            (a4 - a5).abs() < 1e-12,
+            "{}: fig04 {a4} vs fig05 {a5}",
+            r5.name
+        );
+    }
+}
+
+/// Figure 4's LastValue column and Figure 5's LastValue floor agree.
+#[test]
+fn fig04_and_fig05_agree_on_last_value() {
+    let f4 = fig04::run(DEFAULT_SEED);
+    let f5 = fig05::run(DEFAULT_SEED);
+    for r5 in &f5.rows {
+        let a4 = f4
+            .row(&r5.name)
+            .and_then(|r| r.accuracy_of("LastValue"))
+            .expect("covered");
+        assert!((a4 - r5.last_value).abs() < 1e-12, "{}", r5.name);
+    }
+}
+
+/// Figure 2's full-trace applu accuracies equal Figure 4's applu row
+/// (same predictors, same trace).
+#[test]
+fn fig02_and_fig04_agree_on_applu() {
+    let f2 = fig02::run(DEFAULT_SEED);
+    let f4 = fig04::run(DEFAULT_SEED);
+    let row = f4.row("applu_in").expect("applu present");
+    let a_gpht = row.accuracy_of("GPHT_8_1024").unwrap();
+    let a_lv = row.accuracy_of("LastValue").unwrap();
+    assert!((f2.gpht.stats.accuracy() - a_gpht).abs() < 1e-12);
+    assert!((f2.last_value.stats.accuracy() - a_lv).abs() < 1e-12);
+}
+
+/// Figures 11 and 12 measure the same GPHT-vs-baseline outcomes for the
+/// benchmarks they share.
+#[test]
+fn fig11_and_fig12_agree_on_shared_benchmarks() {
+    let f11 = fig11::run(DEFAULT_SEED);
+    let f12 = fig12::run(DEFAULT_SEED);
+    for r in &f12.rows {
+        let o = f11.outcome(&r.name).expect("fig11 covers everything");
+        let edp11 = o.gpht_vs_baseline().edp_improvement_pct();
+        assert!(
+            (edp11 - r.gpht_edp_pct).abs() < 1e-9,
+            "{}: fig11 {edp11} vs fig12 {}",
+            r.name,
+            r.gpht_edp_pct
+        );
+        let deg11 = o.gpht_vs_baseline().perf_degradation_pct();
+        assert!((deg11 - r.gpht_deg_pct).abs() < 1e-9, "{}", r.name);
+    }
+}
+
+/// Seeds matter: a different seed produces different (but still valid)
+/// numbers, while the same seed is bit-exact across invocations.
+#[test]
+fn drivers_are_seed_deterministic() {
+    let a = fig04::run(7);
+    let b = fig04::run(7);
+    let c = fig04::run(8);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.name, rb.name);
+        for ((na, aa), (nb, ab)) in ra.accuracies.iter().zip(&rb.accuracies) {
+            assert_eq!(na, nb);
+            assert!((aa - ab).abs() < 1e-15);
+        }
+    }
+    // Not identical across seeds (noise differs), but same shape.
+    let a_applu = a.row("applu_in").unwrap().accuracy_of("GPHT_8_1024").unwrap();
+    let c_applu = c.row("applu_in").unwrap().accuracy_of("GPHT_8_1024").unwrap();
+    assert!((a_applu - c_applu).abs() > 1e-12, "seeds should decorrelate noise");
+    assert!(c_applu > 0.8, "shape holds at any seed");
+}

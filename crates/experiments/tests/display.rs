@@ -1,0 +1,61 @@
+//! Rendering tests: every ablation and extension driver produces a
+//! well-formed human-readable report (the shape checks themselves live in
+//! each module's unit tests).
+
+use livephase_experiments::{ablations, extensions, DEFAULT_SEED};
+
+#[test]
+fn ablation_reports_render() {
+    let s = ablations::gphr_depth::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("GPHR depth") && s.contains("applu_in"));
+
+    let s = ablations::upc_pitfall::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("UPC") && s.contains("unstable"));
+
+    let s = ablations::oracle_gap::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("Oracle") && s.contains("captured"));
+
+    let s = ablations::overheads::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("overhead share") && s.contains("us"));
+
+    let s = ablations::granularity::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("uops/PMI") && s.contains("100M"));
+
+    let s = ablations::selector::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("majority") && s.contains("EMA"));
+
+    let s = ablations::pht_organization::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("hashed 512"));
+
+    let s = ablations::confidence::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("gated"));
+
+    let s = ablations::family_tour::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("Markov1") && s.contains("HashedGPHT_8_128"));
+}
+
+#[test]
+fn extension_reports_render() {
+    let s = extensions::dtm::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("thermal-aware") && s.contains("peak T"));
+
+    let s = extensions::power_cap::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("cap [W]") && s.contains("uncapped"));
+
+    let s = extensions::multiprogram::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("per-process") && s.contains("context switches"));
+
+    let s = extensions::duration::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("MAE") && s.contains("mean len"));
+
+    let s = extensions::adaptive_sampling::run(DEFAULT_SEED).to_string();
+    assert!(s.contains("PMIs adaptive") && s.contains("reduction"));
+}
+
+#[test]
+fn family_tour_table_exports_csv() {
+    let tour = ablations::family_tour::run(DEFAULT_SEED);
+    let csv = tour.table().to_csv();
+    assert!(csv.starts_with("benchmark,"));
+    assert_eq!(csv.lines().count(), 7, "header + six benchmarks");
+}

@@ -1,0 +1,251 @@
+//! Deriving performance-bounded phase definitions (Section 6.3).
+//!
+//! The original Table 1/Table 2 configuration trades up to ≈ 10 % slowdown
+//! for energy. When a deployment cannot accept that, the paper shows the
+//! framework can be *reconfigured in place*: re-run the IPCxMEM
+//! characterization, find for every DVFS setting the Mem/Uop region where
+//! the slowdown it causes stays within a target bound, and redefine the
+//! phases (and their DVFS look-up table) to those domains.
+//!
+//! [`ConservativeDerivation`] reproduces that procedure analytically: for
+//! each setting it sweeps Mem/Uop, evaluates the slowdown of the
+//! *reference behaviour family* at that memory intensity
+//! ([`PhaseLevel::reference_family`]) through the platform timing model,
+//! and places the phase boundary at the lowest Mem/Uop from which the
+//! slowdown stays within the bound.
+
+use crate::manager::{Manager, ManagerConfig};
+use crate::policy::Proactive;
+use crate::table::TranslationTable;
+use livephase_core::{Gpht, GphtConfig, PhaseMap};
+use livephase_pmsim::opp::OperatingPointTable;
+use livephase_pmsim::timing::TimingModel;
+use livephase_workloads::PhaseLevel;
+
+/// The conservative phase-definition derivation.
+#[derive(Debug, Clone)]
+pub struct ConservativeDerivation {
+    timing: TimingModel,
+    opps: OperatingPointTable,
+    /// Sweep resolution on the Mem/Uop axis.
+    scan_step: f64,
+    /// Upper end of the Mem/Uop sweep (covers mcf with margin).
+    scan_max: f64,
+    /// Fraction of the degradation budget spent on steady-state slowdown;
+    /// the rest is headroom for misprediction transients (a mispredicted
+    /// interval briefly runs at a setting derived for a different phase).
+    steady_state_share: f64,
+}
+
+impl ConservativeDerivation {
+    /// The derivation for the paper's platform: 70 % of the budget for
+    /// steady-state slowdown, 30 % headroom for misprediction transients —
+    /// which is how the paper's deployed system lands at 0.3–3.2 % actual
+    /// degradation under a 5 % bound.
+    #[must_use]
+    pub fn pentium_m() -> Self {
+        Self {
+            timing: TimingModel::pentium_m(),
+            opps: OperatingPointTable::pentium_m(),
+            scan_step: 1e-4,
+            scan_max: 0.15,
+            steady_state_share: 0.70,
+        }
+    }
+
+    /// Fractional slowdown (0.05 = 5 %) of running the reference behaviour
+    /// at `mem_uop` on setting `setting` instead of the fastest setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setting` is out of range for the platform.
+    #[must_use]
+    pub fn degradation(&self, mem_uop: f64, setting: usize) -> f64 {
+        let opp = self.opps.get(setting).expect("setting within platform table");
+        let fastest = self.opps.fastest();
+        let level = PhaseLevel::reference_family(mem_uop);
+        let work = level.interval(100_000_000, 1.25, mem_uop);
+        let t_fast = self.timing.execute(&work, fastest.frequency).seconds;
+        let t_slow = self.timing.execute(&work, opp.frequency).seconds;
+        t_slow / t_fast - 1.0
+    }
+
+    /// Derives the phase map and translation table that bound the
+    /// reference-behaviour slowdown by `target` (e.g. `0.05` for the
+    /// paper's 5 % experiment).
+    ///
+    /// Returns the new `(PhaseMap, TranslationTable)` pair; settings whose
+    /// admissible region starts beyond the sweep range are dropped (they
+    /// are never worth their slowdown under the bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1)`.
+    #[must_use]
+    pub fn derive(&self, target: f64) -> (PhaseMap, TranslationTable) {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "degradation target must be a fraction in (0, 1), got {target}"
+        );
+        let steady_target = target * self.steady_state_share;
+        let mut boundaries: Vec<f64> = Vec::new();
+        let mut settings: Vec<usize> = vec![0];
+        for k in 1..self.opps.len() {
+            match self.admissible_from(k, steady_target) {
+                Some(m) => {
+                    if m > 0.0 && boundaries.last().is_none_or(|&b| m > b) {
+                        boundaries.push(m);
+                        settings.push(k);
+                    } else {
+                        // This setting is admissible from the start of the
+                        // previous band, which is therefore empty: the
+                        // deeper setting takes it over.
+                        *settings.last_mut().expect("non-empty") = k;
+                    }
+                }
+                None => break, // slower settings are never admissible
+            }
+        }
+        if boundaries.is_empty() {
+            // No setting earns its own band under the bound: degenerate to
+            // a single full-speed region (one dummy boundary at the sweep
+            // end keeps the map well-formed).
+            boundaries.push(self.scan_max);
+            settings = vec![settings[0], settings[0]];
+        }
+        let map = PhaseMap::new(boundaries).expect("derived boundaries are increasing");
+        let table = TranslationTable::new(settings, self.opps.len())
+            .expect("derived settings are monotonic and in range");
+        (map, table)
+    }
+
+    /// A ready-to-run GPHT manager over the derived conservative
+    /// definitions.
+    #[must_use]
+    pub fn manager(&self, target: f64) -> Manager {
+        let (map, table) = self.derive(target);
+        Manager::new(
+            Box::new(Proactive::new(Gpht::new(GphtConfig::DEPLOYED), table)),
+            ManagerConfig {
+                phase_map: map,
+                ..ManagerConfig::pentium_m()
+            },
+        )
+    }
+
+    /// The smallest swept Mem/Uop from which `setting`'s slowdown stays
+    /// within `target` for the rest of the sweep range, if any.
+    fn admissible_from(&self, setting: usize, target: f64) -> Option<f64> {
+        let steps = (self.scan_max / self.scan_step).ceil() as usize;
+        // Walk backwards so we can demand the *suffix* stays admissible
+        // (the reference family is piecewise and not strictly monotone).
+        let mut from: Option<f64> = None;
+        for i in (0..=steps).rev() {
+            #[allow(clippy::cast_precision_loss)]
+            let m = i as f64 * self.scan_step;
+            if self.degradation(m, setting) <= target {
+                from = Some(m);
+            } else if from.is_some() {
+                break;
+            }
+        }
+        from
+    }
+}
+
+impl Default for ConservativeDerivation {
+    fn default() -> Self {
+        Self::pentium_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livephase_core::PhaseId;
+
+    fn derivation() -> ConservativeDerivation {
+        ConservativeDerivation::pentium_m()
+    }
+
+    #[test]
+    fn degradation_grows_with_slower_settings() {
+        let d = derivation();
+        for &m in &[0.0, 0.008, 0.015, 0.025, 0.05] {
+            let degs: Vec<f64> = (0..6).map(|k| d.degradation(m, k)).collect();
+            assert_eq!(degs[0], 0.0, "fastest setting costs nothing");
+            for w in degs.windows(2) {
+                assert!(w[1] >= w[0], "slower settings degrade more at m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_code_degrades_less() {
+        let d = derivation();
+        assert!(d.degradation(0.05, 5) < d.degradation(0.0, 5));
+    }
+
+    #[test]
+    fn derived_map_bounds_reference_degradation() {
+        let d = derivation();
+        let (map, table) = d.derive(0.05);
+        // Probe the whole axis: whatever phase a rate classifies to, the
+        // assigned setting must respect the bound for the reference family.
+        let mut m = 0.0;
+        while m < 0.12 {
+            let phase = map.classify(m);
+            let setting = table.setting_for(phase);
+            let deg = d.degradation(m, setting);
+            assert!(
+                deg <= 0.05 + 1e-9,
+                "m={m}: phase {phase} -> setting {setting} degrades {deg}"
+            );
+            m += 0.0007;
+        }
+    }
+
+    #[test]
+    fn conservative_map_is_stricter_than_table1() {
+        let (map, table) = derivation().derive(0.05);
+        let original = TranslationTable::pentium_m();
+        let original_map = PhaseMap::pentium_m();
+        // At every probed rate the conservative setting is at least as fast
+        // (lower index) as the original Table 2 assignment.
+        for &m in &[0.001, 0.007, 0.012, 0.018, 0.025, 0.05, 0.11] {
+            let cons = table.setting_for(map.classify(m));
+            let orig = original.setting_for(original_map.classify(m));
+            assert!(
+                cons <= orig,
+                "m={m}: conservative {cons} vs original {orig}"
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_give_fewer_or_faster_settings() {
+        let d = derivation();
+        let (_, strict) = d.derive(0.01);
+        let (_, loose) = d.derive(0.10);
+        // The strict table must not reach deeper settings than the loose.
+        let max_strict = strict.settings().iter().max().unwrap();
+        let max_loose = loose.settings().iter().max().unwrap();
+        assert!(max_strict <= max_loose);
+    }
+
+    #[test]
+    fn derived_artifacts_are_consistent() {
+        let (map, table) = derivation().derive(0.05);
+        assert!(table.covers(&map));
+        assert_eq!(table.settings()[0], 0, "phase 1 always runs full speed");
+        // First boundary exists: some region must stay at full speed.
+        assert!(map.boundaries()[0] > 0.0);
+        let _ = table.setting_for(PhaseId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation target")]
+    fn rejects_silly_targets() {
+        let _ = derivation().derive(1.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Transition-rate control: a minimum-dwell decorator for any policy.
+//!
+//! Every real voltage/frequency switch costs a stall and regulator wear;
+//! a policy that flips settings each interval on a noisy workload pays
+//! that cost continuously. [`MinDwell`] wraps any [`Policy`] and holds
+//! each applied setting for at least *N* sampling intervals before
+//! honouring a change request — the standard governor hysteresis knob
+//! (cf. Linux cpufreq's `sampling_down_factor`).
+
+use crate::policy::{Environment, Policy};
+use livephase_core::{PhaseId, PhaseSample};
+
+/// Holds the wrapped policy's setting for at least `min_dwell` intervals.
+#[derive(Debug)]
+pub struct MinDwell<P> {
+    inner: P,
+    min_dwell: u32,
+    current: Option<usize>,
+    held_for: u32,
+}
+
+impl<P: Policy> MinDwell<P> {
+    /// Wraps `inner`, enforcing at least `min_dwell` intervals per setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_dwell` is zero (that would be a no-op; express it by
+    /// not wrapping).
+    #[must_use]
+    pub fn new(inner: P, min_dwell: u32) -> Self {
+        assert!(min_dwell >= 1, "minimum dwell must be at least 1 interval");
+        Self {
+            inner,
+            min_dwell,
+            current: None,
+            held_for: 0,
+        }
+    }
+
+    /// The wrapped policy.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The configured minimum dwell, in sampling intervals.
+    #[must_use]
+    pub fn min_dwell(&self) -> u32 {
+        self.min_dwell
+    }
+
+    fn gate(&mut self, wanted: usize) -> usize {
+        match self.current {
+            Some(cur) if wanted != cur && self.held_for < self.min_dwell => {
+                // Too soon: keep holding.
+                self.held_for += 1;
+                cur
+            }
+            Some(cur) if wanted == cur => {
+                self.held_for = self.held_for.saturating_add(1);
+                cur
+            }
+            _ => {
+                self.current = Some(wanted);
+                self.held_for = 1;
+                wanted
+            }
+        }
+    }
+}
+
+impl<P: Policy> Policy for MinDwell<P> {
+    fn decide(&mut self, sample: PhaseSample) -> usize {
+        let wanted = self.inner.decide(sample);
+        self.gate(wanted)
+    }
+
+    fn decide_with_env(&mut self, sample: PhaseSample, env: &Environment) -> usize {
+        let wanted = self.inner.decide_with_env(sample, env);
+        self.gate(wanted)
+    }
+
+    fn predicted_phase(&self) -> Option<PhaseId> {
+        self.inner.predicted_phase()
+    }
+
+    fn name(&self) -> String {
+        format!("MinDwell_{}({})", self.min_dwell, self.inner.name())
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.current = None;
+        self.held_for = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{Manager, ManagerConfig};
+    use crate::policy::Proactive;
+    use crate::table::TranslationTable;
+    use livephase_core::{Gpht, GphtConfig};
+    use livephase_pmsim::PlatformConfig;
+    use livephase_workloads::spec;
+
+    fn sample(phase: u8) -> PhaseSample {
+        PhaseSample::new(f64::from(phase) * 0.005, PhaseId::new(phase))
+    }
+
+    #[test]
+    fn holds_the_setting_for_the_dwell() {
+        let inner = crate::policy::Reactive::new(TranslationTable::pentium_m());
+        let mut p = MinDwell::new(inner, 3);
+        assert_eq!(p.decide(sample(6)), 5);
+        // Flapping requests are suppressed while held_for < 3.
+        assert_eq!(p.decide(sample(1)), 5);
+        assert_eq!(p.decide(sample(1)), 5);
+        // Dwell satisfied: the change goes through.
+        assert_eq!(p.decide(sample(1)), 0);
+    }
+
+    #[test]
+    fn steady_requests_pass_through() {
+        let inner = crate::policy::Reactive::new(TranslationTable::pentium_m());
+        let mut p = MinDwell::new(inner, 5);
+        for _ in 0..10 {
+            assert_eq!(p.decide(sample(3)), 2);
+        }
+    }
+
+    #[test]
+    fn reduces_transitions_on_noisy_workloads() {
+        let trace = spec::benchmark("equake_in").unwrap().with_length(400).generate(3);
+        let platform = PlatformConfig::pentium_m();
+        let plain = Manager::gpht_deployed().run(&trace, platform.clone());
+        let damped = Manager::new(
+            Box::new(MinDwell::new(
+                Proactive::new(Gpht::new(GphtConfig::DEPLOYED), TranslationTable::pentium_m()),
+                2,
+            )),
+            ManagerConfig::pentium_m(),
+        )
+        .run(&trace, platform);
+        assert!(
+            damped.dvfs_transitions < plain.dvfs_transitions,
+            "dwell {} vs plain {}",
+            damped.dvfs_transitions,
+            plain.dvfs_transitions
+        );
+        // The EDP cost of damping stays modest on a learnable workload.
+        assert!(
+            damped.totals.edp() < plain.totals.edp() * 1.15,
+            "damping should not wreck efficiency"
+        );
+    }
+
+    #[test]
+    fn name_and_reset() {
+        let inner = crate::policy::Reactive::new(TranslationTable::pentium_m());
+        let mut p = MinDwell::new(inner, 4);
+        assert_eq!(p.name(), "MinDwell_4(Reactive(LastValue))");
+        assert_eq!(p.min_dwell(), 4);
+        let _ = p.decide(sample(6));
+        p.reset();
+        assert_eq!(p.decide(sample(2)), 1, "fresh after reset");
+        let _ = p.inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum dwell")]
+    fn zero_dwell_rejected() {
+        let _ = MinDwell::new(
+            crate::policy::Reactive::new(TranslationTable::pentium_m()),
+            0,
+        );
+    }
+}

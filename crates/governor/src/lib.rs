@@ -1,0 +1,53 @@
+//! # livephase-governor
+//!
+//! The dynamic power-management side of the MICRO 2006 paper: the PMI
+//! handler flow of Figure 8, driving DVFS from live phase predictions.
+//!
+//! * [`table`] — the phase → DVFS look-up table (the paper's Table 2),
+//!   reconfigurable after deployment;
+//! * [`policy`] — the management policies compared in Section 6:
+//!   [`policy::Baseline`] (unmanaged, always full speed),
+//!   [`policy::Reactive`] (respond to the *last observed* phase —
+//!   the prior-work approach) and [`policy::Proactive`] (respond
+//!   to the *predicted next* phase, GPHT by default);
+//! * [`manager`] — the interval loop + interrupt handler that ties a
+//!   workload, the simulated CPU, a phase map and a policy together;
+//! * [`conservative`] — Section 6.3: deriving alternative phase
+//!   definitions that bound worst-case performance degradation;
+//! * [`report`] — run summaries and baseline-normalized comparisons
+//!   (EDP improvement, performance degradation, power/energy savings).
+//!
+//! ```
+//! use livephase_governor::{manager::Manager, policy};
+//! use livephase_pmsim::PlatformConfig;
+//! use livephase_workloads::spec;
+//!
+//! let trace = spec::benchmark("applu_in").unwrap().with_length(60).generate(1);
+//! let platform = PlatformConfig::pentium_m();
+//! let baseline = Manager::baseline().run(&trace, platform.clone());
+//! let managed = Manager::gpht_deployed().run(&trace, platform);
+//! let cmp = managed.compare_to(&baseline);
+//! assert!(cmp.edp_improvement_pct() > 0.0, "GPHT-managed EDP improves");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conservative;
+pub mod dwell;
+pub mod estimate;
+pub mod manager;
+pub mod policy;
+pub mod report;
+pub mod table;
+pub mod thermal;
+
+pub use conservative::ConservativeDerivation;
+pub use dwell::MinDwell;
+pub use estimate::PowerEstimator;
+pub use manager::{AdaptiveSampling, Manager, ManagerConfig};
+pub use policy::{Baseline, Environment, Oracle, Policy, Proactive, Reactive};
+pub use thermal::{PowerCap, ThermalAware};
+pub use report::{IntervalLog, NormalizedComparison, RunReport};
+pub use table::{TranslationTable, TranslationTableError};

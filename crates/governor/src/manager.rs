@@ -1,0 +1,382 @@
+//! The management loop: Figure 8 of the paper, as executable code.
+//!
+//! At every PMI the handler:
+//!
+//! 1. stops and reads the performance counters (done inside
+//!    [`Cpu::run_to_pmi`]);
+//! 2. translates the counter readings to the corresponding phase;
+//! 3. updates the predictor state and predicts the next phase;
+//! 4. translates the predicted phase to a DVFS setting and applies it if
+//!    it differs from the current one;
+//! 5. clears the interrupt, reinitializes and restarts the counters.
+//!
+//! The handler's own execution cost (≈ 10 µs) and any DVFS transition
+//! (≈ 50 µs) are charged to the simulated CPU, so overheads — invisible at
+//! the paper's 100 ms sampling intervals, exactly as claimed — are
+//! nevertheless accounted for honestly.
+
+use crate::policy::{Baseline, Policy, Proactive, Reactive};
+use crate::report::{IntervalLog, RunReport};
+use crate::table::TranslationTable;
+use livephase_core::{
+    DurationPredictor, DurationScheme, PhaseId, PhaseMap, PhaseSample, PredictionStats,
+};
+use livephase_pmsim::cpu::{Cpu, PmiRecord};
+use livephase_pmsim::trace::pport;
+use livephase_pmsim::PlatformConfig;
+use livephase_workloads::WorkloadTrace;
+
+/// Handler-side configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// The Mem/Uop → phase classification in force.
+    pub phase_map: PhaseMap,
+    /// Execution cost charged per PMI invocation, in seconds.
+    pub handler_overhead_s: f64,
+    /// When set, the manager integrates junction temperature over the run
+    /// and exposes it to environment-aware policies (dynamic thermal
+    /// management, Section 8 of the paper).
+    pub thermal: Option<livephase_pmsim::ThermalModel>,
+    /// When set, the handler stretches the PMI window through phases it
+    /// predicts will persist — the application the companion
+    /// duration-prediction work (ref \[14\]) targets. Fewer interrupts,
+    /// same decisions, for long stable runs.
+    pub adaptive_sampling: Option<AdaptiveSampling>,
+}
+
+/// Configuration of duration-guided adaptive sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSampling {
+    /// The base sampling window, in uops (the paper's 100 M).
+    pub base_uops: u64,
+    /// Longest window, as a multiple of the base (bounds the damage of a
+    /// wrong duration prediction).
+    pub max_multiplier: u64,
+}
+
+impl AdaptiveSampling {
+    /// A conservative default: stretch at most 4x over the 100 M base.
+    #[must_use]
+    pub fn pentium_m() -> Self {
+        Self {
+            base_uops: 100_000_000,
+            max_multiplier: 4,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.base_uops > 0, "base window must be positive");
+        assert!(self.max_multiplier >= 1, "multiplier must be at least 1");
+    }
+}
+
+impl ManagerConfig {
+    /// The deployed configuration: Table 1 phases, 10 µs handler cost, no
+    /// thermal tracking.
+    #[must_use]
+    pub fn pentium_m() -> Self {
+        Self {
+            phase_map: PhaseMap::pentium_m(),
+            handler_overhead_s: 10e-6,
+            thermal: None,
+            adaptive_sampling: None,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.handler_overhead_s.is_finite() && self.handler_overhead_s >= 0.0,
+            "handler overhead must be finite and non-negative"
+        );
+        if let Some(a) = &self.adaptive_sampling {
+            a.validate();
+        }
+    }
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self::pentium_m()
+    }
+}
+
+/// Drives a workload through the simulated CPU under a management policy.
+pub struct Manager {
+    policy: Box<dyn Policy>,
+    config: ManagerConfig,
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Manager {
+    /// Creates a manager with an arbitrary policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(policy: Box<dyn Policy>, config: ManagerConfig) -> Self {
+        config.validate();
+        Self { policy, config }
+    }
+
+    /// The unmanaged baseline system (always full speed).
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self::new(Box::new(Baseline::new()), ManagerConfig::pentium_m())
+    }
+
+    /// The reactive (last-value) manager of prior work, over the paper's
+    /// Table 2 mapping.
+    #[must_use]
+    pub fn reactive() -> Self {
+        Self::new(
+            Box::new(Reactive::new(TranslationTable::pentium_m())),
+            ManagerConfig::pentium_m(),
+        )
+    }
+
+    /// The paper's deployed system: proactive GPHT(8, 128) management over
+    /// the Table 2 mapping.
+    #[must_use]
+    pub fn gpht_deployed() -> Self {
+        Self::new(
+            Box::new(Proactive::gpht_deployed()),
+            ManagerConfig::pentium_m(),
+        )
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Runs `workload` to completion on a fresh CPU built from `platform`,
+    /// returning the full run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns a DVFS setting the platform does not
+    /// have (a [`TranslationTable`] validated against the platform cannot).
+    #[must_use]
+    pub fn run(mut self, workload: &WorkloadTrace, platform: PlatformConfig) -> RunReport {
+        let mut cpu = Cpu::new(platform);
+        let mut state = RunState {
+            thermal: self
+                .config
+                .thermal
+                .map(livephase_pmsim::ThermalState::new),
+            ..RunState::default()
+        };
+        cpu.set_pport_bits(pport::APP_RUNNING);
+
+        for work in workload {
+            cpu.push_work(*work);
+            while let Some(pmi) = cpu.run_to_pmi() {
+                self.handle_pmi(&mut cpu, &pmi, &mut state);
+            }
+        }
+        // A run that ends off the sampling grid leaves a partial interval:
+        // log it (its Mem/Uop ratio is still meaningful) without a policy
+        // action — execution is over.
+        if let Some(pmi) = cpu.flush_partial_interval() {
+            state.log_interval(&pmi, &self.config.phase_map);
+        }
+        cpu.set_pport_bits(0);
+
+        RunReport {
+            workload: workload.name().to_owned(),
+            policy: self.policy.name(),
+            totals: cpu.totals(),
+            prediction: state.prediction,
+            intervals: state.intervals,
+            dvfs_transitions: cpu.dvfs_transitions(),
+            peak_temperature_c: state.thermal.as_ref().map(|t| t.peak_c()),
+            final_temperature_c: state.thermal.as_ref().map(|t| t.temperature_c()),
+            power_trace: if cpu.config().record_power_trace {
+                Some(cpu.into_power_trace())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// One PMI invocation: classify, predict, act.
+    fn handle_pmi(&mut self, cpu: &mut Cpu, pmi: &PmiRecord, state: &mut RunState) {
+        let phase = state.log_interval(pmi, &self.config.phase_map);
+
+        // Integrate the thermal model through the elapsed interval.
+        let interval_power_w = if pmi.interval_seconds > 0.0 {
+            pmi.interval_energy_j / pmi.interval_seconds
+        } else {
+            0.0
+        };
+        if let Some(thermal) = &mut state.thermal {
+            thermal.advance(interval_power_w, pmi.interval_seconds);
+        }
+
+        // Toggle the phase-marker bit so the DAQ can attribute samples.
+        let toggled = cpu.pport_bits() ^ pport::PHASE_TOGGLE;
+        cpu.set_pport_bits(toggled);
+
+        let sample = PhaseSample {
+            rate: pmi.metrics.mem_uop(),
+            phase,
+        };
+        let env = crate::policy::Environment {
+            temperature_c: state.thermal.as_ref().map(|t| t.temperature_c()),
+            current_setting: pmi.dvfs_index,
+            interval_power_w,
+        };
+        let setting = self.policy.decide_with_env(sample, &env);
+        state.pending_prediction = self.policy.predicted_phase();
+
+        cpu.service_pmi_overhead(self.config.handler_overhead_s);
+        cpu.set_dvfs(setting)
+            .expect("policy must return a platform-valid DVFS setting");
+
+        // Duration-guided sampling: stretch the next PMI window while the
+        // predictor expects the current phase to persist.
+        if let Some(cfg) = &self.config.adaptive_sampling {
+            let durations = state
+                .durations
+                .get_or_insert_with(|| DurationPredictor::new(DurationScheme::LastDuration));
+            durations.observe(phase);
+            let multiplier = durations
+                .predicted_remaining()
+                .unwrap_or(0)
+                .clamp(1, cfg.max_multiplier);
+            cpu.set_pmi_granularity(cfg.base_uops * multiplier);
+        }
+    }
+}
+
+/// Book-keeping across PMI invocations.
+#[derive(Default)]
+struct RunState {
+    intervals: Vec<IntervalLog>,
+    prediction: PredictionStats,
+    pending_prediction: Option<PhaseId>,
+    thermal: Option<livephase_pmsim::ThermalState>,
+    durations: Option<DurationPredictor>,
+}
+
+impl RunState {
+    /// Classifies and logs one elapsed interval; scores the prediction that
+    /// had been made for it.
+    fn log_interval(&mut self, pmi: &PmiRecord, map: &PhaseMap) -> PhaseId {
+        let phase = map.classify_rate(pmi.metrics.mem_uop());
+        if let Some(predicted) = self.pending_prediction {
+            self.prediction.total += 1;
+            if predicted == phase {
+                self.prediction.correct += 1;
+            }
+        }
+        self.intervals.push(IntervalLog {
+            index: self.intervals.len(),
+            mem_uop: pmi.metrics.mem_uop().get(),
+            upc: pmi.metrics.upc().get(),
+            phase,
+            predicted: self.pending_prediction,
+            dvfs_index: pmi.dvfs_index,
+            duration_s: pmi.interval_seconds,
+            energy_j: pmi.interval_energy_j,
+            instructions: pmi.metrics.instructions_retired,
+        });
+        phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livephase_workloads::spec;
+
+    fn short_trace(name: &str, len: usize) -> WorkloadTrace {
+        spec::benchmark(name).unwrap().with_length(len).generate(11)
+    }
+
+    #[test]
+    fn baseline_never_switches() {
+        let trace = short_trace("applu_in", 40);
+        let r = Manager::baseline().run(&trace, PlatformConfig::pentium_m());
+        assert_eq!(r.dvfs_transitions, 0);
+        assert_eq!(r.intervals.len(), 40);
+        assert!(r.intervals.iter().all(|i| i.dvfs_index == 0));
+        assert_eq!(r.policy, "Baseline");
+    }
+
+    #[test]
+    fn managed_run_switches_and_saves_energy() {
+        let trace = short_trace("applu_in", 80);
+        let baseline = Manager::baseline().run(&trace, PlatformConfig::pentium_m());
+        let managed = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        assert!(managed.dvfs_transitions > 0);
+        assert!(managed.totals.energy_j < baseline.totals.energy_j);
+        assert!(managed.totals.time_s > baseline.totals.time_s);
+        let c = managed.compare_to(&baseline);
+        assert!(c.edp_improvement_pct() > 0.0, "EDP {}", c.edp_improvement_pct());
+    }
+
+    #[test]
+    fn prediction_stats_are_scored() {
+        let trace = short_trace("crafty_in", 50);
+        let r = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        assert_eq!(r.prediction.total, 49, "all but the first interval scored");
+        assert!(r.prediction.accuracy() > 0.9, "stable workload predicts well");
+    }
+
+    #[test]
+    fn stable_workload_stays_mostly_at_one_setting() {
+        let trace = short_trace("swim_in", 60);
+        let r = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        // swim is phase 5 throughout: after the first decision the CPU
+        // should sit at setting 4 nearly always.
+        let at_4 = r.intervals.iter().filter(|i| i.dvfs_index == 4).count();
+        assert!(at_4 > 50, "{at_4} of {} intervals at setting 4", r.intervals.len());
+    }
+
+    #[test]
+    fn partial_tail_interval_is_logged() {
+        // 1.5 sampling intervals of work.
+        let spec = spec::benchmark("crafty_in").unwrap().with_length(2);
+        let mut trace_intervals = spec.generate(1).intervals().to_vec();
+        let half = trace_intervals[1].split_at_uops(50_000_000).0;
+        trace_intervals[1] = half;
+        let trace = WorkloadTrace::new("partial", trace_intervals);
+        let r = Manager::baseline().run(&trace, PlatformConfig::pentium_m());
+        assert_eq!(r.intervals.len(), 2);
+        assert!(r.intervals[1].duration_s < r.intervals[0].duration_s);
+    }
+
+    #[test]
+    fn power_trace_is_returned_when_recorded() {
+        let trace = short_trace("crafty_in", 5);
+        let platform = PlatformConfig::pentium_m().with_power_trace();
+        let r = Manager::baseline().run(&trace, platform);
+        let pt = r.power_trace.expect("trace recorded");
+        assert!((pt.total_energy_j() - r.totals.energy_j).abs() < 1e-9);
+        assert!((pt.total_time_s() - r.totals.time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reactive_and_proactive_differ_on_variable_workloads() {
+        let trace = short_trace("applu_in", 200);
+        let reactive = Manager::reactive().run(&trace, PlatformConfig::pentium_m());
+        let proactive = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        assert!(
+            proactive.prediction.accuracy() > reactive.prediction.accuracy() + 0.1,
+            "GPHT {} vs reactive {}",
+            proactive.prediction.accuracy(),
+            reactive.prediction.accuracy()
+        );
+    }
+}

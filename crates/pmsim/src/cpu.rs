@@ -1,0 +1,566 @@
+//! The simulated CPU: timing + power + counters + DVFS glued together.
+//!
+//! The driving loop mirrors the deployed system of the paper:
+//!
+//! ```text
+//! ┌──────────────┐  push_work   ┌─────┐  run_to_pmi   ┌────────────────┐
+//! │ workload gen │ ───────────▶ │ Cpu │ ────────────▶ │ PMI handler    │
+//! └──────────────┘              └─────┘  PmiRecord    │ (governor)     │
+//!                                  ▲                  └────────────────┘
+//!                                  │ set_dvfs / service_pmi_overhead │
+//!                                  └─────────────────────────────────┘
+//! ```
+//!
+//! Work is executed at the current operating point; every
+//! `pmi_granularity_uops` retired micro-ops the uop counter overflows and a
+//! [`PmiRecord`] is produced — exactly the stop/read/clear/restart protocol
+//! of the paper's interrupt handler. The caller (the governor) then charges
+//! handler overhead and optionally switches the operating point before
+//! resuming execution.
+
+use crate::dvfs::{DvfsController, InvalidSetting};
+use crate::opp::{OperatingPoint, OperatingPointTable};
+use crate::pmc::{CounterFile, EventCounts};
+use crate::power::PowerModel;
+use crate::timing::{IntervalWork, TimingModel};
+use crate::trace::{PowerSegment, PowerTrace};
+use livephase_core::IntervalMetrics;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static configuration of the simulated platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Available DVFS settings, fastest first.
+    pub opp_table: OperatingPointTable,
+    /// Execution-time model.
+    pub timing: TimingModel,
+    /// Power model.
+    pub power: PowerModel,
+    /// Micro-ops per sampling interval (the paper uses 100 M).
+    pub pmi_granularity_uops: u64,
+    /// Stall charged per actual voltage/frequency switch, in seconds.
+    pub dvfs_transition_s: f64,
+    /// Whether to record the analog power waveform for the DAQ rig.
+    /// Recording costs memory proportional to run length.
+    pub record_power_trace: bool,
+}
+
+impl PlatformConfig {
+    /// The paper's prototype platform: Table 2 settings, 100 M-uop PMI
+    /// granularity, 50 µs DVFS transitions, trace recording off.
+    #[must_use]
+    pub fn pentium_m() -> Self {
+        Self {
+            opp_table: OperatingPointTable::pentium_m(),
+            timing: TimingModel::pentium_m(),
+            power: PowerModel::pentium_m(),
+            pmi_granularity_uops: 100_000_000,
+            dvfs_transition_s: 50e-6,
+            record_power_trace: false,
+        }
+    }
+
+    /// Enables power-waveform recording (builder style).
+    #[must_use]
+    pub fn with_power_trace(mut self) -> Self {
+        self.record_power_trace = true;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.pmi_granularity_uops > 0, "PMI granularity must be positive");
+        assert!(
+            self.dvfs_transition_s.is_finite() && self.dvfs_transition_s >= 0.0,
+            "DVFS transition latency must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::pentium_m()
+    }
+}
+
+/// What the PMI handler sees when the uop counter overflows: the interval's
+/// counter readings plus the simulator's ground-truth accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmiRecord {
+    /// Counter readings for the elapsed interval (the handler's only real
+    /// input on the deployed system).
+    pub metrics: IntervalMetrics,
+    /// Simulated wall-clock time at the interrupt, in seconds.
+    pub timestamp_s: f64,
+    /// Wall-clock duration of the elapsed interval, in seconds.
+    pub interval_seconds: f64,
+    /// Energy consumed during the elapsed interval, in joules
+    /// (ground truth; the paper measures this externally with the DAQ).
+    pub interval_energy_j: f64,
+    /// Operating point in effect when the interrupt fired.
+    pub opp: OperatingPoint,
+    /// DVFS setting index (0 = fastest) in effect when the interrupt fired.
+    pub dvfs_index: usize,
+}
+
+/// Whole-run ground-truth totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunTotals {
+    /// Total simulated wall-clock time in seconds.
+    pub time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Micro-ops retired.
+    pub uops: u64,
+    /// Memory bus transactions issued.
+    pub mem_transactions: u64,
+}
+
+impl RunTotals {
+    /// Billions of instructions per second over the whole run.
+    #[must_use]
+    pub fn bips(&self) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.time_s / 1e9
+        }
+    }
+
+    /// Average power over the whole run, in watts.
+    #[must_use]
+    pub fn average_power_w(&self) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.time_s
+        }
+    }
+
+    /// Energy-delay product in joule-seconds — the paper's headline
+    /// power/performance efficiency metric.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+}
+
+/// The simulated processor.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    config: PlatformConfig,
+    counters: CounterFile,
+    dvfs: DvfsController,
+    pending: VecDeque<IntervalWork>,
+    totals: RunTotals,
+    /// Time/energy marks at the start of the current sampling interval.
+    interval_start_time_s: f64,
+    interval_start_energy_j: f64,
+    trace: PowerTrace,
+    pport_bits: u8,
+}
+
+impl Cpu {
+    /// Creates a CPU at the fastest operating point with idle counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero PMI granularity or a
+    /// negative transition latency).
+    #[must_use]
+    pub fn new(config: PlatformConfig) -> Self {
+        config.validate();
+        let counters = CounterFile::pentium_m(config.pmi_granularity_uops);
+        let dvfs = DvfsController::new(config.opp_table.clone(), config.dvfs_transition_s);
+        Self {
+            config,
+            counters,
+            dvfs,
+            pending: VecDeque::new(),
+            totals: RunTotals::default(),
+            interval_start_time_s: 0.0,
+            interval_start_energy_j: 0.0,
+            trace: PowerTrace::new(),
+            pport_bits: 0,
+        }
+    }
+
+    /// Queues a chunk of work for execution.
+    pub fn push_work(&mut self, work: IntervalWork) {
+        self.pending.push_back(work);
+    }
+
+    /// Queued micro-ops not yet executed.
+    #[must_use]
+    pub fn pending_uops(&self) -> u64 {
+        self.pending.iter().map(|w| w.uops).sum()
+    }
+
+    /// Executes queued work until the uop counter overflows, then performs
+    /// the handler's stop/read/clear/restart protocol and returns the
+    /// interval record. Returns `None` when the queue empties before the
+    /// overflow threshold — push more work and call again, or finish with
+    /// [`flush_partial_interval`](Self::flush_partial_interval).
+    pub fn run_to_pmi(&mut self) -> Option<PmiRecord> {
+        loop {
+            if self.counters.overflow_pending() {
+                return Some(self.take_interval_record());
+            }
+            let work = self.pending.pop_front()?;
+            let remaining = self
+                .counters
+                .uops_until_overflow()
+                .expect("uop counter is always armed");
+            debug_assert!(remaining > 0);
+            let (now, rest) = if work.uops > remaining {
+                work.split_at_uops(remaining)
+            } else {
+                (work, None)
+            };
+            if let Some(rest) = rest {
+                self.pending.push_front(rest);
+            }
+            self.execute_chunk(&now);
+        }
+    }
+
+    /// Reads out whatever partial interval has accumulated, if any —
+    /// the tail of a run that ends off the sampling grid.
+    pub fn flush_partial_interval(&mut self) -> Option<PmiRecord> {
+        // Drain any executable leftovers first (callers normally already
+        // exhausted `run_to_pmi`); a still-pending full interval is
+        // surfaced before the partial tail.
+        if let Some(r) = self.run_to_pmi() {
+            return Some(r);
+        }
+        if self.counters.read().uops_retired == 0 {
+            return None;
+        }
+        Some(self.take_interval_record())
+    }
+
+    /// Charges the PMI handler's own execution cost: a stall at the current
+    /// operating point with the `IN_HANDLER` parallel-port bit raised.
+    pub fn service_pmi_overhead(&mut self, seconds: f64) {
+        assert!(seconds.is_finite() && seconds >= 0.0, "overhead must be >= 0");
+        if seconds == 0.0 {
+            return;
+        }
+        let bits = self.pport_bits | crate::trace::pport::IN_HANDLER;
+        self.stall(seconds, bits);
+    }
+
+    /// Requests DVFS setting `index`; a real switch stalls the core for the
+    /// configured transition latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSetting`] when `index` is out of range.
+    pub fn set_dvfs(&mut self, index: usize) -> Result<(), InvalidSetting> {
+        let stall_s = self.dvfs.request(index)?;
+        if stall_s > 0.0 {
+            self.stall(stall_s, self.pport_bits);
+        }
+        Ok(())
+    }
+
+    /// The current operating point.
+    #[must_use]
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.dvfs.current()
+    }
+
+    /// The current DVFS setting index (0 = fastest).
+    #[must_use]
+    pub fn dvfs_index(&self) -> usize {
+        self.dvfs.current_index()
+    }
+
+    /// Number of actual DVFS transitions performed so far.
+    #[must_use]
+    pub fn dvfs_transitions(&self) -> u64 {
+        self.dvfs.transitions()
+    }
+
+    /// Re-arms the PMI to fire after `uops` further retired micro-ops —
+    /// the knob an adaptive-sampling handler turns to skip re-evaluation
+    /// through a predicted-long phase. Takes effect for the interval that
+    /// is starting (call it right after a PMI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is zero.
+    pub fn set_pmi_granularity(&mut self, uops: u64) {
+        self.counters.rearm_overflow(uops);
+    }
+
+    /// Sets the parallel-port output bits (evaluation support, Section 5.4).
+    pub fn set_pport_bits(&mut self, bits: u8) {
+        self.pport_bits = bits;
+    }
+
+    /// Current parallel-port output bits.
+    #[must_use]
+    pub fn pport_bits(&self) -> u8 {
+        self.pport_bits
+    }
+
+    /// Whole-run ground-truth totals.
+    #[must_use]
+    pub fn totals(&self) -> RunTotals {
+        self.totals
+    }
+
+    /// The recorded power waveform (empty unless
+    /// [`PlatformConfig::record_power_trace`] is set).
+    #[must_use]
+    pub fn power_trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Consumes the CPU, returning the recorded power waveform.
+    #[must_use]
+    pub fn into_power_trace(self) -> PowerTrace {
+        self.trace
+    }
+
+    /// The platform configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Executes one chunk entirely at the current operating point.
+    fn execute_chunk(&mut self, work: &IntervalWork) {
+        let opp = self.dvfs.current();
+        let exec = self.config.timing.execute(work, opp.frequency);
+        let power_w = self.config.power.power(opp, exec.core_fraction());
+        let energy_j = power_w * exec.seconds;
+
+        self.counters.record(&EventCounts {
+            uops: work.uops,
+            instructions: work.instructions,
+            mem_transactions: work.mem_transactions,
+            cycles: exec.cycles,
+        });
+
+        self.totals.time_s += exec.seconds;
+        self.totals.energy_j += energy_j;
+        self.totals.instructions += work.instructions;
+        self.totals.uops += work.uops;
+        self.totals.mem_transactions += work.mem_transactions;
+
+        if self.config.record_power_trace {
+            self.trace.push(PowerSegment {
+                duration_s: exec.seconds,
+                power_w,
+                voltage_v: opp.voltage.volts(),
+                pport_bits: self.pport_bits,
+            });
+        }
+    }
+
+    /// A non-retiring stall at the current operating point (handler
+    /// execution, DVFS transition).
+    fn stall(&mut self, seconds: f64, bits: u8) {
+        let opp = self.dvfs.current();
+        let power_w = self.config.power.stall_power(opp);
+        self.counters.record_stall_cycles(seconds * opp.frequency.hz());
+        self.totals.time_s += seconds;
+        self.totals.energy_j += power_w * seconds;
+        if self.config.record_power_trace {
+            self.trace.push(PowerSegment {
+                duration_s: seconds,
+                power_w,
+                voltage_v: opp.voltage.volts(),
+                pport_bits: bits,
+            });
+        }
+    }
+
+    /// The handler protocol: stop, read, clear, restart — and re-base the
+    /// per-interval time/energy marks.
+    fn take_interval_record(&mut self) -> PmiRecord {
+        self.counters.stop();
+        let metrics = self.counters.read();
+        let record = PmiRecord {
+            metrics,
+            timestamp_s: self.totals.time_s,
+            interval_seconds: self.totals.time_s - self.interval_start_time_s,
+            interval_energy_j: self.totals.energy_j - self.interval_start_energy_j,
+            opp: self.dvfs.current(),
+            dvfs_index: self.dvfs.current_index(),
+        };
+        self.counters.reset_interval();
+        self.interval_start_time_s = self.totals.time_s;
+        self.interval_start_energy_j = self.totals.energy_j;
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PlatformConfig {
+        PlatformConfig {
+            pmi_granularity_uops: 1_000_000,
+            ..PlatformConfig::pentium_m()
+        }
+    }
+
+    fn work(uops: u64, mem_per_kuop: u64) -> IntervalWork {
+        IntervalWork::new(uops, uops * 4 / 5, uops / 1000 * mem_per_kuop, 0.7, 3.0)
+    }
+
+    #[test]
+    fn pmi_fires_at_granularity() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.push_work(work(2_500_000, 10));
+        let r1 = cpu.run_to_pmi().expect("first interval");
+        assert_eq!(r1.metrics.uops_retired, 1_000_000);
+        let r2 = cpu.run_to_pmi().expect("second interval");
+        assert_eq!(r2.metrics.uops_retired, 1_000_000);
+        assert!(cpu.run_to_pmi().is_none(), "only half an interval left");
+        let tail = cpu.flush_partial_interval().expect("partial tail");
+        assert_eq!(tail.metrics.uops_retired, 500_000);
+        assert!(cpu.flush_partial_interval().is_none());
+    }
+
+    #[test]
+    fn mem_uop_is_preserved_across_interval_splits() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.push_work(work(3_000_000, 20)); // Mem/Uop = 0.020
+        while let Some(r) = cpu.run_to_pmi() {
+            assert!((r.metrics.mem_uop().get() - 0.020).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn time_and_energy_accumulate() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.push_work(work(1_000_000, 10));
+        let r = cpu.run_to_pmi().unwrap();
+        assert!(r.interval_seconds > 0.0);
+        assert!(r.interval_energy_j > 0.0);
+        let t = cpu.totals();
+        assert!((t.time_s - r.interval_seconds).abs() < 1e-12);
+        assert!((t.energy_j - r.interval_energy_j).abs() < 1e-12);
+        assert!(t.bips() > 0.0);
+        assert!(t.average_power_w() > 1.0);
+        assert!(t.edp() > 0.0);
+    }
+
+    #[test]
+    fn slower_setting_reduces_power_and_stretches_time() {
+        let run_at = |idx: usize| {
+            let mut cpu = Cpu::new(small_config());
+            cpu.set_dvfs(idx).unwrap();
+            cpu.push_work(work(1_000_000, 10));
+            let _ = cpu.run_to_pmi().unwrap();
+            cpu.totals()
+        };
+        let fast = run_at(0);
+        let slow = run_at(5);
+        assert!(slow.time_s > fast.time_s);
+        assert!(slow.average_power_w() < fast.average_power_w());
+    }
+
+    #[test]
+    fn dvfs_switch_stalls_and_counts() {
+        let mut cpu = Cpu::new(small_config());
+        let before = cpu.totals().time_s;
+        cpu.set_dvfs(5).unwrap();
+        assert_eq!(cpu.dvfs_transitions(), 1);
+        assert!((cpu.totals().time_s - before - 50e-6).abs() < 1e-12);
+        // Re-requesting the same setting is free.
+        cpu.set_dvfs(5).unwrap();
+        assert_eq!(cpu.dvfs_transitions(), 1);
+        assert_eq!(cpu.dvfs_index(), 5);
+    }
+
+    #[test]
+    fn invalid_dvfs_request_is_an_error() {
+        let mut cpu = Cpu::new(small_config());
+        assert!(cpu.set_dvfs(17).is_err());
+        assert_eq!(cpu.dvfs_index(), 0);
+    }
+
+    #[test]
+    fn handler_overhead_is_charged() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.service_pmi_overhead(10e-6);
+        assert!((cpu.totals().time_s - 10e-6).abs() < 1e-15);
+        assert!(cpu.totals().energy_j > 0.0);
+        assert_eq!(cpu.totals().uops, 0, "stalls retire nothing");
+    }
+
+    #[test]
+    fn power_trace_records_segments_with_bits() {
+        let mut cpu = Cpu::new(small_config().with_power_trace());
+        cpu.set_pport_bits(crate::trace::pport::APP_RUNNING);
+        cpu.push_work(work(1_000_000, 10));
+        let _ = cpu.run_to_pmi().unwrap();
+        cpu.service_pmi_overhead(10e-6);
+        let trace = cpu.power_trace();
+        assert!(trace.len() >= 2);
+        assert!(trace
+            .segments()
+            .iter()
+            .any(|s| s.pport_bits & crate::trace::pport::IN_HANDLER != 0));
+        // The waveform's energy must agree with the ground truth.
+        assert!((trace.total_energy_j() - cpu.totals().energy_j).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.push_work(work(1_000_000, 10));
+        let _ = cpu.run_to_pmi().unwrap();
+        assert!(cpu.power_trace().is_empty());
+    }
+
+    #[test]
+    fn interval_seconds_include_stalls_inside_interval() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.push_work(work(500_000, 10));
+        assert!(cpu.run_to_pmi().is_none());
+        // Mid-interval DVFS switch: its stall belongs to this interval.
+        cpu.set_dvfs(2).unwrap();
+        cpu.push_work(work(500_000, 10));
+        let r = cpu.run_to_pmi().unwrap();
+        let pure: f64 = r.interval_seconds;
+        assert!(pure > 0.0);
+        assert!(r.metrics.cycles > 0);
+    }
+
+    #[test]
+    fn pmi_granularity_is_retunable_between_intervals() {
+        let mut cpu = Cpu::new(small_config());
+        cpu.push_work(work(4_000_000, 10));
+        let r1 = cpu.run_to_pmi().unwrap();
+        assert_eq!(r1.metrics.uops_retired, 1_000_000);
+        // Stretch the next window to 3 M uops.
+        cpu.set_pmi_granularity(3_000_000);
+        let r2 = cpu.run_to_pmi().unwrap();
+        assert_eq!(r2.metrics.uops_retired, 3_000_000);
+        // All 4 M uops are accounted for; nothing dangles.
+        assert!(cpu.run_to_pmi().is_none());
+        assert!(cpu.flush_partial_interval().is_none());
+        // The re-armed window persists until re-armed again (the handler
+        // re-arms every PMI anyway).
+        cpu.push_work(work(3_000_000, 10));
+        let r3 = cpu.run_to_pmi().unwrap();
+        assert_eq!(r3.metrics.uops_retired, 3_000_000);
+    }
+
+    #[test]
+    fn run_totals_empty_run() {
+        let t = RunTotals::default();
+        assert_eq!(t.bips(), 0.0);
+        assert_eq!(t.average_power_w(), 0.0);
+        assert_eq!(t.edp(), 0.0);
+    }
+}

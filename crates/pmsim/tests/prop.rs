@@ -1,0 +1,199 @@
+//! Property-based tests for the platform simulator.
+
+use livephase_pmsim::{
+    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel,
+    TimingModel,
+};
+use proptest::prelude::*;
+
+fn arb_work() -> impl Strategy<Value = IntervalWork> {
+    (
+        1_000_000u64..200_000_000,
+        0u64..80,
+        0.2f64..3.0,
+        1.0f64..6.0,
+    )
+        .prop_map(|(uops, mem_per_kuop, cpi, mlp)| {
+            IntervalWork::new(uops, uops * 4 / 5, uops / 1000 * mem_per_kuop, cpi, mlp)
+        })
+}
+
+proptest! {
+    /// Splitting work at any point conserves every count and preserves
+    /// the Mem/Uop ratio of both halves.
+    #[test]
+    fn split_conserves_work(work in arb_work(), frac in 0.01f64..0.99) {
+        let at = ((work.uops as f64 * frac) as u64).max(1);
+        let (a, b) = work.split_at_uops(at);
+        match b {
+            None => prop_assert_eq!(a, work),
+            Some(b) => {
+                prop_assert_eq!(a.uops + b.uops, work.uops);
+                prop_assert_eq!(a.instructions + b.instructions, work.instructions);
+                prop_assert_eq!(a.mem_transactions + b.mem_transactions, work.mem_transactions);
+                if work.mem_transactions > 1000 {
+                    prop_assert!((a.mem_uop() - work.mem_uop()).abs() / work.mem_uop() < 0.05);
+                }
+            }
+        }
+    }
+
+    /// Time decreases (weakly) with frequency; cycles increase (weakly)
+    /// as memory stalls cover more core cycles at higher f.
+    #[test]
+    fn execution_monotonicity(work in arb_work(), lo in 200u32..1200, hi in 1200u32..2400) {
+        let t = TimingModel::pentium_m();
+        let slow = t.execute(&work, Frequency::from_mhz(lo));
+        let fast = t.execute(&work, Frequency::from_mhz(hi));
+        prop_assert!(slow.seconds >= fast.seconds - 1e-15);
+        prop_assert!(t.bips(&work, Frequency::from_mhz(hi)) >= t.bips(&work, Frequency::from_mhz(lo)) - 1e-12);
+    }
+
+    /// Power is monotone in activity and in the operating point.
+    #[test]
+    fn power_monotonicity(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let m = PowerModel::pentium_m();
+        let table = OperatingPointTable::pentium_m();
+        let (lo_a, hi_a) = if a <= b { (a, b) } else { (b, a) };
+        for (_, opp) in table.iter() {
+            prop_assert!(m.power(opp, hi_a) >= m.power(opp, lo_a));
+            prop_assert!(m.power(opp, lo_a) > 0.0);
+        }
+        for w in table.points().windows(2) {
+            prop_assert!(m.power(w[0], a) > m.power(w[1], a));
+        }
+    }
+
+    /// However work is chunked, the CPU retires the same totals, charges
+    /// the same energy, and fires the same number of PMIs.
+    #[test]
+    fn chunking_does_not_change_physics(
+        work in arb_work(),
+        cuts in proptest::collection::vec(0.05f64..0.95, 0..4),
+    ) {
+        let config = PlatformConfig {
+            pmi_granularity_uops: 10_000_000,
+            ..PlatformConfig::pentium_m()
+        };
+        let run = |chunks: Vec<IntervalWork>| {
+            let mut cpu = Cpu::new(config.clone());
+            let mut pmis = 0u32;
+            for c in chunks {
+                cpu.push_work(c);
+                while cpu.run_to_pmi().is_some() {
+                    pmis += 1;
+                }
+            }
+            while cpu.flush_partial_interval().is_some() {
+                pmis += 1;
+            }
+            (cpu.totals(), pmis)
+        };
+
+        // Single chunk.
+        let (whole, pmis_whole) = run(vec![work]);
+        // Split into pieces at the sorted cut points.
+        let mut points: Vec<u64> = cuts
+            .iter()
+            .map(|f| ((work.uops as f64 * f) as u64).clamp(1, work.uops - 1))
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut pieces = Vec::new();
+        let mut rest = work;
+        let mut consumed = 0u64;
+        for p in points {
+            if p <= consumed || p - consumed >= rest.uops {
+                continue;
+            }
+            let (a, b) = rest.split_at_uops(p - consumed);
+            consumed = p;
+            pieces.push(a);
+            match b {
+                Some(b) => rest = b,
+                None => break,
+            }
+        }
+        pieces.push(rest);
+        let (split, pmis_split) = run(pieces);
+
+        prop_assert_eq!(whole.uops, split.uops);
+        prop_assert_eq!(whole.instructions, split.instructions);
+        prop_assert_eq!(whole.mem_transactions, split.mem_transactions);
+        prop_assert!((whole.time_s - split.time_s).abs() / whole.time_s < 1e-9);
+        prop_assert!((whole.energy_j - split.energy_j).abs() / whole.energy_j < 1e-9);
+        prop_assert_eq!(pmis_whole, pmis_split);
+    }
+
+    /// The recorded waveform always carries exactly the consumed energy.
+    #[test]
+    fn waveform_matches_ground_truth(work in arb_work(), setting in 0usize..6) {
+        let mut cpu = Cpu::new(PlatformConfig::pentium_m().with_power_trace());
+        cpu.set_dvfs(setting).expect("six settings");
+        cpu.push_work(work);
+        while cpu.run_to_pmi().is_some() {}
+        let _ = cpu.flush_partial_interval();
+        let totals = cpu.totals();
+        let trace = cpu.into_power_trace();
+        prop_assert!((trace.total_energy_j() - totals.energy_j).abs() <= 1e-9 * totals.energy_j.max(1.0));
+        prop_assert!((trace.total_time_s() - totals.time_s).abs() <= 1e-12 + 1e-9 * totals.time_s);
+    }
+
+    /// The thermal model never leaves the band spanned by the ambient and
+    /// the steady state, converges monotonically toward the steady state,
+    /// and composes: stepping twice equals stepping once for the summed
+    /// duration.
+    #[test]
+    fn thermal_step_properties(
+        t0 in 20.0f64..110.0,
+        power in 0.0f64..20.0,
+        dt_a in 0.0f64..30.0,
+        dt_b in 0.0f64..30.0,
+    ) {
+        let m = livephase_pmsim::ThermalModel::pentium_m();
+        let t_ss = m.steady_state(power);
+        let one = m.step(t0, power, dt_a + dt_b);
+        let two = m.step(m.step(t0, power, dt_a), power, dt_b);
+        prop_assert!((one - two).abs() < 1e-9, "semigroup property");
+        // The trajectory stays between t0 and the steady state.
+        let (lo, hi) = if t0 <= t_ss { (t0, t_ss) } else { (t_ss, t0) };
+        prop_assert!(one >= lo - 1e-9 && one <= hi + 1e-9);
+        // Longer exposure gets (weakly) closer to the steady state.
+        prop_assert!((two - t_ss).abs() <= (t0 - t_ss).abs() + 1e-9);
+    }
+
+    /// The thermal state's peak is the supremum of the trajectory for any
+    /// power schedule.
+    #[test]
+    fn thermal_peak_dominates_trajectory(
+        schedule in proptest::collection::vec((0.0f64..16.0, 0.01f64..5.0), 1..20),
+    ) {
+        let mut s = livephase_pmsim::ThermalState::new(
+            livephase_pmsim::ThermalModel::pentium_m(),
+        );
+        let mut seen = s.temperature_c();
+        for &(p, dt) in &schedule {
+            s.advance(p, dt);
+            seen = seen.max(s.temperature_c());
+        }
+        prop_assert!(s.peak_c() >= seen - 1e-9);
+        prop_assert!(s.peak_c() >= s.model().t_ambient);
+    }
+
+    /// Counter-derived Mem/Uop equals the work's Mem/Uop at any setting:
+    /// the DVFS-invariance the paper's phases rely on, end to end.
+    #[test]
+    fn counters_report_dvfs_invariant_mem_uop(work in arb_work(), setting in 0usize..6) {
+        prop_assume!(work.uops >= 10_000_000);
+        let config = PlatformConfig {
+            pmi_granularity_uops: 10_000_000,
+            ..PlatformConfig::pentium_m()
+        };
+        let mut cpu = Cpu::new(config);
+        cpu.set_dvfs(setting).expect("valid");
+        cpu.push_work(work);
+        let pmi = cpu.run_to_pmi().expect("at least one interval");
+        let measured = pmi.metrics.mem_uop().get();
+        prop_assert!((measured - work.mem_uop()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,206 @@
+//! CSV import/export of workload traces.
+//!
+//! The paper's monitoring side logs per-interval counter values; a real
+//! deployment of this library would replay such logs instead of synthetic
+//! generators. The format is one header line plus one row per sampling
+//! interval:
+//!
+//! ```csv
+//! uops,instructions,mem_transactions,cpi_core,mlp
+//! 100000000,80000000,1200000,0.8,2.0
+//! ```
+
+use crate::trace::WorkloadTrace;
+use livephase_pmsim::timing::IntervalWork;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The CSV header the exporter writes and the importer requires.
+pub const CSV_HEADER: &str = "uops,instructions,mem_transactions,cpi_core,mlp";
+
+/// Error importing a trace from CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCsvError {
+    /// The input had no header line.
+    MissingHeader,
+    /// The header did not match [`CSV_HEADER`].
+    BadHeader {
+        /// The header actually found.
+        found: String,
+    },
+    /// A data row had the wrong number of fields or an unparsable value.
+    BadRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The file contained a header but no data rows.
+    Empty,
+}
+
+impl fmt::Display for TraceCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingHeader => write!(f, "trace CSV is missing its header line"),
+            Self::BadHeader { found } => {
+                write!(f, "unexpected header {found:?}; expected {CSV_HEADER:?}")
+            }
+            Self::BadRow { line, reason } => write!(f, "line {line}: {reason}"),
+            Self::Empty => write!(f, "trace CSV contains no sampling intervals"),
+        }
+    }
+}
+
+impl Error for TraceCsvError {}
+
+/// Serializes a trace to CSV.
+#[must_use]
+pub fn to_csv(trace: &WorkloadTrace) -> String {
+    let mut out = String::with_capacity(trace.len() * 48);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for w in trace {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            w.uops, w.instructions, w.mem_transactions, w.cpi_core, w.mlp
+        );
+    }
+    out
+}
+
+/// Parses a trace from CSV.
+///
+/// # Errors
+///
+/// Returns a [`TraceCsvError`] describing the first malformed line.
+pub fn from_csv(name: &str, csv: &str) -> Result<WorkloadTrace, TraceCsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceCsvError::MissingHeader)?;
+    if header.trim() != CSV_HEADER {
+        return Err(TraceCsvError::BadHeader {
+            found: header.trim().to_owned(),
+        });
+    }
+    let mut intervals = Vec::new();
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row = idx + 1; // 1-based for humans
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(TraceCsvError::BadRow {
+                line: row,
+                reason: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.trim().parse::<u64>().map_err(|e| TraceCsvError::BadRow {
+                line: row,
+                reason: format!("{what}: {e}"),
+            })
+        };
+        let parse_f64 = |s: &str, what: &str| {
+            s.trim().parse::<f64>().map_err(|e| TraceCsvError::BadRow {
+                line: row,
+                reason: format!("{what}: {e}"),
+            })
+        };
+        let uops = parse_u64(fields[0], "uops")?;
+        let instructions = parse_u64(fields[1], "instructions")?;
+        let mem = parse_u64(fields[2], "mem_transactions")?;
+        let cpi = parse_f64(fields[3], "cpi_core")?;
+        let mlp = parse_f64(fields[4], "mlp")?;
+        // NaNs fail these comparisons and are rejected with the rest.
+        let physical = cpi > 0.0 && mlp >= 1.0 && cpi.is_finite() && mlp.is_finite();
+        if uops == 0 || !physical {
+            return Err(TraceCsvError::BadRow {
+                line: row,
+                reason: "uops must be positive, cpi_core > 0, mlp >= 1".to_owned(),
+            });
+        }
+        intervals.push(IntervalWork::new(uops, instructions, mem, cpi, mlp));
+    }
+    if intervals.is_empty() {
+        return Err(TraceCsvError::Empty);
+    }
+    Ok(WorkloadTrace::new(name, intervals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let original = spec::benchmark("applu_in").unwrap().with_length(40).generate(5);
+        let csv = to_csv(&original);
+        let restored = from_csv("applu_in", &csv).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(from_csv("x", ""), Err(TraceCsvError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let err = from_csv("x", "a,b,c\n1,2,3").unwrap_err();
+        assert!(matches!(err, TraceCsvError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_short_rows() {
+        let csv = format!("{CSV_HEADER}\n1,2,3\n");
+        let err = from_csv("x", &csv).unwrap_err();
+        assert!(matches!(err, TraceCsvError::BadRow { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unparsable_values() {
+        let csv = format!("{CSV_HEADER}\n1,2,3,potato,1.0\n");
+        let err = from_csv("x", &csv).unwrap_err();
+        assert!(err.to_string().contains("cpi_core"));
+    }
+
+    #[test]
+    fn rejects_invalid_physics() {
+        let csv = format!("{CSV_HEADER}\n100,80,5,0.8,0.5\n");
+        let err = from_csv("x", &csv).unwrap_err();
+        assert!(err.to_string().contains("mlp"));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let csv = format!("{CSV_HEADER}\n\n");
+        assert_eq!(from_csv("x", &csv), Err(TraceCsvError::Empty));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = format!("{CSV_HEADER}\n\n100,80,5,0.8,2.0\n\n");
+        let t = from_csv("x", &csv).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            TraceCsvError::MissingHeader,
+            TraceCsvError::BadHeader { found: "x".into() },
+            TraceCsvError::BadRow {
+                line: 3,
+                reason: "nope".into(),
+            },
+            TraceCsvError::Empty,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

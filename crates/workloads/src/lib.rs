@@ -1,0 +1,54 @@
+//! # livephase-workloads
+//!
+//! Synthetic workload generators standing in for the SPEC CPU2000 suite the
+//! MICRO 2006 paper evaluates on, plus the paper's own **IPCxMEM**
+//! characterization micro-suite.
+//!
+//! The paper's entire evaluation consumes workloads through one narrow
+//! interface: the per-interval tuple *(uops, instructions, memory bus
+//! transactions, core CPI, memory-level parallelism)* — everything else
+//! (UPC, BIPS, power, phases) is derived by the platform model. A
+//! benchmark is therefore reproduced by a generator whose interval stream
+//! matches the real program's:
+//!
+//! * **marginal statistics** — average Mem/Uop ("power savings potential",
+//!   the x-axis of the paper's Figure 3) and sample variability (the
+//!   y-axis: % of consecutive samples moving > 0.005 in Mem/Uop), and
+//! * **temporal structure** — constant, slowly wandering, or rapidly
+//!   repeating phase patterns (the property the GPHT predictor exploits
+//!   and statistical predictors miss).
+//!
+//! The [`spec`] module carries one calibrated [`BenchmarkSpec`] per SPEC
+//! run shown in the paper's figures (33 in total), each documented with its
+//! calibration targets. [`ipcxmem`] generates the grid of pinned
+//! (UPC, Mem/Uop) points used in Section 4 to demonstrate DVFS invariance.
+//!
+//! ```
+//! use livephase_workloads::spec;
+//!
+//! let applu = spec::benchmark("applu_in").expect("registered");
+//! let trace = applu.generate(42);
+//! let stats = trace.characterize();
+//! // applu is the paper's running example of a highly variable workload.
+//! assert!(stats.sample_variation_pct > 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod io;
+pub mod ipcxmem;
+pub mod level;
+pub mod multiprogram;
+pub mod pattern;
+pub mod spec;
+pub mod trace;
+
+pub use io::{from_csv, to_csv, TraceCsvError};
+pub use ipcxmem::{IpcxMemConfig, IpcxMemSuite};
+pub use level::PhaseLevel;
+pub use multiprogram::{concatenate, round_robin, Job, MultiProgramTrace};
+pub use pattern::{Movement, Step};
+pub use spec::{benchmark, registry, BenchmarkSpec, Quadrant};
+pub use trace::{TraceStats, WorkloadTrace};

@@ -1,0 +1,197 @@
+//! Multiprogrammed workload mixes.
+//!
+//! The paper's deployed system monitors whatever runs natively — including
+//! multiprogrammed systems where the OS timeslices several applications
+//! onto the core. From the PMI handler's viewpoint that interleaving
+//! splices the programs' phase streams together, with abrupt behaviour
+//! changes at every context switch. This module builds such mixes from
+//! registered benchmarks, preserving the schedule (which process owned
+//! each sampling interval) so process-aware predictors can be evaluated
+//! against process-oblivious ones.
+
+use crate::trace::WorkloadTrace;
+use livephase_pmsim::timing::IntervalWork;
+use serde::{Deserialize, Serialize};
+
+/// One program in a mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Process identifier (as the OS scheduler would report at the PMI).
+    pub pid: u32,
+    /// The program's own phase trace.
+    pub trace: WorkloadTrace,
+}
+
+impl Job {
+    /// Creates a job.
+    #[must_use]
+    pub fn new(pid: u32, trace: WorkloadTrace) -> Self {
+        Self { pid, trace }
+    }
+}
+
+/// An interleaved mix: the merged interval stream plus the owning pid of
+/// every sampling interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiProgramTrace {
+    trace: WorkloadTrace,
+    pids: Vec<u32>,
+}
+
+impl MultiProgramTrace {
+    /// The merged workload trace.
+    #[must_use]
+    pub fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    /// The pid that owned each sampling interval.
+    #[must_use]
+    pub fn pids(&self) -> &[u32] {
+        &self.pids
+    }
+
+    /// Number of sampling intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Mixes are never empty; returns `false` (API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of context switches in the schedule.
+    #[must_use]
+    pub fn context_switches(&self) -> usize {
+        self.pids.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Iterates `(pid, interval)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &IntervalWork)> + '_ {
+        self.pids.iter().copied().zip(self.trace.iter())
+    }
+}
+
+/// Round-robin schedules `jobs` with a fixed timeslice (in sampling
+/// intervals); jobs that finish drop out of the rotation, as on a real
+/// scheduler.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty or `timeslice` is zero.
+#[must_use]
+pub fn round_robin(jobs: &[Job], timeslice: usize, name: &str) -> MultiProgramTrace {
+    assert!(!jobs.is_empty(), "a mix needs at least one job");
+    assert!(timeslice >= 1, "timeslice must be at least one interval");
+    let mut cursors: Vec<(u32, std::slice::Iter<'_, IntervalWork>)> = jobs
+        .iter()
+        .map(|j| (j.pid, j.trace.intervals().iter()))
+        .collect();
+    let mut intervals = Vec::new();
+    let mut pids = Vec::new();
+    while !cursors.is_empty() {
+        cursors.retain_mut(|(pid, it)| {
+            let mut took = 0;
+            while took < timeslice {
+                match it.next() {
+                    Some(w) => {
+                        intervals.push(*w);
+                        pids.push(*pid);
+                        took += 1;
+                    }
+                    // Job finished (possibly mid-slice): leave the rotation.
+                    None => return false,
+                }
+            }
+            true
+        });
+    }
+    MultiProgramTrace {
+        trace: WorkloadTrace::new(name, intervals),
+        pids,
+    }
+}
+
+/// Runs `jobs` back to back (batch scheduling).
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty.
+#[must_use]
+pub fn concatenate(jobs: &[Job], name: &str) -> MultiProgramTrace {
+    assert!(!jobs.is_empty(), "a mix needs at least one job");
+    let mut intervals = Vec::new();
+    let mut pids = Vec::new();
+    for j in jobs {
+        intervals.extend(j.trace.intervals().iter().copied());
+        pids.extend(std::iter::repeat_n(j.pid, j.trace.len()));
+    }
+    MultiProgramTrace {
+        trace: WorkloadTrace::new(name, intervals),
+        pids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    fn job(pid: u32, bench: &str, len: usize) -> Job {
+        Job::new(
+            pid,
+            spec::benchmark(bench).unwrap().with_length(len).generate(1),
+        )
+    }
+
+    #[test]
+    fn round_robin_interleaves_fairly() {
+        let jobs = [job(1, "crafty_in", 10), job(2, "swim_in", 10)];
+        let mix = round_robin(&jobs, 2, "mix");
+        assert_eq!(mix.len(), 20);
+        assert_eq!(mix.pids()[..6], [1, 1, 2, 2, 1, 1]);
+        assert_eq!(mix.context_switches(), 9);
+    }
+
+    #[test]
+    fn uneven_jobs_drop_out() {
+        let jobs = [job(1, "crafty_in", 4), job(2, "swim_in", 12)];
+        let mix = round_robin(&jobs, 2, "mix");
+        assert_eq!(mix.len(), 16);
+        // After job 1 exhausts, only pid 2 remains.
+        assert!(mix.pids()[8..].iter().all(|&p| p == 2));
+    }
+
+    #[test]
+    fn timeslice_of_entire_job_is_concatenation() {
+        let jobs = [job(1, "crafty_in", 5), job(2, "swim_in", 5)];
+        let rr = round_robin(&jobs, 5, "rr");
+        let cat = concatenate(&jobs, "cat");
+        assert_eq!(rr.trace().intervals(), cat.trace().intervals());
+        assert_eq!(rr.pids(), cat.pids());
+        assert_eq!(cat.context_switches(), 1);
+    }
+
+    #[test]
+    fn iter_pairs_pid_with_interval() {
+        let jobs = [job(7, "crafty_in", 3)];
+        let mix = concatenate(&jobs, "solo");
+        assert!(mix.iter().all(|(pid, w)| pid == 7 && w.uops > 0));
+        assert!(!mix.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_mix_rejected() {
+        let _ = round_robin(&[], 1, "none");
+    }
+
+    #[test]
+    #[should_panic(expected = "timeslice")]
+    fn zero_timeslice_rejected() {
+        let _ = round_robin(&[job(1, "crafty_in", 2)], 0, "bad");
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload traces and their characterization statistics.
+
+use livephase_pmsim::timing::IntervalWork;
+use serde::{Deserialize, Serialize};
+
+/// A generated workload: a named sequence of sampling-interval work chunks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    name: String,
+    intervals: Vec<IntervalWork>,
+}
+
+impl WorkloadTrace {
+    /// Creates a trace from pre-built intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, intervals: Vec<IntervalWork>) -> Self {
+        assert!(!intervals.is_empty(), "a workload trace must not be empty");
+        Self {
+            name: name.into(),
+            intervals,
+        }
+    }
+
+    /// The workload's name (e.g. `applu_in`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-interval work chunks, in execution order.
+    #[must_use]
+    pub fn intervals(&self) -> &[IntervalWork] {
+        &self.intervals
+    }
+
+    /// Number of sampling intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Traces are never empty; returns `false` (API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the intervals.
+    pub fn iter(&self) -> std::slice::Iter<'_, IntervalWork> {
+        self.intervals.iter()
+    }
+
+    /// The per-interval Mem/Uop series.
+    #[must_use]
+    pub fn mem_uop_series(&self) -> Vec<f64> {
+        self.intervals.iter().map(IntervalWork::mem_uop).collect()
+    }
+
+    /// Computes the characterization statistics the paper plots in
+    /// Figure 3.
+    #[must_use]
+    pub fn characterize(&self) -> TraceStats {
+        TraceStats::from_mem_uop_series(&self.mem_uop_series())
+    }
+}
+
+impl<'a> IntoIterator for &'a WorkloadTrace {
+    type Item = &'a IntervalWork;
+    type IntoIter = std::slice::Iter<'a, IntervalWork>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.iter()
+    }
+}
+
+/// Stability / power-saving-potential statistics of a workload, matching
+/// the axes of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Average Mem/Uop — "how much potential exists to slow down the CPU":
+    /// the x-axis of Figure 3.
+    pub mean_mem_uop: f64,
+    /// Percentage of consecutive sample pairs whose Mem/Uop moved by more
+    /// than 0.005 — "how unstable the benchmark is": the y-axis of
+    /// Figure 3 (at the paper's 100 M-instruction granularity).
+    pub sample_variation_pct: f64,
+    /// Number of samples characterized.
+    pub samples: usize,
+}
+
+impl TraceStats {
+    /// The Mem/Uop delta the paper counts as a significant sample-to-sample
+    /// variation (Figure 3).
+    pub const VARIATION_THRESHOLD: f64 = 0.005;
+
+    /// Characterizes a raw Mem/Uop series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn from_mem_uop_series(series: &[f64]) -> Self {
+        assert!(!series.is_empty(), "cannot characterize an empty series");
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let varying = series
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > Self::VARIATION_THRESHOLD)
+            .count();
+        let pairs = series.len().saturating_sub(1);
+        let pct = if pairs == 0 {
+            0.0
+        } else {
+            100.0 * varying as f64 / pairs as f64
+        };
+        Self {
+            mean_mem_uop: mean,
+            sample_variation_pct: pct,
+            samples: series.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(mem_uop: f64) -> IntervalWork {
+        let uops = 1_000_000u64;
+        IntervalWork::new(uops, uops, (uops as f64 * mem_uop) as u64, 0.6, 2.0)
+    }
+
+    #[test]
+    fn stats_of_constant_series() {
+        let s = TraceStats::from_mem_uop_series(&[0.02; 50]);
+        assert!((s.mean_mem_uop - 0.02).abs() < 1e-12);
+        assert_eq!(s.sample_variation_pct, 0.0);
+        assert_eq!(s.samples, 50);
+    }
+
+    #[test]
+    fn stats_of_alternating_series() {
+        // 0.001 <-> 0.020 swings are all above the 0.005 threshold.
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.001 } else { 0.020 })
+            .collect();
+        let s = TraceStats::from_mem_uop_series(&series);
+        assert!((s.sample_variation_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_threshold_wiggle_is_stable() {
+        let series: Vec<f64> = (0..100)
+            .map(|i| 0.010 + if i % 2 == 0 { 0.002 } else { -0.002 })
+            .collect();
+        let s = TraceStats::from_mem_uop_series(&series);
+        assert_eq!(s.sample_variation_pct, 0.0, "0.004 moves are below 0.005");
+    }
+
+    #[test]
+    fn single_sample_has_zero_variation() {
+        let s = TraceStats::from_mem_uop_series(&[0.01]);
+        assert_eq!(s.sample_variation_pct, 0.0);
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let t = WorkloadTrace::new("toy", vec![w(0.01), w(0.02)]);
+        assert_eq!(t.name(), "toy");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.mem_uop_series().len(), 2);
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+        let stats = t.characterize();
+        assert_eq!(stats.samples, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_trace_rejected() {
+        let _ = WorkloadTrace::new("empty", vec![]);
+    }
+}

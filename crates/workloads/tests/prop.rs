@@ -1,0 +1,144 @@
+//! Property-based tests for workload generation and the IPCxMEM solver.
+
+use livephase_pmsim::Frequency;
+use livephase_workloads::{
+    registry, IpcxMemConfig, IpcxMemSuite, PhaseLevel, TraceStats,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whenever the solver accepts a coordinate, the produced level
+    /// realizes it exactly (forward-model round trip).
+    #[test]
+    fn ipcxmem_solutions_are_exact(upc in 0.05f64..2.0, mem in 0.0f64..0.06) {
+        let suite = IpcxMemSuite::pentium_m();
+        let cfg = IpcxMemConfig { target_upc: upc, mem_uop: mem };
+        if let Some(level) = suite.solve(cfg) {
+            let timing = livephase_pmsim::TimingModel::pentium_m();
+            let work = level.interval(100_000_000, 1.25, mem);
+            let got = timing.upc(&work, suite.reference_frequency());
+            prop_assert!((got - upc).abs() < 0.02, "target {upc}, got {got}");
+            prop_assert!((work.mem_uop() - mem).abs() < 1e-4);
+            prop_assert!(level.mlp >= 1.0);
+        }
+    }
+
+    /// The frontier is authoritative: coordinates above it are rejected,
+    /// coordinates comfortably below it are accepted.
+    #[test]
+    fn frontier_separates_feasibility(mem in 0.0f64..0.06) {
+        let suite = IpcxMemSuite::pentium_m();
+        let bound = suite.max_upc(mem);
+        let above = IpcxMemConfig { target_upc: bound * 1.05, mem_uop: mem };
+        prop_assert!(suite.solve(above).is_none());
+        let below = IpcxMemConfig { target_upc: (bound * 0.9).max(0.02), mem_uop: mem };
+        prop_assert!(suite.solve(below).is_some());
+    }
+
+    /// UPC of any solved level rises (weakly) as frequency falls, and the
+    /// rise grows with memory intensity.
+    #[test]
+    fn solved_levels_show_dvfs_sensitivity(mem in 0.0f64..0.05) {
+        let suite = IpcxMemSuite::pentium_m();
+        let timing = livephase_pmsim::TimingModel::pentium_m();
+        let cfg = IpcxMemConfig { target_upc: (suite.max_upc(mem) * 0.5).max(0.05), mem_uop: mem };
+        if let Some(level) = suite.solve(cfg) {
+            let work = level.interval(100_000_000, 1.25, mem);
+            let fast = timing.upc(&work, Frequency::from_mhz(1500));
+            let slow = timing.upc(&work, Frequency::from_mhz(600));
+            prop_assert!(slow >= fast - 1e-12);
+            if mem == 0.0 {
+                prop_assert!((slow - fast).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The reference family is well-formed at any memory intensity.
+    #[test]
+    fn reference_family_is_valid(mem in 0.0f64..0.2) {
+        let level = PhaseLevel::reference_family(mem);
+        prop_assert_eq!(level.mem_uop, mem);
+        prop_assert!(level.cpi_core > 0.0);
+        prop_assert!(level.mlp >= 1.0);
+    }
+
+    /// Characterization statistics are bounded and scale-correct.
+    #[test]
+    fn trace_stats_are_bounded(series in proptest::collection::vec(0.0f64..0.2, 1..500)) {
+        let s = TraceStats::from_mem_uop_series(&series);
+        prop_assert!(s.sample_variation_pct >= 0.0 && s.sample_variation_pct <= 100.0);
+        let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = series.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(s.mean_mem_uop >= min - 1e-12 && s.mean_mem_uop <= max + 1e-12);
+        prop_assert_eq!(s.samples, series.len());
+    }
+
+    /// Every registered benchmark generates valid work at any length and
+    /// every interval carries the spec's 100 M uops.
+    #[test]
+    fn registry_generates_valid_intervals(idx in 0usize..33, len in 1usize..60, seed in 0u64..64) {
+        let spec = registry().swap_remove(idx).with_length(len);
+        let trace = spec.generate(seed);
+        prop_assert_eq!(trace.len(), len);
+        for w in trace.iter() {
+            prop_assert_eq!(w.uops, 100_000_000);
+            prop_assert!(w.instructions > 0);
+            prop_assert!(w.cpi_core > 0.0 && w.mlp >= 1.0);
+        }
+    }
+
+    /// Round-robin scheduling conserves every job's intervals exactly and
+    /// attributes each to the right pid, for any timeslice.
+    #[test]
+    fn round_robin_conserves_jobs(
+        lens in proptest::collection::vec(1usize..40, 1..4),
+        timeslice in 1usize..10,
+    ) {
+        use livephase_workloads::{multiprogram, Job};
+        let names = ["applu_in", "swim_in", "crafty_in"];
+        let jobs: Vec<Job> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| Job::new(
+                u32::try_from(i + 1).unwrap(),
+                livephase_workloads::benchmark(names[i % 3])
+                    .unwrap()
+                    .with_length(len)
+                    .generate(1),
+            ))
+            .collect();
+        let mix = multiprogram::round_robin(&jobs, timeslice, "mix");
+        let total: usize = lens.iter().sum();
+        prop_assert_eq!(mix.len(), total);
+        for job in &jobs {
+            // Extract this pid's subsequence: must equal the job's trace.
+            let mine: Vec<_> = mix
+                .iter()
+                .filter(|&(pid, _)| pid == job.pid)
+                .map(|(_, w)| *w)
+                .collect();
+            prop_assert_eq!(mine.as_slice(), job.trace.intervals());
+        }
+    }
+
+    /// Trace CSV round-trips exactly for any registered benchmark.
+    #[test]
+    fn csv_round_trip(idx in 0usize..33, len in 1usize..50, seed in 0u64..32) {
+        use livephase_workloads::io;
+        let trace = registry().swap_remove(idx).with_length(len).generate(seed);
+        let restored = io::from_csv(trace.name(), &io::to_csv(&trace))
+            .expect("exporter output is always importable");
+        prop_assert_eq!(trace, restored);
+    }
+
+    /// Different seeds decorrelate the noise but not the calibration:
+    /// mean Mem/Uop is seed-stable within a tight band for a long trace.
+    #[test]
+    fn calibration_is_seed_stable(seed_a in 0u64..1000, seed_b in 0u64..1000) {
+        let spec = livephase_workloads::benchmark("applu_in").unwrap().with_length(600);
+        let a = spec.generate(seed_a).characterize();
+        let b = spec.generate(seed_b).characterize();
+        prop_assert!((a.mean_mem_uop - b.mean_mem_uop).abs() < 0.002);
+        prop_assert!((a.sample_variation_pct - b.sample_variation_pct).abs() < 12.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Predictor showdown: every phase predictor of the paper on a benchmark
+//! of your choice.
+//!
+//! ```bash
+//! cargo run --release --example predictor_showdown [benchmark] [seed]
+//! # e.g.
+//! cargo run --release --example predictor_showdown equake_in 7
+//! ```
+//!
+//! Prints the Figure 4 line-up (last value, fixed windows, variable
+//! windows, GPHT) plus a few extra configurations, ranked by accuracy.
+
+use livephase::core::{
+    evaluate, FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue,
+    MarkovPredictor, PhaseMap, PhaseSample, Predictor, Selector, VariableWindow,
+};
+use livephase::workloads::spec;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "applu_in".into());
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .map_or(42, |s| s.parse().expect("seed must be an integer"));
+
+    let Some(bench) = spec::benchmark(&name) else {
+        eprintln!("unknown benchmark {name:?}; available:");
+        for b in spec::registry() {
+            eprintln!("  {}", b.name());
+        }
+        std::process::exit(2);
+    };
+
+    let trace = bench.generate(seed);
+    let map = PhaseMap::pentium_m();
+    let stream: Vec<PhaseSample> = trace
+        .iter()
+        .map(|w| PhaseSample::new(w.mem_uop(), map.classify(w.mem_uop())))
+        .collect();
+    let stats = trace.characterize();
+    println!(
+        "{name}: {} intervals, mean Mem/Uop {:.4}, variation {:.1}% ({})\n",
+        trace.len(),
+        stats.mean_mem_uop,
+        stats.sample_variation_pct,
+        bench.quadrant()
+    );
+
+    // The paper's line-up plus extra selector / sizing variants.
+    let mut predictors: Vec<Box<dyn Predictor>> = vec![
+        Box::new(LastValue::new()),
+        Box::new(MarkovPredictor::new()),
+        Box::new(HashedGpht::new(HashedGphtConfig::DEPLOYED)),
+        Box::new(FixedWindow::new(8, Selector::Majority)),
+        Box::new(FixedWindow::new(128, Selector::Majority)),
+        Box::new(FixedWindow::new(8, Selector::Mean)),
+        Box::new(FixedWindow::new(8, Selector::Ema { alpha: 0.5 })),
+        Box::new(VariableWindow::new(128, 0.005)),
+        Box::new(VariableWindow::new(128, 0.030)),
+        Box::new(Gpht::new(GphtConfig::REFERENCE)),
+        Box::new(Gpht::new(GphtConfig::DEPLOYED)),
+        Box::new(Gpht::new(GphtConfig {
+            gphr_depth: 4,
+            pht_entries: 128,
+        })),
+        Box::new(Gpht::new(GphtConfig {
+            gphr_depth: 16,
+            pht_entries: 128,
+        })),
+    ];
+
+    let mut ranked: Vec<(String, f64)> = predictors
+        .iter_mut()
+        .map(|p| {
+            let s = evaluate(p.as_mut(), stream.iter().copied());
+            (p.name(), s.accuracy())
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!("{:<24} accuracy", "predictor");
+    println!("{}", "-".repeat(36));
+    for (name, acc) in &ranked {
+        let bar = "#".repeat((acc * 40.0) as usize);
+        println!("{name:<24} {:>5.1}%  {bar}", acc * 100.0);
+    }
+}

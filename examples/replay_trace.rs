@@ -1,0 +1,47 @@
+//! Replay a recorded counter log: export a trace to CSV, re-import it, and
+//! govern the replayed execution.
+//!
+//! ```bash
+//! cargo run --release --example replay_trace
+//! ```
+//!
+//! A real deployment of this library would monitor live PMCs; offline
+//! analysis replays their logs. This example shows the round trip: a
+//! per-interval CSV (the shape a PMC logger produces) drives the exact
+//! same prediction/management pipeline as a live run.
+
+use livephase::governor::Manager;
+use livephase::pmsim::PlatformConfig;
+use livephase::workloads::{from_csv, spec, to_csv};
+
+fn main() {
+    // Pretend this CSV came from a real monitoring session.
+    let recorded = spec::benchmark("mgrid_in")
+        .expect("registered")
+        .with_length(200)
+        .generate(7);
+    let csv = to_csv(&recorded);
+    println!(
+        "exported {} intervals to CSV ({} bytes); first rows:\n{}",
+        recorded.len(),
+        csv.len(),
+        csv.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
+
+    // ...and replay it through the managed pipeline.
+    let replayed = from_csv("mgrid_replay", &csv).expect("well-formed CSV");
+    assert_eq!(recorded.intervals(), replayed.intervals());
+
+    let platform = PlatformConfig::pentium_m();
+    let baseline = Manager::baseline().run(&replayed, platform.clone());
+    let managed = Manager::gpht_deployed().run(&replayed, platform);
+    let cmp = managed.compare_to(&baseline);
+    println!(
+        "\nreplayed under GPHT management: accuracy {:.1}%, EDP improvement \
+         {:.1}%, degradation {:.1}%",
+        managed.prediction.accuracy() * 100.0,
+        cmp.edp_improvement_pct(),
+        cmp.perf_degradation_pct()
+    );
+    assert!(cmp.edp_improvement_pct() > 0.0);
+}

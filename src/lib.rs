@@ -1,0 +1,29 @@
+//! # livephase
+//!
+//! A full-system Rust reproduction of Isci, Contreras & Martonosi,
+//! *"Live, Runtime Phase Monitoring and Prediction on Real Systems with
+//! Application to Dynamic Power Management"* (MICRO-39, 2006).
+//!
+//! This façade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] — phase classification (Table 1) and the phase predictors:
+//!   the Global Phase History Table (GPHT) and the statistical baselines.
+//! * [`pmsim`] — the Pentium-M-like platform simulator: timing and power
+//!   models, performance counters, PMI, and the SpeedStep DVFS interface.
+//! * [`workloads`] — SPEC CPU2000-like synthetic workload generators and
+//!   the IPCxMEM characterization suite.
+//! * [`daq`] — the simulated data-acquisition power-measurement rig.
+//! * [`governor`] — the phase-prediction-guided DVFS management loop.
+//! * [`experiments`] — drivers regenerating every table and figure of the
+//!   paper.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-crate mapping.
+
+pub use livephase_core as core;
+pub use livephase_daq as daq;
+pub use livephase_experiments as experiments;
+pub use livephase_governor as governor;
+pub use livephase_pmsim as pmsim;
+pub use livephase_workloads as workloads;
