@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, then the tier-1 build + test cycle.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use livephase_core::{Gpht, GphtConfig};
 use livephase_governor::{
-    AdaptiveSampling, ConservativeDerivation, Manager, ManagerConfig, MinDwell,
-    PowerEstimator, Proactive, ThermalAware, TranslationTable,
+    AdaptiveSampling, ConservativeDerivation, Manager, ManagerConfig, MinDwell, PowerEstimator,
+    Proactive, ThermalAware, TranslationTable,
 };
 use livephase_pmsim::{PlatformConfig, ThermalModel};
 use livephase_workloads::spec;
@@ -28,7 +28,7 @@ fn bench_managed_runs(c: &mut Criterion) {
                     "reactive" => Manager::reactive(),
                     _ => Manager::gpht_deployed(),
                 };
-                black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+                black_box(manager.run(&trace, &PlatformConfig::pentium_m()))
             });
         });
     }
@@ -47,7 +47,9 @@ fn bench_conservative_derivation(c: &mut Criterion) {
 /// Workload generation cost (trace synthesis is on every experiment's
 /// critical path).
 fn bench_workload_generation(c: &mut Criterion) {
-    let spec = spec::benchmark("equake_in").expect("registered").with_length(2000);
+    let spec = spec::benchmark("equake_in")
+        .expect("registered")
+        .with_length(2000);
     c.bench_function("workload_generate_2000", |b| {
         let mut seed = 0u64;
         b.iter(|| {
@@ -81,7 +83,7 @@ fn bench_extension_policies(c: &mut Criterion) {
                     ..ManagerConfig::pentium_m()
                 },
             );
-            black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+            black_box(manager.run(&trace, &PlatformConfig::pentium_m()))
         });
     });
     group.bench_function("adaptive_sampling", |b| {
@@ -93,7 +95,7 @@ fn bench_extension_policies(c: &mut Criterion) {
                     ..ManagerConfig::pentium_m()
                 },
             );
-            black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+            black_box(manager.run(&trace, &PlatformConfig::pentium_m()))
         });
     });
     group.bench_function("min_dwell", |b| {
@@ -102,7 +104,7 @@ fn bench_extension_policies(c: &mut Criterion) {
                 Box::new(MinDwell::new(Proactive::gpht_deployed(), 2)),
                 ManagerConfig::pentium_m(),
             );
-            black_box(manager.run(&trace, PlatformConfig::pentium_m()))
+            black_box(manager.run(&trace, &PlatformConfig::pentium_m()))
         });
     });
     group.finish();

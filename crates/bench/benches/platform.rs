@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livephase_pmsim::{
-    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel,
-    TimingModel,
+    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel, TimingModel,
 };
 use std::hint::black_box;
 
@@ -40,7 +39,7 @@ fn bench_interval_execution(c: &mut Criterion) {
             } else {
                 PlatformConfig::pentium_m()
             };
-            let mut cpu = Cpu::new(config);
+            let mut cpu = Cpu::new(&config);
             let w = work();
             b.iter(|| {
                 cpu.push_work(w);
@@ -52,7 +51,8 @@ fn bench_interval_execution(c: &mut Criterion) {
 }
 
 fn bench_dvfs_switch(c: &mut Criterion) {
-    let mut cpu = Cpu::new(PlatformConfig::pentium_m());
+    let platform = PlatformConfig::pentium_m();
+    let mut cpu = Cpu::new(&platform);
     let mut flip = false;
     c.bench_function("dvfs_switch", |b| {
         b.iter(|| {

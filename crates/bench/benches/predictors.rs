@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livephase_bench::synthetic_phase_pattern;
 use livephase_core::{
-    FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, PhaseId,
-    PhaseSample, Predictor, Selector, VariableWindow,
+    FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, PhaseId, PhaseSample,
+    Predictor, Selector, VariableWindow,
 };
 use std::hint::black_box;
 
@@ -27,7 +27,10 @@ fn bench_per_sample(c: &mut Criterion) {
         Box::new(Gpht::new(GphtConfig::DEPLOYED)),
         Box::new(Gpht::new(GphtConfig::REFERENCE)),
         Box::new(HashedGpht::new(HashedGphtConfig::DEPLOYED)),
-        Box::new(HashedGpht::new(HashedGphtConfig { gphr_depth: 8, pht_entries: 1024 })),
+        Box::new(HashedGpht::new(HashedGphtConfig {
+            gphr_depth: 8,
+            pht_entries: 1024,
+        })),
     ];
     for p in predictors {
         let name = p.name();

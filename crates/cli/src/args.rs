@@ -119,9 +119,11 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--seed" => parsed.seed = take_value(&mut it, "--seed")?.parse().map_err(|e| {
-                CliError::new(format!("--seed: {e}"))
-            })?,
+            "--seed" => {
+                parsed.seed = take_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| CliError::new(format!("--seed: {e}")))?
+            }
             "--length" => {
                 let v: usize = take_value(&mut it, "--length")?
                     .parse()

@@ -31,9 +31,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
 fn workload(parsed: &Parsed) -> Result<WorkloadTrace, CliError> {
     let name = parsed.target.as_deref().expect("validated by the parser");
     let mut bench = wspec::benchmark(name).ok_or_else(|| {
-        CliError::new(format!(
-            "unknown benchmark {name:?}; run `livephase list`"
-        ))
+        CliError::new(format!("unknown benchmark {name:?}; run `livephase list`"))
     })?;
     if let Some(len) = parsed.length {
         bench = bench.with_length(len);
@@ -89,7 +87,14 @@ fn characterize(parsed: &Parsed) -> Result<String, CliError> {
     for (i, &count) in histogram.iter().enumerate() {
         let share = count as f64 / trace.len() as f64;
         let bar = "#".repeat((share * 50.0).round() as usize);
-        let _ = writeln!(out, "  P{} {:>6} ({:>5.1}%) {}", i + 1, count, share * 100.0, bar);
+        let _ = writeln!(
+            out,
+            "  P{} {:>6} ({:>5.1}%) {}",
+            i + 1,
+            count,
+            share * 100.0,
+            bar
+        );
     }
     Ok(out)
 }
@@ -104,13 +109,7 @@ fn predict(parsed: &Parsed) -> Result<String, CliError> {
     let (stats, matrix) = evaluate_confusion(predictor.as_mut(), stream);
 
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} on {}: {}",
-        predictor.name(),
-        trace.name(),
-        stats
-    );
+    let _ = writeln!(out, "{} on {}: {}", predictor.name(), trace.name(), stats);
     let _ = writeln!(out, "\nconfusion (rows = actual, cols = predicted):");
     let phases = matrix.phases();
     let _ = write!(out, "{:>6}", "");
@@ -178,11 +177,11 @@ fn govern_trace(parsed: &Parsed, trace: &WorkloadTrace) -> Result<String, CliErr
     } else {
         spec::manager(&parsed.policy, trace)?
     };
-    let report = manager.run(trace, platform.clone());
+    let report = manager.run(trace, &platform);
     if parsed.policy == "baseline" {
         Ok(render_run(&report, None))
     } else {
-        let baseline = livephase_governor::Manager::baseline().run(trace, platform);
+        let baseline = livephase_governor::Manager::baseline().run(trace, &platform);
         Ok(render_run(&report, Some(&baseline)))
     }
 }
@@ -196,8 +195,7 @@ fn export(parsed: &Parsed) -> Result<String, CliError> {
     let trace = workload(parsed)?;
     let path = parsed.out.as_deref().expect("validated by the parser");
     let csv = trace_io::to_csv(&trace);
-    std::fs::write(path, &csv)
-        .map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
+    std::fs::write(path, &csv).map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
     Ok(format!(
         "wrote {} intervals ({} bytes) to {path}",
         trace.len(),
@@ -213,8 +211,8 @@ fn replay(parsed: &Parsed) -> Result<String, CliError> {
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("replay");
-    let trace = trace_io::from_csv(stem, &csv)
-        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let trace =
+        trace_io::from_csv(stem, &csv).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     govern_trace(parsed, &trace)
 }
 
@@ -432,9 +430,18 @@ mod tests {
 
     #[test]
     fn friendly_errors() {
-        assert!(run("characterize doom").unwrap_err().message().contains("unknown benchmark"));
-        assert!(run("repro fig99").unwrap_err().message().contains("unknown artifact"));
-        assert!(run("replay /nonexistent.csv").unwrap_err().message().contains("cannot read"));
+        assert!(run("characterize doom")
+            .unwrap_err()
+            .message()
+            .contains("unknown benchmark"));
+        assert!(run("repro fig99")
+            .unwrap_err()
+            .message()
+            .contains("unknown artifact"));
+        assert!(run("replay /nonexistent.csv")
+            .unwrap_err()
+            .message()
+            .contains("cannot read"));
     }
 
     #[test]

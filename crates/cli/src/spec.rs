@@ -2,12 +2,11 @@
 
 use crate::args::CliError;
 use livephase_core::{
-    FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue,
-    MarkovPredictor, Predictor, Selector, VariableWindow,
+    FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, MarkovPredictor,
+    Predictor, Selector, VariableWindow,
 };
 use livephase_governor::{
-    ConservativeDerivation, Manager, ManagerConfig, Oracle, Proactive, Reactive,
-    TranslationTable,
+    ConservativeDerivation, Manager, ManagerConfig, Oracle, Proactive, Reactive, TranslationTable,
 };
 use livephase_workloads::WorkloadTrace;
 
@@ -82,7 +81,11 @@ pub fn manager(policy: &str, trace: &WorkloadTrace) -> Result<Manager, CliError>
         "oracle" => {
             let map = livephase_core::PhaseMap::pentium_m();
             Ok(Manager::new(
-                Box::new(Oracle::from_trace(trace, &map, TranslationTable::pentium_m())),
+                Box::new(Oracle::from_trace(
+                    trace,
+                    &map,
+                    TranslationTable::pentium_m(),
+                )),
                 ManagerConfig::pentium_m(),
             ))
         }
@@ -139,8 +142,15 @@ mod tests {
     #[test]
     fn predictor_grammar_rejections() {
         for bad in [
-            "", "gpht", "gpht:8", "gpht:0:128", "gpht:8:0", "fixwindow:0",
-            "varwindow:8:-1", "nope:1", "gpht:a:b",
+            "",
+            "gpht",
+            "gpht:8",
+            "gpht:0:128",
+            "gpht:8:0",
+            "fixwindow:0",
+            "varwindow:8:-1",
+            "nope:1",
+            "gpht:a:b",
         ] {
             assert!(predictor(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -148,7 +158,10 @@ mod tests {
 
     #[test]
     fn policy_names() {
-        let trace = wspec::benchmark("swim_in").unwrap().with_length(5).generate(1);
+        let trace = wspec::benchmark("swim_in")
+            .unwrap()
+            .with_length(5)
+            .generate(1);
         for name in ["baseline", "reactive", "gpht", "oracle", "conservative"] {
             assert!(manager(name, &trace).is_ok(), "{name}");
         }

@@ -125,7 +125,10 @@ impl ConfusionMatrix {
 
     /// Records one scored interval.
     pub fn record(&mut self, actual: crate::phase::PhaseId, predicted: crate::phase::PhaseId) {
-        *self.counts.entry((actual.get(), predicted.get())).or_insert(0) += 1;
+        *self
+            .counts
+            .entry((actual.get(), predicted.get()))
+            .or_insert(0) += 1;
     }
 
     /// Count for an (actual, predicted) cell.
@@ -186,11 +189,7 @@ impl ConfusionMatrix {
     /// The distinct phases appearing as actual or predicted, ascending.
     #[must_use]
     pub fn phases(&self) -> Vec<u8> {
-        let mut v: Vec<u8> = self
-            .counts
-            .keys()
-            .flat_map(|&(a, p)| [a, p])
-            .collect();
+        let mut v: Vec<u8> = self.counts.keys().flat_map(|&(a, p)| [a, p]).collect();
         v.sort_unstable();
         v.dedup();
         v

@@ -48,8 +48,7 @@ pub mod phase;
 pub mod predict;
 
 pub use eval::{
-    evaluate, evaluate_confusion, evaluate_trace, ConfusionMatrix, EvaluationTrace,
-    PredictionStats,
+    evaluate, evaluate_confusion, evaluate_trace, ConfusionMatrix, EvaluationTrace, PredictionStats,
 };
 pub use metrics::{IntervalMetrics, MemUopRate, Upc};
 pub use phase::{PhaseId, PhaseMap, PhaseMapError};

@@ -32,9 +32,7 @@ use std::fmt;
 /// assert_eq!(p.get(), 3);
 /// assert!(PhaseId::new(1) < PhaseId::new(6));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PhaseId(u8);
 
 impl PhaseId {

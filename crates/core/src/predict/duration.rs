@@ -195,10 +195,28 @@ mod tests {
     fn encoder_handles_alternation() {
         let mut enc = RunLengthEncoder::new();
         assert_eq!(enc.observe(p(1)), None);
-        assert_eq!(enc.observe(p(2)), Some(PhaseRun { phase: p(1), length: 1 }));
+        assert_eq!(
+            enc.observe(p(2)),
+            Some(PhaseRun {
+                phase: p(1),
+                length: 1
+            })
+        );
         assert_eq!(enc.observe(p(2)), None);
-        assert_eq!(enc.in_progress(), Some(PhaseRun { phase: p(2), length: 2 }));
-        assert_eq!(enc.finish(), Some(PhaseRun { phase: p(2), length: 2 }));
+        assert_eq!(
+            enc.in_progress(),
+            Some(PhaseRun {
+                phase: p(2),
+                length: 2
+            })
+        );
+        assert_eq!(
+            enc.finish(),
+            Some(PhaseRun {
+                phase: p(2),
+                length: 2
+            })
+        );
         assert_eq!(enc.finish(), None);
     }
 

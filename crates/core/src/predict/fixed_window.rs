@@ -250,7 +250,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(FixedWindow::new(8, Selector::Majority).name(), "FixWindow_8");
+        assert_eq!(
+            FixedWindow::new(8, Selector::Majority).name(),
+            "FixWindow_8"
+        );
         assert_eq!(
             FixedWindow::new(128, Selector::Mean).name(),
             "FixWindow_128_mean"

@@ -223,11 +223,8 @@ impl Predictor for Gpht {
         }
 
         // (2) Associative tag search.
-        let hit = (0..self.pht.len()).find(|&i| {
-            self.pht[i]
-                .as_ref()
-                .is_some_and(|e| self.gphr_matches(e))
-        });
+        let hit = (0..self.pht.len())
+            .find(|&i| self.pht[i].as_ref().is_some_and(|e| self.gphr_matches(e)));
 
         match hit {
             Some(i) => {
@@ -268,7 +265,10 @@ impl Predictor for Gpht {
     }
 
     fn name(&self) -> String {
-        format!("GPHT_{}_{}", self.config.gphr_depth, self.config.pht_entries)
+        format!(
+            "GPHT_{}_{}",
+            self.config.gphr_depth, self.config.pht_entries
+        )
     }
 }
 
@@ -297,18 +297,34 @@ mod tests {
     #[test]
     fn learns_periodic_pattern() {
         let mut g = Gpht::new(GphtConfig::DEPLOYED);
-        let seq: Vec<u8> = [1u8, 2, 4, 6, 4, 2].iter().copied().cycle().take(600).collect();
+        let seq: Vec<u8> = [1u8, 2, 4, 6, 4, 2]
+            .iter()
+            .copied()
+            .cycle()
+            .take(600)
+            .collect();
         let acc = accuracy(&mut g, &seq);
-        assert!(acc > 0.95, "GPHT should learn a period-6 pattern, got {acc}");
+        assert!(
+            acc > 0.95,
+            "GPHT should learn a period-6 pattern, got {acc}"
+        );
     }
 
     #[test]
     fn last_value_fails_same_pattern() {
         use super::super::last_value::LastValue;
         let mut lv = LastValue::new();
-        let seq: Vec<u8> = [1u8, 2, 4, 6, 4, 2].iter().copied().cycle().take(600).collect();
+        let seq: Vec<u8> = [1u8, 2, 4, 6, 4, 2]
+            .iter()
+            .copied()
+            .cycle()
+            .take(600)
+            .collect();
         let acc = accuracy(&mut lv, &seq);
-        assert!(acc < 0.2, "last value cannot track a fully varying pattern: {acc}");
+        assert!(
+            acc < 0.2,
+            "last value cannot track a fully varying pattern: {acc}"
+        );
     }
 
     #[test]

@@ -194,10 +194,7 @@ mod tests {
             &mut HashedGpht::new(HashedGphtConfig::DEPLOYED),
             stream.iter().copied(),
         );
-        let assoc = evaluate(
-            &mut Gpht::new(GphtConfig::DEPLOYED),
-            stream.iter().copied(),
-        );
+        let assoc = evaluate(&mut Gpht::new(GphtConfig::DEPLOYED), stream.iter().copied());
         assert!(hashed.accuracy() > 0.95, "hashed {}", hashed.accuracy());
         assert!(
             (hashed.accuracy() - assoc.accuracy()).abs() < 0.03,

@@ -133,8 +133,7 @@ mod tests {
         // deeper history disambiguates (…,6,1 -> 3 and …,3,1 -> 6).
         let st = stream(&[1, 3, 1, 6], 400);
         let markov = evaluate(&mut MarkovPredictor::new(), st.iter().copied()).accuracy();
-        let gpht =
-            evaluate(&mut Gpht::new(GphtConfig::DEPLOYED), st.iter().copied()).accuracy();
+        let gpht = evaluate(&mut Gpht::new(GphtConfig::DEPLOYED), st.iter().copied()).accuracy();
         assert!(gpht > 0.95, "GPHT disambiguates: {gpht}");
         assert!(
             markov < gpht - 0.2,
@@ -166,7 +165,10 @@ mod tests {
             m.observe(s(id));
         }
         // Out of 2: one transition to 1, one to 5 — tie -> phase 1.
-        assert_eq!(m.most_likely_successor(PhaseId::new(2)), Some(PhaseId::new(1)));
+        assert_eq!(
+            m.most_likely_successor(PhaseId::new(2)),
+            Some(PhaseId::new(1))
+        );
         assert_eq!(m.outgoing(PhaseId::new(2)), 2);
     }
 

@@ -109,15 +109,17 @@ mod tests {
     fn per_process_beats_shared_on_interleaved_streams() {
         // Two programs with clashing periodic patterns, timesliced 1:1.
         let a: Vec<u8> = [1u8, 4, 1, 4].iter().copied().cycle().take(400).collect();
-        let b: Vec<u8> = [6u8, 2, 3, 6, 2, 3].iter().copied().cycle().take(400).collect();
+        let b: Vec<u8> = [6u8, 2, 3, 6, 2, 3]
+            .iter()
+            .copied()
+            .cycle()
+            .take(400)
+            .collect();
 
         // Shared predictor sees the splice.
         let mut shared = Gpht::new(GphtConfig::DEPLOYED);
-        let spliced: Vec<PhaseSample> = a
-            .iter()
-            .zip(&b)
-            .flat_map(|(&x, &y)| [s(x), s(y)])
-            .collect();
+        let spliced: Vec<PhaseSample> =
+            a.iter().zip(&b).flat_map(|(&x, &y)| [s(x), s(y)]).collect();
         let shared_stats = evaluate(&mut shared, spliced.iter().copied());
 
         // Per-process: score each process's own stream.

@@ -124,7 +124,10 @@ impl Predictor for VariableWindow {
     }
 
     fn name(&self) -> String {
-        format!("VarWindow_{}_{}", self.max_window, self.transition_threshold)
+        format!(
+            "VarWindow_{}_{}",
+            self.max_window, self.transition_threshold
+        )
     }
 }
 
@@ -185,7 +188,10 @@ mod tests {
 
     #[test]
     fn name_encodes_parameters() {
-        assert_eq!(VariableWindow::new(128, 0.005).name(), "VarWindow_128_0.005");
+        assert_eq!(
+            VariableWindow::new(128, 0.005).name(),
+            "VarWindow_128_0.005"
+        );
     }
 
     #[test]

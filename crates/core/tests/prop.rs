@@ -1,8 +1,8 @@
 //! Property-based tests for the phase classification and predictors.
 
 use livephase_core::{
-    evaluate, FixedWindow, Gpht, GphtConfig, LastValue, PhaseId, PhaseMap, PhaseSample,
-    Predictor, Selector, VariableWindow,
+    evaluate, FixedWindow, Gpht, GphtConfig, LastValue, PhaseId, PhaseMap, PhaseSample, Predictor,
+    Selector, VariableWindow,
 };
 use proptest::prelude::*;
 

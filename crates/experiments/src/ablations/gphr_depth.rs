@@ -28,7 +28,10 @@ impl DepthRow {
     /// Accuracy at a given depth.
     #[must_use]
     pub fn at(&self, depth: usize) -> Option<f64> {
-        self.by_depth.iter().find(|&&(d, _)| d == depth).map(|&(_, a)| a)
+        self.by_depth
+            .iter()
+            .find(|&&(d, _)| d == depth)
+            .map(|&(_, a)| a)
     }
 }
 

@@ -9,7 +9,7 @@
 
 use crate::format::{num, pct, Table};
 use crate::ShapeViolations;
-use livephase_governor::Manager;
+use livephase_governor::{par_map, Session};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -46,25 +46,23 @@ pub fn run(seed: u64) -> GranularityAblation {
         .expect("registered")
         .with_length(400)
         .generate(seed);
-    let rows = GRANULARITIES
-        .iter()
-        .map(|&granularity| {
-            let platform = PlatformConfig {
-                pmi_granularity_uops: granularity,
-                ..PlatformConfig::pentium_m()
-            };
-            let baseline = Manager::baseline().run(&trace, platform.clone());
-            let managed = Manager::gpht_deployed().run(&trace, platform);
-            let c = managed.compare_to(&baseline);
-            GranularityRow {
-                granularity,
-                intervals: managed.intervals.len(),
-                accuracy: managed.prediction.accuracy(),
-                edp_pct: c.edp_improvement_pct(),
-                deg_pct: c.perf_degradation_pct(),
-            }
-        })
-        .collect();
+    let rows = par_map(&GRANULARITIES, |&granularity| {
+        let platform = PlatformConfig {
+            pmi_granularity_uops: granularity,
+            ..PlatformConfig::pentium_m()
+        };
+        let session = Session::new(&platform);
+        let baseline = session.baseline(&trace);
+        let managed = session.gpht(&trace);
+        let c = managed.compare_to(&baseline);
+        GranularityRow {
+            granularity,
+            intervals: managed.intervals.len(),
+            accuracy: managed.prediction.accuracy(),
+            edp_pct: c.edp_improvement_pct(),
+            deg_pct: c.perf_degradation_pct(),
+        }
+    });
     GranularityAblation { rows }
 }
 

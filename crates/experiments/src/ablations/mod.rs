@@ -18,8 +18,8 @@
 
 pub mod confidence;
 pub mod family_tour;
-pub mod granularity;
 pub mod gphr_depth;
+pub mod granularity;
 pub mod oracle_gap;
 pub mod overheads;
 pub mod pht_organization;

@@ -7,7 +7,7 @@
 use crate::format::{num, Table};
 use crate::ShapeViolations;
 use livephase_core::PhaseMap;
-use livephase_governor::{Manager, ManagerConfig, Oracle, TranslationTable};
+use livephase_governor::{par_map, Oracle, Session, TranslationTable};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -46,26 +46,29 @@ pub struct OracleGap {
 #[must_use]
 pub fn run(seed: u64) -> OracleGap {
     let platform = PlatformConfig::pentium_m();
+    let session = Session::new(&platform);
     let map = PhaseMap::pentium_m();
-    let rows = spec::figure12_set()
-        .iter()
-        .map(|name| {
-            let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
-            let trace = bench.generate(seed);
-            let baseline = Manager::baseline().run(&trace, platform.clone());
-            let gpht = Manager::gpht_deployed().run(&trace, platform.clone());
-            let oracle = Manager::new(
-                Box::new(Oracle::from_trace(&trace, &map, TranslationTable::pentium_m())),
-                ManagerConfig::pentium_m(),
-            )
-            .run(&trace, platform.clone());
-            OracleRow {
-                name: (*name).to_owned(),
-                gpht_edp_pct: gpht.compare_to(&baseline).edp_improvement_pct(),
-                oracle_edp_pct: oracle.compare_to(&baseline).edp_improvement_pct(),
-            }
-        })
-        .collect();
+    let rows = par_map(&spec::figure12_set(), |name| {
+        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        // The oracle needs the whole future, so this one driver still
+        // materializes the trace.
+        let trace = bench.generate(seed);
+        let baseline = session.baseline(&trace);
+        let gpht = session.gpht(&trace);
+        let oracle = session.run_policy(
+            Box::new(Oracle::from_trace(
+                &trace,
+                &map,
+                TranslationTable::pentium_m(),
+            )),
+            &trace,
+        );
+        OracleRow {
+            name: (*name).to_owned(),
+            gpht_edp_pct: gpht.compare_to(&baseline).edp_improvement_pct(),
+            oracle_edp_pct: oracle.compare_to(&baseline).edp_improvement_pct(),
+        }
+    });
     OracleGap { rows }
 }
 

@@ -8,10 +8,10 @@
 
 use crate::format::{num, Table};
 use crate::ShapeViolations;
-use livephase_governor::{Manager, ManagerConfig};
-use livephase_governor::policy::Proactive;
 use livephase_core::{Gpht, GphtConfig};
+use livephase_governor::policy::Proactive;
 use livephase_governor::TranslationTable;
+use livephase_governor::{par_map, Manager, ManagerConfig};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -65,37 +65,34 @@ pub fn run(seed: u64) -> OverheadAblation {
             ..ManagerConfig::pentium_m()
         },
     )
-    .run(&trace, base_platform);
+    .run(&trace, &base_platform);
 
-    let rows = SWEEP
-        .iter()
-        .map(|&(handler_s, transition_s)| {
-            let platform = PlatformConfig {
-                dvfs_transition_s: transition_s,
-                ..PlatformConfig::pentium_m()
-            };
-            let report = Manager::new(
-                Box::new(Proactive::new(
-                    Gpht::new(GphtConfig::DEPLOYED),
-                    TranslationTable::pentium_m(),
-                )),
-                ManagerConfig {
-                    handler_overhead_s: handler_s,
-                    ..ManagerConfig::pentium_m()
-                },
-            )
-            .run(&trace, platform);
-            let c = report.compare_to(&baseline);
-            let overhead_s = handler_s * report.intervals.len() as f64
-                + transition_s * report.dvfs_transitions as f64;
-            OverheadRow {
-                handler_s,
-                transition_s,
-                edp_pct: c.edp_improvement_pct(),
-                overhead_share_pct: 100.0 * overhead_s / report.totals.time_s,
-            }
-        })
-        .collect();
+    let rows = par_map(&SWEEP, |&(handler_s, transition_s)| {
+        let platform = PlatformConfig {
+            dvfs_transition_s: transition_s,
+            ..PlatformConfig::pentium_m()
+        };
+        let report = Manager::new(
+            Box::new(Proactive::new(
+                Gpht::new(GphtConfig::DEPLOYED),
+                TranslationTable::pentium_m(),
+            )),
+            ManagerConfig {
+                handler_overhead_s: handler_s,
+                ..ManagerConfig::pentium_m()
+            },
+        )
+        .run(&trace, &platform);
+        let c = report.compare_to(&baseline);
+        let overhead_s = handler_s * report.intervals.len() as f64
+            + transition_s * report.dvfs_transitions as f64;
+        OverheadRow {
+            handler_s,
+            transition_s,
+            edp_pct: c.edp_improvement_pct(),
+            overhead_share_pct: 100.0 * overhead_s / report.totals.time_s,
+        }
+    });
     OverheadAblation { rows }
 }
 

@@ -43,11 +43,9 @@ pub fn run(seed: u64) -> PhtOrganizationAblation {
             let trace = spec::benchmark(name)
                 .unwrap_or_else(|| panic!("{name} registered"))
                 .generate(seed);
-            let associative =
-                accuracy_on(&mut Gpht::new(GphtConfig::DEPLOYED), &trace).accuracy();
+            let associative = accuracy_on(&mut Gpht::new(GphtConfig::DEPLOYED), &trace).accuracy();
             let hashed_equal =
-                accuracy_on(&mut HashedGpht::new(HashedGphtConfig::DEPLOYED), &trace)
-                    .accuracy();
+                accuracy_on(&mut HashedGpht::new(HashedGphtConfig::DEPLOYED), &trace).accuracy();
             let hashed_4x = accuracy_on(
                 &mut HashedGpht::new(HashedGphtConfig {
                     gphr_depth: 8,

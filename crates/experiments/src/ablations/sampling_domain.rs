@@ -42,7 +42,11 @@ pub fn time_sliced_mem_uop(
             remaining_frac -= frac;
             budget -= slice_s;
             if budget <= 1e-12 {
-                windows.push(if acc_uops > 0.0 { acc_mem / acc_uops } else { 0.0 });
+                windows.push(if acc_uops > 0.0 {
+                    acc_mem / acc_uops
+                } else {
+                    0.0
+                });
                 acc_uops = 0.0;
                 acc_mem = 0.0;
                 budget = window_s;
@@ -180,10 +184,12 @@ mod tests {
 
     #[test]
     fn time_slicing_conserves_windows() {
-        let trace = spec::benchmark("swim_in").unwrap().with_length(50).generate(1);
+        let trace = spec::benchmark("swim_in")
+            .unwrap()
+            .with_length(50)
+            .generate(1);
         let timing = TimingModel::pentium_m();
-        let windows =
-            time_sliced_mem_uop(&trace, &timing, Frequency::from_mhz(1500), 0.05);
+        let windows = time_sliced_mem_uop(&trace, &timing, Frequency::from_mhz(1500), 0.05);
         assert!(!windows.is_empty());
         // swim is flat: every window sees the same Mem/Uop (within noise).
         let min = windows.iter().copied().fold(f64::INFINITY, f64::min);
@@ -194,7 +200,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
-        let trace = spec::benchmark("swim_in").unwrap().with_length(2).generate(1);
+        let trace = spec::benchmark("swim_in")
+            .unwrap()
+            .with_length(2)
+            .generate(1);
         let _ = time_sliced_mem_uop(
             &trace,
             &TimingModel::pentium_m(),

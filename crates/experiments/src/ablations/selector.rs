@@ -53,9 +53,7 @@ pub fn run(seed: u64) -> SelectorAblation {
             let trace = spec::benchmark(name)
                 .unwrap_or_else(|| panic!("{name} registered"))
                 .generate(seed);
-            let acc = |sel: Selector| {
-                accuracy_on(&mut FixedWindow::new(8, sel), &trace).accuracy()
-            };
+            let acc = |sel: Selector| accuracy_on(&mut FixedWindow::new(8, sel), &trace).accuracy();
             SelectorRow {
                 name: (*name).to_owned(),
                 majority: acc(Selector::Majority),

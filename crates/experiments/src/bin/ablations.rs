@@ -2,8 +2,8 @@
 //! published figures) and verifies their expected shapes.
 
 use livephase_experiments::ablations::{
-    confidence, family_tour, gphr_depth, granularity, oracle_gap, overheads,
-    pht_organization, sampling_domain, selector, upc_pitfall,
+    confidence, family_tour, gphr_depth, granularity, oracle_gap, overheads, pht_organization,
+    sampling_domain, selector, upc_pitfall,
 };
 use livephase_experiments::{report_violations, seed_from_args};
 

@@ -29,10 +29,7 @@ fn main() {
 
     let e = adaptive_sampling::run(seed);
     println!("{e}");
-    failures += report_violations(
-        "extension:adaptive_sampling",
-        &adaptive_sampling::check(&e),
-    );
+    failures += report_violations("extension:adaptive_sampling", &adaptive_sampling::check(&e));
 
     std::process::exit(i32::from(failures > 0));
 }

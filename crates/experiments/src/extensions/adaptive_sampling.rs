@@ -9,7 +9,7 @@
 
 use crate::format::{num, Table};
 use crate::ShapeViolations;
-use livephase_governor::{AdaptiveSampling, Manager, ManagerConfig};
+use livephase_governor::{par_map, AdaptiveSampling, ManagerConfig, Session};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -53,32 +53,29 @@ pub const BENCHMARKS: [&str; 3] = ["swim_in", "applu_in", "gzip_log"];
 #[must_use]
 pub fn run(seed: u64) -> AdaptiveSamplingExperiment {
     let platform = PlatformConfig::pentium_m();
-    let rows = BENCHMARKS
-        .iter()
-        .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .with_length(600)
-                .generate(seed);
-            let baseline = Manager::baseline().run(&trace, platform.clone());
-            let plain = Manager::gpht_deployed().run(&trace, platform.clone());
-            let adaptive = Manager::new(
-                Box::new(livephase_governor::Proactive::gpht_deployed()),
-                ManagerConfig {
-                    adaptive_sampling: Some(AdaptiveSampling::pentium_m()),
-                    ..ManagerConfig::pentium_m()
-                },
-            )
-            .run(&trace, platform.clone());
-            SamplingRow {
-                name: (*name).to_owned(),
-                plain_pmis: plain.intervals.len(),
-                adaptive_pmis: adaptive.intervals.len(),
-                plain_edp_pct: plain.compare_to(&baseline).edp_improvement_pct(),
-                adaptive_edp_pct: adaptive.compare_to(&baseline).edp_improvement_pct(),
-            }
-        })
-        .collect();
+    let session = Session::new(&platform);
+    let adaptive_session = session.clone().with_config(ManagerConfig {
+        adaptive_sampling: Some(AdaptiveSampling::pentium_m()),
+        ..ManagerConfig::pentium_m()
+    });
+    let rows = par_map(&BENCHMARKS, |name| {
+        let bench = spec::benchmark(name)
+            .unwrap_or_else(|| panic!("{name} registered"))
+            .with_length(600);
+        let baseline = session.baseline(bench.stream(seed));
+        let plain = session.gpht(bench.stream(seed));
+        let adaptive = adaptive_session.run_policy(
+            Box::new(livephase_governor::Proactive::gpht_deployed()),
+            bench.stream(seed),
+        );
+        SamplingRow {
+            name: (*name).to_owned(),
+            plain_pmis: plain.intervals.len(),
+            adaptive_pmis: adaptive.intervals.len(),
+            plain_edp_pct: plain.compare_to(&baseline).edp_improvement_pct(),
+            adaptive_edp_pct: adaptive.compare_to(&baseline).edp_improvement_pct(),
+        }
+    });
     AdaptiveSamplingExperiment { rows }
 }
 

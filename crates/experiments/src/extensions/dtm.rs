@@ -8,9 +8,7 @@
 use crate::format::{num, Table};
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
-use livephase_governor::{
-    Manager, ManagerConfig, PowerEstimator, ThermalAware, TranslationTable,
-};
+use livephase_governor::{ManagerConfig, PowerEstimator, Session, ThermalAware, TranslationTable};
 use livephase_pmsim::{PlatformConfig, ThermalModel};
 use livephase_workloads::spec;
 use std::fmt;
@@ -41,32 +39,29 @@ pub struct DtmExperiment {
 #[must_use]
 pub fn run(seed: u64) -> DtmExperiment {
     let limit_c = 65.0;
-    let trace = spec::benchmark("crafty_in")
+    let bench = spec::benchmark("crafty_in")
         .expect("registered")
-        .with_length(900)
-        .generate(seed);
+        .with_length(900);
     let platform = PlatformConfig::pentium_m();
-    let thermal_cfg = ManagerConfig {
+    let session = Session::new(&platform).with_config(ManagerConfig {
         thermal: Some(ThermalModel::pentium_m()),
         ..ManagerConfig::pentium_m()
-    };
+    });
 
-    let unmanaged = Manager::new(
+    let unmanaged = session.run_policy(
         Box::new(livephase_governor::Baseline::new()),
-        thermal_cfg.clone(),
-    )
-    .run(&trace, platform.clone());
+        bench.stream(seed),
+    );
 
-    let energy = Manager::new(
+    let energy = session.run_policy(
         Box::new(livephase_governor::Proactive::new(
             Gpht::new(GphtConfig::DEPLOYED),
             TranslationTable::pentium_m(),
         )),
-        thermal_cfg.clone(),
-    )
-    .run(&trace, platform.clone());
+        bench.stream(seed),
+    );
 
-    let dtm = Manager::new(
+    let dtm = session.run_policy(
         Box::new(ThermalAware::new(
             Gpht::new(GphtConfig::DEPLOYED),
             TranslationTable::pentium_m(),
@@ -74,9 +69,8 @@ pub fn run(seed: u64) -> DtmExperiment {
             ThermalModel::pentium_m(),
             limit_c,
         )),
-        thermal_cfg,
-    )
-    .run(&trace, platform);
+        bench.stream(seed),
+    );
 
     let row = |system: &str, r: &livephase_governor::RunReport| ThermalRow {
         system: system.to_owned(),
@@ -100,8 +94,7 @@ pub fn run(seed: u64) -> DtmExperiment {
 pub fn check(e: &DtmExperiment) -> ShapeViolations {
     let mut v = Vec::new();
     let find = |name: &str| e.rows.iter().find(|r| r.system.starts_with(name));
-    let (Some(un), Some(energy), Some(dtm)) =
-        (find("unmanaged"), find("energy"), find("thermal"))
+    let (Some(un), Some(energy), Some(dtm)) = (find("unmanaged"), find("energy"), find("thermal"))
     else {
         return vec!["rows missing".into()];
     };

@@ -7,9 +7,7 @@
 
 use crate::format::{num, Table};
 use crate::ShapeViolations;
-use livephase_core::{
-    DurationPredictor, DurationScheme, PhaseMap, RunLengthEncoder,
-};
+use livephase_core::{DurationPredictor, DurationScheme, PhaseMap, RunLengthEncoder};
 use livephase_workloads::spec;
 use std::fmt;
 
@@ -94,8 +92,7 @@ pub fn run(seed: u64) -> DurationExperiment {
                 }
             };
 
-            let mean_length =
-                runs.iter().map(|r| r.length as f64).sum::<f64>() / runs.len() as f64;
+            let mean_length = runs.iter().map(|r| r.length as f64).sum::<f64>() / runs.len() as f64;
             DurationRow {
                 name: (*name).to_owned(),
                 runs: runs.len(),
@@ -131,7 +128,10 @@ pub fn check(e: &DurationExperiment) -> ShapeViolations {
             }
         }
         if r.runs < 50 {
-            v.push(format!("{}: only {} runs — trace too short", r.name, r.runs));
+            v.push(format!(
+                "{}: only {} runs — trace too short",
+                r.name, r.runs
+            ));
         }
     }
     // On quasi-periodic workloads the MAE should be around one interval.

@@ -10,9 +10,7 @@
 
 use crate::format::{pct, Table};
 use crate::ShapeViolations;
-use livephase_core::{
-    evaluate, Gpht, GphtConfig, LastValue, PerProcess, PhaseMap, PhaseSample,
-};
+use livephase_core::{evaluate, Gpht, GphtConfig, LastValue, PerProcess, PhaseMap, PhaseSample};
 use livephase_workloads::{multiprogram, spec, Job};
 use std::fmt;
 
@@ -63,7 +61,12 @@ pub fn run(seed: u64) -> MultiprogramExperiment {
 
     let samples: Vec<(u32, PhaseSample)> = mix
         .iter()
-        .map(|(pid, w)| (pid, PhaseSample::new(w.mem_uop(), map.classify(w.mem_uop()))))
+        .map(|(pid, w)| {
+            (
+                pid,
+                PhaseSample::new(w.mem_uop(), map.classify(w.mem_uop())),
+            )
+        })
         .collect();
 
     // Shared predictors over the splice.
@@ -141,7 +144,9 @@ pub fn check(e: &MultiprogramExperiment) -> ShapeViolations {
     let shared = acc("shared GPHT");
     let pp = acc("per-process");
     if shared < lv {
-        v.push(format!("shared GPHT ({shared:.3}) should beat LastValue ({lv:.3})"));
+        v.push(format!(
+            "shared GPHT ({shared:.3}) should beat LastValue ({lv:.3})"
+        ));
     }
     if pp < shared + 0.02 {
         v.push(format!(

@@ -6,7 +6,7 @@
 use crate::format::{num, Table};
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
-use livephase_governor::{Manager, ManagerConfig, PowerCap, PowerEstimator};
+use livephase_governor::{par_map, PowerCap, PowerEstimator, Session};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -46,33 +46,30 @@ pub fn run(seed: u64) -> PowerCapExperiment {
         .with_length(400)
         .generate(seed);
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
+    let session = Session::new(&platform);
+    let baseline = session.baseline(&trace);
 
-    let rows = CAPS
-        .iter()
-        .map(|&cap_w| {
-            let report = Manager::new(
-                Box::new(PowerCap::new(
-                    Gpht::new(GphtConfig::DEPLOYED),
-                    PowerEstimator::pentium_m(),
-                    cap_w,
-                )),
-                ManagerConfig::pentium_m(),
-            )
-            .run(&trace, platform.clone());
-            let peak = report
-                .intervals
-                .iter()
-                .map(livephase_governor::IntervalLog::power_w)
-                .fold(0.0, f64::max);
-            CapRow {
+    let rows = par_map(&CAPS, |&cap_w| {
+        let report = session.run_policy(
+            Box::new(PowerCap::new(
+                Gpht::new(GphtConfig::DEPLOYED),
+                PowerEstimator::pentium_m(),
                 cap_w,
-                avg_power_w: report.average_power_w(),
-                peak_power_w: peak,
-                bips: report.bips(),
-            }
-        })
-        .collect();
+            )),
+            &trace,
+        );
+        let peak = report
+            .intervals
+            .iter()
+            .map(livephase_governor::IntervalLog::power_w)
+            .fold(0.0, f64::max);
+        CapRow {
+            cap_w,
+            avg_power_w: report.average_power_w(),
+            peak_power_w: peak,
+            bips: report.bips(),
+        }
+    });
     PowerCapExperiment {
         uncapped_power_w: baseline.average_power_w(),
         uncapped_bips: baseline.bips(),

@@ -9,9 +9,7 @@
 use crate::format::{num, Table};
 use crate::predictors::sample_stream;
 use crate::ShapeViolations;
-use livephase_core::{
-    evaluate_trace, EvaluationTrace, Gpht, GphtConfig, LastValue, PhaseMap,
-};
+use livephase_core::{evaluate_trace, EvaluationTrace, Gpht, GphtConfig, LastValue, PhaseMap};
 use livephase_workloads::spec;
 use std::fmt;
 
@@ -39,7 +37,10 @@ pub fn run(seed: u64) -> Figure2 {
         .generate(seed);
     let map = PhaseMap::pentium_m();
     let stream = sample_stream(&trace, &map);
-    let gpht = evaluate_trace(&mut Gpht::new(GphtConfig::REFERENCE), stream.iter().copied());
+    let gpht = evaluate_trace(
+        &mut Gpht::new(GphtConfig::REFERENCE),
+        stream.iter().copied(),
+    );
     let last_value = evaluate_trace(&mut LastValue::new(), stream.iter().copied());
     // A mid-execution window, past predictor warm-up, like the paper's.
     let end = stream.len().min(400);
@@ -67,7 +68,9 @@ pub fn check(fig: &Figure2) -> ShapeViolations {
     }
     let reduction = (1.0 - l) / (1.0 - g).max(1e-9);
     if reduction < 5.0 {
-        v.push(format!("misprediction reduction {reduction:.1}x should exceed 5x (paper: >6x)"));
+        v.push(format!(
+            "misprediction reduction {reduction:.1}x should exceed 5x (paper: >6x)"
+        ));
     }
     // The two traces must describe the same observation stream.
     if fig.gpht.observed.len() != fig.last_value.observed.len() {
@@ -103,7 +106,11 @@ impl fmt::Display for Figure2 {
             self.gpht.observed.len(),
             t.render()
         )?;
-        let rates: Vec<f64> = self.window.clone().map(|i| self.gpht.observed[i].rate.get()).collect();
+        let rates: Vec<f64> = self
+            .window
+            .clone()
+            .map(|i| self.gpht.observed[i].rate.get())
+            .collect();
         let actual: Vec<f64> = self
             .window
             .clone()

@@ -126,7 +126,9 @@ pub fn check(fig: &Figure3) -> ShapeViolations {
         .filter(|p| p.measured_quadrant() == Quadrant::Q1)
         .count();
     if q1 < 20 {
-        v.push(format!("only {q1} Q1 benchmarks; most of SPEC should be Q1"));
+        v.push(format!(
+            "only {q1} Q1 benchmarks; most of SPEC should be Q1"
+        ));
     }
     v
 }

@@ -4,6 +4,7 @@
 use crate::format::{pct, Table};
 use crate::predictors::{accuracy_on, figure4_lineup};
 use crate::ShapeViolations;
+use livephase_governor::par_map;
 use livephase_workloads::{registry, spec};
 use std::fmt;
 
@@ -43,26 +44,26 @@ impl Figure4 {
     }
 }
 
-/// Evaluates the Figure 4 line-up over the whole registry.
+/// Evaluates the Figure 4 line-up over the whole registry, one worker
+/// thread per benchmark (each is seeded independently, so the parallel
+/// sweep matches the sequential one row-for-row).
 #[must_use]
 pub fn run(seed: u64) -> Figure4 {
-    let mut rows: Vec<BenchmarkRow> = registry()
-        .into_iter()
-        .map(|spec| {
-            let trace = spec.generate(seed);
-            let accuracies = figure4_lineup()
-                .iter_mut()
-                .map(|p| {
-                    let stats = accuracy_on(p.as_mut(), &trace);
-                    (p.name(), stats.accuracy())
-                })
-                .collect();
-            BenchmarkRow {
-                name: spec.name().to_owned(),
-                accuracies,
-            }
-        })
-        .collect();
+    let specs = registry();
+    let mut rows: Vec<BenchmarkRow> = par_map(&specs, |spec| {
+        let trace = spec.generate(seed);
+        let accuracies = figure4_lineup()
+            .iter_mut()
+            .map(|p| {
+                let stats = accuracy_on(p.as_mut(), &trace);
+                (p.name(), stats.accuracy())
+            })
+            .collect();
+        BenchmarkRow {
+            name: spec.name().to_owned(),
+            accuracies,
+        }
+    });
     rows.sort_by(|a, b| {
         let la = a.accuracy_of("LastValue").unwrap_or(0.0);
         let lb = b.accuracy_of("LastValue").unwrap_or(0.0);
@@ -93,7 +94,10 @@ pub fn check(fig: &Figure4) -> ShapeViolations {
         let g = r.accuracy_of(gpht).unwrap_or(0.0);
         let l = r.accuracy_of("LastValue").unwrap_or(0.0);
         if g < l - 0.03 {
-            v.push(format!("{}: GPHT {:.3} below LastValue {:.3}", r.name, g, l));
+            v.push(format!(
+                "{}: GPHT {:.3} below LastValue {:.3}",
+                r.name, g, l
+            ));
         }
     }
 
@@ -103,10 +107,14 @@ pub fn check(fig: &Figure4) -> ShapeViolations {
         let g_miss = 1.0 - r.accuracy_of(gpht).unwrap_or(0.0);
         let l_miss = 1.0 - r.accuracy_of("LastValue").unwrap_or(1.0);
         if l_miss < 0.45 {
-            v.push(format!("applu LastValue misprediction {l_miss:.2} should be >0.45"));
+            v.push(format!(
+                "applu LastValue misprediction {l_miss:.2} should be >0.45"
+            ));
         }
         if g_miss > 0.12 {
-            v.push(format!("applu GPHT misprediction {g_miss:.2} should be <0.12"));
+            v.push(format!(
+                "applu GPHT misprediction {g_miss:.2} should be <0.12"
+            ));
         }
         if l_miss / g_miss.max(1e-9) < 5.0 {
             v.push(format!(

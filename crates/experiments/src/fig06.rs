@@ -105,7 +105,11 @@ pub fn check(fig: &Figure6) -> ShapeViolations {
         v.push(format!("grid has {} points, expected ~50", fig.grid.len()));
     }
     // The cloud spans both CPU-bound and memory-bound regions.
-    let max_upc = fig.spec_points.iter().map(|(_, p)| p.upc).fold(0.0, f64::max);
+    let max_upc = fig
+        .spec_points
+        .iter()
+        .map(|(_, p)| p.upc)
+        .fold(0.0, f64::max);
     let max_m = fig
         .spec_points
         .iter()
@@ -115,7 +119,9 @@ pub fn check(fig: &Figure6) -> ShapeViolations {
         v.push(format!("cloud max UPC {max_upc:.2} should reach ~1.6"));
     }
     if max_m < 0.05 {
-        v.push(format!("cloud max Mem/Uop {max_m:.3} should reach ~0.1 (mcf)"));
+        v.push(format!(
+            "cloud max Mem/Uop {max_m:.3} should reach ~0.1 (mcf)"
+        ));
     }
     v
 }

@@ -46,7 +46,11 @@ impl ConfigSweep {
     #[must_use]
     pub fn upc_span(&self) -> f64 {
         let at_fastest = self.by_frequency.first().map_or(0.0, |&(_, u, _)| u);
-        let max = self.by_frequency.iter().map(|&(_, u, _)| u).fold(0.0, f64::max);
+        let max = self
+            .by_frequency
+            .iter()
+            .map(|&(_, u, _)| u)
+            .fold(0.0, f64::max);
         let min = self
             .by_frequency
             .iter()
@@ -125,7 +129,8 @@ pub fn run(_seed: u64) -> Figure7 {
 /// Executes one 100 M-uop interval at a pinned DVFS setting and reads the
 /// simulated counters.
 fn measure_at(work: &livephase_pmsim::IntervalWork, setting: usize) -> IntervalMetrics {
-    let mut cpu = Cpu::new(PlatformConfig::pentium_m());
+    let platform = PlatformConfig::pentium_m();
+    let mut cpu = Cpu::new(&platform);
     cpu.set_dvfs(setting).expect("setting exists");
     // The DVFS transition stall happened before the interval starts;
     // re-base by reading intervals only from the PMI.

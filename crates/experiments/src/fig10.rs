@@ -10,7 +10,7 @@
 use crate::format::{num, Table};
 use crate::ShapeViolations;
 use livephase_daq::DaqSystem;
-use livephase_governor::{Manager, RunReport};
+use livephase_governor::{RunReport, Session};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -38,13 +38,13 @@ pub struct Figure10 {
 pub fn run(seed: u64) -> Figure10 {
     // A shorter applu slice keeps the 40 us DAQ stream manageable while
     // covering dozens of phase swings.
-    let trace = spec::benchmark("applu_in")
+    let bench = spec::benchmark("applu_in")
         .expect("applu_in is registered")
-        .with_length(600)
-        .generate(seed);
+        .with_length(600);
     let platform = PlatformConfig::pentium_m().with_power_trace();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
-    let managed = Manager::gpht_deployed().run(&trace, platform);
+    let session = Session::new(&platform);
+    let baseline = session.baseline(bench.stream(seed));
+    let managed = session.gpht(bench.stream(seed));
     let daq = DaqSystem::pentium_m(seed);
     let baseline_daq = daq.measure(baseline.power_trace.as_ref().expect("recorded"));
     let managed_daq = daq.measure(managed.power_trace.as_ref().expect("recorded"));
@@ -63,7 +63,11 @@ pub fn check(fig: &Figure10) -> ShapeViolations {
 
     // (i) Mem/Uop is identical between the two real runs (DVFS-invariant
     // phases, resilient to system variation).
-    let n = fig.baseline.intervals.len().min(fig.managed.intervals.len());
+    let n = fig
+        .baseline
+        .intervals
+        .len()
+        .min(fig.managed.intervals.len());
     let mean_delta: f64 = (0..n)
         .map(|i| (fig.baseline.intervals[i].mem_uop - fig.managed.intervals[i].mem_uop).abs())
         .sum::<f64>()
@@ -160,7 +164,11 @@ impl fmt::Display for Figure10 {
             "BIPS base".into(),
             "BIPS GPHT".into(),
         ]);
-        let n = self.baseline.intervals.len().min(self.managed.intervals.len());
+        let n = self
+            .baseline
+            .intervals
+            .len()
+            .min(self.managed.intervals.len());
         let window = n.saturating_sub(60)..n;
         for i in window {
             let b = &self.baseline.intervals[i];
@@ -178,19 +186,29 @@ impl fmt::Display for Figure10 {
             ]);
         }
         writeln!(f, "{}", t.render())?;
-        let n = self.baseline.intervals.len().min(self.managed.intervals.len());
+        let n = self
+            .baseline
+            .intervals
+            .len()
+            .min(self.managed.intervals.len());
         let series = |f_: fn(&livephase_governor::IntervalLog) -> f64, r: &RunReport| {
             r.intervals[..n].iter().map(f_).collect::<Vec<f64>>()
         };
         writeln!(
             f,
             "power base {}",
-            crate::format::sparkline(&series(livephase_governor::IntervalLog::power_w, &self.baseline)[n.saturating_sub(100)..])
+            crate::format::sparkline(
+                &series(livephase_governor::IntervalLog::power_w, &self.baseline)
+                    [n.saturating_sub(100)..]
+            )
         )?;
         writeln!(
             f,
             "power GPHT {}",
-            crate::format::sparkline(&series(livephase_governor::IntervalLog::power_w, &self.managed)[n.saturating_sub(100)..])
+            crate::format::sparkline(
+                &series(livephase_governor::IntervalLog::power_w, &self.managed)
+                    [n.saturating_sub(100)..]
+            )
         )?;
         let c = self.managed.compare_to(&self.baseline);
         writeln!(

@@ -53,9 +53,7 @@ pub fn run(seed: u64) -> Figure11 {
 pub fn improvable_set(fig: &Figure11) -> Vec<&str> {
     fig.outcomes
         .iter()
-        .filter(|o| {
-            benchmark(&o.name).is_some_and(|s| s.quadrant() != Quadrant::Q1)
-        })
+        .filter(|o| benchmark(&o.name).is_some_and(|s| s.quadrant() != Quadrant::Q1))
         .map(|o| o.name.as_str())
         .collect()
 }

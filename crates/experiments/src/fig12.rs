@@ -4,6 +4,8 @@
 use crate::format::{num, Table};
 use crate::runs::Outcome;
 use crate::ShapeViolations;
+use livephase_governor::{par_map, Session};
+use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
 
@@ -37,25 +39,25 @@ impl Figure12 {
     }
 }
 
-/// Measures the Figure 12 benchmark set under both managed systems.
+/// Measures the Figure 12 benchmark set under both managed systems, one
+/// worker per benchmark on a shared platform.
 #[must_use]
 pub fn run(seed: u64) -> Figure12 {
-    let rows = spec::figure12_set()
-        .iter()
-        .map(|name| {
-            let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
-            let o = Outcome::measure(&bench, seed);
-            let r = o.reactive_vs_baseline();
-            let g = o.gpht_vs_baseline();
-            Head2Head {
-                name: (*name).to_owned(),
-                reactive_edp_pct: r.edp_improvement_pct(),
-                gpht_edp_pct: g.edp_improvement_pct(),
-                reactive_deg_pct: r.perf_degradation_pct(),
-                gpht_deg_pct: g.perf_degradation_pct(),
-            }
-        })
-        .collect();
+    let platform = PlatformConfig::pentium_m();
+    let session = Session::new(&platform);
+    let rows = par_map(&spec::figure12_set(), |name| {
+        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let o = Outcome::measure_in(&session, &bench, seed);
+        let r = o.reactive_vs_baseline();
+        let g = o.gpht_vs_baseline();
+        Head2Head {
+            name: (*name).to_owned(),
+            reactive_edp_pct: r.edp_improvement_pct(),
+            gpht_edp_pct: g.edp_improvement_pct(),
+            reactive_deg_pct: r.perf_degradation_pct(),
+            gpht_deg_pct: g.perf_degradation_pct(),
+        }
+    });
     Figure12 { rows }
 }
 

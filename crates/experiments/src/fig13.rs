@@ -9,7 +9,7 @@
 
 use crate::format::{num, Table};
 use crate::ShapeViolations;
-use livephase_governor::{ConservativeDerivation, Manager, TranslationTable};
+use livephase_governor::{par_map, ConservativeDerivation, Session, TranslationTable};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::spec;
 use std::fmt;
@@ -54,26 +54,23 @@ pub fn run(seed: u64) -> Figure13 {
     let derivation = ConservativeDerivation::pentium_m();
     let (map, table) = derivation.derive(0.05);
     let platform = PlatformConfig::pentium_m();
-    let rows = FIGURE13_BENCHMARKS
-        .iter()
-        .map(|name| {
-            let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
-            let trace = bench.generate(seed);
-            let baseline = Manager::baseline().run(&trace, platform.clone());
-            let original = Manager::gpht_deployed().run(&trace, platform.clone());
-            let conservative = derivation.manager(0.05).run(&trace, platform.clone());
-            let c = conservative.compare_to(&baseline);
-            let o = original.compare_to(&baseline);
-            ConservativeRow {
-                name: (*name).to_owned(),
-                deg_pct: c.perf_degradation_pct(),
-                power_savings_pct: c.power_savings_pct(),
-                energy_savings_pct: c.energy_savings_pct(),
-                edp_pct: c.edp_improvement_pct(),
-                original_edp_pct: o.edp_improvement_pct(),
-            }
-        })
-        .collect();
+    let session = Session::new(&platform);
+    let rows = par_map(&FIGURE13_BENCHMARKS, |name| {
+        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let baseline = session.baseline(bench.stream(seed));
+        let original = session.gpht(bench.stream(seed));
+        let conservative = session.run(derivation.manager(0.05), bench.stream(seed));
+        let c = conservative.compare_to(&baseline);
+        let o = original.compare_to(&baseline);
+        ConservativeRow {
+            name: (*name).to_owned(),
+            deg_pct: c.perf_degradation_pct(),
+            power_savings_pct: c.power_savings_pct(),
+            energy_savings_pct: c.energy_savings_pct(),
+            edp_pct: c.edp_improvement_pct(),
+            original_edp_pct: o.edp_improvement_pct(),
+        }
+    });
     Figure13 {
         rows,
         boundaries: map.boundaries().to_vec(),

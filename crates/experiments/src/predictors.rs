@@ -2,8 +2,8 @@
 //! evaluation plumbing.
 
 use livephase_core::{
-    evaluate, FixedWindow, Gpht, GphtConfig, LastValue, PhaseMap, PhaseSample,
-    PredictionStats, Predictor, Selector, VariableWindow,
+    evaluate, FixedWindow, Gpht, GphtConfig, LastValue, PhaseMap, PhaseSample, PredictionStats,
+    Predictor, Selector, VariableWindow,
 };
 use livephase_workloads::WorkloadTrace;
 
@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn stream_classifies_each_interval() {
-        let trace = spec::benchmark("swim_in").unwrap().with_length(20).generate(1);
+        let trace = spec::benchmark("swim_in")
+            .unwrap()
+            .with_length(20)
+            .generate(1);
         let stream = sample_stream(&trace, &PhaseMap::pentium_m());
         assert_eq!(stream.len(), 20);
         // swim is phase 5 (0.020..0.030) nearly everywhere.
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn accuracy_on_runs_end_to_end() {
-        let trace = spec::benchmark("crafty_in").unwrap().with_length(100).generate(1);
+        let trace = spec::benchmark("crafty_in")
+            .unwrap()
+            .with_length(100)
+            .generate(1);
         let mut lv = LastValue::new();
         let stats = accuracy_on(&mut lv, &trace);
         assert_eq!(stats.total, 99);

@@ -1,7 +1,13 @@
 //! Shared plumbing for the dynamic-management experiments: every benchmark
 //! executed under the three systems the paper compares.
+//!
+//! The sweep streams each benchmark straight into the platform
+//! ([`BenchmarkSpec::stream`]) — no trace is materialized — and fans the
+//! registry over worker threads with [`par_map`], which preserves registry
+//! order and per-benchmark seeding, so the parallel sweep is
+//! element-for-element identical to the sequential loop it replaced.
 
-use livephase_governor::{Manager, NormalizedComparison, RunReport};
+use livephase_governor::{par_map, NormalizedComparison, RunReport, Session};
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::{registry, BenchmarkSpec};
 
@@ -19,16 +25,25 @@ pub struct Outcome {
 }
 
 impl Outcome {
-    /// Runs one benchmark spec under the three systems.
+    /// Runs one benchmark spec under the three systems on its own
+    /// Pentium M platform.
     #[must_use]
     pub fn measure(spec: &BenchmarkSpec, seed: u64) -> Self {
-        let trace = spec.generate(seed);
         let platform = PlatformConfig::pentium_m();
+        Self::measure_in(&Session::new(&platform), spec, seed)
+    }
+
+    /// Runs one benchmark spec under the three systems in an existing
+    /// session. Each system pulls its own stream of the spec — the
+    /// workload is generated interval-by-interval, three times, and never
+    /// lives in memory whole.
+    #[must_use]
+    pub fn measure_in(session: &Session<'_>, spec: &BenchmarkSpec, seed: u64) -> Self {
         Self {
             name: spec.name().to_owned(),
-            baseline: Manager::baseline().run(&trace, platform.clone()),
-            reactive: Manager::reactive().run(&trace, platform.clone()),
-            gpht: Manager::gpht_deployed().run(&trace, platform),
+            baseline: session.baseline(spec.stream(seed)),
+            reactive: session.reactive(spec.stream(seed)),
+            gpht: session.gpht(spec.stream(seed)),
         }
     }
 
@@ -45,13 +60,14 @@ impl Outcome {
     }
 }
 
-/// Measures every registered benchmark (the Figure 11 sweep).
+/// Measures every registered benchmark (the Figure 11 sweep), in parallel,
+/// in registry order.
 #[must_use]
 pub fn measure_all(seed: u64) -> Vec<Outcome> {
-    registry()
-        .iter()
-        .map(|spec| Outcome::measure(spec, seed))
-        .collect()
+    let platform = PlatformConfig::pentium_m();
+    let session = Session::new(&platform);
+    let specs = registry();
+    par_map(&specs, |spec| Outcome::measure_in(&session, spec, seed))
 }
 
 #[cfg(test)]
@@ -69,5 +85,17 @@ mod tests {
         // swim: memory-bound -> both managed systems save a lot of EDP.
         assert!(o.gpht_vs_baseline().edp_improvement_pct() > 30.0);
         assert!(o.reactive_vs_baseline().edp_improvement_pct() > 30.0);
+    }
+
+    #[test]
+    fn measure_in_shares_the_session_platform() {
+        let platform = PlatformConfig::pentium_m();
+        let session = Session::new(&platform);
+        let spec = spec::benchmark("swim_in").unwrap().with_length(60);
+        let shared = Outcome::measure_in(&session, &spec, 1);
+        let owned = Outcome::measure(&spec, 1);
+        assert_eq!(shared.baseline, owned.baseline);
+        assert_eq!(shared.reactive, owned.reactive);
+        assert_eq!(shared.gpht, owned.gpht);
     }
 }

@@ -59,7 +59,11 @@ impl fmt::Display for Table1 {
             };
             t.row(vec![range, label]);
         }
-        write!(f, "Table 1. Definition of phases based on Mem/Uop rates.\n\n{}", t.render())
+        write!(
+            f,
+            "Table 1. Definition of phases based on Mem/Uop rates.\n\n{}",
+            t.render()
+        )
     }
 }
 

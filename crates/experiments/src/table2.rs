@@ -47,7 +47,9 @@ pub fn check(t: &Table2) -> ShapeViolations {
     for (i, (mhz, mv)) in published.iter().enumerate() {
         if let Some(p) = t.opps.get(i) {
             if p.frequency.mhz() != *mhz || p.voltage.mv() != *mv {
-                v.push(format!("setting {i}: {p} differs from ({mhz} MHz, {mv} mV)"));
+                v.push(format!(
+                    "setting {i}: {p} differs from ({mhz} MHz, {mv} mV)"
+                ));
             }
         }
     }

@@ -87,8 +87,19 @@ fn drivers_are_seed_deterministic() {
         }
     }
     // Not identical across seeds (noise differs), but same shape.
-    let a_applu = a.row("applu_in").unwrap().accuracy_of("GPHT_8_1024").unwrap();
-    let c_applu = c.row("applu_in").unwrap().accuracy_of("GPHT_8_1024").unwrap();
-    assert!((a_applu - c_applu).abs() > 1e-12, "seeds should decorrelate noise");
+    let a_applu = a
+        .row("applu_in")
+        .unwrap()
+        .accuracy_of("GPHT_8_1024")
+        .unwrap();
+    let c_applu = c
+        .row("applu_in")
+        .unwrap()
+        .accuracy_of("GPHT_8_1024")
+        .unwrap();
+    assert!(
+        (a_applu - c_applu).abs() > 1e-12,
+        "seeds should decorrelate noise"
+    );
     assert!(c_applu > 0.8, "shape holds at any seed");
 }

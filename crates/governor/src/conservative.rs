@@ -61,7 +61,10 @@ impl ConservativeDerivation {
     /// Panics if `setting` is out of range for the platform.
     #[must_use]
     pub fn degradation(&self, mem_uop: f64, setting: usize) -> f64 {
-        let opp = self.opps.get(setting).expect("setting within platform table");
+        let opp = self
+            .opps
+            .get(setting)
+            .expect("setting within platform table");
         let fastest = self.opps.fastest();
         let level = PhaseLevel::reference_family(mem_uop);
         let work = level.interval(100_000_000, 1.25, mem_uop);

@@ -132,17 +132,23 @@ mod tests {
 
     #[test]
     fn reduces_transitions_on_noisy_workloads() {
-        let trace = spec::benchmark("equake_in").unwrap().with_length(400).generate(3);
+        let trace = spec::benchmark("equake_in")
+            .unwrap()
+            .with_length(400)
+            .generate(3);
         let platform = PlatformConfig::pentium_m();
-        let plain = Manager::gpht_deployed().run(&trace, platform.clone());
+        let plain = Manager::gpht_deployed().run(&trace, &platform);
         let damped = Manager::new(
             Box::new(MinDwell::new(
-                Proactive::new(Gpht::new(GphtConfig::DEPLOYED), TranslationTable::pentium_m()),
+                Proactive::new(
+                    Gpht::new(GphtConfig::DEPLOYED),
+                    TranslationTable::pentium_m(),
+                ),
                 2,
             )),
             ManagerConfig::pentium_m(),
         )
-        .run(&trace, platform);
+        .run(&trace, &platform);
         assert!(
             damped.dvfs_transitions < plain.dvfs_transitions,
             "dwell {} vs plain {}",

@@ -11,7 +11,10 @@
 //!   the prior-work approach) and [`policy::Proactive`] (respond
 //!   to the *predicted next* phase, GPHT by default);
 //! * [`manager`] — the interval loop + interrupt handler that ties a
-//!   workload, the simulated CPU, a phase map and a policy together;
+//!   workload (any streaming `IntervalSource`, or a buffered trace), the
+//!   simulated CPU, a phase map and a policy together;
+//! * [`session`] — shared-platform experiment sessions, per-interval
+//!   observers, and the order-preserving parallel sweep primitive;
 //! * [`conservative`] — Section 6.3: deriving alternative phase
 //!   definitions that bound worst-case performance degradation;
 //! * [`report`] — run summaries and baseline-normalized comparisons
@@ -24,8 +27,8 @@
 //!
 //! let trace = spec::benchmark("applu_in").unwrap().with_length(60).generate(1);
 //! let platform = PlatformConfig::pentium_m();
-//! let baseline = Manager::baseline().run(&trace, platform.clone());
-//! let managed = Manager::gpht_deployed().run(&trace, platform);
+//! let baseline = Manager::baseline().run(&trace, &platform);
+//! let managed = Manager::gpht_deployed().run(&trace, &platform);
 //! let cmp = managed.compare_to(&baseline);
 //! assert!(cmp.edp_improvement_pct() > 0.0, "GPHT-managed EDP improves");
 //! ```
@@ -40,6 +43,7 @@ pub mod estimate;
 pub mod manager;
 pub mod policy;
 pub mod report;
+pub mod session;
 pub mod table;
 pub mod thermal;
 
@@ -48,6 +52,7 @@ pub use dwell::MinDwell;
 pub use estimate::PowerEstimator;
 pub use manager::{AdaptiveSampling, Manager, ManagerConfig};
 pub use policy::{Baseline, Environment, Oracle, Policy, Proactive, Reactive};
-pub use thermal::{PowerCap, ThermalAware};
 pub use report::{IntervalLog, NormalizedComparison, RunReport};
+pub use session::{par_map, IntervalObserver, Session};
 pub use table::{TranslationTable, TranslationTableError};
+pub use thermal::{PowerCap, ThermalAware};

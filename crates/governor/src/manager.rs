@@ -17,6 +17,7 @@
 
 use crate::policy::{Baseline, Policy, Proactive, Reactive};
 use crate::report::{IntervalLog, RunReport};
+use crate::session::IntervalObserver;
 use crate::table::TranslationTable;
 use livephase_core::{
     DurationPredictor, DurationScheme, PhaseId, PhaseMap, PhaseSample, PredictionStats,
@@ -24,7 +25,7 @@ use livephase_core::{
 use livephase_pmsim::cpu::{Cpu, PmiRecord};
 use livephase_pmsim::trace::pport;
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::WorkloadTrace;
+use livephase_workloads::{IntervalSource, IntoIntervalSource};
 
 /// Handler-side configuration.
 #[derive(Debug, Clone)]
@@ -130,16 +131,28 @@ impl Manager {
     /// The unmanaged baseline system (always full speed).
     #[must_use]
     pub fn baseline() -> Self {
-        Self::new(Box::new(Baseline::new()), ManagerConfig::pentium_m())
+        Self::baseline_with(ManagerConfig::pentium_m())
+    }
+
+    /// The baseline system under a custom handler configuration.
+    #[must_use]
+    pub fn baseline_with(config: ManagerConfig) -> Self {
+        Self::new(Box::new(Baseline::new()), config)
     }
 
     /// The reactive (last-value) manager of prior work, over the paper's
     /// Table 2 mapping.
     #[must_use]
     pub fn reactive() -> Self {
+        Self::reactive_with(ManagerConfig::pentium_m())
+    }
+
+    /// The reactive manager under a custom handler configuration.
+    #[must_use]
+    pub fn reactive_with(config: ManagerConfig) -> Self {
         Self::new(
             Box::new(Reactive::new(TranslationTable::pentium_m())),
-            ManagerConfig::pentium_m(),
+            config,
         )
     }
 
@@ -147,10 +160,13 @@ impl Manager {
     /// the Table 2 mapping.
     #[must_use]
     pub fn gpht_deployed() -> Self {
-        Self::new(
-            Box::new(Proactive::gpht_deployed()),
-            ManagerConfig::pentium_m(),
-        )
+        Self::gpht_deployed_with(ManagerConfig::pentium_m())
+    }
+
+    /// The deployed GPHT system under a custom handler configuration.
+    #[must_use]
+    pub fn gpht_deployed_with(config: ManagerConfig) -> Self {
+        Self::new(Box::new(Proactive::gpht_deployed()), config)
     }
 
     /// The policy's display name.
@@ -159,41 +175,62 @@ impl Manager {
         self.policy.name()
     }
 
-    /// Runs `workload` to completion on a fresh CPU built from `platform`,
+    /// Runs `workload` to completion on a fresh CPU sharing `platform`,
     /// returning the full run report.
+    ///
+    /// `workload` is anything that converts to an
+    /// [`IntervalSource`]: a `&WorkloadTrace` (replayed from its buffer,
+    /// exactly as before the streaming refactor) or any live source —
+    /// intervals are pulled one at a time as the CPU consumes them, so a
+    /// streamed run holds O(1) workload memory however long it is.
     ///
     /// # Panics
     ///
     /// Panics if the policy returns a DVFS setting the platform does not
     /// have (a [`TranslationTable`] validated against the platform cannot).
     #[must_use]
-    pub fn run(mut self, workload: &WorkloadTrace, platform: PlatformConfig) -> RunReport {
+    pub fn run(self, workload: impl IntoIntervalSource, platform: &PlatformConfig) -> RunReport {
+        self.run_observed(workload, platform, &mut ())
+    }
+
+    /// [`run`](Self::run) with an [`IntervalObserver`] attached: the
+    /// observer sees every logged interval as it happens (streaming DAQ
+    /// logging, live thermal watchdogs) and the finished report.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run).
+    #[must_use]
+    pub fn run_observed(
+        mut self,
+        workload: impl IntoIntervalSource,
+        platform: &PlatformConfig,
+        observer: &mut impl IntervalObserver,
+    ) -> RunReport {
+        let mut source = workload.into_interval_source();
+        let workload_name = source.name().to_owned();
         let mut cpu = Cpu::new(platform);
         let mut state = RunState {
-            thermal: self
-                .config
-                .thermal
-                .map(livephase_pmsim::ThermalState::new),
+            thermal: self.config.thermal.map(livephase_pmsim::ThermalState::new),
             ..RunState::default()
         };
         cpu.set_pport_bits(pport::APP_RUNNING);
 
-        for work in workload {
-            cpu.push_work(*work);
-            while let Some(pmi) = cpu.run_to_pmi() {
-                self.handle_pmi(&mut cpu, &pmi, &mut state);
-            }
+        while let Some(pmi) = cpu.run_to_pmi_with(|| source.next_interval()) {
+            self.handle_pmi(&mut cpu, &pmi, &mut state);
+            observer.on_interval(state.intervals.last().expect("interval just logged"));
         }
         // A run that ends off the sampling grid leaves a partial interval:
         // log it (its Mem/Uop ratio is still meaningful) without a policy
         // action — execution is over.
         if let Some(pmi) = cpu.flush_partial_interval() {
             state.log_interval(&pmi, &self.config.phase_map);
+            observer.on_interval(state.intervals.last().expect("interval just logged"));
         }
         cpu.set_pport_bits(0);
 
-        RunReport {
-            workload: workload.name().to_owned(),
+        let report = RunReport {
+            workload: workload_name,
             policy: self.policy.name(),
             totals: cpu.totals(),
             prediction: state.prediction,
@@ -206,11 +243,13 @@ impl Manager {
             } else {
                 None
             },
-        }
+        };
+        observer.on_complete(&report);
+        report
     }
 
     /// One PMI invocation: classify, predict, act.
-    fn handle_pmi(&mut self, cpu: &mut Cpu, pmi: &PmiRecord, state: &mut RunState) {
+    fn handle_pmi(&mut self, cpu: &mut Cpu<'_>, pmi: &PmiRecord, state: &mut RunState) {
         let phase = state.log_interval(pmi, &self.config.phase_map);
 
         // Integrate the thermal model through the elapsed interval.
@@ -298,7 +337,7 @@ impl RunState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use livephase_workloads::spec;
+    use livephase_workloads::{spec, WorkloadTrace};
 
     fn short_trace(name: &str, len: usize) -> WorkloadTrace {
         spec::benchmark(name).unwrap().with_length(len).generate(11)
@@ -307,7 +346,7 @@ mod tests {
     #[test]
     fn baseline_never_switches() {
         let trace = short_trace("applu_in", 40);
-        let r = Manager::baseline().run(&trace, PlatformConfig::pentium_m());
+        let r = Manager::baseline().run(&trace, &PlatformConfig::pentium_m());
         assert_eq!(r.dvfs_transitions, 0);
         assert_eq!(r.intervals.len(), 40);
         assert!(r.intervals.iter().all(|i| i.dvfs_index == 0));
@@ -317,31 +356,42 @@ mod tests {
     #[test]
     fn managed_run_switches_and_saves_energy() {
         let trace = short_trace("applu_in", 80);
-        let baseline = Manager::baseline().run(&trace, PlatformConfig::pentium_m());
-        let managed = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        let baseline = Manager::baseline().run(&trace, &PlatformConfig::pentium_m());
+        let managed = Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m());
         assert!(managed.dvfs_transitions > 0);
         assert!(managed.totals.energy_j < baseline.totals.energy_j);
         assert!(managed.totals.time_s > baseline.totals.time_s);
         let c = managed.compare_to(&baseline);
-        assert!(c.edp_improvement_pct() > 0.0, "EDP {}", c.edp_improvement_pct());
+        assert!(
+            c.edp_improvement_pct() > 0.0,
+            "EDP {}",
+            c.edp_improvement_pct()
+        );
     }
 
     #[test]
     fn prediction_stats_are_scored() {
         let trace = short_trace("crafty_in", 50);
-        let r = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        let r = Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m());
         assert_eq!(r.prediction.total, 49, "all but the first interval scored");
-        assert!(r.prediction.accuracy() > 0.9, "stable workload predicts well");
+        assert!(
+            r.prediction.accuracy() > 0.9,
+            "stable workload predicts well"
+        );
     }
 
     #[test]
     fn stable_workload_stays_mostly_at_one_setting() {
         let trace = short_trace("swim_in", 60);
-        let r = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        let r = Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m());
         // swim is phase 5 throughout: after the first decision the CPU
         // should sit at setting 4 nearly always.
         let at_4 = r.intervals.iter().filter(|i| i.dvfs_index == 4).count();
-        assert!(at_4 > 50, "{at_4} of {} intervals at setting 4", r.intervals.len());
+        assert!(
+            at_4 > 50,
+            "{at_4} of {} intervals at setting 4",
+            r.intervals.len()
+        );
     }
 
     #[test]
@@ -352,7 +402,7 @@ mod tests {
         let half = trace_intervals[1].split_at_uops(50_000_000).0;
         trace_intervals[1] = half;
         let trace = WorkloadTrace::new("partial", trace_intervals);
-        let r = Manager::baseline().run(&trace, PlatformConfig::pentium_m());
+        let r = Manager::baseline().run(&trace, &PlatformConfig::pentium_m());
         assert_eq!(r.intervals.len(), 2);
         assert!(r.intervals[1].duration_s < r.intervals[0].duration_s);
     }
@@ -361,7 +411,7 @@ mod tests {
     fn power_trace_is_returned_when_recorded() {
         let trace = short_trace("crafty_in", 5);
         let platform = PlatformConfig::pentium_m().with_power_trace();
-        let r = Manager::baseline().run(&trace, platform);
+        let r = Manager::baseline().run(&trace, &platform);
         let pt = r.power_trace.expect("trace recorded");
         assert!((pt.total_energy_j() - r.totals.energy_j).abs() < 1e-9);
         assert!((pt.total_time_s() - r.totals.time_s).abs() < 1e-12);
@@ -370,8 +420,8 @@ mod tests {
     #[test]
     fn reactive_and_proactive_differ_on_variable_workloads() {
         let trace = short_trace("applu_in", 200);
-        let reactive = Manager::reactive().run(&trace, PlatformConfig::pentium_m());
-        let proactive = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+        let reactive = Manager::reactive().run(&trace, &PlatformConfig::pentium_m());
+        let proactive = Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m());
         assert!(
             proactive.prediction.accuracy() > reactive.prediction.accuracy() + 0.1,
             "GPHT {} vs reactive {}",

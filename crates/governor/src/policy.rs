@@ -132,7 +132,10 @@ impl Proactive<Gpht> {
     /// The deployed configuration: GPHT(8, 128) over the Table 2 mapping.
     #[must_use]
     pub fn gpht_deployed() -> Self {
-        Self::new(Gpht::new(GphtConfig::DEPLOYED), TranslationTable::pentium_m())
+        Self::new(
+            Gpht::new(GphtConfig::DEPLOYED),
+            TranslationTable::pentium_m(),
+        )
     }
 }
 
@@ -283,23 +286,26 @@ mod tests {
     fn oracle_predicts_perfectly() {
         use livephase_pmsim::PlatformConfig;
         use livephase_workloads::spec;
-        let trace = spec::benchmark("applu_in").unwrap().with_length(120).generate(3);
+        let trace = spec::benchmark("applu_in")
+            .unwrap()
+            .with_length(120)
+            .generate(3);
         let map = livephase_core::PhaseMap::pentium_m();
         let oracle = Oracle::from_trace(&trace, &map, TranslationTable::pentium_m());
         let report = crate::manager::Manager::new(
             Box::new(oracle),
             crate::manager::ManagerConfig::pentium_m(),
         )
-        .run(&trace, PlatformConfig::pentium_m());
+        .run(&trace, &PlatformConfig::pentium_m());
         assert_eq!(
             report.prediction.correct, report.prediction.total,
             "the oracle never mispredicts"
         );
         // And it dominates GPHT on EDP for the same workload.
         let baseline =
-            crate::manager::Manager::baseline().run(&trace, PlatformConfig::pentium_m());
+            crate::manager::Manager::baseline().run(&trace, &PlatformConfig::pentium_m());
         let gpht =
-            crate::manager::Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+            crate::manager::Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m());
         let oracle_edp = report.compare_to(&baseline).edp_improvement_pct();
         let gpht_edp = gpht.compare_to(&baseline).edp_improvement_pct();
         assert!(
@@ -315,6 +321,9 @@ mod tests {
         let _ = p.decide(sample(3));
         p.reset();
         assert_eq!(p.predictor().history().len(), 0);
-        assert_eq!(Reactive::new(TranslationTable::pentium_m()).name(), "Reactive(LastValue)");
+        assert_eq!(
+            Reactive::new(TranslationTable::pentium_m()).name(),
+            "Reactive(LastValue)"
+        );
     }
 }

@@ -54,7 +54,7 @@ impl IntervalLog {
 }
 
 /// The complete outcome of one managed (or baseline) run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Workload name.
     pub workload: String,

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn unmanaged_cpu_bound_run_overheats() {
         // crafty is CPU-bound: the baseline heats toward ~77 C steady state.
-        let trace = spec::benchmark("crafty_in").unwrap().with_length(800).generate(1);
+        let trace = spec::benchmark("crafty_in")
+            .unwrap()
+            .with_length(800)
+            .generate(1);
         let baseline = Manager::new(
             Box::new(crate::policy::Baseline::new()),
             ManagerConfig {
@@ -198,16 +201,19 @@ mod tests {
                 ..ManagerConfig::pentium_m()
             },
         )
-        .run(&trace, PlatformConfig::pentium_m());
+        .run(&trace, &PlatformConfig::pentium_m());
         let peak = baseline.peak_temperature_c.expect("thermal tracked");
         assert!(peak > 70.0, "baseline peak {peak}");
     }
 
     #[test]
     fn thermal_policy_bounds_temperature() {
-        let trace = spec::benchmark("crafty_in").unwrap().with_length(800).generate(1);
+        let trace = spec::benchmark("crafty_in")
+            .unwrap()
+            .with_length(800)
+            .generate(1);
         let limit = 65.0;
-        let report = thermal_manager(limit).run(&trace, PlatformConfig::pentium_m());
+        let report = thermal_manager(limit).run(&trace, &PlatformConfig::pentium_m());
         let peak = report.peak_temperature_c.expect("thermal tracked");
         assert!(
             peak <= limit + 0.5,
@@ -221,15 +227,21 @@ mod tests {
     #[test]
     fn generous_limit_never_throttles_memory_bound_work() {
         // swim runs cool (memory-bound, low settings anyway).
-        let trace = spec::benchmark("swim_in").unwrap().with_length(200).generate(1);
-        let report = thermal_manager(95.0).run(&trace, PlatformConfig::pentium_m());
+        let trace = spec::benchmark("swim_in")
+            .unwrap()
+            .with_length(200)
+            .generate(1);
+        let report = thermal_manager(95.0).run(&trace, &PlatformConfig::pentium_m());
         let peak = report.peak_temperature_c.expect("tracked");
         assert!(peak < 70.0, "swim peak {peak}");
     }
 
     #[test]
     fn power_cap_bounds_average_power() {
-        let trace = spec::benchmark("crafty_in").unwrap().with_length(300).generate(1);
+        let trace = spec::benchmark("crafty_in")
+            .unwrap()
+            .with_length(300)
+            .generate(1);
         let cap = 8.0;
         let policy = PowerCap::new(
             Gpht::new(GphtConfig::DEPLOYED),
@@ -237,7 +249,7 @@ mod tests {
             cap,
         );
         let report = Manager::new(Box::new(policy), ManagerConfig::pentium_m())
-            .run(&trace, PlatformConfig::pentium_m());
+            .run(&trace, &PlatformConfig::pentium_m());
         assert!(
             report.average_power_w() <= cap * 1.05,
             "avg power {:.2} exceeds the {cap} W cap",

@@ -89,8 +89,8 @@ proptest! {
         let work = level.interval(100_000_000, 1.25, mem);
         let trace = WorkloadTrace::new("const", vec![work; len]);
         let platform = PlatformConfig::pentium_m();
-        let base = Manager::baseline().run(&trace, platform.clone());
-        let managed = Manager::gpht_deployed().run(&trace, platform);
+        let base = Manager::baseline().run(&trace, &platform);
+        let managed = Manager::gpht_deployed().run(&trace, &platform);
         prop_assert_eq!(base.totals.instructions, managed.totals.instructions);
         prop_assert!(managed.average_power_w() <= base.average_power_w() + 1e-9);
     }
@@ -135,7 +135,7 @@ proptest! {
         let spec = registry().swap_remove(idx).with_length(len);
         let trace = spec.generate(7);
         let platform = PlatformConfig::pentium_m();
-        let fixed = Manager::gpht_deployed().run(&trace, platform.clone());
+        let fixed = Manager::gpht_deployed().run(&trace, &platform);
         let adaptive = Manager::new(
             Box::new(livephase_governor::Proactive::gpht_deployed()),
             ManagerConfig {
@@ -146,7 +146,7 @@ proptest! {
                 ..ManagerConfig::pentium_m()
             },
         )
-        .run(&trace, platform);
+        .run(&trace, &platform);
         prop_assert_eq!(adaptive.totals.uops, fixed.totals.uops);
         prop_assert_eq!(adaptive.totals.instructions, fixed.totals.instructions);
         prop_assert!(adaptive.intervals.len() <= fixed.intervals.len());
@@ -178,7 +178,7 @@ proptest! {
                 ..ManagerConfig::pentium_m()
             },
         )
-        .run(&trace, PlatformConfig::pentium_m());
+        .run(&trace, &PlatformConfig::pentium_m());
         let peak = report.peak_temperature_c.expect("tracked");
         prop_assert!(
             peak <= limit + 1.0,
@@ -193,7 +193,7 @@ proptest! {
     fn self_comparison_is_neutral(idx in 0usize..33) {
         let spec = registry().swap_remove(idx).with_length(20);
         let trace = spec.generate(1);
-        let r = Manager::reactive().run(&trace, PlatformConfig::pentium_m());
+        let r = Manager::reactive().run(&trace, &PlatformConfig::pentium_m());
         let c = r.compare_to(&r);
         prop_assert!((c.bips_ratio - 1.0).abs() < 1e-12);
         prop_assert!((c.edp_ratio - 1.0).abs() < 1e-12);

@@ -16,7 +16,10 @@
 //! [`PmiRecord`] is produced — exactly the stop/read/clear/restart protocol
 //! of the paper's interrupt handler. The caller (the governor) then charges
 //! handler overhead and optionally switches the operating point before
-//! resuming execution.
+//! resuming execution. [`Cpu::run_to_pmi_with`] fuses the left edge of the
+//! diagram: instead of a pre-filled queue, work chunks are pulled from a
+//! generator callback one at a time, so a whole run needs O(1) workload
+//! memory.
 
 use crate::dvfs::{DvfsController, InvalidSetting};
 use crate::opp::{OperatingPoint, OperatingPointTable};
@@ -69,7 +72,10 @@ impl PlatformConfig {
     }
 
     fn validate(&self) {
-        assert!(self.pmi_granularity_uops > 0, "PMI granularity must be positive");
+        assert!(
+            self.pmi_granularity_uops > 0,
+            "PMI granularity must be positive"
+        );
         assert!(
             self.dvfs_transition_s.is_finite() && self.dvfs_transition_s >= 0.0,
             "DVFS transition latency must be finite and non-negative"
@@ -148,9 +154,12 @@ impl RunTotals {
 }
 
 /// The simulated processor.
+///
+/// Borrows its [`PlatformConfig`] — many CPUs (e.g. a parallel sweep's
+/// workers) share one platform description without cloning it per run.
 #[derive(Debug, Clone)]
-pub struct Cpu {
-    config: PlatformConfig,
+pub struct Cpu<'a> {
+    config: &'a PlatformConfig,
     counters: CounterFile,
     dvfs: DvfsController,
     pending: VecDeque<IntervalWork>,
@@ -162,7 +171,7 @@ pub struct Cpu {
     pport_bits: u8,
 }
 
-impl Cpu {
+impl<'a> Cpu<'a> {
     /// Creates a CPU at the fastest operating point with idle counters.
     ///
     /// # Panics
@@ -170,7 +179,7 @@ impl Cpu {
     /// Panics if the configuration is invalid (zero PMI granularity or a
     /// negative transition latency).
     #[must_use]
-    pub fn new(config: PlatformConfig) -> Self {
+    pub fn new(config: &'a PlatformConfig) -> Self {
         config.validate();
         let counters = CounterFile::pentium_m(config.pmi_granularity_uops);
         let dvfs = DvfsController::new(config.opp_table.clone(), config.dvfs_transition_s);
@@ -226,6 +235,24 @@ impl Cpu {
         }
     }
 
+    /// Streaming form of [`run_to_pmi`](Self::run_to_pmi): whenever the
+    /// work queue empties before the overflow threshold, pulls the next
+    /// chunk from `refill` — the fused generator → platform pipeline that
+    /// never materializes a workload. Returns `None` only when `refill` is
+    /// exhausted (finish with
+    /// [`flush_partial_interval`](Self::flush_partial_interval)).
+    pub fn run_to_pmi_with(
+        &mut self,
+        mut refill: impl FnMut() -> Option<IntervalWork>,
+    ) -> Option<PmiRecord> {
+        loop {
+            if let Some(r) = self.run_to_pmi() {
+                return Some(r);
+            }
+            self.push_work(refill()?);
+        }
+    }
+
     /// Reads out whatever partial interval has accumulated, if any —
     /// the tail of a run that ends off the sampling grid.
     pub fn flush_partial_interval(&mut self) -> Option<PmiRecord> {
@@ -244,7 +271,10 @@ impl Cpu {
     /// Charges the PMI handler's own execution cost: a stall at the current
     /// operating point with the `IN_HANDLER` parallel-port bit raised.
     pub fn service_pmi_overhead(&mut self, seconds: f64) {
-        assert!(seconds.is_finite() && seconds >= 0.0, "overhead must be >= 0");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "overhead must be >= 0"
+        );
         if seconds == 0.0 {
             return;
         }
@@ -328,8 +358,8 @@ impl Cpu {
 
     /// The platform configuration.
     #[must_use]
-    pub fn config(&self) -> &PlatformConfig {
-        &self.config
+    pub fn config(&self) -> &'a PlatformConfig {
+        self.config
     }
 
     /// Executes one chunk entirely at the current operating point.
@@ -367,7 +397,8 @@ impl Cpu {
     fn stall(&mut self, seconds: f64, bits: u8) {
         let opp = self.dvfs.current();
         let power_w = self.config.power.stall_power(opp);
-        self.counters.record_stall_cycles(seconds * opp.frequency.hz());
+        self.counters
+            .record_stall_cycles(seconds * opp.frequency.hz());
         self.totals.time_s += seconds;
         self.totals.energy_j += power_w * seconds;
         if self.config.record_power_trace {
@@ -417,7 +448,8 @@ mod tests {
 
     #[test]
     fn pmi_fires_at_granularity() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.push_work(work(2_500_000, 10));
         let r1 = cpu.run_to_pmi().expect("first interval");
         assert_eq!(r1.metrics.uops_retired, 1_000_000);
@@ -431,7 +463,8 @@ mod tests {
 
     #[test]
     fn mem_uop_is_preserved_across_interval_splits() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.push_work(work(3_000_000, 20)); // Mem/Uop = 0.020
         while let Some(r) = cpu.run_to_pmi() {
             assert!((r.metrics.mem_uop().get() - 0.020).abs() < 1e-4);
@@ -440,7 +473,8 @@ mod tests {
 
     #[test]
     fn time_and_energy_accumulate() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.push_work(work(1_000_000, 10));
         let r = cpu.run_to_pmi().unwrap();
         assert!(r.interval_seconds > 0.0);
@@ -456,7 +490,8 @@ mod tests {
     #[test]
     fn slower_setting_reduces_power_and_stretches_time() {
         let run_at = |idx: usize| {
-            let mut cpu = Cpu::new(small_config());
+            let config = small_config();
+            let mut cpu = Cpu::new(&config);
             cpu.set_dvfs(idx).unwrap();
             cpu.push_work(work(1_000_000, 10));
             let _ = cpu.run_to_pmi().unwrap();
@@ -470,7 +505,8 @@ mod tests {
 
     #[test]
     fn dvfs_switch_stalls_and_counts() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         let before = cpu.totals().time_s;
         cpu.set_dvfs(5).unwrap();
         assert_eq!(cpu.dvfs_transitions(), 1);
@@ -483,14 +519,16 @@ mod tests {
 
     #[test]
     fn invalid_dvfs_request_is_an_error() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         assert!(cpu.set_dvfs(17).is_err());
         assert_eq!(cpu.dvfs_index(), 0);
     }
 
     #[test]
     fn handler_overhead_is_charged() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.service_pmi_overhead(10e-6);
         assert!((cpu.totals().time_s - 10e-6).abs() < 1e-15);
         assert!(cpu.totals().energy_j > 0.0);
@@ -499,7 +537,8 @@ mod tests {
 
     #[test]
     fn power_trace_records_segments_with_bits() {
-        let mut cpu = Cpu::new(small_config().with_power_trace());
+        let config = small_config().with_power_trace();
+        let mut cpu = Cpu::new(&config);
         cpu.set_pport_bits(crate::trace::pport::APP_RUNNING);
         cpu.push_work(work(1_000_000, 10));
         let _ = cpu.run_to_pmi().unwrap();
@@ -516,7 +555,8 @@ mod tests {
 
     #[test]
     fn trace_disabled_by_default() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.push_work(work(1_000_000, 10));
         let _ = cpu.run_to_pmi().unwrap();
         assert!(cpu.power_trace().is_empty());
@@ -524,7 +564,8 @@ mod tests {
 
     #[test]
     fn interval_seconds_include_stalls_inside_interval() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.push_work(work(500_000, 10));
         assert!(cpu.run_to_pmi().is_none());
         // Mid-interval DVFS switch: its stall belongs to this interval.
@@ -538,7 +579,8 @@ mod tests {
 
     #[test]
     fn pmi_granularity_is_retunable_between_intervals() {
-        let mut cpu = Cpu::new(small_config());
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
         cpu.push_work(work(4_000_000, 10));
         let r1 = cpu.run_to_pmi().unwrap();
         assert_eq!(r1.metrics.uops_retired, 1_000_000);

@@ -24,9 +24,7 @@ use std::fmt;
 /// assert_eq!(f.mhz(), 1500);
 /// assert_eq!(f.hz(), 1.5e9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Frequency(u32);
 
 impl Frequency {
@@ -67,9 +65,7 @@ impl fmt::Display for Frequency {
 }
 
 /// A core supply voltage, stored in millivolts.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Voltage(u32);
 
 impl Voltage {
@@ -104,9 +100,7 @@ impl fmt::Display for Voltage {
 }
 
 /// One DVFS setting: a frequency and the matching supply voltage.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OperatingPoint {
     /// Core clock frequency.
     pub frequency: Frequency,

@@ -66,7 +66,10 @@ impl ThermalModel {
             seconds.is_finite() && seconds >= 0.0,
             "time step must be finite and non-negative"
         );
-        assert!(t_now.is_finite() && power_w.is_finite(), "non-finite inputs");
+        assert!(
+            t_now.is_finite() && power_w.is_finite(),
+            "non-finite inputs"
+        );
         let t_ss = self.steady_state(power_w);
         t_ss + (t_now - t_ss) * (-seconds / self.time_constant_s()).exp()
     }

@@ -51,7 +51,13 @@ impl IntervalWork {
     /// Panics if `uops` is zero, `cpi_core` is not positive/finite, or
     /// `mlp < 1`.
     #[must_use]
-    pub fn new(uops: u64, instructions: u64, mem_transactions: u64, cpi_core: f64, mlp: f64) -> Self {
+    pub fn new(
+        uops: u64,
+        instructions: u64,
+        mem_transactions: u64,
+        cpi_core: f64,
+        mlp: f64,
+    ) -> Self {
         assert!(uops > 0, "work must retire at least one uop");
         assert!(
             cpi_core.is_finite() && cpi_core > 0.0,
@@ -153,15 +159,16 @@ impl TimingModel {
     /// memory-bound) and the UPC/Mem-Uop boundary of Figure 6.
     #[must_use]
     pub fn pentium_m() -> Self {
-        Self { mem_latency_ns: 110.0 }
+        Self {
+            mem_latency_ns: 110.0,
+        }
     }
 
     /// Executes `work` at frequency `f`.
     #[must_use]
     pub fn execute(&self, work: &IntervalWork, f: Frequency) -> Execution {
         let core_seconds = work.uops as f64 * work.cpi_core / f.hz();
-        let mem_seconds =
-            work.mem_transactions as f64 * (self.mem_latency_ns * 1e-9) / work.mlp;
+        let mem_seconds = work.mem_transactions as f64 * (self.mem_latency_ns * 1e-9) / work.mlp;
         let seconds = core_seconds + mem_seconds;
         Execution {
             seconds,

@@ -1,8 +1,7 @@
 //! Property-based tests for the platform simulator.
 
 use livephase_pmsim::{
-    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel,
-    TimingModel,
+    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel, TimingModel,
 };
 use proptest::prelude::*;
 
@@ -76,7 +75,7 @@ proptest! {
             ..PlatformConfig::pentium_m()
         };
         let run = |chunks: Vec<IntervalWork>| {
-            let mut cpu = Cpu::new(config.clone());
+            let mut cpu = Cpu::new(&config);
             let mut pmis = 0u32;
             for c in chunks {
                 cpu.push_work(c);
@@ -128,7 +127,8 @@ proptest! {
     /// The recorded waveform always carries exactly the consumed energy.
     #[test]
     fn waveform_matches_ground_truth(work in arb_work(), setting in 0usize..6) {
-        let mut cpu = Cpu::new(PlatformConfig::pentium_m().with_power_trace());
+        let config = PlatformConfig::pentium_m().with_power_trace();
+        let mut cpu = Cpu::new(&config);
         cpu.set_dvfs(setting).expect("six settings");
         cpu.push_work(work);
         while cpu.run_to_pmi().is_some() {}
@@ -189,7 +189,7 @@ proptest! {
             pmi_granularity_uops: 10_000_000,
             ..PlatformConfig::pentium_m()
         };
-        let mut cpu = Cpu::new(config);
+        let mut cpu = Cpu::new(&config);
         cpu.set_dvfs(setting).expect("valid");
         cpu.push_work(work);
         let pmi = cpu.run_to_pmi().expect("at least one interval");

@@ -10,6 +10,7 @@
 //! 100000000,80000000,1200000,0.8,2.0
 //! ```
 
+use crate::source::IntervalSource;
 use crate::trace::WorkloadTrace;
 use livephase_pmsim::timing::IntervalWork;
 use std::error::Error;
@@ -71,12 +72,102 @@ pub fn to_csv(trace: &WorkloadTrace) -> String {
     out
 }
 
-/// Parses a trace from CSV.
+/// Parses one data row (1-based `row` for error messages).
+fn parse_row(row: usize, line: &str) -> Result<IntervalWork, TraceCsvError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 5 {
+        return Err(TraceCsvError::BadRow {
+            line: row,
+            reason: format!("expected 5 fields, found {}", fields.len()),
+        });
+    }
+    let parse_u64 = |s: &str, what: &str| {
+        s.trim().parse::<u64>().map_err(|e| TraceCsvError::BadRow {
+            line: row,
+            reason: format!("{what}: {e}"),
+        })
+    };
+    let parse_f64 = |s: &str, what: &str| {
+        s.trim().parse::<f64>().map_err(|e| TraceCsvError::BadRow {
+            line: row,
+            reason: format!("{what}: {e}"),
+        })
+    };
+    let uops = parse_u64(fields[0], "uops")?;
+    let instructions = parse_u64(fields[1], "instructions")?;
+    let mem = parse_u64(fields[2], "mem_transactions")?;
+    let cpi = parse_f64(fields[3], "cpi_core")?;
+    let mlp = parse_f64(fields[4], "mlp")?;
+    // NaNs fail these comparisons and are rejected with the rest.
+    let physical = cpi > 0.0 && mlp >= 1.0 && cpi.is_finite() && mlp.is_finite();
+    if uops == 0 || !physical {
+        return Err(TraceCsvError::BadRow {
+            line: row,
+            reason: "uops must be positive, cpi_core > 0, mlp >= 1".to_owned(),
+        });
+    }
+    Ok(IntervalWork::new(uops, instructions, mem, cpi, mlp))
+}
+
+/// A lazy CSV replay: the header is validated up front, data rows parse
+/// one at a time as the platform pulls intervals — a counter log replays
+/// without ever being buffered whole.
+///
+/// A malformed row ends the stream; the deferred error is reported by
+/// [`error`](Self::error) (streaming has no other channel for it).
+#[derive(Debug, Clone)]
+pub struct CsvSource<'a> {
+    name: String,
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    error: Option<TraceCsvError>,
+}
+
+impl CsvSource<'_> {
+    /// The parse error that terminated the stream, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceCsvError> {
+        self.error.as_ref()
+    }
+}
+
+impl IntervalSource for CsvSource<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_interval(&mut self) -> Option<IntervalWork> {
+        if self.error.is_some() {
+            return None;
+        }
+        for (idx, line) in self.lines.by_ref() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_row(idx + 1, line) {
+                Ok(w) => return Some(w),
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Opens a CSV trace as a streaming [`IntervalSource`], validating the
+/// header eagerly.
 ///
 /// # Errors
 ///
-/// Returns a [`TraceCsvError`] describing the first malformed line.
-pub fn from_csv(name: &str, csv: &str) -> Result<WorkloadTrace, TraceCsvError> {
+/// Returns [`TraceCsvError::MissingHeader`] / [`TraceCsvError::BadHeader`]
+/// for header problems; row errors surface lazily via
+/// [`CsvSource::error`].
+pub fn stream_csv<'a>(
+    name: impl Into<String>,
+    csv: &'a str,
+) -> Result<CsvSource<'a>, TraceCsvError> {
     let mut lines = csv.lines().enumerate();
     let (_, header) = lines.next().ok_or(TraceCsvError::MissingHeader)?;
     if header.trim() != CSV_HEADER {
@@ -84,46 +175,26 @@ pub fn from_csv(name: &str, csv: &str) -> Result<WorkloadTrace, TraceCsvError> {
             found: header.trim().to_owned(),
         });
     }
+    Ok(CsvSource {
+        name: name.into(),
+        lines,
+        error: None,
+    })
+}
+
+/// Parses a trace from CSV.
+///
+/// # Errors
+///
+/// Returns a [`TraceCsvError`] describing the first malformed line.
+pub fn from_csv(name: &str, csv: &str) -> Result<WorkloadTrace, TraceCsvError> {
+    let mut source = stream_csv(name, csv)?;
     let mut intervals = Vec::new();
-    for (idx, line) in lines {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let row = idx + 1; // 1-based for humans
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 5 {
-            return Err(TraceCsvError::BadRow {
-                line: row,
-                reason: format!("expected 5 fields, found {}", fields.len()),
-            });
-        }
-        let parse_u64 = |s: &str, what: &str| {
-            s.trim().parse::<u64>().map_err(|e| TraceCsvError::BadRow {
-                line: row,
-                reason: format!("{what}: {e}"),
-            })
-        };
-        let parse_f64 = |s: &str, what: &str| {
-            s.trim().parse::<f64>().map_err(|e| TraceCsvError::BadRow {
-                line: row,
-                reason: format!("{what}: {e}"),
-            })
-        };
-        let uops = parse_u64(fields[0], "uops")?;
-        let instructions = parse_u64(fields[1], "instructions")?;
-        let mem = parse_u64(fields[2], "mem_transactions")?;
-        let cpi = parse_f64(fields[3], "cpi_core")?;
-        let mlp = parse_f64(fields[4], "mlp")?;
-        // NaNs fail these comparisons and are rejected with the rest.
-        let physical = cpi > 0.0 && mlp >= 1.0 && cpi.is_finite() && mlp.is_finite();
-        if uops == 0 || !physical {
-            return Err(TraceCsvError::BadRow {
-                line: row,
-                reason: "uops must be positive, cpi_core > 0, mlp >= 1".to_owned(),
-            });
-        }
-        intervals.push(IntervalWork::new(uops, instructions, mem, cpi, mlp));
+    while let Some(w) = source.next_interval() {
+        intervals.push(w);
+    }
+    if let Some(e) = source.error {
+        return Err(e);
     }
     if intervals.is_empty() {
         return Err(TraceCsvError::Empty);
@@ -138,7 +209,10 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_the_trace() {
-        let original = spec::benchmark("applu_in").unwrap().with_length(40).generate(5);
+        let original = spec::benchmark("applu_in")
+            .unwrap()
+            .with_length(40)
+            .generate(5);
         let csv = to_csv(&original);
         let restored = from_csv("applu_in", &csv).unwrap();
         assert_eq!(original, restored);
@@ -187,6 +261,42 @@ mod tests {
         let csv = format!("{CSV_HEADER}\n\n100,80,5,0.8,2.0\n\n");
         let t = from_csv("x", &csv).unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stream_is_lazy_about_row_errors() {
+        // One good row, then a malformed one: the stream yields the good
+        // interval and parks the error instead of failing eagerly.
+        let csv = format!("{CSV_HEADER}\n100,80,5,0.8,2.0\n1,2,3\n");
+        let mut s = stream_csv("x", &csv).unwrap();
+        assert!(s.error().is_none());
+        assert!(s.next_interval().is_some());
+        assert!(s.next_interval().is_none());
+        assert!(matches!(
+            s.error(),
+            Some(TraceCsvError::BadRow { line: 3, .. })
+        ));
+        // The stream stays terminated.
+        assert!(s.next_interval().is_none());
+        // And the materialized API reports the same error.
+        assert!(matches!(
+            from_csv("x", &csv),
+            Err(TraceCsvError::BadRow { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn stream_matches_materialized_import() {
+        let original = spec::benchmark("mcf_inp")
+            .unwrap()
+            .with_length(25)
+            .generate(7);
+        let csv = to_csv(&original);
+        let mut s = stream_csv("mcf_inp", &csv).unwrap();
+        assert_eq!(s.name(), "mcf_inp");
+        let streamed: Vec<_> = std::iter::from_fn(|| s.next_interval()).collect();
+        assert_eq!(streamed.as_slice(), original.intervals());
+        assert!(s.error().is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   of Figure 6.
 
 use crate::level::PhaseLevel;
+use crate::source::{ConstantSource, IntervalSource};
 use crate::trace::WorkloadTrace;
 use livephase_pmsim::opp::Frequency;
 use livephase_pmsim::timing::TimingModel;
@@ -91,7 +92,10 @@ impl IpcxMemSuite {
     /// sensible UPC.
     #[must_use]
     pub fn solve(&self, config: IpcxMemConfig) -> Option<PhaseLevel> {
-        let IpcxMemConfig { target_upc, mem_uop } = config;
+        let IpcxMemConfig {
+            target_upc,
+            mem_uop,
+        } = config;
         if !(target_upc > 0.0 && target_upc.is_finite()) || mem_uop < 0.0 {
             return None;
         }
@@ -100,8 +104,7 @@ impl IpcxMemSuite {
             return None;
         }
         // Memory cycles per uop at MLP = 1 and the reference frequency.
-        let mem_cycles_serial =
-            mem_uop * self.timing.mem_latency_ns * 1e-9 * self.reference.hz();
+        let mem_cycles_serial = mem_uop * self.timing.mem_latency_ns * 1e-9 * self.reference.hz();
         // Keep misses as serialized as the core-CPI floor allows.
         let mlp = (mem_cycles_serial / (total_cpi - self.min_cpi_core)).max(1.0);
         if mlp > self.max_mlp {
@@ -119,8 +122,7 @@ impl IpcxMemSuite {
     pub fn grid(&self) -> Vec<IpcxMemConfig> {
         let mut configs = Vec::new();
         let mem_levels = [
-            0.0, 0.0025, 0.0075, 0.0125, 0.0175, 0.0225, 0.0275, 0.0325, 0.0375, 0.0425,
-            0.0475,
+            0.0, 0.0025, 0.0075, 0.0125, 0.0175, 0.0225, 0.0275, 0.0325, 0.0375, 0.0425, 0.0475,
         ];
         for i in 0..10 {
             let upc = 0.1 + 0.2 * f64::from(i);
@@ -137,15 +139,25 @@ impl IpcxMemSuite {
         configs
     }
 
+    /// Opens a solved configuration as a streaming source of `intervals`
+    /// identical 100 M-uop sampling intervals — O(1) memory regardless of
+    /// run length.
+    ///
+    /// Returns `None` when the coordinate is not achievable.
+    #[must_use]
+    pub fn source(&self, config: IpcxMemConfig, intervals: usize) -> Option<ConstantSource> {
+        let level = self.solve(config)?;
+        let work = level.interval(100_000_000, 1.25, level.mem_uop);
+        Some(ConstantSource::new(config.name(), work, intervals))
+    }
+
     /// Materializes a solved configuration as a constant workload trace of
     /// `intervals` 100 M-uop sampling intervals.
     ///
     /// Returns `None` when the coordinate is not achievable.
     #[must_use]
     pub fn trace(&self, config: IpcxMemConfig, intervals: usize) -> Option<WorkloadTrace> {
-        let level = self.solve(config)?;
-        let work = level.interval(100_000_000, 1.25, level.mem_uop);
-        Some(WorkloadTrace::new(config.name(), vec![work; intervals]))
+        Some(self.source(config, intervals)?.collect_trace())
     }
 }
 
@@ -268,6 +280,19 @@ mod tests {
         assert_eq!(t.name(), "ipcxmem_u0.50_m0.0225");
         let st = t.characterize();
         assert_eq!(st.sample_variation_pct, 0.0, "suite apps are constant");
+    }
+
+    #[test]
+    fn source_streams_what_trace_materializes() {
+        let s = suite();
+        let cfg = IpcxMemConfig {
+            target_upc: 0.7,
+            mem_uop: 0.0125,
+        };
+        let mut src = s.source(cfg, 6).unwrap();
+        assert_eq!(src.len_hint(), Some(6));
+        let streamed: Vec<_> = std::iter::from_fn(|| src.next_interval()).collect();
+        assert_eq!(streamed.as_slice(), s.trace(cfg, 6).unwrap().intervals());
     }
 
     #[test]

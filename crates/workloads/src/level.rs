@@ -94,12 +94,7 @@ impl PhaseLevel {
     ///
     /// `uops` micro-ops retire, `uops / uop_per_instr` instructions.
     #[must_use]
-    pub fn interval(
-        &self,
-        uops: u64,
-        uop_per_instr: f64,
-        noisy_mem_uop: f64,
-    ) -> IntervalWork {
+    pub fn interval(&self, uops: u64, uop_per_instr: f64, noisy_mem_uop: f64) -> IntervalWork {
         let mem = (noisy_mem_uop.max(0.0) * uops as f64).round() as u64;
         let instructions = (uops as f64 / uop_per_instr).round() as u64;
         IntervalWork::new(uops, instructions.max(1), mem, self.cpi_core, self.mlp)

@@ -42,13 +42,19 @@ pub mod ipcxmem;
 pub mod level;
 pub mod multiprogram;
 pub mod pattern;
+pub mod source;
 pub mod spec;
 pub mod trace;
 
-pub use io::{from_csv, to_csv, TraceCsvError};
+pub use io::{from_csv, stream_csv, to_csv, CsvSource, TraceCsvError};
 pub use ipcxmem::{IpcxMemConfig, IpcxMemSuite};
 pub use level::PhaseLevel;
-pub use multiprogram::{concatenate, round_robin, Job, MultiProgramTrace};
+pub use multiprogram::{
+    concatenate, round_robin, round_robin_source, Job, MultiProgramTrace, RoundRobinSource,
+};
 pub use pattern::{Movement, Step};
-pub use spec::{benchmark, registry, BenchmarkSpec, Quadrant};
+pub use source::{
+    ConstantSource, IntervalSource, IntoIntervalSource, OwnedTraceCursor, SourceIter, TraceCursor,
+};
+pub use spec::{benchmark, registry, BenchmarkSpec, Quadrant, SpecSource};
 pub use trace::{TraceStats, WorkloadTrace};

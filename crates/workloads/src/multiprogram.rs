@@ -9,6 +9,7 @@
 //! each sampling interval) so process-aware predictors can be evaluated
 //! against process-oblivious ones.
 
+use crate::source::IntervalSource;
 use crate::trace::WorkloadTrace;
 use livephase_pmsim::timing::IntervalWork;
 use serde::{Deserialize, Serialize};
@@ -75,39 +76,124 @@ impl MultiProgramTrace {
     }
 }
 
+/// The OS timeslicer as a streaming [`IntervalSource`]: rotates among
+/// member sources with a fixed timeslice, dropping members from the
+/// rotation as they finish. Memory is O(members), independent of mix
+/// length — member sources are pulled from lazily.
+#[derive(Debug)]
+pub struct RoundRobinSource<S> {
+    name: String,
+    members: Vec<(u32, S)>,
+    timeslice: usize,
+    /// Index of the member currently holding the (virtual) core.
+    current: usize,
+    /// Intervals the current member has consumed of its slice.
+    taken: usize,
+    /// Pid that owned the most recently emitted interval.
+    last_pid: Option<u32>,
+}
+
+impl<S: IntervalSource> RoundRobinSource<S> {
+    /// The pid that owned the interval most recently returned by
+    /// [`next_interval`](IntervalSource::next_interval) — what the PMI
+    /// handler would read from the OS at the sample.
+    #[must_use]
+    pub fn last_pid(&self) -> Option<u32> {
+        self.last_pid
+    }
+
+    /// Produces the next interval together with its owning pid.
+    pub fn next_tagged(&mut self) -> Option<(u32, IntervalWork)> {
+        loop {
+            if self.members.is_empty() {
+                return None;
+            }
+            if self.taken == self.timeslice {
+                self.current = (self.current + 1) % self.members.len();
+                self.taken = 0;
+            }
+            let (pid, member) = &mut self.members[self.current];
+            match member.next_interval() {
+                Some(w) => {
+                    self.taken += 1;
+                    let pid = *pid;
+                    self.last_pid = Some(pid);
+                    return Some((pid, w));
+                }
+                // Member finished (possibly mid-slice): leave the rotation;
+                // removal shifts the next member into `current`.
+                None => {
+                    self.members.remove(self.current);
+                    self.taken = 0;
+                    if self.current >= self.members.len() {
+                        self.current = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: IntervalSource> IntervalSource for RoundRobinSource<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_interval(&mut self) -> Option<IntervalWork> {
+        self.next_tagged().map(|(_, w)| w)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        // Every member runs to completion, so the mix length is the sum —
+        // known only when every member knows its own.
+        self.members
+            .iter()
+            .map(|(_, m)| m.len_hint())
+            .try_fold(0usize, |acc, h| h.map(|n| acc + n))
+    }
+}
+
+/// Round-robin schedules streaming `members` (pid-tagged sources) with a
+/// fixed timeslice (in sampling intervals); members that finish drop out
+/// of the rotation, as on a real scheduler.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or `timeslice` is zero.
+#[must_use]
+pub fn round_robin_source<S: IntervalSource>(
+    members: Vec<(u32, S)>,
+    timeslice: usize,
+    name: impl Into<String>,
+) -> RoundRobinSource<S> {
+    assert!(!members.is_empty(), "a mix needs at least one job");
+    assert!(timeslice >= 1, "timeslice must be at least one interval");
+    RoundRobinSource {
+        name: name.into(),
+        members,
+        timeslice,
+        current: 0,
+        taken: 0,
+        last_pid: None,
+    }
+}
+
 /// Round-robin schedules `jobs` with a fixed timeslice (in sampling
 /// intervals); jobs that finish drop out of the rotation, as on a real
-/// scheduler.
+/// scheduler. Materialized form of [`round_robin_source`].
 ///
 /// # Panics
 ///
 /// Panics if `jobs` is empty or `timeslice` is zero.
 #[must_use]
 pub fn round_robin(jobs: &[Job], timeslice: usize, name: &str) -> MultiProgramTrace {
-    assert!(!jobs.is_empty(), "a mix needs at least one job");
-    assert!(timeslice >= 1, "timeslice must be at least one interval");
-    let mut cursors: Vec<(u32, std::slice::Iter<'_, IntervalWork>)> = jobs
-        .iter()
-        .map(|j| (j.pid, j.trace.intervals().iter()))
-        .collect();
-    let mut intervals = Vec::new();
-    let mut pids = Vec::new();
-    while !cursors.is_empty() {
-        cursors.retain_mut(|(pid, it)| {
-            let mut took = 0;
-            while took < timeslice {
-                match it.next() {
-                    Some(w) => {
-                        intervals.push(*w);
-                        pids.push(*pid);
-                        took += 1;
-                    }
-                    // Job finished (possibly mid-slice): leave the rotation.
-                    None => return false,
-                }
-            }
-            true
-        });
+    let members = jobs.iter().map(|j| (j.pid, j.trace.stream())).collect();
+    let mut source = round_robin_source(members, timeslice, name);
+    let mut intervals = Vec::with_capacity(source.len_hint().unwrap_or(0));
+    let mut pids = Vec::with_capacity(intervals.capacity());
+    while let Some((pid, w)) = source.next_tagged() {
+        intervals.push(w);
+        pids.push(pid);
     }
     MultiProgramTrace {
         trace: WorkloadTrace::new(name, intervals),

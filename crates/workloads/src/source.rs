@@ -1,0 +1,285 @@
+//! Streaming interval sources: the architectural primitive of the data
+//! path.
+//!
+//! The paper's deployed system never sees a whole benchmark at once — the
+//! PMI handler consumes one sampling interval at a time as the program
+//! executes. [`IntervalSource`] mirrors that: a pull-based stream of
+//! [`IntervalWork`] chunks that the simulated platform refills from
+//! directly, fusing workload generation and simulation into a single pass
+//! with O(1) memory per run. Every generator in this crate produces such a
+//! source ([`BenchmarkSpec::stream`](crate::BenchmarkSpec::stream),
+//! [`IpcxMemSuite::source`](crate::IpcxMemSuite::source),
+//! [`multiprogram::round_robin_source`](crate::multiprogram::round_robin_source),
+//! [`io::stream_csv`](crate::io::stream_csv)); a materialized
+//! [`WorkloadTrace`] replays through the same interface via
+//! [`WorkloadTrace::stream`], so buffered and streaming execution are
+//! interchangeable — and bit-identical, because the materialized path is
+//! *defined* as collecting the stream.
+//!
+//! [`IntoIntervalSource`] is the call-site glue: consumers (notably
+//! `livephase_governor::Manager::run`) accept `impl IntoIntervalSource`,
+//! which lets them take a `&WorkloadTrace` exactly as before the streaming
+//! refactor, any owned source, or an owned trace.
+
+use crate::trace::WorkloadTrace;
+use livephase_pmsim::timing::IntervalWork;
+
+/// A pull-based stream of per-sampling-interval work chunks.
+pub trait IntervalSource {
+    /// The workload's name (e.g. `applu_in`), used to label run reports.
+    fn name(&self) -> &str;
+
+    /// Produces the next sampling interval, or `None` when the workload is
+    /// finished.
+    fn next_interval(&mut self) -> Option<IntervalWork>;
+
+    /// Number of intervals remaining, when the source knows it.
+    ///
+    /// Used only for pre-sizing buffers; `None` is always a correct answer
+    /// (e.g. for a CSV replay of unknown length).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Drains the source into a materialized [`WorkloadTrace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields no intervals (traces are never empty).
+    #[must_use]
+    fn collect_trace(mut self) -> WorkloadTrace
+    where
+        Self: Sized,
+    {
+        let name = self.name().to_owned();
+        let mut intervals = Vec::with_capacity(self.len_hint().unwrap_or(0));
+        while let Some(w) = self.next_interval() {
+            intervals.push(w);
+        }
+        WorkloadTrace::new(name, intervals)
+    }
+}
+
+/// Conversion into an [`IntervalSource`] — the bound consumers accept.
+///
+/// Implemented for every source (identity), for `&WorkloadTrace` (replay
+/// cursor borrowing the buffer), and for owned [`WorkloadTrace`].
+pub trait IntoIntervalSource {
+    /// The source this value converts into.
+    type Source: IntervalSource;
+
+    /// Performs the conversion.
+    fn into_interval_source(self) -> Self::Source;
+}
+
+impl<S: IntervalSource> IntoIntervalSource for S {
+    type Source = S;
+
+    fn into_interval_source(self) -> S {
+        self
+    }
+}
+
+impl<'a> IntoIntervalSource for &'a WorkloadTrace {
+    type Source = TraceCursor<'a>;
+
+    fn into_interval_source(self) -> TraceCursor<'a> {
+        self.stream()
+    }
+}
+
+impl IntoIntervalSource for WorkloadTrace {
+    type Source = OwnedTraceCursor;
+
+    fn into_interval_source(self) -> OwnedTraceCursor {
+        OwnedTraceCursor::new(self)
+    }
+}
+
+/// Replays a borrowed [`WorkloadTrace`] through the streaming interface.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a WorkloadTrace,
+    pos: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Creates a cursor at the start of `trace`.
+    #[must_use]
+    pub fn new(trace: &'a WorkloadTrace) -> Self {
+        Self { trace, pos: 0 }
+    }
+}
+
+impl IntervalSource for TraceCursor<'_> {
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+
+    fn next_interval(&mut self) -> Option<IntervalWork> {
+        let w = self.trace.intervals().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(w)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.trace.len() - self.pos)
+    }
+}
+
+/// Replays an owned [`WorkloadTrace`] through the streaming interface.
+#[derive(Debug)]
+pub struct OwnedTraceCursor {
+    name: String,
+    intervals: std::vec::IntoIter<IntervalWork>,
+}
+
+impl OwnedTraceCursor {
+    /// Creates a cursor consuming `trace`.
+    #[must_use]
+    pub fn new(trace: WorkloadTrace) -> Self {
+        let (name, intervals) = trace.into_parts();
+        Self {
+            name,
+            intervals: intervals.into_iter(),
+        }
+    }
+}
+
+impl IntervalSource for OwnedTraceCursor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_interval(&mut self) -> Option<IntervalWork> {
+        self.intervals.next()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.intervals.len())
+    }
+}
+
+/// A fixed number of identical intervals — the shape of the IPCxMEM
+/// micro-suite's pinned-coordinate workloads.
+#[derive(Debug, Clone)]
+pub struct ConstantSource {
+    name: String,
+    work: IntervalWork,
+    remaining: usize,
+}
+
+impl ConstantSource {
+    /// Creates a source yielding `work` for `intervals` sampling intervals.
+    #[must_use]
+    pub fn new(name: impl Into<String>, work: IntervalWork, intervals: usize) -> Self {
+        Self {
+            name: name.into(),
+            work,
+            remaining: intervals,
+        }
+    }
+}
+
+impl IntervalSource for ConstantSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_interval(&mut self) -> Option<IntervalWork> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.work)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// Adapts an [`IntervalSource`] to [`Iterator`] for use with iterator
+/// combinators.
+#[derive(Debug)]
+pub struct SourceIter<S>(pub S);
+
+impl<S: IntervalSource> Iterator for SourceIter<S> {
+    type Item = IntervalWork;
+
+    fn next(&mut self) -> Option<IntervalWork> {
+        self.0.next_interval()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.0.len_hint() {
+            Some(n) => (n, Some(n)),
+            None => (0, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn trace_cursor_replays_exactly() {
+        let trace = spec::benchmark("applu_in")
+            .unwrap()
+            .with_length(20)
+            .generate(3);
+        let mut cursor = trace.stream();
+        assert_eq!(cursor.name(), "applu_in");
+        assert_eq!(cursor.len_hint(), Some(20));
+        let replay: Vec<_> = std::iter::from_fn(|| cursor.next_interval()).collect();
+        assert_eq!(replay.as_slice(), trace.intervals());
+        assert_eq!(cursor.len_hint(), Some(0));
+        assert!(cursor.next_interval().is_none());
+    }
+
+    #[test]
+    fn owned_cursor_matches_borrowed() {
+        let trace = spec::benchmark("swim_in")
+            .unwrap()
+            .with_length(10)
+            .generate(4);
+        let borrowed: Vec<_> = SourceIter(trace.stream()).collect();
+        let owned: Vec<_> = SourceIter(trace.clone().into_interval_source()).collect();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn collect_trace_round_trips() {
+        let trace = spec::benchmark("mcf_inp")
+            .unwrap()
+            .with_length(15)
+            .generate(9);
+        let rebuilt = trace.stream().collect_trace();
+        assert_eq!(rebuilt, trace);
+    }
+
+    #[test]
+    fn constant_source_is_flat_and_finite() {
+        let w = IntervalWork::new(1_000, 800, 10, 0.7, 2.0);
+        let mut s = ConstantSource::new("flat", w, 3);
+        assert_eq!(s.len_hint(), Some(3));
+        assert_eq!(s.next_interval(), Some(w));
+        assert_eq!(s.next_interval(), Some(w));
+        assert_eq!(s.next_interval(), Some(w));
+        assert_eq!(s.next_interval(), None);
+        assert_eq!(s.len_hint(), Some(0));
+    }
+
+    #[test]
+    fn source_iter_reports_size() {
+        let trace = spec::benchmark("applu_in")
+            .unwrap()
+            .with_length(8)
+            .generate(1);
+        let it = SourceIter(trace.stream());
+        assert_eq!(it.size_hint(), (8, Some(8)));
+        assert_eq!(it.count(), 8);
+    }
+}

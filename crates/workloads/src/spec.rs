@@ -23,6 +23,7 @@
 
 use crate::level::PhaseLevel;
 use crate::pattern::{standard_normal, Movement, Step};
+use crate::source::IntervalSource;
 use crate::trace::WorkloadTrace;
 use livephase_pmsim::timing::IntervalWork;
 use rand::rngs::StdRng;
@@ -174,33 +175,29 @@ impl BenchmarkSpec {
     /// The same `(spec, seed)` pair always yields the identical trace; the
     /// benchmark name is mixed into the seed so different benchmarks
     /// decorrelate even under the same experiment seed.
+    ///
+    /// This is [`stream`](Self::stream) materialized — buffered and
+    /// streaming execution are bit-identical by construction.
     #[must_use]
     pub fn generate(&self, seed: u64) -> WorkloadTrace {
-        let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(self.name.as_bytes()));
-        let mut intervals = Vec::with_capacity(self.length);
-        'outer: loop {
-            for movement in &self.movements {
-                for _ in 0..movement.repeats {
-                    for step in &movement.steps {
-                        let dwell = self.jittered_dwell(step.dwell, &mut rng);
-                        for _ in 0..dwell {
-                            if intervals.len() == self.length {
-                                break 'outer;
-                            }
-                            let level = &self.levels[step.level];
-                            let noise = self.noise_sigma * standard_normal(&mut rng);
-                            let w: IntervalWork = level.interval(
-                                self.uops_per_interval,
-                                self.uop_per_instr,
-                                level.mem_uop + noise,
-                            );
-                            intervals.push(w);
-                        }
-                    }
-                }
-            }
+        self.stream(seed).collect_trace()
+    }
+
+    /// Opens a lazy interval stream over the benchmark: the same seeded
+    /// generation as [`generate`](Self::generate), one interval at a time,
+    /// in O(1) memory.
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> SpecSource<'_> {
+        SpecSource {
+            spec: self,
+            rng: StdRng::seed_from_u64(seed ^ fnv1a(self.name.as_bytes())),
+            produced: 0,
+            movement: 0,
+            repeat: 0,
+            step: 0,
+            level: 0,
+            remaining_dwell: 0,
         }
-        WorkloadTrace::new(self.name.clone(), intervals)
     }
 
     /// Applies quasi-periodicity: with probability `dwell_jitter` a step
@@ -217,6 +214,79 @@ impl BenchmarkSpec {
         } else {
             dwell
         }
+    }
+}
+
+/// The lazy generation state machine behind [`BenchmarkSpec::stream`]:
+/// walks the movement → repeat → step nesting exactly as materialized
+/// generation does, drawing the dwell jitter on step entry and the Mem/Uop
+/// noise per emitted interval, so the RNG consumption order — and hence
+/// the produced stream — is identical.
+#[derive(Debug, Clone)]
+pub struct SpecSource<'a> {
+    spec: &'a BenchmarkSpec,
+    rng: StdRng,
+    produced: usize,
+    /// Index of the movement the *next* step will come from.
+    movement: usize,
+    /// Repeat iteration within that movement.
+    repeat: u32,
+    /// Step index within the repeat.
+    step: usize,
+    /// Level of the step currently being emitted.
+    level: usize,
+    /// Intervals left in the current step's (jittered) dwell.
+    remaining_dwell: u32,
+}
+
+impl SpecSource<'_> {
+    /// Enters the next step of the movement walk, drawing its jittered
+    /// dwell, and advances the walk position.
+    fn enter_next_step(&mut self) {
+        let movement = &self.spec.movements[self.movement];
+        let step = movement.steps[self.step];
+        self.remaining_dwell = self.spec.jittered_dwell(step.dwell, &mut self.rng);
+        self.level = step.level;
+
+        self.step += 1;
+        if self.step == movement.steps.len() {
+            self.step = 0;
+            self.repeat += 1;
+            if self.repeat == movement.repeats {
+                self.repeat = 0;
+                self.movement = (self.movement + 1) % self.spec.movements.len();
+            }
+        }
+    }
+}
+
+impl IntervalSource for SpecSource<'_> {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn next_interval(&mut self) -> Option<IntervalWork> {
+        if self.produced == self.spec.length {
+            return None;
+        }
+        // Steps always dwell >= 1, so this terminates after one entry.
+        while self.remaining_dwell == 0 {
+            self.enter_next_step();
+        }
+        let level = &self.spec.levels[self.level];
+        let noise = self.spec.noise_sigma * standard_normal(&mut self.rng);
+        let w = level.interval(
+            self.spec.uops_per_interval,
+            self.spec.uop_per_instr,
+            level.mem_uop + noise,
+        );
+        self.remaining_dwell -= 1;
+        self.produced += 1;
+        Some(w)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.spec.length - self.produced)
     }
 }
 
@@ -310,95 +380,257 @@ pub fn registry() -> Vec<BenchmarkSpec> {
     // -------------------------------------------------- Q1: stable, flat.
     // Last-value accuracy 97–99.5 %; near the Figure 3 origin.
     v.push(flat_with_excursions(
-        "crafty_in", Quadrant::Q1, cpu(0.0008), light(0.0060), 400, 1, 0.0002,
+        "crafty_in",
+        Quadrant::Q1,
+        cpu(0.0008),
+        light(0.0060),
+        400,
+        1,
+        0.0002,
     ));
     v.push(flat_with_excursions(
-        "eon_cook", Quadrant::Q1, cpu(0.0004), light(0.0058), 340, 1, 0.0002,
+        "eon_cook",
+        Quadrant::Q1,
+        cpu(0.0004),
+        light(0.0058),
+        340,
+        1,
+        0.0002,
     ));
     v.push(flat_with_excursions(
-        "eon_kajiya", Quadrant::Q1, cpu(0.0005), light(0.0058), 300, 1, 0.0002,
+        "eon_kajiya",
+        Quadrant::Q1,
+        cpu(0.0005),
+        light(0.0058),
+        300,
+        1,
+        0.0002,
     ));
     v.push(flat_with_excursions(
-        "eon_rushmeier", Quadrant::Q1, cpu(0.0007), light(0.0060), 210, 1, 0.0002,
+        "eon_rushmeier",
+        Quadrant::Q1,
+        cpu(0.0007),
+        light(0.0060),
+        210,
+        1,
+        0.0002,
     ));
     v.push(flat_with_excursions(
-        "mesa_ref", Quadrant::Q1, cpu(0.0012), light(0.0062), 200, 1, 0.0003,
+        "mesa_ref",
+        Quadrant::Q1,
+        cpu(0.0012),
+        light(0.0062),
+        200,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "vortex_lendian2", Quadrant::Q1, cpu(0.0028), light(0.0078), 140, 1, 0.0003,
+        "vortex_lendian2",
+        Quadrant::Q1,
+        cpu(0.0028),
+        light(0.0078),
+        140,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "sixtrack_in", Quadrant::Q1, cpu(0.0003), light(0.0056), 135, 1, 0.0002,
+        "sixtrack_in",
+        Quadrant::Q1,
+        cpu(0.0003),
+        light(0.0056),
+        135,
+        1,
+        0.0002,
     ));
 
     // swim: Q2 — extremely memory bound and almost perfectly flat (it sits
     // on the x-axis of Figure 3). > 60 % EDP headroom.
     v.push(flat_with_excursions(
-        "swim_in", Quadrant::Q2, extreme(0.0265), extreme(0.0330), 100, 1, 0.0004,
+        "swim_in",
+        Quadrant::Q2,
+        extreme(0.0265),
+        extreme(0.0330),
+        100,
+        1,
+        0.0004,
     ));
 
     v.push(flat_with_excursions(
-        "vortex_lendian1", Quadrant::Q1, cpu(0.0030), light(0.0080), 100, 1, 0.0003,
+        "vortex_lendian1",
+        Quadrant::Q1,
+        cpu(0.0030),
+        light(0.0080),
+        100,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "twolf_ref", Quadrant::Q1, cpu(0.0022), light(0.0072), 82, 1, 0.0003,
+        "twolf_ref",
+        Quadrant::Q1,
+        cpu(0.0022),
+        light(0.0072),
+        82,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "vortex_lendian3", Quadrant::Q1, cpu(0.0031), light(0.0081), 68, 1, 0.0003,
+        "vortex_lendian3",
+        Quadrant::Q1,
+        cpu(0.0031),
+        light(0.0081),
+        68,
+        1,
+        0.0003,
     ));
 
     // The gzip family: compression bursts every few dozen intervals.
     v.push(flat_with_excursions(
-        "gzip_program", Quadrant::Q1, cpu(0.0018), light(0.0068), 50, 1, 0.0003,
+        "gzip_program",
+        Quadrant::Q1,
+        cpu(0.0018),
+        light(0.0068),
+        50,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "gzip_graphic", Quadrant::Q1, cpu(0.0026), light(0.0078), 45, 1, 0.0003,
+        "gzip_graphic",
+        Quadrant::Q1,
+        cpu(0.0026),
+        light(0.0078),
+        45,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "gzip_random", Quadrant::Q1, cpu(0.0016), light(0.0066), 40, 1, 0.0003,
+        "gzip_random",
+        Quadrant::Q1,
+        cpu(0.0016),
+        light(0.0066),
+        40,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "gzip_source", Quadrant::Q1, cpu(0.0020), light(0.0070), 36, 1, 0.0003,
+        "gzip_source",
+        Quadrant::Q1,
+        cpu(0.0020),
+        light(0.0070),
+        36,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "gzip_log", Quadrant::Q1, cpu(0.0017), light(0.0067), 33, 1, 0.0003,
+        "gzip_log",
+        Quadrant::Q1,
+        cpu(0.0017),
+        light(0.0067),
+        33,
+        1,
+        0.0003,
     ));
 
     // mcf: Q2 — the most memory-bound program in SPEC (the broken x-axis
     // of Figure 3, ≈ 0.10 Mem/Uop), with occasional pointer-chase lulls.
     v.push(flat_with_excursions(
-        "mcf_inp", Quadrant::Q2, extreme(0.1050), heavy(0.0220), 28, 1, 0.0008,
+        "mcf_inp",
+        Quadrant::Q2,
+        extreme(0.1050),
+        heavy(0.0220),
+        28,
+        1,
+        0.0008,
     ));
 
     v.push(flat_with_excursions(
-        "gcc_200", Quadrant::Q1, cpu(0.0032), light(0.0068), 25, 1, 0.0003,
+        "gcc_200",
+        Quadrant::Q1,
+        cpu(0.0032),
+        light(0.0068),
+        25,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "gcc_scilab", Quadrant::Q1, cpu(0.0034), light(0.0070), 22, 1, 0.0003,
+        "gcc_scilab",
+        Quadrant::Q1,
+        cpu(0.0034),
+        light(0.0070),
+        22,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "wupwise_ref", Quadrant::Q1, cpu(0.0040), mid(0.0110), 20, 1, 0.0004,
+        "wupwise_ref",
+        Quadrant::Q1,
+        cpu(0.0040),
+        mid(0.0110),
+        20,
+        1,
+        0.0004,
     ));
     v.push(flat_with_excursions(
-        "gap_ref", Quadrant::Q1, cpu(0.0038), light(0.0072), 18, 1, 0.0004,
+        "gap_ref",
+        Quadrant::Q1,
+        cpu(0.0038),
+        light(0.0072),
+        18,
+        1,
+        0.0004,
     ));
     v.push(flat_with_excursions(
-        "gcc_integrate", Quadrant::Q1, cpu(0.0033), light(0.0069), 17, 1, 0.0003,
+        "gcc_integrate",
+        Quadrant::Q1,
+        cpu(0.0033),
+        light(0.0069),
+        17,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "gcc_expr", Quadrant::Q1, cpu(0.0031), light(0.0067), 15, 1, 0.0003,
+        "gcc_expr",
+        Quadrant::Q1,
+        cpu(0.0031),
+        light(0.0067),
+        15,
+        1,
+        0.0003,
     ));
     v.push(flat_with_excursions(
-        "ammp_in", Quadrant::Q1, cpu(0.0040), mid(0.0120), 14, 1, 0.0004,
+        "ammp_in",
+        Quadrant::Q1,
+        cpu(0.0040),
+        mid(0.0120),
+        14,
+        1,
+        0.0004,
     ));
     v.push(flat_with_excursions(
-        "gcc_166", Quadrant::Q4, cpu(0.0030), mid(0.0090), 12, 1, 0.0004,
+        "gcc_166",
+        Quadrant::Q4,
+        cpu(0.0030),
+        mid(0.0090),
+        12,
+        1,
+        0.0004,
     ));
     v.push(flat_with_excursions(
-        "parser_ref", Quadrant::Q1, cpu(0.0038), light(0.0088), 11, 1, 0.0004,
+        "parser_ref",
+        Quadrant::Q1,
+        cpu(0.0038),
+        light(0.0088),
+        11,
+        1,
+        0.0004,
     ));
     v.push(flat_with_excursions(
-        "apsi_ref", Quadrant::Q1, cpu(0.0040), mid(0.0110), 11, 1, 0.0004,
+        "apsi_ref",
+        Quadrant::Q1,
+        cpu(0.0040),
+        mid(0.0110),
+        11,
+        1,
+        0.0004,
     ));
 
     // ------------------------------------------- Q3/Q4: the variable six.
@@ -650,6 +882,63 @@ mod tests {
     fn lookup_by_name() {
         assert!(benchmark("applu_in").is_some());
         assert!(benchmark("doom_eternal").is_none());
+    }
+
+    /// The pre-streaming materialized generator, kept as an independent
+    /// reference: the `SpecSource` state machine must consume the RNG in
+    /// exactly this order.
+    fn reference_generate(spec: &BenchmarkSpec, seed: u64) -> Vec<IntervalWork> {
+        let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(spec.name.as_bytes()));
+        let mut intervals = Vec::with_capacity(spec.length);
+        'outer: loop {
+            for movement in &spec.movements {
+                for _ in 0..movement.repeats {
+                    for step in &movement.steps {
+                        let dwell = spec.jittered_dwell(step.dwell, &mut rng);
+                        for _ in 0..dwell {
+                            if intervals.len() == spec.length {
+                                break 'outer;
+                            }
+                            let level = &spec.levels[step.level];
+                            let noise = spec.noise_sigma * standard_normal(&mut rng);
+                            intervals.push(level.interval(
+                                spec.uops_per_interval,
+                                spec.uop_per_instr,
+                                level.mem_uop + noise,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        intervals
+    }
+
+    #[test]
+    fn stream_matches_the_materialized_reference_generator() {
+        for spec in registry() {
+            let spec = spec.with_length(150);
+            for seed in [0, 42] {
+                assert_eq!(
+                    spec.generate(seed).intervals(),
+                    reference_generate(&spec, seed).as_slice(),
+                    "{} seed {seed}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_len_hint_counts_down() {
+        let spec = benchmark("applu_in").unwrap().with_length(5);
+        let mut s = spec.stream(1);
+        assert_eq!(s.len_hint(), Some(5));
+        let _ = s.next_interval();
+        assert_eq!(s.len_hint(), Some(4));
+        assert_eq!(s.name(), "applu_in");
+        while s.next_interval().is_some() {}
+        assert_eq!(s.len_hint(), Some(0));
     }
 
     #[test]

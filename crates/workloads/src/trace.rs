@@ -54,17 +54,36 @@ impl WorkloadTrace {
         self.intervals.iter()
     }
 
-    /// The per-interval Mem/Uop series.
+    /// Opens a streaming replay cursor over the buffered intervals — the
+    /// trace's [`IntervalSource`](crate::IntervalSource) view.
     #[must_use]
-    pub fn mem_uop_series(&self) -> Vec<f64> {
-        self.intervals.iter().map(IntervalWork::mem_uop).collect()
+    pub fn stream(&self) -> crate::source::TraceCursor<'_> {
+        crate::source::TraceCursor::new(self)
+    }
+
+    /// Decomposes the trace into its name and interval buffer.
+    #[must_use]
+    pub fn into_parts(self) -> (String, Vec<IntervalWork>) {
+        (self.name, self.intervals)
+    }
+
+    /// The per-interval Mem/Uop series, lazily.
+    pub fn mem_uop_series(&self) -> impl ExactSizeIterator<Item = f64> + '_ {
+        self.intervals.iter().map(IntervalWork::mem_uop)
+    }
+
+    /// The per-interval Mem/Uop series, materialized — for callers that
+    /// need random access or a slice.
+    #[must_use]
+    pub fn mem_uop_series_vec(&self) -> Vec<f64> {
+        self.mem_uop_series().collect()
     }
 
     /// Computes the characterization statistics the paper plots in
-    /// Figure 3.
+    /// Figure 3, in one streaming pass.
     #[must_use]
     pub fn characterize(&self) -> TraceStats {
-        TraceStats::from_mem_uop_series(&self.mem_uop_series())
+        TraceStats::from_mem_uop_iter(self.mem_uop_series())
     }
 }
 
@@ -103,22 +122,43 @@ impl TraceStats {
     /// Panics if the series is empty.
     #[must_use]
     pub fn from_mem_uop_series(series: &[f64]) -> Self {
-        assert!(!series.is_empty(), "cannot characterize an empty series");
-        let mean = series.iter().sum::<f64>() / series.len() as f64;
-        let varying = series
-            .windows(2)
-            .filter(|w| (w[1] - w[0]).abs() > Self::VARIATION_THRESHOLD)
-            .count();
-        let pairs = series.len().saturating_sub(1);
+        Self::from_mem_uop_iter(series.iter().copied())
+    }
+
+    /// Characterizes a Mem/Uop series in one streaming pass, without
+    /// buffering it — sum, consecutive-pair comparison, and count all fold
+    /// over the iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn from_mem_uop_iter(series: impl IntoIterator<Item = f64>) -> Self {
+        let mut sum = 0.0;
+        let mut varying = 0usize;
+        let mut samples = 0usize;
+        let mut prev = None;
+        for rate in series {
+            sum += rate;
+            samples += 1;
+            if let Some(p) = prev {
+                if f64::abs(rate - p) > Self::VARIATION_THRESHOLD {
+                    varying += 1;
+                }
+            }
+            prev = Some(rate);
+        }
+        assert!(samples > 0, "cannot characterize an empty series");
+        let pairs = samples - 1;
         let pct = if pairs == 0 {
             0.0
         } else {
             100.0 * varying as f64 / pairs as f64
         };
         Self {
-            mean_mem_uop: mean,
+            mean_mem_uop: sum / samples as f64,
             sample_variation_pct: pct,
-            samples: series.len(),
+            samples,
         }
     }
 }

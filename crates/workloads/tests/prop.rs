@@ -1,9 +1,7 @@
 //! Property-based tests for workload generation and the IPCxMEM solver.
 
 use livephase_pmsim::Frequency;
-use livephase_workloads::{
-    registry, IpcxMemConfig, IpcxMemSuite, PhaseLevel, TraceStats,
-};
+use livephase_workloads::{registry, IpcxMemConfig, IpcxMemSuite, PhaseLevel, TraceStats};
 use proptest::prelude::*;
 
 proptest! {

@@ -22,23 +22,26 @@ fn main() {
     let bench = spec::benchmark("equake_in").expect("registered");
     let trace = bench.with_length(400).generate(42);
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
+    let baseline = Manager::baseline().run(&trace, &platform);
 
     // (a) The paper's deployed configuration.
-    let table12 = Manager::gpht_deployed().run(&trace, platform.clone());
+    let table12 = Manager::gpht_deployed().run(&trace, &platform);
 
     // (b) A custom, coarse definition: "CPU-ish" vs "memory-ish" at
     //     0.02 Mem/Uop, mapped to 1500 MHz / 800 MHz.
     let coarse_map = PhaseMap::new(vec![0.02]).expect("one boundary");
     let coarse_table = TranslationTable::new(vec![0, 4], 6).expect("valid");
     let coarse = Manager::new(
-        Box::new(Proactive::new(Gpht::new(GphtConfig::DEPLOYED), coarse_table)),
+        Box::new(Proactive::new(
+            Gpht::new(GphtConfig::DEPLOYED),
+            coarse_table,
+        )),
         ManagerConfig {
             phase_map: coarse_map,
             ..ManagerConfig::pentium_m()
         },
     )
-    .run(&trace, platform.clone());
+    .run(&trace, &platform);
 
     // (c) Conservative definitions derived from the IPCxMEM
     //     characterization to bound slowdown by 5 %.
@@ -49,7 +52,7 @@ fn main() {
         cons_map.boundaries(),
         cons_table.settings()
     );
-    let conservative = derivation.manager(0.05).run(&trace, platform);
+    let conservative = derivation.manager(0.05).run(&trace, &platform);
 
     println!(
         "{:<28} {:>10} {:>10} {:>12}",
@@ -75,5 +78,8 @@ fn main() {
         c.perf_degradation_pct() < 5.0,
         "the conservative configuration must respect its bound"
     );
-    println!("\nconservative bound respected: {:.1}% < 5%", c.perf_degradation_pct());
+    println!(
+        "\nconservative bound respected: {:.1}% < 5%",
+        c.perf_degradation_pct()
+    );
 }

@@ -28,9 +28,9 @@ fn main() {
 
     let platform = PlatformConfig::pentium_m().with_power_trace();
     println!("running {name} baseline ...");
-    let baseline = Manager::baseline().run(&trace, platform.clone());
+    let baseline = Manager::baseline().run(&trace, &platform);
     println!("running {name} under GPHT-guided DVFS ...");
-    let managed = Manager::gpht_deployed().run(&trace, platform);
+    let managed = Manager::gpht_deployed().run(&trace, &platform);
 
     println!("measuring both runs through the DAQ chain (40 us sampling) ...");
     let daq = DaqSystem::pentium_m(42);

@@ -7,36 +7,40 @@
 //! Walks the full pipeline of the paper on the `applu` benchmark — the
 //! highly variable workload its Figure 2 uses as the running example:
 //!
-//! 1. generate the workload;
+//! 1. pick the workload (generated lazily, one interval at a time);
 //! 2. run it unmanaged (baseline, always 1500 MHz);
 //! 3. run it under GPHT-guided DVFS (the deployed system);
 //! 4. compare power, performance and energy-delay product.
 
-use livephase::governor::Manager;
+use livephase::governor::Session;
 use livephase::pmsim::PlatformConfig;
 use livephase::workloads::spec;
 
 fn main() {
     // 1. A calibrated SPEC CPU2000 stand-in: 500 sampling intervals of
-    //    100 M uops each, deterministic for a given seed.
+    //    100 M uops each, deterministic for a given seed. `stream(seed)`
+    //    feeds the platform interval-by-interval — the workload is never
+    //    materialized (`generate(seed)` still returns the whole trace
+    //    when you want to inspect it).
     let applu = spec::benchmark("applu_in")
         .expect("applu_in ships with the workload registry")
         .with_length(500);
-    let trace = applu.generate(42);
     println!(
         "workload: {} ({} intervals, mean Mem/Uop {:.4})",
-        trace.name(),
-        trace.len(),
-        trace.characterize().mean_mem_uop
+        applu.name(),
+        500,
+        applu.generate(42).characterize().mean_mem_uop
     );
 
-    // 2. Baseline: the unmanaged system.
+    // 2. Baseline: the unmanaged system. A Session borrows the platform
+    //    once and runs any number of workloads on it.
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
+    let session = Session::new(&platform);
+    let baseline = session.baseline(applu.stream(42));
 
     // 3. The paper's deployed system: GPHT(8, 128) predictions drive the
     //    Table 2 phase -> DVFS translation inside the PMI handler.
-    let managed = Manager::gpht_deployed().run(&trace, platform);
+    let managed = session.gpht(applu.stream(42));
 
     // 4. Compare.
     let cmp = managed.compare_to(&baseline);

@@ -33,8 +33,8 @@ fn main() {
     assert_eq!(recorded.intervals(), replayed.intervals());
 
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&replayed, platform.clone());
-    let managed = Manager::gpht_deployed().run(&replayed, platform);
+    let baseline = Manager::baseline().run(&replayed, &platform);
+    let managed = Manager::gpht_deployed().run(&replayed, &platform);
     let cmp = managed.compare_to(&baseline);
     println!(
         "\nreplayed under GPHT management: accuracy {:.1}%, EDP improvement \

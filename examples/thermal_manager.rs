@@ -29,7 +29,7 @@ fn main() {
         Box::new(livephase::governor::Baseline::new()),
         thermal_cfg.clone(),
     )
-    .run(&trace, platform.clone());
+    .run(&trace, &platform);
 
     let limit_c = 65.0;
     let dtm = Manager::new(
@@ -42,7 +42,7 @@ fn main() {
         )),
         thermal_cfg.clone(),
     )
-    .run(&trace, platform.clone());
+    .run(&trace, &platform);
 
     let cap_w = 7.0;
     let capped = Manager::new(
@@ -53,7 +53,7 @@ fn main() {
         )),
         thermal_cfg,
     )
-    .run(&trace, platform);
+    .run(&trace, &platform);
 
     println!(
         "{:<26} {:>9} {:>10} {:>7}",

@@ -10,9 +10,12 @@ use livephase::workloads::spec;
 /// variable workload.
 #[test]
 fn full_pipeline_is_self_consistent() {
-    let trace = spec::benchmark("applu_in").unwrap().with_length(200).generate(9);
+    let trace = spec::benchmark("applu_in")
+        .unwrap()
+        .with_length(200)
+        .generate(9);
     let platform = PlatformConfig::pentium_m().with_power_trace();
-    let report = Manager::gpht_deployed().run(&trace, platform);
+    let report = Manager::gpht_deployed().run(&trace, &platform);
 
     // Interval accounting sums to the totals, up to the final PMI's own
     // handler execution + DVFS switch, which follow the last record.
@@ -22,7 +25,10 @@ fn full_pipeline_is_self_consistent() {
     assert!(report.totals.time_s - t >= -1e-12);
     assert!(report.totals.time_s - t <= tail_slack_s);
     assert!(report.totals.energy_j - e >= -1e-9);
-    assert!(report.totals.energy_j - e <= tail_slack_s * 15.0, "15 W bound");
+    assert!(
+        report.totals.energy_j - e <= tail_slack_s * 15.0,
+        "15 W bound"
+    );
 
     // The recorded waveform carries exactly the run's energy and time.
     let wave = report.power_trace.as_ref().unwrap();
@@ -39,11 +45,18 @@ fn full_pipeline_is_self_consistent() {
 /// whatever the policy.
 #[test]
 fn no_work_is_lost_or_duplicated() {
-    let trace = spec::benchmark("mgrid_in").unwrap().with_length(97).generate(3);
+    let trace = spec::benchmark("mgrid_in")
+        .unwrap()
+        .with_length(97)
+        .generate(3);
     let expected_uops: u64 = trace.iter().map(|w| w.uops).sum();
     let expected_instr: u64 = trace.iter().map(|w| w.instructions).sum();
-    for manager in [Manager::baseline(), Manager::reactive(), Manager::gpht_deployed()] {
-        let r = manager.run(&trace, PlatformConfig::pentium_m());
+    for manager in [
+        Manager::baseline(),
+        Manager::reactive(),
+        Manager::gpht_deployed(),
+    ] {
+        let r = manager.run(&trace, &PlatformConfig::pentium_m());
         assert_eq!(r.totals.uops, expected_uops);
         assert_eq!(r.totals.instructions, expected_instr);
     }
@@ -53,8 +66,11 @@ fn no_work_is_lost_or_duplicated() {
 #[test]
 fn stack_is_deterministic() {
     let run = || {
-        let trace = spec::benchmark("equake_in").unwrap().with_length(120).generate(5);
-        Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m())
+        let trace = spec::benchmark("equake_in")
+            .unwrap()
+            .with_length(120)
+            .generate(5);
+        Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m())
     };
     let a = run();
     let b = run();
@@ -67,10 +83,13 @@ fn stack_is_deterministic() {
 /// invariance the whole design rests on), even though it changes timing.
 #[test]
 fn management_does_not_perturb_the_phase_signal() {
-    let trace = spec::benchmark("applu_in").unwrap().with_length(150).generate(11);
+    let trace = spec::benchmark("applu_in")
+        .unwrap()
+        .with_length(150)
+        .generate(11);
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
-    let managed = Manager::gpht_deployed().run(&trace, platform);
+    let baseline = Manager::baseline().run(&trace, &platform);
+    let managed = Manager::gpht_deployed().run(&trace, &platform);
     for (b, m) in baseline.intervals.iter().zip(&managed.intervals) {
         assert!(
             (b.mem_uop - m.mem_uop).abs() < 1e-9,
@@ -88,8 +107,11 @@ fn management_does_not_perturb_the_phase_signal() {
 #[test]
 fn online_and_offline_prediction_scores_agree() {
     use livephase::core::{evaluate, Gpht, GphtConfig, PhaseSample};
-    let trace = spec::benchmark("bzip2_source").unwrap().with_length(300).generate(2);
-    let managed = Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m());
+    let trace = spec::benchmark("bzip2_source")
+        .unwrap()
+        .with_length(300)
+        .generate(2);
+    let managed = Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m());
 
     let map = PhaseMap::pentium_m();
     let stream = trace
@@ -108,7 +130,10 @@ fn phase_map_reconfiguration_is_isolated() {
     use livephase::core::{Gpht, GphtConfig};
     use livephase::governor::{Proactive, TranslationTable};
 
-    let trace = spec::benchmark("swim_in").unwrap().with_length(80).generate(4);
+    let trace = spec::benchmark("swim_in")
+        .unwrap()
+        .with_length(80)
+        .generate(4);
     let platform = PlatformConfig::pentium_m();
 
     // Single-phase map: everything is "phase 1" -> setting 0: must behave
@@ -123,10 +148,10 @@ fn phase_map_reconfiguration_is_isolated() {
             ..ManagerConfig::pentium_m()
         },
     )
-    .run(&trace, platform.clone());
+    .run(&trace, &platform);
     assert_eq!(degenerate.dvfs_transitions, 0);
 
-    let baseline = Manager::baseline().run(&trace, platform);
+    let baseline = Manager::baseline().run(&trace, &platform);
     let ratio = degenerate.totals.time_s / baseline.totals.time_s;
     assert!((ratio - 1.0).abs() < 1e-6, "only handler overhead differs");
 }

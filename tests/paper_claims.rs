@@ -5,9 +5,7 @@
 //! reduced scale suitable for `cargo test` (the full-scale equivalents run
 //! in `repro-all`).
 
-use livephase::core::{
-    evaluate, Gpht, GphtConfig, LastValue, PhaseMap, PhaseSample,
-};
+use livephase::core::{evaluate, Gpht, GphtConfig, LastValue, PhaseMap, PhaseSample};
 use livephase::governor::Manager;
 use livephase::pmsim::{Frequency, PlatformConfig, TimingModel};
 use livephase::workloads::{spec, IpcxMemConfig, IpcxMemSuite};
@@ -29,11 +27,7 @@ fn stream(name: &str, len: usize) -> Vec<PhaseSample> {
 fn claim_gpht_exceeds_90_percent_on_many_benchmarks() {
     let mut above = 0;
     for name in ["crafty_in", "swim_in", "gzip_log", "applu_in", "mcf_inp"] {
-        let acc = evaluate(
-            &mut Gpht::new(GphtConfig::REFERENCE),
-            stream(name, 800),
-        )
-        .accuracy();
+        let acc = evaluate(&mut Gpht::new(GphtConfig::REFERENCE), stream(name, 800)).accuracy();
         if acc > 0.90 {
             above += 1;
         }
@@ -49,8 +43,7 @@ fn claim_6x_fewer_mispredictions_on_applu() {
     let st = stream("applu_in", 2000);
     let gpht = evaluate(&mut Gpht::new(GphtConfig::REFERENCE), st.iter().copied());
     let lv = evaluate(&mut LastValue::new(), st.iter().copied());
-    let reduction =
-        lv.misprediction_rate() / gpht.misprediction_rate().max(1e-9);
+    let reduction = lv.misprediction_rate() / gpht.misprediction_rate().max(1e-9);
     assert!(reduction > 5.0, "reduction {reduction:.1}x");
 }
 
@@ -83,10 +76,13 @@ fn claim_mem_uop_invariant_upc_not() {
 /// product of variable workloads by as much as 34%."
 #[test]
 fn claim_large_edp_improvements_on_variable_workloads() {
-    let trace = spec::benchmark("equake_in").unwrap().with_length(400).generate(42);
+    let trace = spec::benchmark("equake_in")
+        .unwrap()
+        .with_length(400)
+        .generate(42);
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
-    let managed = Manager::gpht_deployed().run(&trace, platform);
+    let baseline = Manager::baseline().run(&trace, &platform);
+    let managed = Manager::gpht_deployed().run(&trace, &platform);
     let edp = managed.compare_to(&baseline).edp_improvement_pct();
     assert!(edp > 25.0, "equake EDP improvement {edp:.1}%");
 }
@@ -98,8 +94,8 @@ fn claim_q2_exceeds_60_percent_edp() {
     for name in ["swim_in", "mcf_inp"] {
         let trace = spec::benchmark(name).unwrap().with_length(300).generate(42);
         let platform = PlatformConfig::pentium_m();
-        let baseline = Manager::baseline().run(&trace, platform.clone());
-        let managed = Manager::gpht_deployed().run(&trace, platform);
+        let baseline = Manager::baseline().run(&trace, &platform);
+        let managed = Manager::gpht_deployed().run(&trace, &platform);
         let edp = managed.compare_to(&baseline).edp_improvement_pct();
         assert!(edp > 50.0, "{name} EDP improvement {edp:.1}%");
     }
@@ -110,11 +106,14 @@ fn claim_q2_exceeds_60_percent_edp() {
 /// methods, while inducing comparable or less performance degradations."
 #[test]
 fn claim_proactive_beats_reactive() {
-    let trace = spec::benchmark("applu_in").unwrap().with_length(600).generate(42);
+    let trace = spec::benchmark("applu_in")
+        .unwrap()
+        .with_length(600)
+        .generate(42);
     let platform = PlatformConfig::pentium_m();
-    let baseline = Manager::baseline().run(&trace, platform.clone());
-    let reactive = Manager::reactive().run(&trace, platform.clone());
-    let proactive = Manager::gpht_deployed().run(&trace, platform);
+    let baseline = Manager::baseline().run(&trace, &platform);
+    let reactive = Manager::reactive().run(&trace, &platform);
+    let proactive = Manager::gpht_deployed().run(&trace, &platform);
     let r = reactive.compare_to(&baseline);
     let p = proactive.compare_to(&baseline);
     assert!(
@@ -135,8 +134,8 @@ fn claim_conservative_definitions_bound_degradation() {
     for name in ["applu_in", "swim_in", "mgrid_in"] {
         let trace = spec::benchmark(name).unwrap().with_length(300).generate(42);
         let platform = PlatformConfig::pentium_m();
-        let baseline = Manager::baseline().run(&trace, platform.clone());
-        let conservative = derivation.manager(0.05).run(&trace, platform);
+        let baseline = Manager::baseline().run(&trace, &platform);
+        let conservative = derivation.manager(0.05).run(&trace, &platform);
         let deg = conservative.compare_to(&baseline).perf_degradation_pct();
         assert!(deg < 5.0, "{name} degraded {deg:.1}%");
     }
@@ -147,9 +146,12 @@ fn claim_conservative_definitions_bound_degradation() {
 /// essentially invisible to native application execution."
 #[test]
 fn claim_overheads_are_invisible() {
-    let trace = spec::benchmark("applu_in").unwrap().with_length(300).generate(42);
+    let trace = spec::benchmark("applu_in")
+        .unwrap()
+        .with_length(300)
+        .generate(42);
     let platform = PlatformConfig::pentium_m();
-    let managed = Manager::gpht_deployed().run(&trace, platform);
+    let managed = Manager::gpht_deployed().run(&trace, &platform);
     // Total handler + transition time against total wall time.
     let overhead_s =
         10e-6 * managed.intervals.len() as f64 + 50e-6 * managed.dvfs_transitions as f64;
@@ -163,8 +165,11 @@ fn claim_overheads_are_invisible() {
 #[test]
 fn claim_deployed_system_is_autonomous_and_reproducible() {
     let run = || {
-        let trace = spec::benchmark("bzip2_source").unwrap().with_length(200).generate(9);
-        Manager::gpht_deployed().run(&trace, PlatformConfig::pentium_m())
+        let trace = spec::benchmark("bzip2_source")
+            .unwrap()
+            .with_length(200)
+            .generate(9);
+        Manager::gpht_deployed().run(&trace, &PlatformConfig::pentium_m())
     };
     let (a, b) = (run(), run());
     assert_eq!(a.totals, b.totals);

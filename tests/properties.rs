@@ -160,8 +160,8 @@ proptest! {
         let all = spec::registry();
         let trace = all[bench_idx].clone().with_length(len).generate(seed);
         let platform = PlatformConfig::pentium_m();
-        let baseline = Manager::baseline().run(&trace, platform.clone());
-        let managed = Manager::gpht_deployed().run(&trace, platform);
+        let baseline = Manager::baseline().run(&trace, &platform);
+        let managed = Manager::gpht_deployed().run(&trace, &platform);
         prop_assert!(managed.totals.energy_j <= baseline.totals.energy_j * 1.0001);
         prop_assert!(managed.totals.time_s >= baseline.totals.time_s * 0.9999);
     }

@@ -1,0 +1,96 @@
+//! Golden equivalence of the streaming pipeline.
+//!
+//! The O(1)-memory interval sources must be indistinguishable — bit for
+//! bit — from the materialized traces they replaced, and the parallel
+//! Figure 11 sweep must reproduce the sequential loop element for element.
+
+use livephase::experiments::runs::{measure_all, Outcome};
+use livephase::governor::{par_map, RunReport, Session};
+use livephase::pmsim::PlatformConfig;
+use livephase::workloads::{registry, IntervalSource};
+
+const SEED: u64 = 17;
+
+/// Energy, EDP and the phase sequence of two reports must agree exactly
+/// (no tolerance: the streaming path executes the same chunks in the same
+/// order, so every float is the same float).
+fn assert_bit_identical(label: &str, streamed: &RunReport, materialized: &RunReport) {
+    assert_eq!(
+        streamed.totals.energy_j.to_bits(),
+        materialized.totals.energy_j.to_bits(),
+        "{label}: energy diverged"
+    );
+    assert_eq!(
+        (streamed.totals.energy_j * streamed.totals.time_s).to_bits(),
+        (materialized.totals.energy_j * materialized.totals.time_s).to_bits(),
+        "{label}: EDP diverged"
+    );
+    let phases = |r: &RunReport| r.intervals.iter().map(|i| i.phase).collect::<Vec<_>>();
+    assert_eq!(
+        phases(streamed),
+        phases(materialized),
+        "{label}: phase sequence diverged"
+    );
+    assert_eq!(streamed, materialized, "{label}: report diverged");
+}
+
+/// Every registered benchmark, under all three managed systems: running
+/// straight off the generator stream equals running the pre-materialized
+/// trace.
+#[test]
+fn streaming_matches_materialized_for_all_benchmarks() {
+    let platform = PlatformConfig::pentium_m();
+    let session = Session::new(&platform);
+    let specs = registry();
+    assert_eq!(specs.len(), 33);
+    par_map(&specs, |spec| {
+        let trace = spec.generate(SEED);
+        assert_eq!(
+            spec.stream(SEED).collect_trace().intervals(),
+            trace.intervals(),
+            "{}: stream() and generate() diverged",
+            spec.name()
+        );
+        for (system, streamed, materialized) in [
+            (
+                "baseline",
+                session.baseline(spec.stream(SEED)),
+                session.baseline(&trace),
+            ),
+            (
+                "reactive",
+                session.reactive(spec.stream(SEED)),
+                session.reactive(&trace),
+            ),
+            (
+                "gpht",
+                session.gpht(spec.stream(SEED)),
+                session.gpht(&trace),
+            ),
+        ] {
+            let label = format!("{}/{system}", spec.name());
+            assert_bit_identical(&label, &streamed, &materialized);
+        }
+    });
+}
+
+/// The parallel Figure 11 sweep returns exactly what the sequential loop
+/// returns, in registry order.
+#[test]
+fn parallel_figure11_sweep_equals_sequential() {
+    let parallel = measure_all(SEED);
+    let platform = PlatformConfig::pentium_m();
+    let session = Session::new(&platform);
+    let specs = registry();
+    let sequential: Vec<Outcome> = specs
+        .iter()
+        .map(|spec| Outcome::measure_in(&session, spec, SEED))
+        .collect();
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.name, s.name);
+        assert_bit_identical(&format!("{}/baseline", p.name), &p.baseline, &s.baseline);
+        assert_bit_identical(&format!("{}/reactive", p.name), &p.reactive, &s.reactive);
+        assert_bit_identical(&format!("{}/gpht", p.name), &p.gpht, &s.gpht);
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! No serialization format crate is available in this offline build, so
+//! nothing in the workspace ever serializes through serde — the derives
+//! exist to keep the data model annotated for a future online build.
+//! `Serialize`/`Deserialize` are therefore marker traits blanket-implemented
+//! for every type, and the derive macros (re-exported from the sibling
+//! `serde_derive` stub when the `derive` feature is on) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; holds for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; holds for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side items, mirroring `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Serialization-side items, mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
