@@ -7,3 +7,25 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Loopback smoke test: a real server process, a real load generator, and a
+# bit-exactness check against the in-process manager.
+cli=target/release/livephase-cli
+"$cli" serve --port 0 --shards 2 --exit-after-conns 1 --read-timeout-ms 2000 \
+    > serve_smoke.log &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f serve_smoke.log' EXIT
+for _ in $(seq 50); do
+    grep -q '^listening on ' serve_smoke.log && break
+    sleep 0.1
+done
+addr=$(sed -n 's/^listening on //p' serve_smoke.log)
+[ -n "$addr" ] || { echo "serve never announced its address"; exit 1; }
+bench_out=$("$cli" serve-bench "$addr" --conns 1 --bench swim_in --length 60 --window 16)
+echo "$bench_out"
+echo "$bench_out" | grep -q 'decisions 60' || { echo "smoke: expected 60 decisions"; exit 1; }
+echo "$bench_out" | grep -q '1/1 benchmarks bit-exact' || { echo "smoke: divergence"; exit 1; }
+wait "$serve_pid" || { echo "smoke: serve exited non-zero"; exit 1; }
+grep -q 'served 1 connections' serve_smoke.log || { echo "smoke: bad serve summary"; exit 1; }
+rm -f serve_smoke.log
+echo "serve loopback smoke test passed"

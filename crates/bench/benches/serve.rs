@@ -1,0 +1,82 @@
+//! Service-layer costs: the wire codec on the hot Sample/Decision path,
+//! and a single shard's per-sample decision throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use livephase_serve::wire::{self, Frame};
+use livephase_serve::{EngineConfig, SessionState};
+use livephase_workloads::{counter_samples, spec};
+use std::hint::black_box;
+
+/// Encoding and decoding the two frames every sample exchanges: the
+/// client's `Sample` and the server's `Decision`.
+fn bench_frame_codec(c: &mut Criterion) {
+    let sample = Frame::Sample {
+        pid: 7,
+        uops: 100_000_000,
+        mem_trans: 1_200_000,
+        tsc_delta: 150_000_000,
+    };
+    let decision = Frame::Decision {
+        pid: 7,
+        op_point: 3,
+        confidence: 9_500,
+    };
+    let mut group = c.benchmark_group("serve_frame_codec");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_sample", |b| {
+        b.iter(|| black_box(wire::encode(black_box(&sample))))
+    });
+    group.bench_function("encode_decision", |b| {
+        b.iter(|| black_box(wire::encode(black_box(&decision))))
+    });
+    let sample_payload = wire::encode_payload(&sample);
+    group.bench_function("decode_sample", |b| {
+        b.iter(|| wire::decode_payload(black_box(&sample_payload)).expect("valid"))
+    });
+    let decision_payload = wire::encode_payload(&decision);
+    group.bench_function("decode_decision", |b| {
+        b.iter(|| wire::decode_payload(black_box(&decision_payload)).expect("valid"))
+    });
+    group.finish();
+}
+
+/// One shard turning counter samples into DVFS decisions — the service's
+/// compute kernel, with the sockets taken out of the picture.
+fn bench_shard_decisions(c: &mut Criterion) {
+    let config = EngineConfig::pentium_m();
+    let trace = spec::benchmark("applu_in")
+        .expect("registered")
+        .with_length(200)
+        .generate(1);
+    let samples: Vec<(u64, u64)> = counter_samples(&trace)
+        .map(|s| (s.uops, s.mem_transactions))
+        .collect();
+    let mut group = c.benchmark_group("serve_shard_decisions");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("gpht_session_200", |b| {
+        b.iter(|| {
+            let mut session = SessionState::new("gpht:8:128").expect("valid spec");
+            let mut last = 0u8;
+            for &(uops, mem_trans) in &samples {
+                last = session.apply(&config, 1, uops, mem_trans).op_point;
+            }
+            black_box(last)
+        });
+    });
+    group.bench_function("gpht_16_sessions_200", |b| {
+        b.iter(|| {
+            let mut session = SessionState::new("gpht:8:128").expect("valid spec");
+            let mut last = 0u8;
+            for &(uops, mem_trans) in &samples {
+                for pid in 1..=16u32 {
+                    last = session.apply(&config, pid, uops, mem_trans).op_point;
+                }
+            }
+            black_box(last)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_shard_decisions);
+criterion_main!(benches);

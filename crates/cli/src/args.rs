@@ -51,6 +51,10 @@ pub enum Command {
     Replay,
     /// `repro <artifact>`
     Repro,
+    /// `serve` — run the phase-prediction TCP daemon
+    Serve,
+    /// `serve-bench <addr>` — load-test a running daemon
+    ServeBench,
     /// `help` / `--help`
     Help,
 }
@@ -72,6 +76,27 @@ pub struct Parsed {
     pub policy: String,
     /// `--out` path for `export`.
     pub out: Option<String>,
+    /// `--port` for `serve` (0 picks an ephemeral port).
+    pub port: u16,
+    /// `--shards` worker threads for `serve`.
+    pub shards: usize,
+    /// `--max-conns` accept gate for `serve`.
+    pub max_conns: usize,
+    /// `--exit-after-conns`: stop `serve` after this many connections
+    /// have been admitted and drained.
+    pub exit_after_conns: Option<u64>,
+    /// `--read-timeout-ms` socket timeout for `serve` and `serve-bench`.
+    pub read_timeout_ms: u64,
+    /// `--conns` concurrent connections for `serve-bench`.
+    pub conns: usize,
+    /// `--window` pipeline depth for `serve-bench`.
+    pub window: usize,
+    /// `--bench` comma-separated benchmark subset for `serve-bench`
+    /// (empty = all).
+    pub bench: Vec<String>,
+    /// `--no-check`: skip the in-process oracle agreement pass in
+    /// `serve-bench`.
+    pub no_check: bool,
 }
 
 impl Default for Parsed {
@@ -84,6 +109,15 @@ impl Default for Parsed {
             predictor: "gpht:8:128".to_owned(),
             policy: "gpht".to_owned(),
             out: None,
+            port: 0,
+            shards: 4,
+            max_conns: 256,
+            exit_after_conns: None,
+            read_timeout_ms: 5_000,
+            conns: 8,
+            window: 64,
+            bench: Vec::new(),
+            no_check: false,
         }
     }
 }
@@ -109,6 +143,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "export" => Command::Export,
         "replay" => Command::Replay,
         "repro" => Command::Repro,
+        "serve" => Command::Serve,
+        "serve-bench" => Command::ServeBench,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(CliError::new(format!(
@@ -136,6 +172,48 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             "--predictor" => parsed.predictor = take_value(&mut it, "--predictor")?,
             "--policy" => parsed.policy = take_value(&mut it, "--policy")?,
             "--out" => parsed.out = Some(take_value(&mut it, "--out")?),
+            "--port" => parsed.port = parse_num(&mut it, "--port")?,
+            "--shards" => {
+                parsed.shards = parse_num(&mut it, "--shards")?;
+                if parsed.shards == 0 {
+                    return Err(CliError::new("--shards must be at least 1"));
+                }
+            }
+            "--max-conns" => {
+                parsed.max_conns = parse_num(&mut it, "--max-conns")?;
+                if parsed.max_conns == 0 {
+                    return Err(CliError::new("--max-conns must be at least 1"));
+                }
+            }
+            "--exit-after-conns" => {
+                parsed.exit_after_conns = Some(parse_num(&mut it, "--exit-after-conns")?);
+            }
+            "--read-timeout-ms" => {
+                parsed.read_timeout_ms = parse_num(&mut it, "--read-timeout-ms")?;
+                if parsed.read_timeout_ms == 0 {
+                    return Err(CliError::new("--read-timeout-ms must be at least 1"));
+                }
+            }
+            "--conns" => {
+                parsed.conns = parse_num(&mut it, "--conns")?;
+                if parsed.conns == 0 {
+                    return Err(CliError::new("--conns must be at least 1"));
+                }
+            }
+            "--window" => {
+                parsed.window = parse_num(&mut it, "--window")?;
+                if parsed.window == 0 {
+                    return Err(CliError::new("--window must be at least 1"));
+                }
+            }
+            "--bench" => {
+                parsed.bench = take_value(&mut it, "--bench")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--no-check" => parsed.no_check = true,
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown option {other:?}")))
             }
@@ -159,6 +237,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             | Command::Export
             | Command::Replay
             | Command::Repro
+            | Command::ServeBench
     );
     if needs_target && parsed.target.is_none() {
         return Err(CliError::new(format!(
@@ -178,6 +257,18 @@ fn take_value(
     it.next()
         .cloned()
         .ok_or_else(|| CliError::new(format!("{flag} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<T, CliError>
+where
+    T::Err: fmt::Display,
+{
+    take_value(it, flag)?
+        .parse()
+        .map_err(|e| CliError::new(format!("{flag}: {e}")))
 }
 
 #[cfg(test)]
@@ -229,6 +320,50 @@ mod tests {
         assert!(parse(&argv("predict applu_in --seed")).is_err());
         assert!(parse(&argv("predict applu_in --seed banana")).is_err());
         assert!(parse(&argv("predict applu_in --length 0")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let p = parse(&argv(
+            "serve --port 9626 --shards 2 --max-conns 16 --exit-after-conns 3 --read-timeout-ms 250",
+        ))
+        .unwrap();
+        assert_eq!(p.command, Command::Serve);
+        assert_eq!(p.port, 9626);
+        assert_eq!(p.shards, 2);
+        assert_eq!(p.max_conns, 16);
+        assert_eq!(p.exit_after_conns, Some(3));
+        assert_eq!(p.read_timeout_ms, 250);
+        // Defaults when flags are absent.
+        let p = parse(&argv("serve")).unwrap();
+        assert_eq!(p.port, 0);
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.exit_after_conns, None);
+    }
+
+    #[test]
+    fn parses_serve_bench() {
+        let p = parse(&argv(
+            "serve-bench 127.0.0.1:9626 --conns 4 --window 32 --bench applu_in,swim_in --no-check",
+        ))
+        .unwrap();
+        assert_eq!(p.command, Command::ServeBench);
+        assert_eq!(p.target.as_deref(), Some("127.0.0.1:9626"));
+        assert_eq!(p.conns, 4);
+        assert_eq!(p.window, 32);
+        assert_eq!(p.bench, vec!["applu_in".to_owned(), "swim_in".to_owned()]);
+        assert!(p.no_check);
+    }
+
+    #[test]
+    fn rejects_bad_serve_arguments() {
+        assert!(parse(&argv("serve-bench")).is_err(), "address is required");
+        assert!(parse(&argv("serve --shards 0")).is_err());
+        assert!(parse(&argv("serve --max-conns 0")).is_err());
+        assert!(parse(&argv("serve --port 70000")).is_err());
+        assert!(parse(&argv("serve-bench 1.2.3.4:5 --conns 0")).is_err());
+        assert!(parse(&argv("serve-bench 1.2.3.4:5 --window 0")).is_err());
+        assert!(parse(&argv("serve --read-timeout-ms 0")).is_err());
     }
 
     #[test]

@@ -23,7 +23,62 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         Command::Export => export(parsed),
         Command::Replay => replay(parsed),
         Command::Repro => repro(parsed),
+        Command::Serve => serve(parsed),
+        Command::ServeBench => serve_bench(parsed),
     }
+}
+
+/// Runs the phase-prediction daemon until it exits (`--exit-after-conns`
+/// or an external kill).
+///
+/// This is the one impure command: the bound address is printed (and
+/// flushed) *before* blocking, so scripts can parse `listening on <addr>`
+/// off stdout and connect while the process runs.
+fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    let config = livephase_serve::ServerConfig {
+        addr: format!("127.0.0.1:{}", parsed.port),
+        shards: parsed.shards,
+        max_conns: parsed.max_conns,
+        read_timeout: std::time::Duration::from_millis(parsed.read_timeout_ms),
+        write_timeout: std::time::Duration::from_millis(parsed.read_timeout_ms),
+        exit_after_conns: parsed.exit_after_conns,
+        engine: livephase_serve::EngineConfig::pentium_m(),
+    };
+    let handle = livephase_serve::spawn(config)
+        .map_err(|e| CliError::new(format!("cannot bind port {}: {e}", parsed.port)))?;
+    println!("listening on {}", handle.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = handle.join();
+    Ok(format!(
+        "served {} connections ({} rejected, {} poisoned): {} samples, {} decisions",
+        summary.accepted, summary.rejected, summary.poisoned, summary.samples, summary.decisions
+    ))
+}
+
+/// Replays benchmark counter streams against a running daemon and
+/// reports throughput, latency percentiles and oracle agreement.
+fn serve_bench(parsed: &Parsed) -> Result<String, CliError> {
+    let addr = parsed.target.clone().expect("validated by the parser");
+    let config = livephase_serve::LoadGenConfig {
+        addr,
+        connections: parsed.conns,
+        benchmarks: parsed.bench.clone(),
+        length: parsed.length.unwrap_or(120),
+        seed: parsed.seed,
+        predictor: parsed.predictor.clone(),
+        window: parsed.window,
+        check_agreement: !parsed.no_check,
+        timeout: std::time::Duration::from_millis(parsed.read_timeout_ms.max(1_000)),
+    };
+    let report =
+        livephase_serve::loadgen::run(&config).map_err(|e| CliError::new(e.to_string()))?;
+    if !report.all_exact() {
+        return Err(CliError::new(format!(
+            "{report}served decisions diverged from the in-process manager"
+        )));
+    }
+    Ok(report.to_string())
 }
 
 /// Resolves the benchmark named by the command line and generates its

@@ -12,6 +12,8 @@
 //! livephase export applu_in --out applu.csv
 //! livephase replay applu.csv --policy reactive
 //! livephase repro fig04
+//! livephase serve --port 9626 --shards 4
+//! livephase serve-bench 127.0.0.1:9626 --conns 8
 //! ```
 //!
 //! The crate is a thin, dependency-free argument layer over the workspace
@@ -56,6 +58,8 @@ pub fn usage() -> String {
      \x20 export <bench> --out <file>   write the trace as CSV\n\
      \x20 replay <file.csv>             govern a replayed counter log\n\
      \x20 repro <artifact>              regenerate a paper table/figure\n\
+     \x20 serve                         run the phase-prediction TCP daemon\n\
+     \x20 serve-bench <addr>            load-test a running daemon\n\
      \n\
      OPTIONS:\n\
      \x20 --seed <n>            workload seed (default 42)\n\
@@ -64,6 +68,20 @@ pub fn usage() -> String {
      \x20                       varwindow:<n>:<thr> | gpht:<depth>:<entries> |\n\
      \x20                       hashedgpht:<depth>:<entries>\n\
      \x20 --policy <name>       baseline | reactive | gpht | oracle | conservative\n\
-     \x20 --out <file>          output path for `export`\n"
+     \x20 --out <file>          output path for `export`\n\
+     \n\
+     SERVE OPTIONS:\n\
+     \x20 --port <n>            TCP port (default 0 = ephemeral; the bound\n\
+     \x20                       address is printed as `listening on <addr>`)\n\
+     \x20 --shards <n>          shard owner threads (default 4)\n\
+     \x20 --max-conns <n>       concurrent-connection accept gate (default 256)\n\
+     \x20 --exit-after-conns <n> exit after admitting and draining n connections\n\
+     \x20 --read-timeout-ms <n> socket timeout (default 5000)\n\
+     \n\
+     SERVE-BENCH OPTIONS:\n\
+     \x20 --conns <n>           concurrent connections (default 8)\n\
+     \x20 --window <n>          samples in flight per connection (default 64)\n\
+     \x20 --bench <a,b,...>     benchmark subset (default: all 33)\n\
+     \x20 --no-check            skip the in-process oracle agreement pass\n"
         .to_owned()
 }

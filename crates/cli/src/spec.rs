@@ -1,10 +1,7 @@
 //! Textual specifications for predictors and policies.
 
 use crate::args::CliError;
-use livephase_core::{
-    FixedWindow, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, MarkovPredictor,
-    Predictor, Selector, VariableWindow,
-};
+use livephase_core::Predictor;
 use livephase_governor::{
     ConservativeDerivation, Manager, ManagerConfig, Oracle, Proactive, Reactive, TranslationTable,
 };
@@ -16,55 +13,7 @@ use livephase_workloads::WorkloadTrace;
 ///
 /// Returns a [`CliError`] describing the accepted grammar on mismatch.
 pub fn predictor(spec: &str) -> Result<Box<dyn Predictor>, CliError> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let bad = || {
-        CliError::new(format!(
-            "bad predictor spec {spec:?}; accepted: lastvalue | markov | \
-             fixwindow:<n> | varwindow:<n>:<threshold> | gpht:<depth>:<entries> | \
-             hashedgpht:<depth>:<entries>"
-        ))
-    };
-    let num = |s: &str| s.parse::<usize>().map_err(|_| bad());
-    match parts.as_slice() {
-        ["lastvalue"] => Ok(Box::new(LastValue::new())),
-        ["markov"] => Ok(Box::new(MarkovPredictor::new())),
-        ["fixwindow", n] => {
-            let n = num(n)?;
-            if n == 0 {
-                return Err(bad());
-            }
-            Ok(Box::new(FixedWindow::new(n, Selector::Majority)))
-        }
-        ["varwindow", n, thr] => {
-            let n = num(n)?;
-            let thr: f64 = thr.parse().map_err(|_| bad())?;
-            if n == 0 || !thr.is_finite() || thr < 0.0 {
-                return Err(bad());
-            }
-            Ok(Box::new(VariableWindow::new(n, thr)))
-        }
-        ["gpht", depth, entries] => {
-            let (depth, entries) = (num(depth)?, num(entries)?);
-            if depth == 0 || entries == 0 {
-                return Err(bad());
-            }
-            Ok(Box::new(Gpht::new(GphtConfig {
-                gphr_depth: depth,
-                pht_entries: entries,
-            })))
-        }
-        ["hashedgpht", depth, entries] => {
-            let (depth, entries) = (num(depth)?, num(entries)?);
-            if depth == 0 || entries == 0 {
-                return Err(bad());
-            }
-            Ok(Box::new(HashedGpht::new(HashedGphtConfig {
-                gphr_depth: depth,
-                pht_entries: entries,
-            })))
-        }
-        _ => Err(bad()),
-    }
+    livephase_core::predictor_from_spec(spec).map_err(|e| CliError::new(e.to_string()))
 }
 
 /// Builds a manager from a policy name, for a given workload (the oracle

@@ -1,6 +1,7 @@
 //! End-to-end tests spawning the real `livephase-cli` binary.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_livephase-cli"))
@@ -65,4 +66,75 @@ fn export_then_replay_round_trips_through_files() {
 fn repro_verifies_a_figure() {
     let out = run_ok(&["repro", "table2"]);
     assert!(out.contains("shape claims hold"));
+}
+
+#[test]
+fn serve_and_serve_bench_round_trip_over_loopback() {
+    // Server on an ephemeral port, exiting after the bench's connections.
+    let mut server = cli()
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--shards",
+            "2",
+            "--exit-after-conns",
+            "2",
+            "--read-timeout-ms",
+            "2000",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stdout = BufReader::new(server.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("server announces");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_owned();
+
+    let out = run_ok(&[
+        "serve-bench",
+        &addr,
+        "--conns",
+        "2",
+        "--bench",
+        "applu_in,swim_in",
+        "--length",
+        "60",
+        "--window",
+        "16",
+    ]);
+    assert!(out.contains("2 benchmarks over 2 connections"), "{out}");
+    assert!(out.contains("samples 120"), "{out}");
+    assert!(
+        out.contains("2/2 benchmarks bit-exact vs in-process manager"),
+        "{out}"
+    );
+
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exited cleanly");
+    let mut rest = String::new();
+    for l in stdout.lines() {
+        rest.push_str(&l.expect("utf-8"));
+        rest.push('\n');
+    }
+    assert!(
+        rest.contains("served 2 connections"),
+        "summary missing: {rest}"
+    );
+    assert!(rest.contains("120 samples, 120 decisions"), "{rest}");
+}
+
+#[test]
+fn serve_bench_rejects_unknown_benchmarks_before_traffic() {
+    let out = cli()
+        .args(["serve-bench", "127.0.0.1:1", "--bench", "not_a_benchmark"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not_a_benchmark"), "{err}");
 }

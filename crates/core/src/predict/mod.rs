@@ -21,6 +21,7 @@ pub mod hashed_gpht;
 pub mod last_value;
 pub mod markov;
 pub mod per_process;
+pub mod spec;
 pub mod variable_window;
 
 use crate::metrics::MemUopRate;

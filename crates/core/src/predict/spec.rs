@@ -1,0 +1,140 @@
+//! Textual predictor specifications.
+//!
+//! One grammar names every predictor family the workspace ships, so the
+//! CLI, the network service handshake, and tests all agree on what
+//! `"gpht:8:128"` means:
+//!
+//! ```text
+//! lastvalue | markov | fixwindow:<n> | varwindow:<n>:<threshold> |
+//! gpht:<depth>:<entries> | hashedgpht:<depth>:<entries>
+//! ```
+
+use super::fixed_window::{FixedWindow, Selector};
+use super::gpht::{Gpht, GphtConfig};
+use super::hashed_gpht::{HashedGpht, HashedGphtConfig};
+use super::last_value::LastValue;
+use super::markov::MarkovPredictor;
+use super::variable_window::VariableWindow;
+use super::Predictor;
+use std::error::Error;
+use std::fmt;
+
+/// The grammar accepted by [`from_spec`], for error messages and help
+/// text.
+pub const GRAMMAR: &str = "lastvalue | markov | fixwindow:<n> | \
+                           varwindow:<n>:<threshold> | gpht:<depth>:<entries> | \
+                           hashedgpht:<depth>:<entries>";
+
+/// A rejected predictor specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorSpecError {
+    spec: String,
+}
+
+impl PredictorSpecError {
+    /// The offending spec string.
+    #[must_use]
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+}
+
+impl fmt::Display for PredictorSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad predictor spec {:?}; accepted: {GRAMMAR}", self.spec)
+    }
+}
+
+impl Error for PredictorSpecError {}
+
+/// Builds a predictor from a spec string such as `gpht:8:128`.
+///
+/// # Errors
+///
+/// Returns a [`PredictorSpecError`] (whose message includes the accepted
+/// grammar) when the spec does not parse or carries zero-sized parameters.
+pub fn from_spec(spec: &str) -> Result<Box<dyn Predictor>, PredictorSpecError> {
+    let bad = || PredictorSpecError {
+        spec: spec.to_owned(),
+    };
+    let num = |s: &str| s.parse::<usize>().map_err(|_| bad());
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["lastvalue"] => Ok(Box::new(LastValue::new())),
+        ["markov"] => Ok(Box::new(MarkovPredictor::new())),
+        ["fixwindow", n] => {
+            let n = num(n)?;
+            if n == 0 {
+                return Err(bad());
+            }
+            Ok(Box::new(FixedWindow::new(n, Selector::Majority)))
+        }
+        ["varwindow", n, thr] => {
+            let n = num(n)?;
+            let thr: f64 = thr.parse().map_err(|_| bad())?;
+            if n == 0 || !thr.is_finite() || thr < 0.0 {
+                return Err(bad());
+            }
+            Ok(Box::new(VariableWindow::new(n, thr)))
+        }
+        ["gpht", depth, entries] => {
+            let (depth, entries) = (num(depth)?, num(entries)?);
+            if depth == 0 || entries == 0 {
+                return Err(bad());
+            }
+            Ok(Box::new(Gpht::new(GphtConfig {
+                gphr_depth: depth,
+                pht_entries: entries,
+            })))
+        }
+        ["hashedgpht", depth, entries] => {
+            let (depth, entries) = (num(depth)?, num(entries)?);
+            if depth == 0 || entries == 0 {
+                return Err(bad());
+            }
+            Ok(Box::new(HashedGpht::new(HashedGphtConfig {
+                gphr_depth: depth,
+                pht_entries: entries,
+            })))
+        }
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_parses() {
+        for (spec, name) in [
+            ("lastvalue", "LastValue"),
+            ("markov", "Markov1"),
+            ("gpht:8:128", "GPHT_8_128"),
+        ] {
+            assert_eq!(from_spec(spec).unwrap().name(), name);
+        }
+        assert!(from_spec("fixwindow:4").is_ok());
+        assert!(from_spec("varwindow:8:0.005").is_ok());
+        assert!(from_spec("hashedgpht:8:128").is_ok());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_the_grammar() {
+        for spec in [
+            "",
+            "gpht",
+            "gpht:0:128",
+            "gpht:8:0",
+            "gpht:8",
+            "fixwindow:0",
+            "varwindow:4:nan",
+            "varwindow:4:-1",
+            "frobnicate",
+        ] {
+            let e = from_spec(spec).err().expect("spec must be rejected");
+            assert_eq!(e.spec(), spec);
+            assert!(e.to_string().contains("gpht:<depth>:<entries>"));
+        }
+    }
+}

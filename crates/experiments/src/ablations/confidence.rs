@@ -7,6 +7,7 @@
 //! GPHT is already good.
 
 use crate::format::{num, pct, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{ConfidentPredictor, Gpht, GphtConfig};
 use livephase_governor::{par_map, Proactive, Session, TranslationTable};
@@ -42,7 +43,7 @@ pub fn run(seed: u64) -> ConfidenceAblation {
     let platform = PlatformConfig::pentium_m();
     let session = Session::new(&platform);
     let rows = par_map(&spec::figure12_set(), |name| {
-        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let bench = require_benchmark(name);
         let baseline = session.baseline(bench.stream(seed));
         let plain = session.gpht(bench.stream(seed));
         let gated = session.run_policy(

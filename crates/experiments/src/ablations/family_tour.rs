@@ -8,6 +8,7 @@
 
 use crate::format::{pct, Table};
 use crate::predictors::accuracy_on;
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{
     ConfidentPredictor, Gpht, GphtConfig, HashedGpht, HashedGphtConfig, LastValue, MarkovPredictor,
@@ -65,9 +66,7 @@ pub fn run(seed: u64) -> FamilyTour {
     let rows = spec::variable_six()
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .generate(seed);
+            let trace = require_benchmark(name).generate(seed);
             let accuracies = lineup()
                 .iter_mut()
                 .map(|p| (p.name(), accuracy_on(p.as_mut(), &trace).accuracy()))

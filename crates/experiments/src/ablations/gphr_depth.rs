@@ -7,6 +7,7 @@
 
 use crate::format::{pct, Table};
 use crate::predictors::accuracy_on;
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
 use livephase_workloads::spec;
@@ -48,9 +49,7 @@ pub fn run(seed: u64) -> GphrDepthAblation {
     let rows = spec::variable_six()
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .generate(seed);
+            let trace = require_benchmark(name).generate(seed);
             let by_depth = DEPTHS
                 .iter()
                 .map(|&depth| {

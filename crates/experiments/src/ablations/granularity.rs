@@ -8,10 +8,10 @@
 //! levels together (phases average out, opportunities vanish).
 
 use crate::format::{num, pct, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_governor::{par_map, Session};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::spec;
 use std::fmt;
 
 /// Granularities swept, in retired uops per PMI.
@@ -42,8 +42,7 @@ pub struct GranularityAblation {
 /// Runs applu managed vs baseline at each granularity.
 #[must_use]
 pub fn run(seed: u64) -> GranularityAblation {
-    let trace = spec::benchmark("applu_in")
-        .expect("registered")
+    let trace = require_benchmark("applu_in")
         .with_length(400)
         .generate(seed);
     let rows = par_map(&GRANULARITIES, |&granularity| {

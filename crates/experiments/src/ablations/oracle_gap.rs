@@ -5,6 +5,7 @@
 //! oracle's.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::PhaseMap;
 use livephase_governor::{par_map, Oracle, Session, TranslationTable};
@@ -49,7 +50,7 @@ pub fn run(seed: u64) -> OracleGap {
     let session = Session::new(&platform);
     let map = PhaseMap::pentium_m();
     let rows = par_map(&spec::figure12_set(), |name| {
-        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let bench = require_benchmark(name);
         // The oracle needs the whole future, so this one driver still
         // materializes the trace.
         let trace = bench.generate(seed);

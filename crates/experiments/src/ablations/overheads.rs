@@ -7,13 +7,13 @@
 //! safety margin of the 100 M-uop design point.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
 use livephase_governor::policy::Proactive;
 use livephase_governor::TranslationTable;
 use livephase_governor::{par_map, Manager, ManagerConfig};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::spec;
 use std::fmt;
 
 /// One overhead configuration's outcome.
@@ -48,8 +48,7 @@ pub const SWEEP: [(f64, f64); 5] = [
 /// Runs applu under GPHT management with each overhead configuration.
 #[must_use]
 pub fn run(seed: u64) -> OverheadAblation {
-    let trace = spec::benchmark("applu_in")
-        .expect("registered")
+    let trace = require_benchmark("applu_in")
         .with_length(400)
         .generate(seed);
     // Baseline measured with zero overheads: the reference is the ideal

@@ -8,6 +8,7 @@
 
 use crate::format::{pct, Table};
 use crate::predictors::accuracy_on;
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig, HashedGpht, HashedGphtConfig};
 use livephase_workloads::spec;
@@ -40,9 +41,7 @@ pub fn run(seed: u64) -> PhtOrganizationAblation {
     let rows = spec::variable_six()
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .generate(seed);
+            let trace = require_benchmark(name).generate(seed);
             let associative = accuracy_on(&mut Gpht::new(GphtConfig::DEPLOYED), &trace).accuracy();
             let hashed_equal =
                 accuracy_on(&mut HashedGpht::new(HashedGphtConfig::DEPLOYED), &trace).accuracy();

@@ -10,10 +10,11 @@
 //! predictor fed time-domain samples would be chasing its own governor.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::PhaseMap;
 use livephase_pmsim::{Frequency, TimingModel};
-use livephase_workloads::{spec, WorkloadTrace};
+use livephase_workloads::WorkloadTrace;
 use std::fmt;
 
 /// Re-slices a trace into fixed wall-clock windows at a given frequency
@@ -89,10 +90,7 @@ pub fn run(seed: u64) -> SamplingDomainAblation {
     let rows = BENCHMARKS
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .with_length(400)
-                .generate(seed);
+            let trace = require_benchmark(name).with_length(400).generate(seed);
 
             // Instruction domain: the sample boundaries *are* the uop
             // boundaries, so the Mem/Uop sequence is frequency-independent
@@ -184,10 +182,7 @@ mod tests {
 
     #[test]
     fn time_slicing_conserves_windows() {
-        let trace = spec::benchmark("swim_in")
-            .unwrap()
-            .with_length(50)
-            .generate(1);
+        let trace = require_benchmark("swim_in").with_length(50).generate(1);
         let timing = TimingModel::pentium_m();
         let windows = time_sliced_mem_uop(&trace, &timing, Frequency::from_mhz(1500), 0.05);
         assert!(!windows.is_empty());
@@ -200,10 +195,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
-        let trace = spec::benchmark("swim_in")
-            .unwrap()
-            .with_length(2)
-            .generate(1);
+        let trace = require_benchmark("swim_in").with_length(2).generate(1);
         let _ = time_sliced_mem_uop(
             &trace,
             &TimingModel::pentium_m(),

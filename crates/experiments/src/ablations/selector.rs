@@ -9,9 +9,9 @@
 
 use crate::format::{pct, Table};
 use crate::predictors::accuracy_on;
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{FixedWindow, Selector};
-use livephase_workloads::spec;
 use std::fmt;
 
 /// One benchmark's per-selector accuracy (window fixed at 8).
@@ -50,9 +50,7 @@ pub fn run(seed: u64) -> SelectorAblation {
     let rows = BENCHMARKS
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .generate(seed);
+            let trace = require_benchmark(name).generate(seed);
             let acc = |sel: Selector| accuracy_on(&mut FixedWindow::new(8, sel), &trace).accuracy();
             SelectorRow {
                 name: (*name).to_owned(),

@@ -8,10 +8,10 @@
 //! stable workloads at (near) zero efficiency cost.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_governor::{par_map, AdaptiveSampling, ManagerConfig, Session};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::spec;
 use std::fmt;
 
 /// One benchmark's plain-vs-adaptive comparison.
@@ -59,9 +59,7 @@ pub fn run(seed: u64) -> AdaptiveSamplingExperiment {
         ..ManagerConfig::pentium_m()
     });
     let rows = par_map(&BENCHMARKS, |name| {
-        let bench = spec::benchmark(name)
-            .unwrap_or_else(|| panic!("{name} registered"))
-            .with_length(600);
+        let bench = require_benchmark(name).with_length(600);
         let baseline = session.baseline(bench.stream(seed));
         let plain = session.gpht(bench.stream(seed));
         let adaptive = adaptive_session.run_policy(

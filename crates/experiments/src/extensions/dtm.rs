@@ -6,11 +6,11 @@
 //! a 65 °C junction limit.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
 use livephase_governor::{ManagerConfig, PowerEstimator, Session, ThermalAware, TranslationTable};
 use livephase_pmsim::{PlatformConfig, ThermalModel};
-use livephase_workloads::spec;
 use std::fmt;
 
 /// One system's thermal outcome.
@@ -39,9 +39,7 @@ pub struct DtmExperiment {
 #[must_use]
 pub fn run(seed: u64) -> DtmExperiment {
     let limit_c = 65.0;
-    let bench = spec::benchmark("crafty_in")
-        .expect("registered")
-        .with_length(900);
+    let bench = require_benchmark("crafty_in").with_length(900);
     let platform = PlatformConfig::pentium_m();
     let session = Session::new(&platform).with_config(ManagerConfig {
         thermal: Some(ThermalModel::pentium_m()),

@@ -6,9 +6,9 @@
 //! baseline a duration-oblivious manager implicitly assumes.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{DurationPredictor, DurationScheme, PhaseMap, RunLengthEncoder};
-use livephase_workloads::spec;
 use std::fmt;
 
 /// One benchmark's duration-prediction errors.
@@ -49,9 +49,7 @@ pub fn run(seed: u64) -> DurationExperiment {
     let rows = BENCHMARKS
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} registered"))
-                .generate(seed);
+            let trace = require_benchmark(name).generate(seed);
             let phases: Vec<_> = trace.iter().map(|w| map.classify(w.mem_uop())).collect();
 
             // Collect ground-truth runs.

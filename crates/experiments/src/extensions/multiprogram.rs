@@ -9,9 +9,10 @@
 //!   program's isolated predictability, since the handler knows the pid.
 
 use crate::format::{pct, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{evaluate, Gpht, GphtConfig, LastValue, PerProcess, PhaseMap, PhaseSample};
-use livephase_workloads::{multiprogram, spec, Job};
+use livephase_workloads::{multiprogram, Job};
 use std::fmt;
 
 /// The mix used: three variable benchmarks, round-robin.
@@ -49,10 +50,7 @@ pub fn run(seed: u64) -> MultiprogramExperiment {
         .map(|(i, name)| {
             Job::new(
                 u32::try_from(i + 1).expect("small"),
-                spec::benchmark(name)
-                    .unwrap_or_else(|| panic!("{name} registered"))
-                    .with_length(800)
-                    .generate(seed),
+                require_benchmark(name).with_length(800).generate(seed),
             )
         })
         .collect();

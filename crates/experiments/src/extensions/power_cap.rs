@@ -4,11 +4,11 @@
 //! verifies the cap is honoured while performance degrades gracefully.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
 use livephase_governor::{par_map, PowerCap, PowerEstimator, Session};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::spec;
 use std::fmt;
 
 /// Caps swept, in watts.
@@ -41,8 +41,7 @@ pub struct PowerCapExperiment {
 /// Runs applu under each cap.
 #[must_use]
 pub fn run(seed: u64) -> PowerCapExperiment {
-    let trace = spec::benchmark("applu_in")
-        .expect("registered")
+    let trace = require_benchmark("applu_in")
         .with_length(400)
         .generate(seed);
     let platform = PlatformConfig::pentium_m();

@@ -8,9 +8,9 @@
 
 use crate::format::{num, Table};
 use crate::predictors::sample_stream;
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{evaluate_trace, EvaluationTrace, Gpht, GphtConfig, LastValue, PhaseMap};
-use livephase_workloads::spec;
 use std::fmt;
 
 /// The Figure 2 data: full-trace evaluations of the two predictors.
@@ -32,9 +32,7 @@ pub struct Figure2 {
 /// Panics if `applu_in` is missing from the registry.
 #[must_use]
 pub fn run(seed: u64) -> Figure2 {
-    let trace = spec::benchmark("applu_in")
-        .expect("applu_in is registered")
-        .generate(seed);
+    let trace = require_benchmark("applu_in").generate(seed);
     let map = PhaseMap::pentium_m();
     let stream = sample_stream(&trace, &map);
     let gpht = evaluate_trace(

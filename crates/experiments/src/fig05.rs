@@ -8,6 +8,7 @@
 
 use crate::format::{pct, Table};
 use crate::predictors::accuracy_on;
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig, LastValue};
 use livephase_workloads::spec;
@@ -73,9 +74,7 @@ pub fn run(seed: u64) -> Figure5 {
     let rows = FIGURE5_BENCHMARKS
         .iter()
         .map(|name| {
-            let trace = spec::benchmark(name)
-                .unwrap_or_else(|| panic!("{name} is registered"))
-                .generate(seed);
+            let trace = require_benchmark(name).generate(seed);
             let last_value = accuracy_on(&mut LastValue::new(), &trace).accuracy();
             let gpht = PHT_SIZES
                 .iter()

@@ -8,11 +8,11 @@
 //! performance cost.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_daq::DaqSystem;
 use livephase_governor::{RunReport, Session};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::spec;
 use std::fmt;
 
 /// The Figure 10 data: the two instrumented runs plus DAQ measurements.
@@ -38,9 +38,7 @@ pub struct Figure10 {
 pub fn run(seed: u64) -> Figure10 {
     // A shorter applu slice keeps the 40 us DAQ stream manageable while
     // covering dozens of phase swings.
-    let bench = spec::benchmark("applu_in")
-        .expect("applu_in is registered")
-        .with_length(600);
+    let bench = require_benchmark("applu_in").with_length(600);
     let platform = PlatformConfig::pentium_m().with_power_trace();
     let session = Session::new(&platform);
     let baseline = session.baseline(bench.stream(seed));

@@ -2,7 +2,7 @@
 //! last-value (reactive) management for the Q2/Q3/Q4 benchmarks.
 
 use crate::format::{num, Table};
-use crate::runs::Outcome;
+use crate::runs::{require_benchmark, Outcome};
 use crate::ShapeViolations;
 use livephase_governor::{par_map, Session};
 use livephase_pmsim::PlatformConfig;
@@ -46,7 +46,7 @@ pub fn run(seed: u64) -> Figure12 {
     let platform = PlatformConfig::pentium_m();
     let session = Session::new(&platform);
     let rows = par_map(&spec::figure12_set(), |name| {
-        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let bench = require_benchmark(name);
         let o = Outcome::measure_in(&session, &bench, seed);
         let r = o.reactive_vs_baseline();
         let g = o.gpht_vs_baseline();

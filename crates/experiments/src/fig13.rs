@@ -8,10 +8,10 @@
 //! under the bound, at the cost of roughly halving the EDP gains.
 
 use crate::format::{num, Table};
+use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_governor::{par_map, ConservativeDerivation, Session, TranslationTable};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::spec;
 use std::fmt;
 
 /// The benchmarks of the paper's Figure 13 (those with > 5 % degradation
@@ -56,7 +56,7 @@ pub fn run(seed: u64) -> Figure13 {
     let platform = PlatformConfig::pentium_m();
     let session = Session::new(&platform);
     let rows = par_map(&FIGURE13_BENCHMARKS, |name| {
-        let bench = spec::benchmark(name).unwrap_or_else(|| panic!("{name} registered"));
+        let bench = require_benchmark(name);
         let baseline = session.baseline(bench.stream(seed));
         let original = session.gpht(bench.stream(seed));
         let conservative = session.run(derivation.manager(0.05), bench.stream(seed));

@@ -45,7 +45,7 @@ pub fn accuracy_on(predictor: &mut dyn Predictor, trace: &WorkloadTrace) -> Pred
 #[cfg(test)]
 mod tests {
     use super::*;
-    use livephase_workloads::spec;
+    use crate::runs::require_benchmark;
 
     #[test]
     fn lineup_matches_figure4_legend() {
@@ -65,10 +65,7 @@ mod tests {
 
     #[test]
     fn stream_classifies_each_interval() {
-        let trace = spec::benchmark("swim_in")
-            .unwrap()
-            .with_length(20)
-            .generate(1);
+        let trace = require_benchmark("swim_in").with_length(20).generate(1);
         let stream = sample_stream(&trace, &PhaseMap::pentium_m());
         assert_eq!(stream.len(), 20);
         // swim is phase 5 (0.020..0.030) nearly everywhere.
@@ -78,10 +75,7 @@ mod tests {
 
     #[test]
     fn accuracy_on_runs_end_to_end() {
-        let trace = spec::benchmark("crafty_in")
-            .unwrap()
-            .with_length(100)
-            .generate(1);
+        let trace = require_benchmark("crafty_in").with_length(100).generate(1);
         let mut lv = LastValue::new();
         let stats = accuracy_on(&mut lv, &trace);
         assert_eq!(stats.total, 99);

@@ -9,7 +9,21 @@
 
 use livephase_governor::{par_map, NormalizedComparison, RunReport, Session};
 use livephase_pmsim::PlatformConfig;
-use livephase_workloads::{registry, BenchmarkSpec};
+use livephase_workloads::{registry, spec, BenchmarkSpec};
+
+/// Looks up a registered benchmark by name.
+///
+/// Experiment drivers only ever name registry benchmarks, so an unknown
+/// name is a programming error; this wraps the lookup-and-panic that
+/// every driver used to hand-roll.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the workload registry.
+#[must_use]
+pub fn require_benchmark(name: &str) -> BenchmarkSpec {
+    spec::benchmark(name).unwrap_or_else(|| panic!("benchmark {name:?} is not registered"))
+}
 
 /// One benchmark's outcomes under baseline, reactive and GPHT management.
 #[derive(Debug, Clone)]
@@ -73,11 +87,10 @@ pub fn measure_all(seed: u64) -> Vec<Outcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use livephase_workloads::spec;
 
     #[test]
     fn outcome_covers_three_systems() {
-        let spec = spec::benchmark("swim_in").unwrap().with_length(100);
+        let spec = require_benchmark("swim_in").with_length(100);
         let o = Outcome::measure(&spec, 1);
         assert_eq!(o.baseline.policy, "Baseline");
         assert!(o.reactive.policy.contains("Reactive"));
@@ -91,7 +104,7 @@ mod tests {
     fn measure_in_shares_the_session_platform() {
         let platform = PlatformConfig::pentium_m();
         let session = Session::new(&platform);
-        let spec = spec::benchmark("swim_in").unwrap().with_length(60);
+        let spec = require_benchmark("swim_in").with_length(60);
         let shared = Outcome::measure_in(&session, &spec, 1);
         let owned = Outcome::measure(&spec, 1);
         assert_eq!(shared.baseline, owned.baseline);

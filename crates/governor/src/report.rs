@@ -96,6 +96,24 @@ impl RunReport {
         self.totals.edp()
     }
 
+    /// The DVFS decisions the policy made, as observable from the
+    /// interval log.
+    ///
+    /// The decision taken at PMI *k* governs interval *k + 1*, so the
+    /// sequence is `intervals[1..]`'s `dvfs_index` — one entry per PMI
+    /// except the last, whose chosen setting no logged interval ran
+    /// under. This is the oracle a remote phase-prediction service is
+    /// checked against: a server fed the same counter stream must emit
+    /// exactly these settings.
+    #[must_use]
+    pub fn decision_trace(&self) -> Vec<usize> {
+        self.intervals
+            .iter()
+            .skip(1)
+            .map(|i| i.dvfs_index)
+            .collect()
+    }
+
     /// Normalizes this run against a baseline run of the same workload.
     ///
     /// # Panics

@@ -276,8 +276,50 @@ mod tests {
         let items: Vec<usize> = (0..97).collect();
         let out = par_map(&items, |&i| i * 3);
         assert_eq!(out, items.iter().map(|&i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_input_yields_empty_output() {
         assert_eq!(par_map::<usize, usize>(&[], |_| 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn par_map_single_item_degrades_to_sequential() {
         assert_eq!(par_map(&[7usize], |&i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_more_workers_than_items_stays_in_order() {
+        // Worker count clamps to the item count, so any machine — however
+        // many cores — runs 2- and 3-item lists correctly and in order.
+        // Stagger completion so a later item finishing first would expose
+        // an ordering bug.
+        for n in [2usize, 3, 5] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(&items, |&i| {
+                std::thread::sleep(std::time::Duration::from_millis(((n - i) * 5) as u64));
+                i * 10
+            });
+            assert_eq!(out, items.iter().map(|&i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn decision_trace_tracks_interval_settings() {
+        let platform = PlatformConfig::pentium_m();
+        let session = Session::new(&platform);
+        let t = trace("applu_in", 50);
+        let r = session.gpht(&t);
+        let d = r.decision_trace();
+        assert_eq!(d.len(), r.intervals.len() - 1);
+        assert_eq!(
+            d,
+            r.intervals[1..]
+                .iter()
+                .map(|i| i.dvfs_index)
+                .collect::<Vec<_>>()
+        );
+        assert!(d.iter().any(|&s| s > 0), "applu switches settings");
     }
 
     #[test]

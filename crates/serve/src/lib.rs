@@ -1,0 +1,40 @@
+//! Phase monitoring and prediction as a network service.
+//!
+//! The paper's deployment runs the phase predictor inside the kernel of
+//! the machine it manages. This crate is the other deployment shape: a
+//! long-running TCP daemon that accepts counter samples from many
+//! machines (or many processes) and returns DVFS decisions — phase
+//! prediction as infrastructure rather than a kernel module.
+//!
+//! The crate stacks four layers, std-only (no async runtime, no
+//! networking dependencies):
+//!
+//! - [`wire`] — the versioned, length-prefixed binary frame protocol:
+//!   `Hello`/`HelloAck` handshake, `Sample` → `Decision` streaming,
+//!   `Stats`, explicit `Error` frames.
+//! - [`engine`] — the shard-local decision core: per-client
+//!   [`SessionState`](engine::SessionState) holding per-pid predictors,
+//!   bit-identical to the in-process manager's decision path.
+//! - [`server`] — the sharded daemon: N shard owner threads exclusively
+//!   holding predictor state, per-connection reader/writer threads,
+//!   timeouts, a `max_conns` accept gate, poison-one-connection error
+//!   handling and flag-based draining shutdown.
+//! - [`client`] / [`loadgen`] — the blocking client and the
+//!   `serve-bench` load generator, which replays the synthetic SPEC
+//!   workloads over M connections and checks served decisions bit-exactly
+//!   against an in-process oracle run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, ServedDecision};
+pub use engine::{shard_for, Decision, EngineConfig, SessionState};
+pub use loadgen::{Agreement, LoadGenConfig, LoadGenError, LoadReport};
+pub use server::{spawn, ServerConfig, ServerHandle, ServerSummary};
+pub use wire::{ErrorCode, Frame, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION};

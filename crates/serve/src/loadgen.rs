@@ -1,0 +1,436 @@
+//! The load generator behind `livephase-cli serve-bench`.
+//!
+//! Replays the synthetic SPEC workloads' counter streams over M
+//! concurrent connections (fanned out with [`par_map`], the same sweep
+//! primitive the experiment drivers use), windowed so each connection
+//! keeps a batch of samples in flight. Reports throughput, decision
+//! latency percentiles, and — the point of the exercise — per-benchmark
+//! decision agreement against an in-process [`Manager`] run of the same
+//! stream, which must be **bit-exact**: phase classification depends only
+//! on the Mem/Uop ratio the samples carry, so a correct server cannot
+//! disagree with the oracle even once.
+
+use crate::client::{Client, ClientError};
+use crate::engine::EngineConfig;
+use livephase_core::predictor_from_spec;
+use livephase_governor::{par_map, Manager, ManagerConfig, Proactive, TranslationTable};
+use livephase_pmsim::PlatformConfig;
+use livephase_workloads::{counter_samples, spec, CounterSample};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// What to replay, where, and how hard.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Server address, e.g. `127.0.0.1:9626`.
+    pub addr: String,
+    /// Concurrent connections to spread the benchmarks over.
+    pub connections: usize,
+    /// Benchmarks to replay; empty means the whole registry (all 33).
+    pub benchmarks: Vec<String>,
+    /// Intervals per benchmark (0 keeps each spec's default length).
+    pub length: usize,
+    /// Workload generation seed (shared with the oracle run).
+    pub seed: u64,
+    /// Predictor specification each session asks the server for.
+    pub predictor: String,
+    /// Samples kept in flight per connection between flushes.
+    pub window: usize,
+    /// Re-run each stream through an in-process manager and compare
+    /// decisions.
+    pub check_agreement: bool,
+    /// Socket timeout for every client operation.
+    pub timeout: Duration,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            connections: 8,
+            benchmarks: Vec::new(),
+            length: 120,
+            seed: 42,
+            predictor: "gpht:8:128".to_owned(),
+            window: 64,
+            check_agreement: true,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why the load generator gave up.
+#[derive(Debug)]
+pub enum LoadGenError {
+    /// A requested benchmark is not in the registry.
+    UnknownBenchmark(String),
+    /// The predictor specification does not parse.
+    BadPredictor(String),
+    /// A connection failed mid-replay.
+    Client {
+        /// Connection index that failed.
+        connection: usize,
+        /// The underlying failure.
+        source: ClientError,
+    },
+    /// A stream got back a different number of decisions than it sent
+    /// samples.
+    ShortStream {
+        /// Benchmark whose stream came up short.
+        benchmark: String,
+        /// Samples sent.
+        sent: u64,
+        /// Decisions received.
+        received: u64,
+    },
+}
+
+impl fmt::Display for LoadGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownBenchmark(name) => write!(f, "benchmark {name:?} is not registered"),
+            Self::BadPredictor(spec) => write!(f, "predictor spec {spec:?} does not parse"),
+            Self::Client { connection, source } => {
+                write!(f, "connection {connection}: {source}")
+            }
+            Self::ShortStream {
+                benchmark,
+                sent,
+                received,
+            } => write!(
+                f,
+                "{benchmark}: sent {sent} samples but got {received} decisions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadGenError {}
+
+/// Decision agreement of one replayed stream against its oracle run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Agreement {
+    /// Decisions that matched the oracle.
+    pub matched: u64,
+    /// Decisions compared (the oracle trace length — one fewer than the
+    /// sample count, the final decision being unobservable in-process).
+    pub compared: u64,
+}
+
+impl Agreement {
+    /// Whether every compared decision matched.
+    #[must_use]
+    pub fn exact(&self) -> bool {
+        self.matched == self.compared
+    }
+
+    /// Agreement as a percentage.
+    #[must_use]
+    pub fn pct(&self) -> f64 {
+        if self.compared == 0 {
+            100.0
+        } else {
+            self.matched as f64 / self.compared as f64 * 100.0
+        }
+    }
+}
+
+/// One benchmark's replay outcome.
+#[derive(Debug, Clone)]
+pub struct BenchmarkOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Connection that carried the stream.
+    pub connection: usize,
+    /// Samples sent (== decisions received).
+    pub samples: u64,
+    /// Agreement vs the in-process oracle, when checked.
+    pub agreement: Option<Agreement>,
+}
+
+/// Decision latency percentiles in microseconds (flush → decision read,
+/// so queueing inside the window counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+/// The full load-generation report.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-benchmark outcomes, sorted by benchmark name.
+    pub outcomes: Vec<BenchmarkOutcome>,
+    /// Connections that carried traffic.
+    pub connections: usize,
+    /// Total samples sent (== decisions received).
+    pub samples: u64,
+    /// Wall-clock of the whole replay.
+    pub elapsed: Duration,
+    /// Decision latency distribution.
+    pub latency: LatencyPercentiles,
+}
+
+impl LoadReport {
+    /// Samples per second over the whole replay.
+    #[must_use]
+    pub fn samples_per_s(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / s
+        }
+    }
+
+    /// Whether every checked stream agreed bit-exactly with its oracle.
+    #[must_use]
+    pub fn all_exact(&self) -> bool {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.agreement)
+            .all(|a| a.exact())
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve-bench: {} benchmarks over {} connections",
+            self.outcomes.len(),
+            self.connections
+        )?;
+        writeln!(
+            f,
+            "  samples {}  decisions {}  elapsed {:.3} s  throughput {:.0} samples/s",
+            self.samples,
+            self.samples,
+            self.elapsed.as_secs_f64(),
+            self.samples_per_s()
+        )?;
+        writeln!(
+            f,
+            "  decision latency p50 {} µs  p90 {} µs  p99 {} µs  max {} µs",
+            self.latency.p50_us, self.latency.p90_us, self.latency.p99_us, self.latency.max_us
+        )?;
+        let checked: Vec<&BenchmarkOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.agreement.is_some())
+            .collect();
+        if checked.is_empty() {
+            writeln!(f, "  agreement: not checked")?;
+        } else {
+            let exact = checked
+                .iter()
+                .filter(|o| o.agreement.is_some_and(|a| a.exact()))
+                .count();
+            writeln!(
+                f,
+                "  agreement: {exact}/{} benchmarks bit-exact vs in-process manager",
+                checked.len()
+            )?;
+            for o in &checked {
+                let a = o.agreement.expect("filtered on agreement");
+                if !a.exact() {
+                    writeln!(
+                        f,
+                        "    DIVERGED {}: {}/{} decisions matched ({:.2} %)",
+                        o.name,
+                        a.matched,
+                        a.compared,
+                        a.pct()
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One stream assignment: a benchmark riding a connection as a pid.
+#[derive(Debug, Clone)]
+struct StreamPlan {
+    spec: spec::BenchmarkSpec,
+    pid: u32,
+}
+
+/// Runs the load. Benchmarks are dealt round-robin over the connections;
+/// each connection replays its streams back-to-back, one pid per
+/// benchmark.
+///
+/// # Errors
+///
+/// Configuration errors before any traffic; the first connection failure
+/// otherwise.
+pub fn run(config: &LoadGenConfig) -> Result<LoadReport, LoadGenError> {
+    assert!(config.connections >= 1, "at least one connection");
+    assert!(config.window >= 1, "window must hold at least one sample");
+    if predictor_from_spec(&config.predictor).is_err() {
+        return Err(LoadGenError::BadPredictor(config.predictor.clone()));
+    }
+    let specs: Vec<spec::BenchmarkSpec> = if config.benchmarks.is_empty() {
+        spec::registry()
+    } else {
+        config
+            .benchmarks
+            .iter()
+            .map(|name| {
+                spec::benchmark(name).ok_or_else(|| LoadGenError::UnknownBenchmark(name.clone()))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut plans: Vec<Vec<StreamPlan>> = vec![Vec::new(); config.connections];
+    for (i, s) in specs.into_iter().enumerate() {
+        let spec = if config.length > 0 {
+            s.with_length(config.length)
+        } else {
+            s
+        };
+        plans[i % config.connections].push(StreamPlan {
+            spec,
+            pid: u32::try_from(i).expect("registry is small") + 1,
+        });
+    }
+
+    let indexed: Vec<(usize, Vec<StreamPlan>)> = plans.into_iter().enumerate().collect();
+    let started = Instant::now();
+    let results = par_map(&indexed, |(conn, plan)| run_connection(config, *conn, plan));
+    let elapsed = started.elapsed();
+
+    let mut outcomes = Vec::new();
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut samples = 0u64;
+    for result in results {
+        let (mut conn_outcomes, mut conn_latencies) = result?;
+        samples += conn_outcomes.iter().map(|o| o.samples).sum::<u64>();
+        outcomes.append(&mut conn_outcomes);
+        latencies_us.append(&mut conn_latencies);
+    }
+    outcomes.sort_by_key(|o| o.name.clone());
+    Ok(LoadReport {
+        outcomes,
+        connections: config.connections,
+        samples,
+        elapsed,
+        latency: percentiles(&mut latencies_us),
+    })
+}
+
+type ConnResult = Result<(Vec<BenchmarkOutcome>, Vec<u64>), LoadGenError>;
+
+fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> ConnResult {
+    if plan.is_empty() {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    let platform = EngineConfig::pentium_m().platform;
+    let client_err = |source| LoadGenError::Client {
+        connection: conn,
+        source,
+    };
+    let mut client = Client::connect(
+        config.addr.as_str(),
+        u64::try_from(conn).expect("connection index fits") + 1,
+        &platform,
+        &config.predictor,
+        config.timeout,
+    )
+    .map_err(client_err)?;
+
+    let mut outcomes = Vec::with_capacity(plan.len());
+    let mut latencies_us = Vec::new();
+    for stream in plan {
+        let samples: Vec<CounterSample> =
+            counter_samples(stream.spec.stream(config.seed)).collect();
+        let mut decisions: Vec<u8> = Vec::with_capacity(samples.len());
+        let mut sent = 0usize;
+        while decisions.len() < samples.len() {
+            let batch_end = (sent + config.window).min(samples.len());
+            for s in &samples[sent..batch_end] {
+                client
+                    .queue_sample(stream.pid, s.uops, s.mem_transactions, s.core_cycles)
+                    .map_err(client_err)?;
+            }
+            sent = batch_end;
+            client.flush().map_err(client_err)?;
+            let flushed_at = Instant::now();
+            while decisions.len() < sent {
+                let d = client.read_decision().map_err(client_err)?;
+                latencies_us
+                    .push(u64::try_from(flushed_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                decisions.push(d.op_point);
+            }
+        }
+        let agreement = config
+            .check_agreement
+            .then(|| score_against_oracle(stream, config, &decisions));
+        outcomes.push(BenchmarkOutcome {
+            name: stream.spec.name().to_owned(),
+            connection: conn,
+            samples: decisions.len() as u64,
+            agreement,
+        });
+    }
+    client.goodbye().map_err(client_err)?;
+    Ok((outcomes, latencies_us))
+}
+
+/// Re-runs the stream through an in-process [`Manager`] and counts how
+/// many served decisions match its [`decision_trace`]. The trace is one
+/// shorter than the sample count (the final decision never governs a
+/// logged interval), so the last served decision goes uncompared.
+///
+/// [`decision_trace`]: livephase_governor::RunReport::decision_trace
+fn score_against_oracle(
+    stream: &StreamPlan,
+    config: &LoadGenConfig,
+    decisions: &[u8],
+) -> Agreement {
+    let manager = Manager::new(
+        Box::new(Proactive::new(
+            predictor_from_spec(&config.predictor).expect("spec validated before traffic"),
+            TranslationTable::pentium_m(),
+        )),
+        ManagerConfig::pentium_m(),
+    );
+    let oracle = manager
+        .run(
+            stream.spec.stream(config.seed),
+            &PlatformConfig::pentium_m(),
+        )
+        .decision_trace();
+    let matched = decisions
+        .iter()
+        .zip(&oracle)
+        .filter(|(&got, &want)| usize::from(got) == want)
+        .count();
+    Agreement {
+        matched: matched as u64,
+        compared: oracle.len() as u64,
+    }
+}
+
+fn percentiles(latencies_us: &mut [u64]) -> LatencyPercentiles {
+    if latencies_us.is_empty() {
+        return LatencyPercentiles::default();
+    }
+    latencies_us.sort_unstable();
+    let at = |q: f64| {
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx]
+    };
+    LatencyPercentiles {
+        p50_us: at(0.50),
+        p90_us: at(0.90),
+        p99_us: at(0.99),
+        max_us: *latencies_us.last().expect("non-empty"),
+    }
+}

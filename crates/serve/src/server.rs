@@ -1,0 +1,645 @@
+//! The sharded TCP phase-prediction server.
+//!
+//! Threading model (std only — one `TcpListener`, `std::thread`, mpsc):
+//!
+//! ```text
+//! acceptor ── spawns ──► connection reader ──► shard 0 owner ─┐
+//!                        connection reader ──► shard 1 owner ─┤ decisions
+//!                        ...                   ...            │
+//!                        connection writer ◄──────────────────┘
+//! ```
+//!
+//! Each of the N **shard owner** threads exclusively owns the predictor
+//! state ([`SessionState`]) of the sessions hashed onto it — there is no
+//! lock around any GPHT. Connections are assigned to shards by
+//! [`shard_for`] over the client id from `Hello`. A connection's reader
+//! thread forwards samples to its shard over an mpsc channel; the shard
+//! computes decisions and queues them on the connection's **writer**
+//! thread, which drains its queue into a `BufWriter` and flushes once per
+//! batch — so decisions are batched per socket flush, not written one
+//! syscall each. mpsc channels are FIFO per sender, so a session's
+//! decisions come back in sample order.
+//!
+//! Robustness: every socket carries read/write timeouts; a malformed or
+//! oversized frame earns the sender a terminal [`Frame::Error`] and
+//! poisons **only that connection** — its shard and every other session
+//! keep running. Shutdown is flag-based: [`ServerHandle::shutdown`] (or
+//! `exit_after_conns` draining the last connection) raises the flag and
+//! pokes the acceptor with a loopback connect; readers notice at their
+//! next frame or timeout, in-flight samples still get their decisions
+//! (the shard processes a session's queue before its unregister), and
+//! writers flush before exiting.
+
+use crate::engine::{shard_for, EngineConfig, SessionState};
+use crate::wire::{self, ErrorCode, Frame, FrameError, StatsSnapshot, PROTOCOL_VERSION};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a server needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Number of shard owner threads.
+    pub shards: usize,
+    /// Accept gate: connections beyond this many concurrent sessions are
+    /// refused with [`ErrorCode::Busy`].
+    pub max_conns: usize,
+    /// Per-connection socket read timeout; an idle connection is closed
+    /// with [`ErrorCode::IdleTimeout`] after this long, and shutdown is
+    /// noticed at most this late.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Initiate shutdown once this many connections have been admitted
+    /// *and* all of them have finished — lets scripted smoke tests run a
+    /// bounded session and get a clean exit.
+    pub exit_after_conns: Option<u64>,
+    /// Phase map, translation table and platform name served.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 4,
+            max_conns: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            exit_after_conns: None,
+            engine: EngineConfig::pentium_m(),
+        }
+    }
+}
+
+/// Final counters reported when the server exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Connections admitted past the accept gate.
+    pub accepted: u64,
+    /// Connections refused with [`ErrorCode::Busy`].
+    pub rejected: u64,
+    /// Connections terminated for malformed frames, protocol violations
+    /// or idle timeouts.
+    pub poisoned: u64,
+    /// Samples ingested.
+    pub samples: u64,
+    /// Decisions computed.
+    pub decisions: u64,
+}
+
+/// Counters shared by every thread of a running server.
+#[derive(Debug, Default)]
+struct Shared {
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    active: AtomicU64,
+    rejected: AtomicU64,
+    poisoned: AtomicU64,
+    samples: AtomicU64,
+    decisions: AtomicU64,
+    processes: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self, shards: u32) -> StatsSnapshot {
+        StatsSnapshot {
+            samples: self.samples.load(Ordering::Relaxed),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            connections: self.accepted.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            processes: self.processes.load(Ordering::Relaxed),
+            shards,
+        }
+    }
+
+    fn summary(&self) -> ServerSummary {
+        ServerSummary {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            decisions: self.decisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a connection reader sends its shard owner.
+enum ShardMsg {
+    /// A `Hello` passed transport checks; validate the predictor spec and
+    /// answer `HelloAck` or `Error{BadConfig}` on `reply`.
+    Register {
+        conn: u64,
+        predictor: String,
+        reply: mpsc::Sender<Frame>,
+    },
+    /// One counter sample for `conn`'s session.
+    Sample {
+        conn: u64,
+        pid: u32,
+        uops: u64,
+        mem_trans: u64,
+    },
+    /// The connection is gone; drop its session state.
+    Unregister { conn: u64 },
+}
+
+/// A running server: its bound address plus the means to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<ServerSummary>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Raises the shutdown flag, pokes the acceptor awake, and waits for
+    /// every connection to drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acceptor thread itself panicked.
+    pub fn shutdown(self) -> ServerSummary {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor; it checks the flag before admitting.
+        drop(TcpStream::connect(self.local_addr));
+        self.acceptor.join().expect("acceptor thread panicked")
+    }
+
+    /// Waits for the server to exit on its own (`exit_after_conns`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acceptor thread itself panicked.
+    pub fn join(self) -> ServerSummary {
+        self.acceptor.join().expect("acceptor thread panicked")
+    }
+}
+
+/// Binds `config.addr` and spawns the acceptor; returns once the port is
+/// bound, so [`ServerHandle::local_addr`] is immediately connectable.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    assert!(config.shards > 0, "a server has at least one shard");
+    assert!(
+        config.max_conns > 0,
+        "a server admits at least one connection"
+    );
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared::default());
+    let shared_for_acceptor = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("serve-acceptor".to_owned())
+        .spawn(move || accept_loop(&listener, &config, &shared_for_acceptor))
+        .expect("spawning the acceptor thread");
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        acceptor,
+    })
+}
+
+/// The context a connection thread works in.
+struct ConnCtx {
+    shared: Arc<Shared>,
+    shard_txs: Vec<mpsc::Sender<ShardMsg>>,
+    engine: Arc<EngineConfig>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    shared: &Arc<Shared>,
+) -> ServerSummary {
+    let engine = Arc::new(config.engine.clone());
+    let shard_txs: Vec<mpsc::Sender<ShardMsg>> = (0..config.shards)
+        .map(|i| {
+            let (tx, rx) = mpsc::channel();
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("serve-shard-{i}"))
+                .spawn(move || shard_loop(&rx, i, &engine, &shared))
+                .expect("spawning a shard thread");
+            tx
+        })
+        .collect();
+
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the shutdown poke lands here
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.active.load(Ordering::SeqCst) >= config.max_conns as u64 {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            refuse_busy(stream, config.write_timeout);
+            continue;
+        }
+        let conn_id = shared.accepted.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let ctx = ConnCtx {
+            shared: Arc::clone(shared),
+            shard_txs: shard_txs.clone(),
+            engine: Arc::clone(&engine),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+        };
+        let exit_after = config.exit_after_conns;
+        let local_addr = listener.local_addr().ok();
+        conn_threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-conn-{conn_id}"))
+                .spawn(move || {
+                    connection_thread(stream, conn_id, &ctx);
+                    finish_connection(&ctx, exit_after, local_addr);
+                })
+                .expect("spawning a connection thread"),
+        );
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    drop(shard_txs); // disconnects every shard channel
+    shared.summary()
+}
+
+/// Post-connection bookkeeping: drop the active count and, when an
+/// `exit_after_conns` quota is both reached and fully drained, initiate
+/// shutdown.
+fn finish_connection(ctx: &ConnCtx, exit_after: Option<u64>, local_addr: Option<SocketAddr>) {
+    let remaining = ctx.shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+    let Some(quota) = exit_after else { return };
+    if remaining == 0 && ctx.shared.accepted.load(Ordering::SeqCst) >= quota {
+        ctx.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = local_addr {
+            drop(TcpStream::connect(addr)); // poke the acceptor awake
+        }
+    }
+}
+
+/// Refuses a connection at the accept gate with a synchronous
+/// `Error{Busy}`.
+fn refuse_busy(stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let mut w = BufWriter::new(stream);
+    let _ = wire::write_frame(
+        &mut w,
+        &Frame::Error {
+            code: ErrorCode::Busy,
+            message: "connection limit reached; retry later".to_owned(),
+        },
+    );
+    let _ = w.flush();
+}
+
+/// One shard owner: exclusively holds the predictor state of the
+/// sessions hashed onto it and answers their samples in arrival order.
+fn shard_loop(rx: &mpsc::Receiver<ShardMsg>, index: usize, engine: &EngineConfig, shared: &Shared) {
+    let mut sessions: HashMap<u64, (SessionState, mpsc::Sender<Frame>)> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Register {
+                conn,
+                predictor,
+                reply,
+            } => match SessionState::new(&predictor) {
+                Ok(session) => {
+                    let ack = Frame::HelloAck {
+                        version: PROTOCOL_VERSION,
+                        shard: u32::try_from(index).expect("shard index fits"),
+                        op_points: engine.op_points(),
+                    };
+                    if reply.send(ack).is_ok() {
+                        sessions.insert(conn, (session, reply));
+                    }
+                }
+                Err(e) => {
+                    let _ = reply.send(Frame::Error {
+                        code: ErrorCode::BadConfig,
+                        message: e.to_string(),
+                    });
+                }
+            },
+            ShardMsg::Sample {
+                conn,
+                pid,
+                uops,
+                mem_trans,
+            } => {
+                let Some((session, reply)) = sessions.get_mut(&conn) else {
+                    // Samples after a failed registration; the client
+                    // already holds a terminal Error frame.
+                    continue;
+                };
+                let before = session.processes();
+                let d = session.apply(engine, pid, uops, mem_trans);
+                let grown = (session.processes() - before) as u64;
+                if grown > 0 {
+                    shared.processes.fetch_add(grown, Ordering::Relaxed);
+                }
+                shared.samples.fetch_add(1, Ordering::Relaxed);
+                let frame = Frame::Decision {
+                    pid: d.pid,
+                    op_point: d.op_point,
+                    confidence: d.confidence,
+                };
+                if reply.send(frame).is_ok() {
+                    shared.decisions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Writer is gone — the connection died mid-flight.
+                    retire_session(&mut sessions, conn, shared);
+                }
+            }
+            ShardMsg::Unregister { conn } => retire_session(&mut sessions, conn, shared),
+        }
+    }
+}
+
+fn retire_session(
+    sessions: &mut HashMap<u64, (SessionState, mpsc::Sender<Frame>)>,
+    conn: u64,
+    shared: &Shared,
+) {
+    if let Some((session, _)) = sessions.remove(&conn) {
+        shared
+            .processes
+            .fetch_sub(session.processes() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Why a connection's read loop ended; decides poisoning and the terminal
+/// frame.
+enum ConnEnd {
+    /// Client said `Goodbye` or closed the socket.
+    Clean,
+    /// The client broke protocol (malformed frame, out-of-order frame,
+    /// idle timeout); a terminal `Error` was queued.
+    Poisoned,
+    /// The server is draining.
+    ShuttingDown,
+}
+
+fn connection_thread(stream: TcpStream, conn_id: u64, ctx: &ConnCtx) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(ctx.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(ctx.write_timeout)).is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    let writer = std::thread::Builder::new()
+        .name(format!("serve-conn-{conn_id}-writer"))
+        .spawn(move || writer_loop(write_half, &reply_rx))
+        .expect("spawning a connection writer thread");
+
+    let mut reader = BufReader::new(stream);
+    let shard = serve_connection(&mut reader, conn_id, ctx, &reply_tx);
+
+    // Drop the session (FIFO per sender: the shard answers every sample
+    // already queued before it sees the unregister), then release our
+    // reply sender so the writer drains and exits once the shard's clone
+    // is gone too.
+    if let Some(shard) = shard {
+        let _ = ctx.shard_txs[shard].send(ShardMsg::Unregister { conn: conn_id });
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Runs the handshake and the sample loop; returns the shard this
+/// connection registered on, if it got that far.
+fn serve_connection(
+    reader: &mut BufReader<TcpStream>,
+    conn_id: u64,
+    ctx: &ConnCtx,
+    reply: &mpsc::Sender<Frame>,
+) -> Option<usize> {
+    let shard = match handshake(reader, conn_id, ctx, reply) {
+        Ok(shard) => shard,
+        Err(end) => {
+            if matches!(end, ConnEnd::Poisoned) {
+                ctx.shared.poisoned.fetch_add(1, Ordering::Relaxed);
+            }
+            return None;
+        }
+    };
+    let end = sample_loop(reader, conn_id, ctx, reply, shard);
+    if matches!(end, ConnEnd::Poisoned) {
+        ctx.shared.poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(shard)
+}
+
+/// Reads and answers the `Hello`; returns the shard index on success.
+fn handshake(
+    reader: &mut BufReader<TcpStream>,
+    conn_id: u64,
+    ctx: &ConnCtx,
+    reply: &mpsc::Sender<Frame>,
+) -> Result<usize, ConnEnd> {
+    let frame = read_or_end(reader, ctx, reply)?;
+    let (version, client_id, platform, predictor) = match frame {
+        Frame::Hello {
+            version,
+            client_id,
+            platform,
+            predictor,
+        } => (version, client_id, platform, predictor),
+        Frame::Goodbye => return Err(ConnEnd::Clean),
+        other => {
+            refuse(
+                reply,
+                ErrorCode::Protocol,
+                format!("expected Hello, got {}", frame_name(&other)),
+            );
+            return Err(ConnEnd::Poisoned);
+        }
+    };
+    if version != PROTOCOL_VERSION {
+        refuse(
+            reply,
+            ErrorCode::VersionMismatch,
+            format!("server speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"),
+        );
+        return Err(ConnEnd::Poisoned);
+    }
+    if platform != ctx.engine.platform {
+        refuse(
+            reply,
+            ErrorCode::BadConfig,
+            format!(
+                "server is configured for platform {:?}",
+                ctx.engine.platform
+            ),
+        );
+        return Err(ConnEnd::Poisoned);
+    }
+    let shard = shard_for(client_id, ctx.shard_txs.len());
+    // The shard answers HelloAck (or Error{BadConfig} for a predictor
+    // spec that does not parse) on the reply channel.
+    let register = ShardMsg::Register {
+        conn: conn_id,
+        predictor,
+        reply: reply.clone(),
+    };
+    if ctx.shard_txs[shard].send(register).is_err() {
+        return Err(ConnEnd::ShuttingDown);
+    }
+    Ok(shard)
+}
+
+/// The post-handshake read loop.
+fn sample_loop(
+    reader: &mut BufReader<TcpStream>,
+    conn_id: u64,
+    ctx: &ConnCtx,
+    reply: &mpsc::Sender<Frame>,
+    shard: usize,
+) -> ConnEnd {
+    loop {
+        let frame = match read_or_end(reader, ctx, reply) {
+            Ok(frame) => frame,
+            Err(end) => return end,
+        };
+        match frame {
+            Frame::Sample {
+                pid,
+                uops,
+                mem_trans,
+                tsc_delta: _,
+            } => {
+                let msg = ShardMsg::Sample {
+                    conn: conn_id,
+                    pid,
+                    uops,
+                    mem_trans,
+                };
+                if ctx.shard_txs[shard].send(msg).is_err() {
+                    return ConnEnd::ShuttingDown;
+                }
+            }
+            Frame::StatsRequest => {
+                // Answered from the shared counters without a shard round
+                // trip; may overtake decisions still queued on the shard.
+                let shards = u32::try_from(ctx.shard_txs.len()).expect("shard count fits");
+                let _ = reply.send(Frame::Stats(ctx.shared.snapshot(shards)));
+            }
+            Frame::Goodbye => return ConnEnd::Clean,
+            other => {
+                refuse(
+                    reply,
+                    ErrorCode::Protocol,
+                    format!("client may not send {}", frame_name(&other)),
+                );
+                return ConnEnd::Poisoned;
+            }
+        }
+    }
+}
+
+/// Reads one frame, translating transport/decode failures and the
+/// shutdown flag into a [`ConnEnd`] (queueing the terminal error frame
+/// where one is owed).
+fn read_or_end(
+    reader: &mut BufReader<TcpStream>,
+    ctx: &ConnCtx,
+    reply: &mpsc::Sender<Frame>,
+) -> Result<Frame, ConnEnd> {
+    if ctx.shared.shutdown.load(Ordering::SeqCst) {
+        refuse(
+            reply,
+            ErrorCode::ShuttingDown,
+            "server is draining".to_owned(),
+        );
+        return Err(ConnEnd::ShuttingDown);
+    }
+    match wire::read_frame(reader) {
+        Ok(frame) => Ok(frame),
+        Err(e) if e.is_timeout() => {
+            if ctx.shared.shutdown.load(Ordering::SeqCst) {
+                refuse(
+                    reply,
+                    ErrorCode::ShuttingDown,
+                    "server is draining".to_owned(),
+                );
+                Err(ConnEnd::ShuttingDown)
+            } else {
+                refuse(
+                    reply,
+                    ErrorCode::IdleTimeout,
+                    format!("no frame within {:?}", ctx.read_timeout),
+                );
+                Err(ConnEnd::Poisoned)
+            }
+        }
+        Err(FrameError::Decode(e)) => {
+            refuse(reply, ErrorCode::Malformed, e.to_string());
+            Err(ConnEnd::Poisoned)
+        }
+        // EOF or a dead socket: nothing left to tell the peer.
+        Err(FrameError::Io(_)) => Err(ConnEnd::Clean),
+    }
+}
+
+fn refuse(reply: &mpsc::Sender<Frame>, code: ErrorCode, message: impl Into<String>) {
+    let _ = reply.send(Frame::Error {
+        code,
+        message: message.into(),
+    });
+}
+
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "Hello",
+        Frame::HelloAck { .. } => "HelloAck",
+        Frame::Sample { .. } => "Sample",
+        Frame::Decision { .. } => "Decision",
+        Frame::StatsRequest => "StatsRequest",
+        Frame::Stats(_) => "Stats",
+        Frame::Error { .. } => "Error",
+        Frame::Goodbye => "Goodbye",
+    }
+}
+
+/// Drains queued frames into a `BufWriter`, flushing once per batch: one
+/// blocking receive, then everything else already queued, then a flush.
+fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Frame>) {
+    let mut w = BufWriter::with_capacity(32 * 1024, stream);
+    while let Ok(frame) = rx.recv() {
+        if wire::write_frame(&mut w, &frame).is_err() {
+            return;
+        }
+        while let Ok(f) = rx.try_recv() {
+            if wire::write_frame(&mut w, &f).is_err() {
+                return;
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}

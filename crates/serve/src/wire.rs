@@ -1,0 +1,653 @@
+//! The `livephase-serve` wire protocol: versioned, length-prefixed binary
+//! frames.
+//!
+//! Every frame on the socket is
+//!
+//! ```text
+//! u32 LE payload length | u8 frame tag | body (fixed-width LE fields,
+//!                                             strings as u16 length + UTF-8)
+//! ```
+//!
+//! The payload length covers the tag and body and must lie in
+//! `1..=MAX_FRAME_BYTES`; anything outside that range is rejected before a
+//! single payload byte is read, so an adversarial length prefix cannot
+//! make the server allocate. Decoding is total: every error path returns a
+//! [`DecodeError`], never panics, and a frame must consume its payload
+//! exactly (trailing bytes are an error, which keeps the protocol
+//! extensible only through new tags and the version field).
+//!
+//! A connection opens with a version handshake: the client's first frame
+//! must be [`Frame::Hello`], the server answers [`Frame::HelloAck`] (or an
+//! [`Frame::Error`] and closes). After that the client streams
+//! [`Frame::Sample`]s and the server answers one [`Frame::Decision`] per
+//! sample, in order, batched per socket flush.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. A server receiving any other
+/// version in `Hello` answers with [`ErrorCode::VersionMismatch`] and
+/// closes the connection.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard ceiling on the payload length of a single frame.
+///
+/// Large enough for any frame this protocol defines (strings are capped
+/// at `u16::MAX` by their length field), small enough that a hostile
+/// length prefix cannot cause a large allocation.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Confidence scale: [`Frame::Decision`] carries the shard's running
+/// prediction accuracy for the stream in basis points, `0..=10_000`.
+pub const CONFIDENCE_SCALE: u16 = 10_000;
+
+/// Why the server (or client) is about to give up on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer speaks a different protocol version.
+    VersionMismatch,
+    /// A frame failed to decode; the connection is poisoned.
+    Malformed,
+    /// The server is at its `--max-conns` accept gate.
+    Busy,
+    /// The connection sat idle past the read timeout.
+    IdleTimeout,
+    /// The `Hello` named an unknown platform or predictor configuration.
+    BadConfig,
+    /// A well-formed frame arrived out of protocol order (e.g. `Sample`
+    /// before `Hello`).
+    Protocol,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::VersionMismatch => 1,
+            Self::Malformed => 2,
+            Self::Busy => 3,
+            Self::IdleTimeout => 4,
+            Self::BadConfig => 5,
+            Self::Protocol => 6,
+            Self::ShuttingDown => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Self::VersionMismatch,
+            2 => Self::Malformed,
+            3 => Self::Busy,
+            4 => Self::IdleTimeout,
+            5 => Self::BadConfig,
+            6 => Self::Protocol,
+            7 => Self::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::VersionMismatch => "version mismatch",
+            Self::Malformed => "malformed frame",
+            Self::Busy => "server busy",
+            Self::IdleTimeout => "idle timeout",
+            Self::BadConfig => "bad configuration",
+            Self::Protocol => "protocol violation",
+            Self::ShuttingDown => "shutting down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate service counters, shipped in a [`Frame::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Samples ingested since the server started.
+    pub samples: u64,
+    /// Decisions computed since the server started.
+    pub decisions: u64,
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Logical processes (pid streams) with live predictor state.
+    pub processes: u64,
+    /// Number of shards serving.
+    pub shards: u32,
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server, first frame: version handshake plus the session
+    /// configuration (platform name and predictor spec, e.g.
+    /// `"pentium_m"` / `"gpht:8:128"`). `client_id` selects the shard.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+        /// Stable client identity; shard assignment hashes this.
+        client_id: u64,
+        /// Platform the client's counters come from.
+        platform: String,
+        /// Predictor specification for this session's streams.
+        predictor: String,
+    },
+    /// Server → client: handshake accepted.
+    HelloAck {
+        /// Protocol version the server speaks.
+        version: u16,
+        /// Shard index the session landed on.
+        shard: u32,
+        /// Number of DVFS operating points decisions index into.
+        op_points: u8,
+    },
+    /// Client → server: one sampling interval's counter readings for one
+    /// logical process.
+    Sample {
+        /// Process the interval belongs to (per-pid predictor state).
+        pid: u32,
+        /// Micro-ops retired in the interval.
+        uops: u64,
+        /// Memory bus transactions in the interval.
+        mem_trans: u64,
+        /// TSC delta of the interval (informational; decisions never
+        /// depend on it).
+        tsc_delta: u64,
+    },
+    /// Server → client: the DVFS operating point to apply for `pid`'s
+    /// next interval.
+    Decision {
+        /// Process the decision is for.
+        pid: u32,
+        /// Operating-point index (0 = fastest).
+        op_point: u8,
+        /// Running prediction accuracy for this stream, in basis points
+        /// of [`CONFIDENCE_SCALE`].
+        confidence: u16,
+    },
+    /// Client → server: request a [`Frame::Stats`]. Answered in-order
+    /// with the connection's decision stream.
+    StatsRequest,
+    /// Server → client: aggregate service counters.
+    Stats(StatsSnapshot),
+    /// Either direction: the connection is being abandoned and why. The
+    /// sender closes after this frame.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: clean close. The server flushes any in-flight
+    /// decisions and closes the connection.
+    Goodbye,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_SAMPLE: u8 = 3;
+const TAG_DECISION: u8 = 4;
+const TAG_STATS_REQUEST: u8 = 5;
+const TAG_STATS: u8 = 6;
+const TAG_ERROR: u8 = 7;
+const TAG_GOODBYE: u8 = 8;
+
+/// A frame that failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The length prefix was zero or exceeded [`MAX_FRAME_BYTES`].
+    BadLength(usize),
+    /// The payload ended before the frame's fields did.
+    Truncated,
+    /// The payload had bytes left over after the frame's fields.
+    TrailingBytes(usize),
+    /// The frame tag is not part of this protocol version.
+    UnknownTag(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// An error frame carried an unknown error code.
+    BadErrorCode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadLength(n) => write!(f, "frame length {n} outside 1..={MAX_FRAME_BYTES}"),
+            Self::Truncated => write!(f, "payload truncated"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            Self::UnknownTag(t) => write!(f, "unknown frame tag {t}"),
+            Self::BadString => write!(f, "string field is not UTF-8"),
+            Self::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A frame-level read failure: either the socket failed or the bytes did.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (includes read/write timeouts).
+    Io(io::Error),
+    /// The bytes arrived but are not a frame.
+    Decode(DecodeError),
+}
+
+impl FrameError {
+    /// Whether this is a socket timeout (`WouldBlock`/`TimedOut`).
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            Self::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).expect("protocol strings fit in u16");
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Encodes a frame's payload (tag + body), without the length prefix.
+#[must_use]
+pub fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    match frame {
+        Frame::Hello {
+            version,
+            client_id,
+            platform,
+            predictor,
+        } => {
+            buf.push(TAG_HELLO);
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&client_id.to_le_bytes());
+            put_str(&mut buf, platform);
+            put_str(&mut buf, predictor);
+        }
+        Frame::HelloAck {
+            version,
+            shard,
+            op_points,
+        } => {
+            buf.push(TAG_HELLO_ACK);
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&shard.to_le_bytes());
+            buf.push(*op_points);
+        }
+        Frame::Sample {
+            pid,
+            uops,
+            mem_trans,
+            tsc_delta,
+        } => {
+            buf.push(TAG_SAMPLE);
+            buf.extend_from_slice(&pid.to_le_bytes());
+            buf.extend_from_slice(&uops.to_le_bytes());
+            buf.extend_from_slice(&mem_trans.to_le_bytes());
+            buf.extend_from_slice(&tsc_delta.to_le_bytes());
+        }
+        Frame::Decision {
+            pid,
+            op_point,
+            confidence,
+        } => {
+            buf.push(TAG_DECISION);
+            buf.extend_from_slice(&pid.to_le_bytes());
+            buf.push(*op_point);
+            buf.extend_from_slice(&confidence.to_le_bytes());
+        }
+        Frame::StatsRequest => buf.push(TAG_STATS_REQUEST),
+        Frame::Stats(s) => {
+            buf.push(TAG_STATS);
+            buf.extend_from_slice(&s.samples.to_le_bytes());
+            buf.extend_from_slice(&s.decisions.to_le_bytes());
+            buf.extend_from_slice(&s.connections.to_le_bytes());
+            buf.extend_from_slice(&s.active_connections.to_le_bytes());
+            buf.extend_from_slice(&s.processes.to_le_bytes());
+            buf.extend_from_slice(&s.shards.to_le_bytes());
+        }
+        Frame::Error { code, message } => {
+            buf.push(TAG_ERROR);
+            buf.push(code.to_u8());
+            put_str(&mut buf, message);
+        }
+        Frame::Goodbye => buf.push(TAG_GOODBYE),
+    }
+    buf
+}
+
+/// Encodes a frame to its full wire form: length prefix plus payload.
+#[must_use]
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Sequential little-endian field reader over a frame payload.
+struct Fields<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = usize::from(self.u16()?);
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadString)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        let left = self.bytes.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(left))
+        }
+    }
+}
+
+/// Decodes one frame from its payload bytes (tag + body, no length
+/// prefix).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for an empty payload, an unknown tag, a
+/// truncated body, trailing bytes, a non-UTF-8 string, or an unknown
+/// error code — never panics, whatever the input.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, DecodeError> {
+    if payload.is_empty() {
+        return Err(DecodeError::BadLength(0));
+    }
+    let mut f = Fields {
+        bytes: payload,
+        pos: 0,
+    };
+    let tag = f.u8()?;
+    let frame = match tag {
+        TAG_HELLO => Frame::Hello {
+            version: f.u16()?,
+            client_id: f.u64()?,
+            platform: f.string()?,
+            predictor: f.string()?,
+        },
+        TAG_HELLO_ACK => Frame::HelloAck {
+            version: f.u16()?,
+            shard: f.u32()?,
+            op_points: f.u8()?,
+        },
+        TAG_SAMPLE => Frame::Sample {
+            pid: f.u32()?,
+            uops: f.u64()?,
+            mem_trans: f.u64()?,
+            tsc_delta: f.u64()?,
+        },
+        TAG_DECISION => Frame::Decision {
+            pid: f.u32()?,
+            op_point: f.u8()?,
+            confidence: f.u16()?,
+        },
+        TAG_STATS_REQUEST => Frame::StatsRequest,
+        TAG_STATS => Frame::Stats(StatsSnapshot {
+            samples: f.u64()?,
+            decisions: f.u64()?,
+            connections: f.u64()?,
+            active_connections: f.u64()?,
+            processes: f.u64()?,
+            shards: f.u32()?,
+        }),
+        TAG_ERROR => {
+            let code = f.u8()?;
+            Frame::Error {
+                code: ErrorCode::from_u8(code).ok_or(DecodeError::BadErrorCode(code))?,
+                message: f.string()?,
+            }
+        }
+        TAG_GOODBYE => Frame::Goodbye,
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    f.finish()?;
+    Ok(frame)
+}
+
+/// Writes one frame to `w` (buffered writers batch; call `flush`
+/// yourself).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+/// Reads one length-prefixed frame from `r`.
+///
+/// The length prefix is validated against [`MAX_FRAME_BYTES`] *before*
+/// any payload is read, so an adversarial prefix cannot force an
+/// allocation; a bad length or undecodable payload poisons only this
+/// connection.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on transport failure (including read timeouts —
+/// see [`FrameError::is_timeout`]); [`FrameError::Decode`] on a bad
+/// length prefix or payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(DecodeError::BadLength(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(decode_payload(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame) {
+        let bytes = encode(frame);
+        let (prefix, payload) = bytes.split_at(4);
+        assert_eq!(
+            u32::from_le_bytes(prefix.try_into().unwrap()) as usize,
+            payload.len()
+        );
+        assert_eq!(&decode_payload(payload).unwrap(), frame);
+        // And through the streaming reader.
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(&read_frame(&mut cursor).unwrap(), frame);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        round_trip(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client_id: 0xDEAD_BEEF_0123,
+            platform: "pentium_m".into(),
+            predictor: "gpht:8:128".into(),
+        });
+        round_trip(&Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            shard: 3,
+            op_points: 6,
+        });
+        round_trip(&Frame::Sample {
+            pid: 42,
+            uops: 100_000_000,
+            mem_trans: 1_234_567,
+            tsc_delta: 987_654_321,
+        });
+        round_trip(&Frame::Decision {
+            pid: 42,
+            op_point: 5,
+            confidence: 9_876,
+        });
+        round_trip(&Frame::StatsRequest);
+        round_trip(&Frame::Stats(StatsSnapshot {
+            samples: 1,
+            decisions: 2,
+            connections: 3,
+            active_connections: 4,
+            processes: 5,
+            shards: 6,
+        }));
+        round_trip(&Frame::Error {
+            code: ErrorCode::Malformed,
+            message: "tag 200 is not a frame".into(),
+        });
+        round_trip(&Frame::Goodbye);
+    }
+
+    #[test]
+    fn empty_and_unknown_payloads_are_rejected() {
+        assert_eq!(decode_payload(&[]), Err(DecodeError::BadLength(0)));
+        assert_eq!(decode_payload(&[200]), Err(DecodeError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let payload = encode_payload(&Frame::Sample {
+            pid: 1,
+            uops: 2,
+            mem_trans: 3,
+            tsc_delta: 4,
+        });
+        for cut in 1..payload.len() {
+            assert_eq!(
+                decode_payload(&payload[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut padded = payload;
+        padded.push(0);
+        assert_eq!(decode_payload(&padded), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_reading() {
+        let mut bytes = (u32::try_from(MAX_FRAME_BYTES).unwrap() + 1)
+            .to_le_bytes()
+            .to_vec();
+        bytes.push(TAG_GOODBYE);
+        let mut cursor = io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Err(FrameError::Decode(DecodeError::BadLength(n))) => {
+                assert_eq!(n, MAX_FRAME_BYTES + 1);
+            }
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_strings_and_codes_are_rejected() {
+        // Hello with invalid UTF-8 in the platform string.
+        let mut payload = vec![TAG_HELLO];
+        payload.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_payload(&payload), Err(DecodeError::BadString));
+
+        let mut payload = vec![TAG_ERROR, 99];
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_payload(&payload), Err(DecodeError::BadErrorCode(99)));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::VersionMismatch,
+            ErrorCode::Malformed,
+            ErrorCode::Busy,
+            ErrorCode::IdleTimeout,
+            ErrorCode::BadConfig,
+            ErrorCode::Protocol,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+    }
+
+    #[test]
+    fn timeout_classification() {
+        let e = FrameError::Io(io::Error::new(io::ErrorKind::WouldBlock, "t"));
+        assert!(e.is_timeout());
+        let e = FrameError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "t"));
+        assert!(!e.is_timeout());
+        let e = FrameError::Decode(DecodeError::Truncated);
+        assert!(!e.is_timeout());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the wire protocol: arbitrary frames round-trip
+//! exactly, and no mutilation of the byte stream — truncation, padding,
+//! oversized length prefixes, or plain byte soup — ever panics the
+//! decoder. Total decoding is what lets a poisoned connection die alone
+//! instead of taking the server with it.
+
+use livephase_serve::wire::{
+    decode_payload, encode, encode_payload, read_frame, DecodeError, ErrorCode, Frame, FrameError,
+    StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Protocol strings: printable ASCII, comfortably under the u16 length cap.
+fn arb_string() -> impl Strategy<Value = String> {
+    collection::vec(32u8..127, 0usize..32)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::VersionMismatch),
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::Busy),
+        Just(ErrorCode::IdleTimeout),
+        Just(ErrorCode::BadConfig),
+        Just(ErrorCode::Protocol),
+        Just(ErrorCode::ShuttingDown),
+    ]
+}
+
+fn arb_frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        (0u16..=u16::MAX, 0u64..=u64::MAX, arb_string(), arb_string()).prop_map(
+            |(version, client_id, platform, predictor)| Frame::Hello {
+                version,
+                client_id,
+                platform,
+                predictor,
+            }
+        ),
+        (0u16..=u16::MAX, 0u32..=u32::MAX, 0u8..=u8::MAX).prop_map(
+            |(version, shard, op_points)| Frame::HelloAck {
+                version,
+                shard,
+                op_points,
+            }
+        ),
+        (
+            0u32..=u32::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX
+        )
+            .prop_map(|(pid, uops, mem_trans, tsc_delta)| Frame::Sample {
+                pid,
+                uops,
+                mem_trans,
+                tsc_delta,
+            }),
+        (0u32..=u32::MAX, 0u8..=u8::MAX, 0u16..=u16::MAX).prop_map(
+            |(pid, op_point, confidence)| Frame::Decision {
+                pid,
+                op_point,
+                confidence,
+            }
+        ),
+        Just(Frame::StatsRequest),
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u32..=u32::MAX,
+        )
+            .prop_map(
+                |(samples, decisions, connections, active_connections, processes, shards)| {
+                    Frame::Stats(StatsSnapshot {
+                        samples,
+                        decisions,
+                        connections,
+                        active_connections,
+                        processes,
+                        shards,
+                    })
+                }
+            ),
+        (arb_error_code(), arb_string()).prop_map(|(code, message)| Frame::Error { code, message }),
+        Just(Frame::Goodbye),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Every frame survives encode → decode unchanged, both as a bare
+    /// payload and through the length-prefixed stream reader.
+    #[test]
+    fn arbitrary_frames_round_trip(frame in arb_frame()) {
+        let payload = encode_payload(&frame);
+        prop_assert_eq!(decode_payload(&payload).as_ref(), Ok(&frame));
+        let mut cursor = std::io::Cursor::new(encode(&frame));
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+    }
+
+    /// Any strict prefix of a valid payload is rejected — with an error,
+    /// never a panic. (Every field of every frame is mandatory, so a
+    /// truncated body can never alias a shorter valid frame.)
+    #[test]
+    fn truncated_payloads_are_rejected(frame in arb_frame(), fraction in 0.0f64..1.0) {
+        let payload = encode_payload(&frame);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let cut = ((payload.len() as f64) * fraction) as usize;
+        prop_assume!(cut < payload.len());
+        prop_assert!(decode_payload(&payload[..cut]).is_err());
+    }
+
+    /// Trailing garbage after a complete frame is rejected: the protocol
+    /// only grows through new tags and the version field, never through
+    /// silently ignored suffix bytes.
+    #[test]
+    fn padded_payloads_are_rejected(frame in arb_frame(), pad in collection::vec(0u8..=u8::MAX, 1usize..16)) {
+        let mut payload = encode_payload(&frame);
+        let expect_trailing = DecodeError::TrailingBytes(pad.len());
+        payload.extend_from_slice(&pad);
+        prop_assert_eq!(decode_payload(&payload), Err(expect_trailing));
+    }
+
+    /// A length prefix beyond `MAX_FRAME_BYTES` is refused before any
+    /// payload byte is read or allocated.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(excess in 1u64..=u64::from(u32::MAX) - MAX_FRAME_BYTES as u64) {
+        #[allow(clippy::cast_possible_truncation)]
+        let len = (MAX_FRAME_BYTES as u64 + excess) as u32;
+        let bytes = len.to_le_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Err(FrameError::Decode(DecodeError::BadLength(n))) => {
+                prop_assert_eq!(n, len as usize);
+            }
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    /// Arbitrary byte soup never panics the payload decoder.
+    #[test]
+    fn byte_soup_never_panics(bytes in collection::vec(0u8..=u8::MAX, 0usize..256)) {
+        let _ = decode_payload(&bytes);
+    }
+
+    /// The version constant is what `Hello` round-trips today; a bump
+    /// must be deliberate (and handled in the server's handshake).
+    #[test]
+    fn version_field_is_carried_verbatim(client_id in 0u64..=u64::MAX) {
+        let frame = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client_id,
+            platform: "pentium_m".into(),
+            predictor: "gpht:8:128".into(),
+        };
+        match decode_payload(&encode_payload(&frame)) {
+            Ok(Frame::Hello { version, .. }) => prop_assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+}

@@ -54,7 +54,8 @@ pub use multiprogram::{
 };
 pub use pattern::{Movement, Step};
 pub use source::{
-    ConstantSource, IntervalSource, IntoIntervalSource, OwnedTraceCursor, SourceIter, TraceCursor,
+    counter_samples, ConstantSource, CounterSample, CounterSamples, IntervalSource,
+    IntoIntervalSource, OwnedTraceCursor, SourceIter, TraceCursor,
 };
 pub use spec::{benchmark, registry, BenchmarkSpec, Quadrant, SpecSource};
 pub use trace::{TraceStats, WorkloadTrace};

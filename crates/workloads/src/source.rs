@@ -199,6 +199,63 @@ impl IntervalSource for ConstantSource {
     }
 }
 
+/// The raw counter readings one sampling interval would deposit in the
+/// PMI handler's log: the two programmable counters plus a cycle count.
+///
+/// This is the unit a *remote* phase-monitoring client ships over the
+/// wire — no timing or power model attached, just what the hardware
+/// counters say. Phase classification needs only `mem_transactions /
+/// uops` (the DVFS-invariant Mem/Uop rate), so a stream of these is
+/// sufficient for a server to reproduce the in-process governor's
+/// decisions exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Micro-ops retired in the interval.
+    pub uops: u64,
+    /// Memory bus transactions in the interval (`BUS_TRAN_MEM`).
+    pub mem_transactions: u64,
+    /// Core (non-stall) cycles of the interval — the frequency-invariant
+    /// component of the TSC delta. Informational only; decisions never
+    /// depend on it.
+    pub core_cycles: u64,
+}
+
+impl From<IntervalWork> for CounterSample {
+    fn from(w: IntervalWork) -> Self {
+        Self {
+            uops: w.uops,
+            mem_transactions: w.mem_transactions,
+            core_cycles: (w.uops as f64 * w.cpi_core).round() as u64,
+        }
+    }
+}
+
+/// Adapts an [`IntervalSource`] into an iterator of [`CounterSample`]s —
+/// the interval → wire-sample conversion used by network load generators.
+#[derive(Debug)]
+pub struct CounterSamples<S>(pub S);
+
+impl<S: IntervalSource> Iterator for CounterSamples<S> {
+    type Item = CounterSample;
+
+    fn next(&mut self) -> Option<CounterSample> {
+        self.0.next_interval().map(CounterSample::from)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.0.len_hint() {
+            Some(n) => (n, Some(n)),
+            None => (0, None),
+        }
+    }
+}
+
+/// Converts anything that streams intervals into its counter-sample
+/// stream.
+pub fn counter_samples(source: impl IntoIntervalSource) -> CounterSamples<impl IntervalSource> {
+    CounterSamples(source.into_interval_source())
+}
+
 /// Adapts an [`IntervalSource`] to [`Iterator`] for use with iterator
 /// combinators.
 #[derive(Debug)]
@@ -270,6 +327,27 @@ mod tests {
         assert_eq!(s.next_interval(), Some(w));
         assert_eq!(s.next_interval(), None);
         assert_eq!(s.len_hint(), Some(0));
+    }
+
+    #[test]
+    fn counter_samples_mirror_the_interval_stream() {
+        let trace = spec::benchmark("applu_in")
+            .unwrap()
+            .with_length(12)
+            .generate(7);
+        let samples: Vec<CounterSample> = counter_samples(&trace).collect();
+        assert_eq!(samples.len(), 12);
+        for (s, w) in samples.iter().zip(trace.intervals()) {
+            assert_eq!(s.uops, w.uops);
+            assert_eq!(s.mem_transactions, w.mem_transactions);
+            // The rate the server classifies on is exactly the trace's.
+            assert_eq!(
+                s.mem_transactions as f64 / s.uops as f64,
+                w.mem_uop(),
+                "Mem/Uop must survive the conversion bit-exactly"
+            );
+        }
+        assert_eq!(counter_samples(&trace).size_hint(), (12, Some(12)));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`governor`] — the phase-prediction-guided DVFS management loop.
 //! * [`experiments`] — drivers regenerating every table and figure of the
 //!   paper.
+//! * [`serve`] — phase prediction as a sharded TCP service: wire
+//!   protocol, session engine, server, client and load generator.
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the
 //! paper-to-crate mapping.
@@ -26,4 +28,5 @@ pub use livephase_daq as daq;
 pub use livephase_experiments as experiments;
 pub use livephase_governor as governor;
 pub use livephase_pmsim as pmsim;
+pub use livephase_serve as serve;
 pub use livephase_workloads as workloads;
