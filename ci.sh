@@ -5,13 +5,17 @@ cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo build --release
-cargo test -q
+# --workspace: the root façade package alone would skip the member
+# crates (and leave target/release/livephase-cli stale for the smoke
+# test below).
+cargo build --release --workspace
+cargo test -q --workspace
 
-# Loopback smoke test: a real server process, a real load generator, and a
-# bit-exactness check against the in-process manager.
+# Loopback smoke test: a real server process, a real load generator, a
+# bit-exactness check against the in-process manager, and a telemetry
+# scrape over the same wire protocol.
 cli=target/release/livephase-cli
-"$cli" serve --port 0 --shards 2 --exit-after-conns 1 --read-timeout-ms 2000 \
+"$cli" serve --port 0 --shards 2 --exit-after-conns 2 --read-timeout-ms 2000 \
     > serve_smoke.log &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -f serve_smoke.log' EXIT
@@ -25,7 +29,20 @@ bench_out=$("$cli" serve-bench "$addr" --conns 1 --bench swim_in --length 60 --w
 echo "$bench_out"
 echo "$bench_out" | grep -q 'decisions 60' || { echo "smoke: expected 60 decisions"; exit 1; }
 echo "$bench_out" | grep -q '1/1 benchmarks bit-exact' || { echo "smoke: divergence"; exit 1; }
+
+# Scrape the exposition the bench traffic produced (second connection).
+metrics_out=$("$cli" metrics "$addr")
+echo "$metrics_out" | grep -q '^# TYPE serve_connections_total counter' \
+    || { echo "smoke: serve_connections_total missing from scrape"; exit 1; }
+conns=$(echo "$metrics_out" | sed -n 's/^serve_connections_total //p')
+[ -n "$conns" ] && [ "$conns" -ge 1 ] \
+    || { echo "smoke: serve_connections_total is absent or zero"; exit 1; }
+echo "$metrics_out" | grep -q '^serve_frame_decode_us_bucket{' \
+    || { echo "smoke: frame-latency histogram missing from scrape"; exit 1; }
+echo "$metrics_out" | grep -q '^governor_decisions_total ' \
+    || { echo "smoke: governor decision counter missing from scrape"; exit 1; }
+
 wait "$serve_pid" || { echo "smoke: serve exited non-zero"; exit 1; }
-grep -q 'served 1 connections' serve_smoke.log || { echo "smoke: bad serve summary"; exit 1; }
+grep -q 'served 2 connections' serve_smoke.log || { echo "smoke: bad serve summary"; exit 1; }
 rm -f serve_smoke.log
 echo "serve loopback smoke test passed"

@@ -1,0 +1,52 @@
+//! Telemetry hot-path cost: the instruments sit on the serve decision
+//! path and the PMI handler, so a record must stay a handful of atomic
+//! adds regardless of the recorded value's magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use livephase_telemetry::Histogram;
+use std::hint::black_box;
+
+fn bench_counter(c: &mut Criterion) {
+    let counter = livephase_telemetry::global().counter(
+        "bench_counter_increments_total",
+        "Scratch counter for the increment benchmark.",
+        &[],
+    );
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    group.finish();
+}
+
+/// Histogram record across value magnitudes: the log-linear bucket index
+/// is a leading-zeros count plus shifts, so small and huge values must
+/// cost the same.
+fn bench_histogram(c: &mut Criterion) {
+    let hist = Histogram::new();
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+    for value in [3_u64, 40_000, u64::MAX / 2] {
+        group.bench_function(format!("histogram_record_{value}"), |b| {
+            b.iter(|| hist.record(black_box(value)))
+        });
+    }
+    group.finish();
+}
+
+/// Rendering is the cold path (one scrape), but keep it visible so a
+/// regression to per-scrape seconds gets noticed.
+fn bench_render(c: &mut Criterion) {
+    let reg = livephase_telemetry::global();
+    let hist = reg.histogram(
+        "bench_render_us",
+        "Scratch histogram for the render benchmark.",
+        &[],
+    );
+    for v in 0..4096_u64 {
+        hist.record(v * 37);
+    }
+    c.bench_function("telemetry_render", |b| b.iter(|| black_box(reg.render())));
+}
+
+criterion_group!(benches, bench_counter, bench_histogram, bench_render);
+criterion_main!(benches);

@@ -55,6 +55,8 @@ pub enum Command {
     Serve,
     /// `serve-bench <addr>` — load-test a running daemon
     ServeBench,
+    /// `metrics <addr>` — scrape a running daemon's telemetry exposition
+    Metrics,
     /// `help` / `--help`
     Help,
 }
@@ -97,6 +99,9 @@ pub struct Parsed {
     /// `--no-check`: skip the in-process oracle agreement pass in
     /// `serve-bench`.
     pub no_check: bool,
+    /// `--log-json`: emit `serve` trace events as JSON lines instead of
+    /// the human-readable form.
+    pub log_json: bool,
 }
 
 impl Default for Parsed {
@@ -118,6 +123,7 @@ impl Default for Parsed {
             window: 64,
             bench: Vec::new(),
             no_check: false,
+            log_json: false,
         }
     }
 }
@@ -145,6 +151,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "repro" => Command::Repro,
         "serve" => Command::Serve,
         "serve-bench" => Command::ServeBench,
+        "metrics" => Command::Metrics,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(CliError::new(format!(
@@ -214,6 +221,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                     .collect();
             }
             "--no-check" => parsed.no_check = true,
+            "--log-json" => parsed.log_json = true,
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown option {other:?}")))
             }
@@ -238,6 +246,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             | Command::Replay
             | Command::Repro
             | Command::ServeBench
+            | Command::Metrics
     );
     if needs_target && parsed.target.is_none() {
         return Err(CliError::new(format!(
@@ -353,6 +362,17 @@ mod tests {
         assert_eq!(p.window, 32);
         assert_eq!(p.bench, vec!["applu_in".to_owned(), "swim_in".to_owned()]);
         assert!(p.no_check);
+    }
+
+    #[test]
+    fn parses_serve_log_json_and_metrics() {
+        let p = parse(&argv("serve --log-json")).unwrap();
+        assert!(p.log_json);
+        assert!(!parse(&argv("serve")).unwrap().log_json);
+        let p = parse(&argv("metrics 127.0.0.1:9626")).unwrap();
+        assert_eq!(p.command, Command::Metrics);
+        assert_eq!(p.target.as_deref(), Some("127.0.0.1:9626"));
+        assert!(parse(&argv("metrics")).is_err(), "address is required");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         Command::Repro => repro(parsed),
         Command::Serve => serve(parsed),
         Command::ServeBench => serve_bench(parsed),
+        Command::Metrics => metrics(parsed),
     }
 }
 
@@ -35,6 +36,13 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
 /// flushed) *before* blocking, so scripts can parse `listening on <addr>`
 /// off stdout and connect while the process runs.
 fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    // The daemon logs through the process tracer; the library default is
+    // silent, so the CLI turns the stdout sink on here.
+    livephase_telemetry::tracer().set_sink(if parsed.log_json {
+        livephase_telemetry::Sink::Json
+    } else {
+        livephase_telemetry::Sink::Human
+    });
     let config = livephase_serve::ServerConfig {
         addr: format!("127.0.0.1:{}", parsed.port),
         shards: parsed.shards,
@@ -79,6 +87,18 @@ fn serve_bench(parsed: &Parsed) -> Result<String, CliError> {
         )));
     }
     Ok(report.to_string())
+}
+
+/// Scrapes a running daemon's metrics exposition and prints it verbatim.
+fn metrics(parsed: &Parsed) -> Result<String, CliError> {
+    let addr = parsed.target.as_deref().expect("validated by the parser");
+    let timeout = std::time::Duration::from_millis(parsed.read_timeout_ms.max(1_000));
+    let mut client =
+        livephase_serve::Client::connect(addr, 0, "pentium_m", &parsed.predictor, timeout)
+            .map_err(|e| CliError::new(format!("cannot connect to {addr}: {e}")))?;
+    client
+        .metrics()
+        .map_err(|e| CliError::new(format!("metrics scrape failed: {e}")))
 }
 
 /// Resolves the benchmark named by the command line and generates its

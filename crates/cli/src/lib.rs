@@ -14,6 +14,7 @@
 //! livephase repro fig04
 //! livephase serve --port 9626 --shards 4
 //! livephase serve-bench 127.0.0.1:9626 --conns 8
+//! livephase metrics 127.0.0.1:9626
 //! ```
 //!
 //! The crate is a thin, dependency-free argument layer over the workspace
@@ -60,6 +61,7 @@ pub fn usage() -> String {
      \x20 repro <artifact>              regenerate a paper table/figure\n\
      \x20 serve                         run the phase-prediction TCP daemon\n\
      \x20 serve-bench <addr>            load-test a running daemon\n\
+     \x20 metrics <addr>                scrape a running daemon's telemetry\n\
      \n\
      OPTIONS:\n\
      \x20 --seed <n>            workload seed (default 42)\n\
@@ -77,6 +79,7 @@ pub fn usage() -> String {
      \x20 --max-conns <n>       concurrent-connection accept gate (default 256)\n\
      \x20 --exit-after-conns <n> exit after admitting and draining n connections\n\
      \x20 --read-timeout-ms <n> socket timeout (default 5000)\n\
+     \x20 --log-json            emit trace events as JSON lines\n\
      \n\
      SERVE-BENCH OPTIONS:\n\
      \x20 --conns <n>           concurrent connections (default 8)\n\

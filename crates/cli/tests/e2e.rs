@@ -7,6 +7,21 @@ fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_livephase-cli"))
 }
 
+/// Reads the server's `listening on <addr>` announcement, skipping any
+/// trace-event lines sharing stdout.
+fn read_announced_addr(stdout: &mut BufReader<std::process::ChildStdout>) -> String {
+    loop {
+        let mut line = String::new();
+        assert!(
+            stdout.read_line(&mut line).expect("server announces") > 0,
+            "stdout closed before the announcement"
+        );
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            return addr.to_owned();
+        }
+    }
+}
+
 fn run_ok(args: &[&str]) -> String {
     let out = cli().args(args).output().expect("binary runs");
     assert!(
@@ -79,7 +94,7 @@ fn serve_and_serve_bench_round_trip_over_loopback() {
             "--shards",
             "2",
             "--exit-after-conns",
-            "2",
+            "3",
             "--read-timeout-ms",
             "2000",
         ])
@@ -87,13 +102,7 @@ fn serve_and_serve_bench_round_trip_over_loopback() {
         .spawn()
         .expect("server starts");
     let mut stdout = BufReader::new(server.stdout.take().expect("piped stdout"));
-    let mut line = String::new();
-    stdout.read_line(&mut line).expect("server announces");
-    let addr = line
-        .trim()
-        .strip_prefix("listening on ")
-        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
-        .to_owned();
+    let addr = read_announced_addr(&mut stdout);
 
     let out = run_ok(&[
         "serve-bench",
@@ -114,6 +123,15 @@ fn serve_and_serve_bench_round_trip_over_loopback() {
         "{out}"
     );
 
+    // Third connection: scrape the exposition the bench traffic produced.
+    let scrape = run_ok(&["metrics", &addr]);
+    assert!(
+        scrape.contains("# TYPE serve_connections_total counter"),
+        "{scrape}"
+    );
+    assert!(scrape.contains("serve_frame_decode_us_bucket{"), "{scrape}");
+    assert!(scrape.contains("governor_decisions_total"), "{scrape}");
+
     let status = server.wait().expect("server exits");
     assert!(status.success(), "server exited cleanly");
     let mut rest = String::new();
@@ -122,10 +140,43 @@ fn serve_and_serve_bench_round_trip_over_loopback() {
         rest.push('\n');
     }
     assert!(
-        rest.contains("served 2 connections"),
+        rest.contains("served 3 connections"),
         "summary missing: {rest}"
     );
     assert!(rest.contains("120 samples, 120 decisions"), "{rest}");
+}
+
+#[test]
+fn serve_log_json_emits_json_trace_lines() {
+    let mut server = cli()
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--shards",
+            "1",
+            "--exit-after-conns",
+            "1",
+            "--read-timeout-ms",
+            "2000",
+            "--log-json",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stdout = BufReader::new(server.stdout.take().expect("piped stdout"));
+    let addr = read_announced_addr(&mut stdout);
+
+    let scrape = run_ok(&["metrics", &addr]);
+    assert!(scrape.contains("serve_connections_total"), "{scrape}");
+
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exited cleanly");
+    let rest: Vec<String> = stdout.lines().map(|l| l.expect("utf-8")).collect();
+    assert!(
+        rest.iter().any(|l| l.starts_with("{\"ts_ms\":")),
+        "no JSON trace lines in {rest:?}"
+    );
 }
 
 #[test]

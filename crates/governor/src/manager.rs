@@ -25,7 +25,39 @@ use livephase_core::{
 use livephase_pmsim::cpu::{Cpu, PmiRecord};
 use livephase_pmsim::trace::pport;
 use livephase_pmsim::PlatformConfig;
+use livephase_telemetry::{Counter, Histogram};
 use livephase_workloads::{IntervalSource, IntoIntervalSource};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handles into the process-global registry for the per-interval hot
+/// path, fetched once per run; every record after that is a lock-free
+/// atomic. Predictor hit/miss totals and DVFS transition pairs are
+/// accumulated in [`RunState`] instead and flushed once at run end, so
+/// the PMI path never formats a label.
+struct GovernorMetrics {
+    decisions_total: Arc<Counter>,
+    decision_us: Arc<Histogram>,
+}
+
+impl GovernorMetrics {
+    fn new() -> Self {
+        let reg = livephase_telemetry::global();
+        Self {
+            decisions_total: reg.counter(
+                "governor_decisions_total",
+                "DVFS decisions computed (in-process runs and serve shards).",
+                &[],
+            ),
+            decision_us: reg.histogram(
+                "governor_decision_us",
+                "Per-interval decision latency in microseconds.",
+                &[],
+            ),
+        }
+    }
+}
 
 /// Handler-side configuration.
 #[derive(Debug, Clone)]
@@ -214,10 +246,11 @@ impl Manager {
             thermal: self.config.thermal.map(livephase_pmsim::ThermalState::new),
             ..RunState::default()
         };
+        let metrics = GovernorMetrics::new();
         cpu.set_pport_bits(pport::APP_RUNNING);
 
         while let Some(pmi) = cpu.run_to_pmi_with(|| source.next_interval()) {
-            self.handle_pmi(&mut cpu, &pmi, &mut state);
+            self.handle_pmi(&mut cpu, &pmi, &mut state, &metrics);
             observer.on_interval(state.intervals.last().expect("interval just logged"));
         }
         // A run that ends off the sampling grid leaves a partial interval:
@@ -228,6 +261,7 @@ impl Manager {
             observer.on_interval(state.intervals.last().expect("interval just logged"));
         }
         cpu.set_pport_bits(0);
+        state.flush_run_metrics();
 
         let report = RunReport {
             workload: workload_name,
@@ -249,7 +283,13 @@ impl Manager {
     }
 
     /// One PMI invocation: classify, predict, act.
-    fn handle_pmi(&mut self, cpu: &mut Cpu<'_>, pmi: &PmiRecord, state: &mut RunState) {
+    fn handle_pmi(
+        &mut self,
+        cpu: &mut Cpu<'_>,
+        pmi: &PmiRecord,
+        state: &mut RunState,
+        metrics: &GovernorMetrics,
+    ) {
         let phase = state.log_interval(pmi, &self.config.phase_map);
 
         // Integrate the thermal model through the elapsed interval.
@@ -275,7 +315,18 @@ impl Manager {
             current_setting: pmi.dvfs_index,
             interval_power_w,
         };
+        let decide_started = Instant::now();
         let setting = self.policy.decide_with_env(sample, &env);
+        metrics
+            .decision_us
+            .record(u64::try_from(decide_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        metrics.decisions_total.inc();
+        if setting != env.current_setting {
+            *state
+                .transition_pairs
+                .entry((env.current_setting, setting))
+                .or_insert(0) += 1;
+        }
         state.pending_prediction = self.policy.predicted_phase();
 
         cpu.service_pmi_overhead(self.config.handler_overhead_s);
@@ -306,9 +357,43 @@ struct RunState {
     pending_prediction: Option<PhaseId>,
     thermal: Option<livephase_pmsim::ThermalState>,
     durations: Option<DurationPredictor>,
+    /// DVFS transitions by (from, to) operating-point pair, flushed to
+    /// the registry once at run end.
+    transition_pairs: HashMap<(usize, usize), u64>,
 }
 
 impl RunState {
+    /// Pushes the run's accumulated predictor scoring and DVFS
+    /// transition pairs into the process-global registry. Label
+    /// formatting happens here, once per run — never on the PMI path.
+    fn flush_run_metrics(&self) {
+        let reg = livephase_telemetry::global();
+        if self.prediction.total > 0 {
+            reg.counter(
+                "governor_predictor_hits_total",
+                "Scored intervals whose predicted phase was observed.",
+                &[],
+            )
+            .add(self.prediction.correct);
+            reg.counter(
+                "governor_predictor_misses_total",
+                "Scored intervals whose predicted phase was not observed.",
+                &[],
+            )
+            .add(self.prediction.total - self.prediction.correct);
+        }
+        for (&(from, to), &n) in &self.transition_pairs {
+            let from = from.to_string();
+            let to = to.to_string();
+            reg.counter(
+                "governor_dvfs_transitions_total",
+                "DVFS transitions by operating-point pair.",
+                &[("from", &from), ("to", &to)],
+            )
+            .add(n);
+        }
+    }
+
     /// Classifies and logs one elapsed interval; scores the prediction that
     /// had been made for it.
     fn log_interval(&mut self, pmi: &PmiRecord, map: &PhaseMap) -> PhaseId {

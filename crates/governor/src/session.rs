@@ -158,6 +158,13 @@ impl<'p> Session<'p> {
 /// guarantees by seeding each item independently.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let n = items.len();
+    livephase_telemetry::global()
+        .counter(
+            "governor_parmap_jobs_total",
+            "Sweep work items executed by par_map.",
+            &[],
+        )
+        .add(n as u64);
     let workers = std::thread::available_parallelism()
         .map_or(1, std::num::NonZeroUsize::get)
         .min(n);

@@ -28,8 +28,11 @@ use crate::power::PowerModel;
 use crate::timing::{IntervalWork, TimingModel};
 use crate::trace::{PowerSegment, PowerTrace};
 use livephase_core::IntervalMetrics;
+use livephase_telemetry::{Counter, Gauge};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Static configuration of the simulated platform.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -153,6 +156,32 @@ impl RunTotals {
     }
 }
 
+/// Handles into the global telemetry registry, resolved once per CPU so
+/// the PMI path never takes the registry lock.
+#[derive(Debug, Clone)]
+struct CpuMetrics {
+    pmi_total: Arc<Counter>,
+    sim_cycles_per_wall_second: Arc<Gauge>,
+}
+
+impl CpuMetrics {
+    fn new() -> Self {
+        let reg = livephase_telemetry::global();
+        Self {
+            pmi_total: reg.counter(
+                "pmsim_pmi_total",
+                "Performance-monitoring interrupts delivered by the simulator.",
+                &[],
+            ),
+            sim_cycles_per_wall_second: reg.gauge(
+                "pmsim_sim_cycles_per_wall_second",
+                "Simulation throughput: simulated core cycles per wall-clock second.",
+                &[],
+            ),
+        }
+    }
+}
+
 /// The simulated processor.
 ///
 /// Borrows its [`PlatformConfig`] — many CPUs (e.g. a parallel sweep's
@@ -169,6 +198,9 @@ pub struct Cpu<'a> {
     interval_start_energy_j: f64,
     trace: PowerTrace,
     pport_bits: u8,
+    metrics: CpuMetrics,
+    /// Wall-clock construction time, for the throughput gauge.
+    wall_start: Instant,
 }
 
 impl<'a> Cpu<'a> {
@@ -193,6 +225,8 @@ impl<'a> Cpu<'a> {
             interval_start_energy_j: 0.0,
             trace: PowerTrace::new(),
             pport_bits: 0,
+            metrics: CpuMetrics::new(),
+            wall_start: Instant::now(),
         }
     }
 
@@ -427,6 +461,13 @@ impl<'a> Cpu<'a> {
         self.counters.reset_interval();
         self.interval_start_time_s = self.totals.time_s;
         self.interval_start_energy_j = self.totals.energy_j;
+        self.metrics.pmi_total.inc();
+        let wall_s = self.wall_start.elapsed().as_secs_f64();
+        if wall_s > 0.0 {
+            self.metrics
+                .sim_cycles_per_wall_second
+                .set((self.counters.tsc() / wall_s) as i64);
+        }
         record
     }
 }

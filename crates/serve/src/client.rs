@@ -79,6 +79,7 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     shard: u32,
     op_points: u8,
+    version: u16,
 }
 
 impl Client {
@@ -107,6 +108,7 @@ impl Client {
             writer,
             shard: 0,
             op_points: 0,
+            version: PROTOCOL_VERSION,
         };
         client.send(&Frame::Hello {
             version: PROTOCOL_VERSION,
@@ -117,10 +119,11 @@ impl Client {
         client.flush()?;
         match client.read()? {
             Frame::HelloAck {
-                version: _,
+                version,
                 shard,
                 op_points,
             } => {
+                client.version = version;
                 client.shard = shard;
                 client.op_points = op_points;
                 Ok(client)
@@ -140,6 +143,12 @@ impl Client {
     #[must_use]
     pub fn op_points(&self) -> u8 {
         self.op_points
+    }
+
+    /// Protocol version the session negotiated (echoed in `HelloAck`).
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Queues one counter sample (buffered; call [`flush`](Self::flush)).
@@ -212,6 +221,23 @@ impl Client {
         }
     }
 
+    /// Requests and reads a metrics exposition scrape (protocol v2).
+    /// As with [`stats`](Self::stats), drain pending decisions first.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode errors; [`ClientError::Refused`] when the
+    /// server rejects the request (e.g. a v1 session).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Frame::MetricsRequest)?;
+        self.flush()?;
+        match self.read()? {
+            Frame::Metrics { text } => Ok(text),
+            Frame::Error { code, message } => Err(ClientError::Refused { code, message }),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Sends `Goodbye` and closes the session.
     ///
     /// # Errors
@@ -248,6 +274,8 @@ fn unexpected(wanted: &'static str, got: &Frame) -> ClientError {
         Frame::Stats(_) => "Stats",
         Frame::Error { .. } => "Error",
         Frame::Goodbye => "Goodbye",
+        Frame::MetricsRequest => "MetricsRequest",
+        Frame::Metrics { .. } => "Metrics",
     };
     ClientError::Unexpected { wanted, got }
 }

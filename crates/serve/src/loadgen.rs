@@ -15,6 +15,7 @@ use crate::engine::EngineConfig;
 use livephase_core::predictor_from_spec;
 use livephase_governor::{par_map, Manager, ManagerConfig, Proactive, TranslationTable};
 use livephase_pmsim::PlatformConfig;
+use livephase_telemetry::Histogram;
 use livephase_workloads::{counter_samples, spec, CounterSample};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -307,29 +308,31 @@ pub fn run(config: &LoadGenConfig) -> Result<LoadReport, LoadGenError> {
     let elapsed = started.elapsed();
 
     let mut outcomes = Vec::new();
-    let mut latencies_us: Vec<u64> = Vec::new();
+    // Per-connection latency histograms share the fixed global bucket
+    // layout, so merging them is exact — no all-latencies Vec, no sort.
+    let latencies = Histogram::new();
     let mut samples = 0u64;
     for result in results {
-        let (mut conn_outcomes, mut conn_latencies) = result?;
+        let (mut conn_outcomes, conn_latencies) = result?;
         samples += conn_outcomes.iter().map(|o| o.samples).sum::<u64>();
         outcomes.append(&mut conn_outcomes);
-        latencies_us.append(&mut conn_latencies);
+        latencies.merge_from(&conn_latencies);
     }
-    outcomes.sort_by_key(|o| o.name.clone());
+    outcomes.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(LoadReport {
         outcomes,
         connections: config.connections,
         samples,
         elapsed,
-        latency: percentiles(&mut latencies_us),
+        latency: percentiles(&latencies),
     })
 }
 
-type ConnResult = Result<(Vec<BenchmarkOutcome>, Vec<u64>), LoadGenError>;
+type ConnResult = Result<(Vec<BenchmarkOutcome>, Histogram), LoadGenError>;
 
 fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> ConnResult {
     if plan.is_empty() {
-        return Ok((Vec::new(), Vec::new()));
+        return Ok((Vec::new(), Histogram::new()));
     }
     let platform = EngineConfig::pentium_m().platform;
     let client_err = |source| LoadGenError::Client {
@@ -346,7 +349,7 @@ fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> C
     .map_err(client_err)?;
 
     let mut outcomes = Vec::with_capacity(plan.len());
-    let mut latencies_us = Vec::new();
+    let latencies_us = Histogram::new();
     for stream in plan {
         let samples: Vec<CounterSample> =
             counter_samples(stream.spec.stream(config.seed)).collect();
@@ -365,7 +368,7 @@ fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> C
             while decisions.len() < sent {
                 let d = client.read_decision().map_err(client_err)?;
                 latencies_us
-                    .push(u64::try_from(flushed_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    .record(u64::try_from(flushed_at.elapsed().as_micros()).unwrap_or(u64::MAX));
                 decisions.push(d.op_point);
             }
         }
@@ -418,19 +421,14 @@ fn score_against_oracle(
     }
 }
 
-fn percentiles(latencies_us: &mut [u64]) -> LatencyPercentiles {
-    if latencies_us.is_empty() {
-        return LatencyPercentiles::default();
-    }
-    latencies_us.sort_unstable();
-    let at = |q: f64| {
-        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
-        latencies_us[idx]
-    };
+/// Derives the report percentiles from the merged latency histogram:
+/// constant space however long the replay, estimates within the
+/// histogram's 1/32 relative-error bound, max exact.
+fn percentiles(latencies_us: &Histogram) -> LatencyPercentiles {
     LatencyPercentiles {
-        p50_us: at(0.50),
-        p90_us: at(0.90),
-        p99_us: at(0.99),
-        max_us: *latencies_us.last().expect("non-empty"),
+        p50_us: latencies_us.quantile(0.50).unwrap_or(0),
+        p90_us: latencies_us.quantile(0.90).unwrap_or(0),
+        p99_us: latencies_us.quantile(0.99).unwrap_or(0),
+        max_us: latencies_us.max().unwrap_or(0),
     }
 }

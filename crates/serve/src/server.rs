@@ -31,14 +31,119 @@
 //! writers flush before exiting.
 
 use crate::engine::{shard_for, EngineConfig, SessionState};
-use crate::wire::{self, ErrorCode, Frame, FrameError, StatsSnapshot, PROTOCOL_VERSION};
+use crate::wire::{
+    self, ErrorCode, Frame, FrameError, StatsSnapshot, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use livephase_telemetry::{trace_event, Counter, Gauge, Histogram, Level};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Tracing target for every event this module emits.
+const TRACE: &str = "serve::server";
+
+/// Process-global instrument handles for the connection lifecycle; shard
+/// threads hold their own per-shard handles (see [`ShardMetrics`]).
+/// Created once per server, recorded lock-free ever after.
+#[derive(Debug)]
+struct ServeMetrics {
+    connections_total: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    rejected_total: Arc<Counter>,
+    poisoned_total: Arc<Counter>,
+    frame_encode_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let reg = livephase_telemetry::global();
+        Self {
+            connections_total: reg.counter(
+                "serve_connections_total",
+                "Connections admitted past the accept gate since start.",
+                &[],
+            ),
+            connections_active: reg.gauge(
+                "serve_connections_active",
+                "Connections currently open.",
+                &[],
+            ),
+            rejected_total: reg.counter(
+                "serve_connections_rejected_total",
+                "Connections refused at the max-conns accept gate.",
+                &[],
+            ),
+            poisoned_total: reg.counter(
+                "serve_connections_poisoned_total",
+                "Connections terminated for protocol violations or idle timeouts.",
+                &[],
+            ),
+            frame_encode_us: reg.histogram(
+                "serve_frame_encode_us",
+                "Frame encode latency in microseconds (writer threads).",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Per-shard instrument handles, owned by one shard thread.
+struct ShardMetrics {
+    sessions: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    samples_total: Arc<Counter>,
+    decision_us: Arc<Histogram>,
+    governor_decisions_total: Arc<Counter>,
+    governor_decision_us: Arc<Histogram>,
+}
+
+impl ShardMetrics {
+    fn new(index: usize) -> Self {
+        let reg = livephase_telemetry::global();
+        let shard = index.to_string();
+        let label: &[(&str, &str)] = &[("shard", &shard)];
+        Self {
+            sessions: reg.gauge(
+                "serve_shard_sessions",
+                "Sessions whose predictor state this shard owns.",
+                label,
+            ),
+            queue_depth: reg.gauge(
+                "serve_shard_queue_depth",
+                "Messages queued to the shard and not yet processed.",
+                label,
+            ),
+            samples_total: reg.counter(
+                "serve_shard_samples_total",
+                "Counter samples this shard has ingested.",
+                label,
+            ),
+            decision_us: reg.histogram(
+                "serve_shard_decision_us",
+                "Classify-predict-translate latency in microseconds.",
+                label,
+            ),
+            // The shard decision pipeline IS the governor decision path
+            // (engine::SessionState mirrors Manager::handle_pmi), so it
+            // feeds the same governor-level series the in-process
+            // manager records into.
+            governor_decisions_total: reg.counter(
+                "governor_decisions_total",
+                "DVFS decisions computed (in-process runs and serve shards).",
+                &[],
+            ),
+            governor_decision_us: reg.histogram(
+                "governor_decision_us",
+                "Per-interval decision latency in microseconds.",
+                &[],
+            ),
+        }
+    }
+}
 
 /// Everything a server needs to start.
 #[derive(Debug, Clone)]
@@ -96,7 +201,7 @@ pub struct ServerSummary {
 }
 
 /// Counters shared by every thread of a running server.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shared {
     shutdown: AtomicBool,
     accepted: AtomicU64,
@@ -106,9 +211,24 @@ struct Shared {
     samples: AtomicU64,
     decisions: AtomicU64,
     processes: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 impl Shared {
+    fn new() -> Self {
+        Self {
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            processes: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+        }
+    }
+
     fn snapshot(&self, shards: u32) -> StatsSnapshot {
         StatsSnapshot {
             samples: self.samples.load(Ordering::Relaxed),
@@ -138,6 +258,9 @@ enum ShardMsg {
     Register {
         conn: u64,
         predictor: String,
+        /// Protocol version the session negotiated (echoed in
+        /// `HelloAck`).
+        version: u16,
         reply: mpsc::Sender<Frame>,
     },
     /// One counter sample for `conn`'s session.
@@ -203,7 +326,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     );
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
-    let shared = Arc::new(Shared::default());
+    let shared = Arc::new(Shared::new());
     let shared_for_acceptor = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
         .name("serve-acceptor".to_owned())
@@ -231,14 +354,25 @@ fn accept_loop(
     shared: &Arc<Shared>,
 ) -> ServerSummary {
     let engine = Arc::new(config.engine.clone());
+    if let Ok(addr) = listener.local_addr() {
+        trace_event!(
+            Level::Info,
+            TRACE,
+            "server started",
+            addr = addr,
+            shards = config.shards,
+            max_conns = config.max_conns
+        );
+    }
     let shard_txs: Vec<mpsc::Sender<ShardMsg>> = (0..config.shards)
         .map(|i| {
             let (tx, rx) = mpsc::channel();
             let engine = Arc::clone(&engine);
             let shared = Arc::clone(shared);
+            let metrics = ShardMetrics::new(i);
             std::thread::Builder::new()
                 .name(format!("serve-shard-{i}"))
-                .spawn(move || shard_loop(&rx, i, &engine, &shared))
+                .spawn(move || shard_loop(&rx, i, &engine, &shared, &metrics))
                 .expect("spawning a shard thread");
             tx
         })
@@ -252,11 +386,21 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         if shared.active.load(Ordering::SeqCst) >= config.max_conns as u64 {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected_total.inc();
+            trace_event!(
+                Level::Warn,
+                TRACE,
+                "connection refused at accept gate",
+                max_conns = config.max_conns
+            );
             refuse_busy(stream, config.write_timeout);
             continue;
         }
         let conn_id = shared.accepted.fetch_add(1, Ordering::SeqCst) + 1;
         shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.connections_total.inc();
+        shared.metrics.connections_active.inc();
+        trace_event!(Level::Debug, TRACE, "connection accepted", conn = conn_id);
         let ctx = ConnCtx {
             shared: Arc::clone(shared),
             shard_txs: shard_txs.clone(),
@@ -280,7 +424,17 @@ fn accept_loop(
         let _ = t.join();
     }
     drop(shard_txs); // disconnects every shard channel
-    shared.summary()
+    let summary = shared.summary();
+    trace_event!(
+        Level::Info,
+        TRACE,
+        "server stopped",
+        accepted = summary.accepted,
+        samples = summary.samples,
+        decisions = summary.decisions,
+        poisoned = summary.poisoned
+    );
+    summary
 }
 
 /// Post-connection bookkeeping: drop the active count and, when an
@@ -288,8 +442,15 @@ fn accept_loop(
 /// shutdown.
 fn finish_connection(ctx: &ConnCtx, exit_after: Option<u64>, local_addr: Option<SocketAddr>) {
     let remaining = ctx.shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+    ctx.shared.metrics.connections_active.dec();
     let Some(quota) = exit_after else { return };
     if remaining == 0 && ctx.shared.accepted.load(Ordering::SeqCst) >= quota {
+        trace_event!(
+            Level::Info,
+            TRACE,
+            "connection quota drained; shutting down",
+            quota = quota
+        );
         ctx.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(addr) = local_addr {
             drop(TcpStream::connect(addr)); // poke the acceptor awake
@@ -314,23 +475,31 @@ fn refuse_busy(stream: TcpStream, write_timeout: Duration) {
 
 /// One shard owner: exclusively holds the predictor state of the
 /// sessions hashed onto it and answers their samples in arrival order.
-fn shard_loop(rx: &mpsc::Receiver<ShardMsg>, index: usize, engine: &EngineConfig, shared: &Shared) {
+fn shard_loop(
+    rx: &mpsc::Receiver<ShardMsg>,
+    index: usize,
+    engine: &EngineConfig,
+    shared: &Shared,
+    metrics: &ShardMetrics,
+) {
     let mut sessions: HashMap<u64, (SessionState, mpsc::Sender<Frame>)> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Register {
                 conn,
                 predictor,
+                version,
                 reply,
             } => match SessionState::new(&predictor) {
                 Ok(session) => {
                     let ack = Frame::HelloAck {
-                        version: PROTOCOL_VERSION,
+                        version,
                         shard: u32::try_from(index).expect("shard index fits"),
                         op_points: engine.op_points(),
                     };
                     if reply.send(ack).is_ok() {
                         sessions.insert(conn, (session, reply));
+                        metrics.sessions.inc();
                     }
                 }
                 Err(e) => {
@@ -346,13 +515,19 @@ fn shard_loop(rx: &mpsc::Receiver<ShardMsg>, index: usize, engine: &EngineConfig
                 uops,
                 mem_trans,
             } => {
+                metrics.queue_depth.dec();
                 let Some((session, reply)) = sessions.get_mut(&conn) else {
                     // Samples after a failed registration; the client
                     // already holds a terminal Error frame.
                     continue;
                 };
                 let before = session.processes();
+                let started = Instant::now();
                 let d = session.apply(engine, pid, uops, mem_trans);
+                let decision_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                metrics.decision_us.record(decision_us);
+                metrics.governor_decision_us.record(decision_us);
+                metrics.samples_total.inc();
                 let grown = (session.processes() - before) as u64;
                 if grown > 0 {
                     shared.processes.fetch_add(grown, Ordering::Relaxed);
@@ -365,12 +540,13 @@ fn shard_loop(rx: &mpsc::Receiver<ShardMsg>, index: usize, engine: &EngineConfig
                 };
                 if reply.send(frame).is_ok() {
                     shared.decisions.fetch_add(1, Ordering::Relaxed);
+                    metrics.governor_decisions_total.inc();
                 } else {
                     // Writer is gone — the connection died mid-flight.
-                    retire_session(&mut sessions, conn, shared);
+                    retire_session(&mut sessions, conn, shared, metrics);
                 }
             }
-            ShardMsg::Unregister { conn } => retire_session(&mut sessions, conn, shared),
+            ShardMsg::Unregister { conn } => retire_session(&mut sessions, conn, shared, metrics),
         }
     }
 }
@@ -379,11 +555,13 @@ fn retire_session(
     sessions: &mut HashMap<u64, (SessionState, mpsc::Sender<Frame>)>,
     conn: u64,
     shared: &Shared,
+    metrics: &ShardMetrics,
 ) {
     if let Some((session, _)) = sessions.remove(&conn) {
         shared
             .processes
             .fetch_sub(session.processes() as u64, Ordering::Relaxed);
+        metrics.sessions.dec();
     }
 }
 
@@ -410,13 +588,15 @@ fn connection_thread(stream: TcpStream, conn_id: u64, ctx: &ConnCtx) {
         return;
     };
     let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    let encode_us = Arc::clone(&ctx.shared.metrics.frame_encode_us);
     let writer = std::thread::Builder::new()
         .name(format!("serve-conn-{conn_id}-writer"))
-        .spawn(move || writer_loop(write_half, &reply_rx))
+        .spawn(move || writer_loop(write_half, &reply_rx, &encode_us))
         .expect("spawning a connection writer thread");
 
     let mut reader = BufReader::new(stream);
     let shard = serve_connection(&mut reader, conn_id, ctx, &reply_tx);
+    trace_event!(Level::Debug, TRACE, "connection closed", conn = conn_id);
 
     // Drop the session (FIFO per sender: the shard answers every sample
     // already queued before it sees the unregister), then release our
@@ -437,30 +617,37 @@ fn serve_connection(
     ctx: &ConnCtx,
     reply: &mpsc::Sender<Frame>,
 ) -> Option<usize> {
-    let shard = match handshake(reader, conn_id, ctx, reply) {
-        Ok(shard) => shard,
+    let (shard, version) = match handshake(reader, conn_id, ctx, reply) {
+        Ok(outcome) => outcome,
         Err(end) => {
             if matches!(end, ConnEnd::Poisoned) {
-                ctx.shared.poisoned.fetch_add(1, Ordering::Relaxed);
+                poison(ctx, conn_id);
             }
             return None;
         }
     };
-    let end = sample_loop(reader, conn_id, ctx, reply, shard);
+    let end = sample_loop(reader, conn_id, ctx, reply, shard, version);
     if matches!(end, ConnEnd::Poisoned) {
-        ctx.shared.poisoned.fetch_add(1, Ordering::Relaxed);
+        poison(ctx, conn_id);
     }
     Some(shard)
 }
 
-/// Reads and answers the `Hello`; returns the shard index on success.
+fn poison(ctx: &ConnCtx, conn_id: u64) {
+    ctx.shared.poisoned.fetch_add(1, Ordering::Relaxed);
+    ctx.shared.metrics.poisoned_total.inc();
+    trace_event!(Level::Warn, TRACE, "connection poisoned", conn = conn_id);
+}
+
+/// Reads and answers the `Hello`; returns the shard index and the
+/// negotiated protocol version on success.
 fn handshake(
     reader: &mut BufReader<TcpStream>,
     conn_id: u64,
     ctx: &ConnCtx,
     reply: &mpsc::Sender<Frame>,
-) -> Result<usize, ConnEnd> {
-    let frame = read_or_end(reader, ctx, reply)?;
+) -> Result<(usize, u16), ConnEnd> {
+    let (frame, _) = read_or_end(reader, ctx, reply)?;
     let (version, client_id, platform, predictor) = match frame {
         Frame::Hello {
             version,
@@ -478,11 +665,14 @@ fn handshake(
             return Err(ConnEnd::Poisoned);
         }
     };
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         refuse(
             reply,
             ErrorCode::VersionMismatch,
-            format!("server speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"),
+            format!(
+                "server speaks protocol v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}, \
+                 client sent v{version}"
+            ),
         );
         return Err(ConnEnd::Poisoned);
     }
@@ -503,12 +693,21 @@ fn handshake(
     let register = ShardMsg::Register {
         conn: conn_id,
         predictor,
+        version,
         reply: reply.clone(),
     };
     if ctx.shard_txs[shard].send(register).is_err() {
         return Err(ConnEnd::ShuttingDown);
     }
-    Ok(shard)
+    trace_event!(
+        Level::Debug,
+        TRACE,
+        "session registered",
+        conn = conn_id,
+        shard = shard,
+        version = version
+    );
+    Ok((shard, version))
 }
 
 /// The post-handshake read loop.
@@ -518,10 +717,28 @@ fn sample_loop(
     ctx: &ConnCtx,
     reply: &mpsc::Sender<Frame>,
     shard: usize,
+    version: u16,
 ) -> ConnEnd {
+    // Handles cached once per connection; records are then lock-free.
+    let reg = livephase_telemetry::global();
+    let shard_label = shard.to_string();
+    let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+    let decode_us = reg.histogram(
+        "serve_frame_decode_us",
+        "Frame decode latency in microseconds (reader threads).",
+        labels,
+    );
+    let queue_depth = reg.gauge(
+        "serve_shard_queue_depth",
+        "Messages queued to the shard and not yet processed.",
+        labels,
+    );
     loop {
         let frame = match read_or_end(reader, ctx, reply) {
-            Ok(frame) => frame,
+            Ok((frame, decode_time)) => {
+                decode_us.record(u64::try_from(decode_time.as_micros()).unwrap_or(u64::MAX));
+                frame
+            }
             Err(end) => return end,
         };
         match frame {
@@ -537,7 +754,9 @@ fn sample_loop(
                     uops,
                     mem_trans,
                 };
+                queue_depth.inc();
                 if ctx.shard_txs[shard].send(msg).is_err() {
+                    queue_depth.dec(); // the shard never saw it
                     return ConnEnd::ShuttingDown;
                 }
             }
@@ -546,6 +765,20 @@ fn sample_loop(
                 // trip; may overtake decisions still queued on the shard.
                 let shards = u32::try_from(ctx.shard_txs.len()).expect("shard count fits");
                 let _ = reply.send(Frame::Stats(ctx.shared.snapshot(shards)));
+            }
+            Frame::MetricsRequest => {
+                // v2+ only: a v1 session asking for metrics is breaking
+                // the protocol it negotiated.
+                if version < 2 {
+                    refuse(
+                        reply,
+                        ErrorCode::Protocol,
+                        format!("MetricsRequest needs protocol v2, session negotiated v{version}"),
+                    );
+                    return ConnEnd::Poisoned;
+                }
+                let text = wire::truncate_metrics_text(&reg.render()).to_owned();
+                let _ = reply.send(Frame::Metrics { text });
             }
             Frame::Goodbye => return ConnEnd::Clean,
             other => {
@@ -562,12 +795,13 @@ fn sample_loop(
 
 /// Reads one frame, translating transport/decode failures and the
 /// shutdown flag into a [`ConnEnd`] (queueing the terminal error frame
-/// where one is owed).
+/// where one is owed). Success carries the decode-only latency for the
+/// caller's per-shard histogram.
 fn read_or_end(
     reader: &mut BufReader<TcpStream>,
     ctx: &ConnCtx,
     reply: &mpsc::Sender<Frame>,
-) -> Result<Frame, ConnEnd> {
+) -> Result<(Frame, Duration), ConnEnd> {
     if ctx.shared.shutdown.load(Ordering::SeqCst) {
         refuse(
             reply,
@@ -576,8 +810,8 @@ fn read_or_end(
         );
         return Err(ConnEnd::ShuttingDown);
     }
-    match wire::read_frame(reader) {
-        Ok(frame) => Ok(frame),
+    match wire::read_frame_timed(reader) {
+        Ok(timed) => Ok(timed),
         Err(e) if e.is_timeout() => {
             if ctx.shared.shutdown.load(Ordering::SeqCst) {
                 refuse(
@@ -605,6 +839,15 @@ fn read_or_end(
 }
 
 fn refuse(reply: &mpsc::Sender<Frame>, code: ErrorCode, message: impl Into<String>) {
+    // Cold path — refusals are terminal — so the registry lookup per
+    // call is fine.
+    livephase_telemetry::global()
+        .counter(
+            "serve_errors_total",
+            "Terminal Error frames sent, by error code.",
+            &[("code", code.label())],
+        )
+        .inc();
     let _ = reply.send(Frame::Error {
         code,
         message: message.into(),
@@ -621,19 +864,30 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::Stats(_) => "Stats",
         Frame::Error { .. } => "Error",
         Frame::Goodbye => "Goodbye",
+        Frame::MetricsRequest => "MetricsRequest",
+        Frame::Metrics { .. } => "Metrics",
     }
+}
+
+/// Encodes into the buffer, timing encode (not socket I/O) for the
+/// writer-side latency histogram.
+fn write_timed(w: &mut impl Write, frame: &Frame, encode_us: &Histogram) -> io::Result<()> {
+    let started = Instant::now();
+    let bytes = wire::encode(frame);
+    encode_us.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    w.write_all(&bytes)
 }
 
 /// Drains queued frames into a `BufWriter`, flushing once per batch: one
 /// blocking receive, then everything else already queued, then a flush.
-fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Frame>) {
+fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Frame>, encode_us: &Histogram) {
     let mut w = BufWriter::with_capacity(32 * 1024, stream);
     while let Ok(frame) = rx.recv() {
-        if wire::write_frame(&mut w, &frame).is_err() {
+        if write_timed(&mut w, &frame, encode_us).is_err() {
             return;
         }
         while let Ok(f) = rx.try_recv() {
-            if wire::write_frame(&mut w, &f).is_err() {
+            if write_timed(&mut w, &f, encode_us).is_err() {
                 return;
             }
         }

@@ -25,10 +25,17 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Protocol version spoken by this build. A server receiving any other
-/// version in `Hello` answers with [`ErrorCode::VersionMismatch`] and
-/// closes the connection.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Newest protocol version spoken by this build. Version 2 added the
+/// [`Frame::MetricsRequest`] / [`Frame::Metrics`] exposition scrape.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still serves. A server receiving
+/// a `Hello` version outside `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION`
+/// answers with [`ErrorCode::VersionMismatch`] and closes the
+/// connection; inside the range, the session speaks the client's
+/// version (echoed in `HelloAck`), and v2-only frames from a v1 session
+/// are [`ErrorCode::Protocol`] violations.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Hard ceiling on the payload length of a single frame.
 ///
@@ -40,6 +47,12 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 /// Confidence scale: [`Frame::Decision`] carries the shard's running
 /// prediction accuracy for the stream in basis points, `0..=10_000`.
 pub const CONFIDENCE_SCALE: u16 = 10_000;
+
+/// Ceiling on the exposition text a [`Frame::Metrics`] may carry,
+/// chosen so the string length (u16), tag and length prefix all stay
+/// comfortably inside [`MAX_FRAME_BYTES`]. Servers truncate the
+/// rendered text at a line boundary below this before framing it.
+pub const MAX_METRICS_TEXT_BYTES: usize = 60 * 1024;
 
 /// Why the server (or client) is about to give up on a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +75,21 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Stable snake_case name, used as a metrics label value
+    /// (`serve_errors_total{code="..."}`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::VersionMismatch => "version_mismatch",
+            Self::Malformed => "malformed",
+            Self::Busy => "busy",
+            Self::IdleTimeout => "idle_timeout",
+            Self::BadConfig => "bad_config",
+            Self::Protocol => "protocol",
+            Self::ShuttingDown => "shutting_down",
+        }
+    }
+
     fn to_u8(self) -> u8 {
         match self {
             Self::VersionMismatch => 1,
@@ -185,6 +213,16 @@ pub enum Frame {
     /// Client → server: clean close. The server flushes any in-flight
     /// decisions and closes the connection.
     Goodbye,
+    /// Client → server (v2+): request a [`Frame::Metrics`] exposition
+    /// scrape. Answered in-order with the connection's decision stream.
+    MetricsRequest,
+    /// Server → client (v2+): the metrics registry rendered in the
+    /// Prometheus text exposition format, truncated at a line boundary
+    /// to at most [`MAX_METRICS_TEXT_BYTES`].
+    Metrics {
+        /// The exposition text.
+        text: String,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -195,6 +233,8 @@ const TAG_STATS_REQUEST: u8 = 5;
 const TAG_STATS: u8 = 6;
 const TAG_ERROR: u8 = 7;
 const TAG_GOODBYE: u8 = 8;
+const TAG_METRICS_REQUEST: u8 = 9;
+const TAG_METRICS: u8 = 10;
 
 /// A frame that failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -343,6 +383,11 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_str(&mut buf, message);
         }
         Frame::Goodbye => buf.push(TAG_GOODBYE),
+        Frame::MetricsRequest => buf.push(TAG_METRICS_REQUEST),
+        Frame::Metrics { text } => {
+            buf.push(TAG_METRICS);
+            put_str(&mut buf, text);
+        }
     }
     buf
 }
@@ -470,6 +515,8 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, DecodeError> {
             }
         }
         TAG_GOODBYE => Frame::Goodbye,
+        TAG_METRICS_REQUEST => Frame::MetricsRequest,
+        TAG_METRICS => Frame::Metrics { text: f.string()? },
         other => return Err(DecodeError::UnknownTag(other)),
     };
     f.finish()?;
@@ -508,6 +555,45 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(decode_payload(&payload)?)
+}
+
+/// Like [`read_frame`], but also reports how long *decoding* took —
+/// the time from the last payload byte being in memory to a typed
+/// [`Frame`] — so instrumented servers can histogram decode latency
+/// without folding in socket blocking time.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_timed(r: &mut impl Read) -> Result<(Frame, std::time::Duration), FrameError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(DecodeError::BadLength(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let started = std::time::Instant::now();
+    let frame = decode_payload(&payload)?;
+    Ok((frame, started.elapsed()))
+}
+
+/// Truncates exposition text to at most [`MAX_METRICS_TEXT_BYTES`],
+/// cutting at a line boundary so a scrape never ends mid-series. The
+/// common (untruncated) case borrows; only oversized registries copy.
+#[must_use]
+pub fn truncate_metrics_text(text: &str) -> &str {
+    if text.len() <= MAX_METRICS_TEXT_BYTES {
+        return text;
+    }
+    // Scan bytes so the cut never lands inside a multi-byte character
+    // ('\n' is ASCII, so byte position == char boundary).
+    let cut = text.as_bytes()[..MAX_METRICS_TEXT_BYTES]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    &text[..cut]
 }
 
 #[cfg(test)]
@@ -565,6 +651,51 @@ mod tests {
             message: "tag 200 is not a frame".into(),
         });
         round_trip(&Frame::Goodbye);
+        round_trip(&Frame::MetricsRequest);
+        round_trip(&Frame::Metrics {
+            text: "# TYPE serve_connections_total counter\nserve_connections_total 3\n".into(),
+        });
+    }
+
+    #[test]
+    fn version_range_is_sane() {
+        assert_eq!(MIN_PROTOCOL_VERSION, 1, "v1 sessions must stay served");
+        assert_eq!(PROTOCOL_VERSION, 2, "v2 added the metrics scrape");
+    }
+
+    #[test]
+    fn metrics_truncation_respects_line_boundaries() {
+        // Short text passes through untouched.
+        let short = "a_total 1\nb_total 2\n";
+        assert_eq!(truncate_metrics_text(short), short);
+        // Oversized text is cut at the last newline under the cap —
+        // with a multi-byte char (µ) straddling everywhere to prove the
+        // cut never lands mid-character.
+        let line = "lat_µs_bucket{le=\"31\"} 4\n";
+        let long = line.repeat(MAX_METRICS_TEXT_BYTES / line.len() + 10);
+        let cut = truncate_metrics_text(&long);
+        assert!(cut.len() <= MAX_METRICS_TEXT_BYTES);
+        assert!(cut.ends_with('\n'), "cut mid-line");
+        assert_eq!(cut.len() % line.len(), 0, "cut at a whole line");
+        // A truncated scrape still frames and round-trips.
+        round_trip(&Frame::Metrics { text: cut.into() });
+        // Degenerate: one giant line with no newline under the cap.
+        let giant = "x".repeat(MAX_METRICS_TEXT_BYTES + 5);
+        assert_eq!(truncate_metrics_text(&giant), "");
+    }
+
+    #[test]
+    fn decode_timing_is_reported_without_breaking_round_trips() {
+        let frame = Frame::Sample {
+            pid: 1,
+            uops: 2,
+            mem_trans: 3,
+            tsc_delta: 4,
+        };
+        let mut cursor = io::Cursor::new(encode(&frame));
+        let (got, elapsed) = read_frame_timed(&mut cursor).unwrap();
+        assert_eq!(got, frame);
+        assert!(elapsed < std::time::Duration::from_secs(1));
     }
 
     #[test]

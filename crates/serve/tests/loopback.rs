@@ -73,6 +73,102 @@ fn served_decisions_are_bit_identical_to_manager_runs() {
     assert_eq!(summary.poisoned, 0);
 }
 
+/// A `MetricsRequest` after traffic returns valid exposition text whose
+/// shard and governor counters reflect the traffic served. (The metrics
+/// registry is process-global and other tests share it, so counters are
+/// asserted as lower bounds, never exact.)
+#[test]
+fn metrics_scrape_reflects_served_traffic() {
+    let handle = test_server(5_000, 64);
+    let mut client = connect(&handle, 99);
+    assert_eq!(client.version(), PROTOCOL_VERSION, "v2 negotiated");
+    const SAMPLES: u64 = 50;
+    for _ in 0..SAMPLES {
+        client.queue_sample(7, 100_000_000, 1_200_000, 0).unwrap();
+    }
+    client.flush().unwrap();
+    for _ in 0..SAMPLES {
+        client.read_decision().unwrap();
+    }
+
+    let text = client.metrics().expect("metrics scrape");
+    client.goodbye().unwrap();
+    handle.shutdown();
+
+    let series = |name: &str| -> u64 {
+        text.lines()
+            .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse::<u64>().ok())
+            .sum()
+    };
+    assert!(
+        text.contains("# TYPE serve_connections_total counter"),
+        "exposition headers present: {text}"
+    );
+    assert!(series("serve_connections_total") >= 1);
+    // Our 50 samples landed on this client's shard; summed over shard
+    // labels the ingest and decode counters must cover them.
+    assert!(series("serve_shard_samples_total") >= SAMPLES);
+    assert!(series("serve_frame_decode_us_count") >= SAMPLES);
+    assert!(series("serve_shard_decision_us_count") >= SAMPLES);
+    assert!(series("governor_decisions_total") >= SAMPLES);
+    assert!(series("governor_decision_us_count") >= SAMPLES);
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("serve_frame_decode_us_bucket{") && l.contains("le=")),
+        "per-shard frame-latency histogram buckets present"
+    );
+}
+
+/// A client that negotiated protocol v1 is served decisions as before,
+/// but a v2-only `MetricsRequest` from it is a protocol violation.
+#[test]
+fn v1_sessions_are_served_but_cannot_scrape_metrics() {
+    let handle = test_server(5_000, 64);
+    // Hand-roll a v1 handshake: the Hello advertises version 1.
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    writer
+        .write_all(&wire::encode(&Frame::Hello {
+            version: 1,
+            client_id: 5,
+            platform: "pentium_m".into(),
+            predictor: "gpht:8:128".into(),
+        }))
+        .unwrap();
+    match wire::read_frame(&mut reader).unwrap() {
+        Frame::HelloAck { version, .. } => assert_eq!(version, 1, "HelloAck echoes v1"),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    // Decisions still flow for a v1 session.
+    writer
+        .write_all(&wire::encode(&Frame::Sample {
+            pid: 1,
+            uops: 100_000_000,
+            mem_trans: 0,
+            tsc_delta: 0,
+        }))
+        .unwrap();
+    assert!(matches!(
+        wire::read_frame(&mut reader).unwrap(),
+        Frame::Decision { pid: 1, .. }
+    ));
+    // But the v2-only scrape is refused as a protocol violation.
+    writer
+        .write_all(&wire::encode(&Frame::MetricsRequest))
+        .unwrap();
+    match wire::read_frame(&mut reader).unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
 /// A malformed frame earns `Error{Malformed}` and poisons only that
 /// connection: a concurrent well-behaved session on the same server
 /// keeps streaming decisions afterwards.

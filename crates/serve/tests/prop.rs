@@ -88,6 +88,8 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             ),
         (arb_error_code(), arb_string()).prop_map(|(code, message)| Frame::Error { code, message }),
         Just(Frame::Goodbye),
+        Just(Frame::MetricsRequest),
+        arb_string().prop_map(|text| Frame::Metrics { text }),
     ]
     .boxed()
 }

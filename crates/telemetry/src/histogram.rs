@@ -1,0 +1,302 @@
+//! A log-linear histogram with a fixed, process-wide bucket layout.
+//!
+//! The layout is the classic HdrHistogram/DDSketch compromise: values
+//! below [`SUB_COUNT`] get one bucket each (exact), and every octave
+//! above that is split into [`SUB_COUNT`] linear sub-buckets, so the
+//! bucket width is always at most `value / SUB_COUNT`. That bounds the
+//! relative error of any quantile estimate at `1 / SUB_COUNT` (3.125%)
+//! while keeping `record` a single array index plus one atomic add —
+//! no allocation, no lock, no resizing, safe for the per-PMI and
+//! per-frame hot paths.
+//!
+//! Because the layout is fixed, two histograms are always mergeable by
+//! bucket-wise addition, which is what lets per-connection and
+//! per-shard recorders combine into one report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per octave; also the denominator of the relative
+/// error bound (a recorded value and its bucket upper bound differ by
+/// at most `value / SUB_COUNT`).
+pub const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count: one per value below `SUB_COUNT`, then
+/// `SUB_COUNT` per octave for the remaining `63 - SUB_BITS + 1` octaves
+/// of the u64 range.
+pub const BUCKETS: usize = (SUB_COUNT as usize) + (64 - SUB_BITS as usize) * (SUB_COUNT as usize);
+
+/// Index of the bucket holding `value`. Total over all of u64.
+#[must_use]
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT {
+        return usize::try_from(value).expect("SUB_COUNT fits usize");
+    }
+    let msb = 63 - value.leading_zeros(); // >= SUB_BITS here
+    let octave = msb - SUB_BITS;
+    let offset = (value >> octave) - SUB_COUNT; // 0..SUB_COUNT
+    usize::try_from(SUB_COUNT + u64::from(octave) * SUB_COUNT + offset)
+        .expect("bucket index fits usize")
+}
+
+/// Inclusive `[lower, upper]` value range covered by bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    let i = index as u64;
+    if i < SUB_COUNT {
+        return (i, i);
+    }
+    let octave = (i - SUB_COUNT) / SUB_COUNT;
+    let offset = (i - SUB_COUNT) % SUB_COUNT;
+    let width_log2 = u32::try_from(octave).expect("octave < 64");
+    let lower = (SUB_COUNT + offset) << width_log2;
+    let upper = lower + ((1u64 << width_log2) - 1);
+    (lower, upper)
+}
+
+/// A concurrent log-linear histogram of `u64` observations.
+///
+/// All methods take `&self`; recording is a single relaxed atomic add
+/// on a fixed-size array. Snapshot-style reads (`count`, `quantile`,
+/// `render`) are only as consistent as relaxed loads allow, which is
+/// fine for monitoring.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram. Allocates its full (fixed) bucket
+    /// array up front — roughly 15 KiB — so recording never allocates.
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec built with BUCKETS elements"));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Hot path: one index computation and
+    /// five relaxed atomic RMWs, no branches that allocate or lock.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded observation, exact; `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded observation, exact; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// distribution, or `None` when empty.
+    ///
+    /// The estimate is the upper bound of the bucket holding the
+    /// rank-`ceil(q * count)` observation, clamped to the exact
+    /// recorded max, so for a true value `t` the estimate `e`
+    /// satisfies `t <= e <= t + t / SUB_COUNT`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(bucket.load(Ordering::Relaxed));
+            if seen >= rank {
+                let (_, upper) = bucket_bounds(i);
+                return Some(upper.min(self.max.load(Ordering::Relaxed)));
+            }
+        }
+        // Racy concurrent records can leave rank past the scanned total.
+        Some(self.max.load(Ordering::Relaxed))
+    }
+
+    /// Adds every bucket of `other` into `self`. Both histograms share
+    /// the fixed global layout, so merging is exact: the merged counts
+    /// equal a histogram that had recorded both streams directly.
+    pub fn merge_from(&self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Visits every non-empty bucket as `(upper_bound, count)`, in
+    /// ascending bucket order. This is the exposition renderer's view.
+    pub fn for_each_nonempty(&self, mut f: impl FnMut(u64, u64)) {
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n != 0 {
+                let (_, upper) = bucket_bounds(i);
+                f(upper, n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_total_and_ordered() {
+        // Every index maps into range, bounds tile the u64 line.
+        let mut prev_upper: Option<u64> = None;
+        for i in 0..BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            assert!(lower <= upper, "bucket {i}");
+            if let Some(p) = prev_upper {
+                assert_eq!(lower, p.wrapping_add(1), "bucket {i} not contiguous");
+            }
+            prev_upper = Some(upper);
+        }
+        assert_eq!(prev_upper, Some(u64::MAX), "layout covers all of u64");
+    }
+
+    #[test]
+    fn values_land_in_their_own_bucket() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1_000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            let (lower, upper) = bucket_bounds(i);
+            assert!(lower <= v && v <= upper, "value {v} bucket {i}");
+            // Relative error bound: bucket width <= value / SUB_COUNT.
+            assert!(upper - lower <= v / SUB_COUNT, "value {v} width too wide");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_COUNT {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((500..=516).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((990..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), Some(1000), "p100 is the exact max");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_direct_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let direct = Histogram::new();
+        for v in [3u64, 77, 1 << 20, 5] {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in [9u64, 1 << 33, 77] {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.sum(), direct.sum());
+        assert_eq!(a.max(), direct.max());
+        assert_eq!(a.min(), direct.min());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), direct.quantile(q), "quantile {q}");
+        }
+    }
+}

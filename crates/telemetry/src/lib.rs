@@ -1,0 +1,35 @@
+//! Zero-dependency observability for the livephase stack.
+//!
+//! The paper's kernel module lives or dies by observing without
+//! perturbing: the PMI handler budget is microseconds, so the
+//! monitoring system's *own* telemetry has to be cheaper still. This
+//! crate provides that instrumentation layer for the user-space
+//! reproduction, std-only:
+//!
+//! - [`registry`] — a process-global metrics [`Registry`] of atomic
+//!   [`Counter`]s, [`Gauge`]s and log-linear [`Histogram`]s. Handles
+//!   are `Arc`s created once; every subsequent record is a relaxed
+//!   atomic operation — no lock, no allocation — so instruments sit
+//!   directly on the per-PMI and per-frame hot paths.
+//! - [`histogram`] — the fixed log-linear bucket layout: exact below
+//!   32, 32 linear sub-buckets per octave above, quantile estimates
+//!   within a 1/32 relative-error bound, histograms mergeable by
+//!   bucket-wise addition.
+//! - [`trace`] — leveled structured events ([`trace_event!`],
+//!   [`timed_span!`]) through a bounded ring buffer with human and
+//!   JSON-lines stdout sinks; the default [`Sink::Null`] keeps library
+//!   consumers silent.
+//! - Prometheus-style text exposition via [`Registry::render`], which
+//!   `livephase-serve` surfaces over the wire protocol and
+//!   `livephase metrics <addr>` scrapes from the CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use registry::{global, Counter, Gauge, Registry};
+pub use trace::{now_unix_ms, tracer, Event, Level, Sink, Tracer};

@@ -1,0 +1,58 @@
+//! Golden test pinning the exposition text format byte-for-byte.
+//!
+//! Scrapers (ci.sh, operators' Prometheus configs) parse this format
+//! mechanically; any change to headers, label rendering, bucket lines
+//! or ordering must update this expectation deliberately.
+
+use livephase_telemetry::Registry;
+
+#[test]
+fn exposition_format_is_pinned() {
+    let r = Registry::new();
+    r.counter(
+        "serve_connections_total",
+        "Connections accepted since start.",
+        &[],
+    )
+    .add(3);
+    r.gauge(
+        "serve_shard_queue_depth",
+        "Messages waiting.",
+        &[("shard", "0")],
+    )
+    .set(2);
+    r.gauge(
+        "serve_shard_queue_depth",
+        "Messages waiting.",
+        &[("shard", "1")],
+    )
+    .set(-1);
+    let h = r.histogram(
+        "serve_frame_decode_us",
+        "Frame decode latency (µs).",
+        &[("shard", "0")],
+    );
+    h.record(3);
+    h.record(3);
+    h.record(40);
+    h.record(1000);
+
+    let expected = "\
+# HELP serve_connections_total Connections accepted since start.
+# TYPE serve_connections_total counter
+serve_connections_total 3
+# HELP serve_frame_decode_us Frame decode latency (µs).
+# TYPE serve_frame_decode_us histogram
+serve_frame_decode_us_bucket{shard=\"0\",le=\"3\"} 2
+serve_frame_decode_us_bucket{shard=\"0\",le=\"40\"} 3
+serve_frame_decode_us_bucket{shard=\"0\",le=\"1007\"} 4
+serve_frame_decode_us_bucket{shard=\"0\",le=\"+Inf\"} 4
+serve_frame_decode_us_sum{shard=\"0\"} 1046
+serve_frame_decode_us_count{shard=\"0\"} 4
+# HELP serve_shard_queue_depth Messages waiting.
+# TYPE serve_shard_queue_depth gauge
+serve_shard_queue_depth{shard=\"0\"} 2
+serve_shard_queue_depth{shard=\"1\"} -1
+";
+    assert_eq!(r.render(), expected);
+}

@@ -19,6 +19,9 @@
 //!   paper.
 //! * [`serve`] — phase prediction as a sharded TCP service: wire
 //!   protocol, session engine, server, client and load generator.
+//! * [`telemetry`] — zero-dependency observability: process-global
+//!   metrics registry with Prometheus-style exposition and leveled
+//!   structured tracing.
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the
 //! paper-to-crate mapping.
@@ -29,4 +32,5 @@ pub use livephase_experiments as experiments;
 pub use livephase_governor as governor;
 pub use livephase_pmsim as pmsim;
 pub use livephase_serve as serve;
+pub use livephase_telemetry as telemetry;
 pub use livephase_workloads as workloads;
