@@ -5,11 +5,19 @@ cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# The decision path must not be able to panic on malformed input: the
+# engine and the serve layer carry #![warn(clippy::unwrap_used,
+# clippy::expect_used)] on non-test code; -D warnings makes that a gate.
+cargo clippy -p livephase-engine -p livephase-serve --lib -- -D warnings
 # --workspace: the root façade package alone would skip the member
 # crates (and leave target/release/livephase-cli stale for the smoke
 # test below).
 cargo build --release --workspace
 cargo test -q --workspace
+# The engine-equivalence bar explicitly: the governor, the serve shards,
+# and the raw engine must emit bit-identical decision streams. (Also part
+# of the workspace run above; named here so a failure reads as what it is.)
+cargo test -q --test engine_equivalence
 
 # Loopback smoke test: a real server process, a real load generator, a
 # bit-exactness check against the in-process manager, and a telemetry

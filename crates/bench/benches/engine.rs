@@ -1,0 +1,70 @@
+//! Decision-engine throughput: the per-sample `step` entry point versus
+//! the batched `step_many` path that amortizes per-pid map lookups and
+//! output allocation across a whole shard queue drain.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use livephase_engine::{Decision, DecisionEngine, EngineConfig, Sample};
+use livephase_workloads::{counter_samples, spec};
+use std::hint::black_box;
+
+const BATCH: usize = 10_000;
+const PIDS: u32 = 16;
+
+/// A 10k-sample batch drawn from a real workload trace, round-robined
+/// across 16 pids the way a shard's drained queue interleaves sessions.
+fn batch_samples() -> Vec<Sample> {
+    let trace = spec::benchmark("applu_in")
+        .expect("registered")
+        .with_length(BATCH / PIDS as usize + 1)
+        .generate(1);
+    let per_pid: Vec<(u64, u64)> = counter_samples(&trace)
+        .map(|s| (s.uops, s.mem_transactions))
+        .collect();
+    let mut samples = Vec::with_capacity(BATCH);
+    'outer: for &(uops, mem_transactions) in &per_pid {
+        for pid in 0..PIDS {
+            samples.push(Sample {
+                pid,
+                uops,
+                mem_transactions,
+            });
+            if samples.len() == BATCH {
+                break 'outer;
+            }
+        }
+    }
+    samples
+}
+
+fn engine() -> DecisionEngine {
+    DecisionEngine::from_spec(EngineConfig::pentium_m(), "gpht:8:128").expect("valid spec")
+}
+
+fn bench_step_vs_step_many(c: &mut Criterion) {
+    let samples = batch_samples();
+    let mut group = c.benchmark_group("engine_batch_10k");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("step", |b| {
+        b.iter(|| {
+            let mut engine = engine();
+            let mut last = 0u8;
+            for sample in &samples {
+                last = engine.step(sample).op_point;
+            }
+            black_box(last)
+        });
+    });
+    group.bench_function("step_many", |b| {
+        let mut decisions: Vec<Decision> = Vec::with_capacity(samples.len());
+        b.iter(|| {
+            let mut engine = engine();
+            decisions.clear();
+            engine.step_many(&samples, &mut decisions);
+            black_box(decisions.last().map_or(0, |d| d.op_point))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_vs_step_many);
+criterion_main!(benches);

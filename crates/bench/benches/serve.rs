@@ -55,21 +55,21 @@ fn bench_shard_decisions(c: &mut Criterion) {
     group.throughput(Throughput::Elements(samples.len() as u64));
     group.bench_function("gpht_session_200", |b| {
         b.iter(|| {
-            let mut session = SessionState::new("gpht:8:128").expect("valid spec");
+            let mut session = SessionState::new(&config, "gpht:8:128").expect("valid spec");
             let mut last = 0u8;
             for &(uops, mem_trans) in &samples {
-                last = session.apply(&config, 1, uops, mem_trans).op_point;
+                last = session.apply(1, uops, mem_trans).op_point;
             }
             black_box(last)
         });
     });
     group.bench_function("gpht_16_sessions_200", |b| {
         b.iter(|| {
-            let mut session = SessionState::new("gpht:8:128").expect("valid spec");
+            let mut session = SessionState::new(&config, "gpht:8:128").expect("valid spec");
             let mut last = 0u8;
             for &(uops, mem_trans) in &samples {
                 for pid in 1..=16u32 {
-                    last = session.apply(&config, pid, uops, mem_trans).op_point;
+                    last = session.apply(pid, uops, mem_trans).op_point;
                 }
             }
             black_box(last)

@@ -2,8 +2,9 @@
 
 use crate::args::CliError;
 use livephase_core::Predictor;
+use livephase_engine::{DecisionEngine, EngineConfig};
 use livephase_governor::{
-    ConservativeDerivation, Manager, ManagerConfig, Oracle, Proactive, Reactive, TranslationTable,
+    ConservativeDerivation, Manager, ManagerConfig, Oracle, Reactive, TranslationTable,
 };
 use livephase_workloads::WorkloadTrace;
 
@@ -53,11 +54,9 @@ pub fn manager(policy: &str, trace: &WorkloadTrace) -> Result<Manager, CliError>
 ///
 /// Propagates predictor-spec errors.
 pub fn proactive_manager(pred_spec: &str) -> Result<Manager, CliError> {
-    let p = predictor(pred_spec)?;
-    Ok(Manager::new(
-        Box::new(Proactive::new(p, TranslationTable::pentium_m())),
-        ManagerConfig::pentium_m(),
-    ))
+    let engine = DecisionEngine::from_spec(EngineConfig::pentium_m(), pred_spec)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    Ok(Manager::with_engine(engine, ManagerConfig::pentium_m()))
 }
 
 /// Convenience: also accept `reactive`-style names through one entry.

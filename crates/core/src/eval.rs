@@ -5,9 +5,18 @@
 //! against the phase actually observed now. The very first interval has no
 //! prior prediction and is not scored.
 
+use crate::phase::PhaseId;
 use crate::predict::{PhaseSample, Predictor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Scale of confidence values reported in basis points: 10 000 means
+/// every scored prediction so far was correct.
+///
+/// This is the canonical definition; the serve wire protocol re-exports
+/// it so `Decision::confidence` on the wire and
+/// [`PredictionStats::confidence_bp`] share one scale.
+pub const CONFIDENCE_SCALE: u16 = 10_000;
 
 /// Aggregate accuracy of one predictor over one phase stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -41,6 +50,89 @@ impl PredictionStats {
     #[must_use]
     pub fn mispredictions(&self) -> u64 {
         self.total - self.correct
+    }
+
+    /// Accuracy in basis points of [`CONFIDENCE_SCALE`]
+    /// (`CONFIDENCE_SCALE` for an empty evaluation, mirroring
+    /// [`accuracy`](Self::accuracy)).
+    #[must_use]
+    pub fn confidence_bp(&self) -> u16 {
+        if self.total == 0 {
+            return CONFIDENCE_SCALE;
+        }
+        let bp = self.correct * u64::from(CONFIDENCE_SCALE) / self.total;
+        // correct <= total, so bp <= CONFIDENCE_SCALE and always fits.
+        u16::try_from(bp).unwrap_or(CONFIDENCE_SCALE)
+    }
+
+    fn score(&mut self, predicted: PhaseId, observed: PhaseId) -> bool {
+        self.total += 1;
+        let correct = predicted == observed;
+        if correct {
+            self.correct += 1;
+        }
+        correct
+    }
+}
+
+/// The one streaming scoring loop of Section 3.2, shared by every
+/// consumer of prediction accuracy: at each interval the prediction
+/// *standing* when the sample arrives is scored against the phase
+/// actually observed; the first interval has no standing prediction and
+/// is not scored.
+///
+/// [`evaluate`], the governor's run accounting and the decision engine's
+/// per-pid confidence all drive this same state machine, so their
+/// accuracy numbers are one implementation, not three.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StreamScorer {
+    pending: Option<PhaseId>,
+    stats: PredictionStats,
+}
+
+impl StreamScorer {
+    /// Creates a scorer with no prediction standing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores the standing prediction (if any) against `observed`,
+    /// consuming it. Returns the prediction and whether it was correct,
+    /// or `None` if nothing was standing (the stream's first interval).
+    pub fn score(&mut self, observed: PhaseId) -> Option<(PhaseId, bool)> {
+        let predicted = self.pending.take()?;
+        let correct = self.stats.score(predicted, observed);
+        Some((predicted, correct))
+    }
+
+    /// Stands a prediction for the next interval.
+    pub fn predict(&mut self, predicted: PhaseId) {
+        self.pending = Some(predicted);
+    }
+
+    /// Withdraws any standing prediction without scoring it (used by
+    /// non-predicting policies such as the unmanaged baseline).
+    pub fn clear_pending(&mut self) {
+        self.pending = None;
+    }
+
+    /// The prediction currently standing, if any.
+    #[must_use]
+    pub fn pending(&self) -> Option<PhaseId> {
+        self.pending
+    }
+
+    /// Aggregate statistics over everything scored so far.
+    #[must_use]
+    pub fn stats(&self) -> PredictionStats {
+        self.stats
+    }
+
+    /// Running accuracy in basis points of [`CONFIDENCE_SCALE`].
+    #[must_use]
+    pub fn confidence_bp(&self) -> u16 {
+        self.stats.confidence_bp()
     }
 }
 
@@ -88,20 +180,12 @@ where
     P: Predictor + ?Sized,
     I: IntoIterator<Item = PhaseSample>,
 {
-    let mut stats = PredictionStats::default();
-    let mut first = true;
-    let mut pending = predictor.predict();
+    let mut scorer = StreamScorer::new();
     for sample in samples {
-        if !first {
-            stats.total += 1;
-            if pending == sample.phase {
-                stats.correct += 1;
-            }
-        }
-        first = false;
-        pending = predictor.next(sample);
+        scorer.score(sample.phase);
+        scorer.predict(predictor.next(sample));
     }
-    stats
+    scorer.stats()
 }
 
 /// A per-phase breakdown of prediction outcomes: rows are the phase that
@@ -203,22 +287,15 @@ where
     P: Predictor + ?Sized,
     I: IntoIterator<Item = PhaseSample>,
 {
-    let mut stats = PredictionStats::default();
+    let mut scorer = StreamScorer::new();
     let mut matrix = ConfusionMatrix::new();
-    let mut first = true;
-    let mut pending = predictor.predict();
     for sample in samples {
-        if !first {
-            stats.total += 1;
-            if pending == sample.phase {
-                stats.correct += 1;
-            }
-            matrix.record(sample.phase, pending);
+        if let Some((predicted, _)) = scorer.score(sample.phase) {
+            matrix.record(sample.phase, predicted);
         }
-        first = false;
-        pending = predictor.next(sample);
+        scorer.predict(predictor.next(sample));
     }
-    (stats, matrix)
+    (scorer.stats(), matrix)
 }
 
 /// Like [`evaluate`] but also records the full per-interval trace.
@@ -228,18 +305,17 @@ where
     I: IntoIterator<Item = PhaseSample>,
 {
     let mut trace = EvaluationTrace::default();
-    let mut pending = predictor.predict();
+    let mut scorer = StreamScorer::new();
     for sample in samples {
-        if !trace.observed.is_empty() {
-            trace.stats.total += 1;
-            if pending == sample.phase {
-                trace.stats.correct += 1;
-            }
-        }
-        trace.predicted.push(pending);
+        // Index 0 records the predictor's initial prediction even though
+        // nothing is standing to score yet.
+        let standing = scorer.pending().unwrap_or_else(|| predictor.predict());
+        scorer.score(sample.phase);
+        trace.predicted.push(standing);
         trace.observed.push(sample);
-        pending = predictor.next(sample);
+        scorer.predict(predictor.next(sample));
     }
+    trace.stats = scorer.stats();
     trace
 }
 
@@ -336,6 +412,72 @@ mod tests {
         assert_eq!(st, st2);
         let diag: u64 = m.phases().iter().map(|&p| m.get(p, p)).sum();
         assert_eq!(diag, st.correct);
+    }
+
+    #[test]
+    fn scorer_matches_evaluate_step_for_step() {
+        let ids: Vec<u8> = [1u8, 3, 6, 3, 2]
+            .iter()
+            .copied()
+            .cycle()
+            .take(150)
+            .collect();
+        let st = evaluate(&mut Gpht::new(GphtConfig::DEPLOYED), stream(&ids));
+        let mut predictor = Gpht::new(GphtConfig::DEPLOYED);
+        let mut scorer = StreamScorer::new();
+        for sample in stream(&ids) {
+            scorer.score(sample.phase);
+            scorer.predict(predictor.next(sample));
+        }
+        assert_eq!(scorer.stats(), st);
+        assert_eq!(scorer.confidence_bp(), st.confidence_bp());
+    }
+
+    #[test]
+    fn scorer_first_interval_is_unscored() {
+        let mut scorer = StreamScorer::new();
+        assert_eq!(scorer.score(PhaseId::new(3)), None);
+        scorer.predict(PhaseId::new(4));
+        assert_eq!(scorer.pending(), Some(PhaseId::new(4)));
+        assert_eq!(scorer.score(PhaseId::new(4)), Some((PhaseId::new(4), true)));
+        assert_eq!(scorer.pending(), None, "scoring consumes the prediction");
+        scorer.predict(PhaseId::new(1));
+        assert_eq!(
+            scorer.score(PhaseId::new(2)),
+            Some((PhaseId::new(1), false))
+        );
+        assert_eq!(scorer.stats().total, 2);
+        assert_eq!(scorer.stats().correct, 1);
+        assert_eq!(scorer.confidence_bp(), CONFIDENCE_SCALE / 2);
+    }
+
+    #[test]
+    fn clear_pending_withdraws_without_scoring() {
+        let mut scorer = StreamScorer::new();
+        scorer.predict(PhaseId::new(5));
+        scorer.clear_pending();
+        assert_eq!(scorer.score(PhaseId::new(5)), None);
+        assert_eq!(scorer.stats().total, 0);
+    }
+
+    #[test]
+    fn confidence_bp_bounds() {
+        assert_eq!(PredictionStats::default().confidence_bp(), CONFIDENCE_SCALE);
+        let perfect = PredictionStats {
+            total: 7,
+            correct: 7,
+        };
+        assert_eq!(perfect.confidence_bp(), CONFIDENCE_SCALE);
+        let none = PredictionStats {
+            total: 7,
+            correct: 0,
+        };
+        assert_eq!(none.confidence_bp(), 0);
+        let third = PredictionStats {
+            total: 3,
+            correct: 1,
+        };
+        assert_eq!(third.confidence_bp(), 3_333);
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod phase;
 pub mod predict;
 
 pub use eval::{
-    evaluate, evaluate_confusion, evaluate_trace, ConfusionMatrix, EvaluationTrace, PredictionStats,
+    evaluate, evaluate_confusion, evaluate_trace, ConfusionMatrix, EvaluationTrace,
+    PredictionStats, StreamScorer, CONFIDENCE_SCALE,
 };
 pub use metrics::{IntervalMetrics, MemUopRate, Upc};
 pub use phase::{PhaseId, PhaseMap, PhaseMapError};

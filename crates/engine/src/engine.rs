@@ -1,0 +1,685 @@
+//! The decision engine: Figure 8's classify → update predictor → predict
+//! → translate flow, factored into one batch-capable implementation.
+//!
+//! Three consumers used to carry their own copy of this loop — the
+//! governor's PMI handler, the serve shards' session state, and the
+//! streaming accuracy evaluation — each with its own per-pid predictor
+//! map, scoring and telemetry. A [`DecisionEngine`] is that loop, once:
+//!
+//! * [`step`](DecisionEngine::step) ingests one counter [`Sample`] and
+//!   returns the [`Decision`] for that pid's next interval;
+//! * [`step_many`](DecisionEngine::step_many) drains a whole queue of
+//!   samples through the same path, amortizing per-pid map lookups
+//!   (consecutive samples for one pid resolve their state once) and
+//!   output allocation — the serve shard loop's batching win.
+//!
+//! The module is pure compute plus lock-free telemetry — no sockets, no
+//! threads, no clocks beyond decision-latency timing — so the decision
+//! path stays unit-testable and benchmarkable in isolation. Phase
+//! classification depends only on the DVFS-invariant
+//! `mem_transactions / uops` ratio, which is why an engine fed the
+//! counter stream of an in-process run makes **bit-identical** decisions
+//! to that run (the equivalence tests pin this down).
+
+use crate::config::EngineConfig;
+use livephase_core::{
+    predictor_from_spec, MemUopRate, PhaseId, PhaseSample, PredictionStats, Predictor,
+    PredictorSpecError, StreamScorer,
+};
+use livephase_telemetry::{Counter, Histogram};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One performance-counter reading: what the PMI handler stops and reads
+/// at the end of a sampling interval, attributed to a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Process the interval belongs to.
+    pub pid: u32,
+    /// Micro-ops retired in the interval.
+    pub uops: u64,
+    /// Memory bus transactions in the interval (`BUS_TRAN_MEM`).
+    pub mem_transactions: u64,
+}
+
+/// One computed decision: the engine's full output for a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Process the decision is for.
+    pub pid: u32,
+    /// Phase the elapsed interval was classified into.
+    pub phase: PhaseId,
+    /// Phase predicted for the next interval.
+    pub predicted: PhaseId,
+    /// Operating-point index to apply next (0 = fastest).
+    pub op_point: u8,
+    /// Running prediction accuracy of this pid's stream, in basis points
+    /// (10 000 = every scored prediction so far was correct).
+    pub confidence: u16,
+}
+
+/// Handles into the process-global registry for the decision hot path,
+/// fetched once per engine; every record after that is a lock-free
+/// atomic. These are the *governor-level* series — the same names
+/// whether decisions come from an in-process run, a serve shard, or a
+/// bare engine — so every consumer is instrumented identically.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    decisions_total: Arc<Counter>,
+    decision_us: Arc<Histogram>,
+    hits_total: Arc<Counter>,
+    misses_total: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// Fetches (or creates) the governor-level instrument handles.
+    #[must_use]
+    pub fn new() -> Self {
+        let reg = livephase_telemetry::global();
+        Self {
+            decisions_total: reg.counter(
+                "governor_decisions_total",
+                "DVFS decisions computed (in-process runs and serve shards).",
+                &[],
+            ),
+            decision_us: reg.histogram(
+                "governor_decision_us",
+                "Per-interval decision latency in microseconds.",
+                &[],
+            ),
+            hits_total: reg.counter(
+                "governor_predictor_hits_total",
+                "Scored intervals whose predicted phase was observed.",
+                &[],
+            ),
+            misses_total: reg.counter(
+                "governor_predictor_misses_total",
+                "Scored intervals whose predicted phase was not observed.",
+                &[],
+            ),
+        }
+    }
+
+    /// Records `n` decisions computed in `elapsed` total: the counter
+    /// advances by `n` and the latency histogram receives one sample per
+    /// decision at the batch-amortized per-decision cost (a single
+    /// bulk `record_n`, not `n` round trips).
+    pub fn record_decisions(&self, n: u64, elapsed: Duration) {
+        if n == 0 {
+            return;
+        }
+        self.decisions_total.add(n);
+        let per_decision_us =
+            u64::try_from(elapsed.as_micros() / u128::from(n)).unwrap_or(u64::MAX);
+        self.decision_us.record_n(per_decision_us, n);
+    }
+
+    /// Records one decision computed in `elapsed`.
+    pub fn record_decision(&self, elapsed: Duration) {
+        self.record_decisions(1, elapsed);
+    }
+
+    /// Records one scored prediction outcome.
+    pub fn record_scored(&self, correct: bool) {
+        if correct {
+            self.hits_total.inc();
+        } else {
+            self.misses_total.inc();
+        }
+    }
+
+    /// Records a whole run's scoring totals at once (used by paths that
+    /// accumulate locally and flush at run end).
+    pub fn record_scored_totals(&self, stats: PredictionStats) {
+        if stats.total == 0 {
+            return;
+        }
+        self.hits_total.add(stats.correct);
+        self.misses_total.add(stats.mispredictions());
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Accumulates DVFS transitions by `(from, to)` operating-point pair and
+/// flushes them to the process-global registry in one labeled burst —
+/// label formatting happens at flush time, never on the decision path.
+///
+/// Stored as a dense `dim × dim` matrix (operating-point indices are
+/// small — six on the Pentium M), so a record is one bounds check and
+/// one add: no hashing on the per-decision path. The matrix grows on
+/// demand if a platform has more settings.
+#[derive(Debug, Default)]
+pub struct TransitionTracker {
+    dim: usize,
+    counts: Vec<u64>,
+}
+
+impl TransitionTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decided operating point against the previous one; a
+    /// no-op when the setting is unchanged.
+    pub fn record(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        let needed = from.max(to) + 1;
+        if needed > self.dim {
+            self.grow(needed);
+        }
+        self.counts[from * self.dim + to] += 1;
+    }
+
+    /// Count recorded for one `(from, to)` pair since the last flush.
+    #[must_use]
+    pub fn count(&self, from: usize, to: usize) -> u64 {
+        if from.max(to) < self.dim {
+            self.counts[from * self.dim + to]
+        } else {
+            0
+        }
+    }
+
+    /// Re-lays the matrix out at a larger dimension, preserving counts.
+    fn grow(&mut self, needed: usize) {
+        let new_dim = needed.max(self.dim * 2);
+        let mut counts = vec![0u64; new_dim * new_dim];
+        for from in 0..self.dim {
+            for to in 0..self.dim {
+                counts[from * new_dim + to] = self.counts[from * self.dim + to];
+            }
+        }
+        self.dim = new_dim;
+        self.counts = counts;
+    }
+
+    /// Pushes the accumulated pairs into the registry and clears them,
+    /// so flushing twice never double-counts.
+    pub fn flush(&mut self) {
+        let reg = livephase_telemetry::global();
+        for from in 0..self.dim {
+            for to in 0..self.dim {
+                let n = std::mem::take(&mut self.counts[from * self.dim + to]);
+                if n == 0 {
+                    continue;
+                }
+                let from = from.to_string();
+                let to = to.to_string();
+                reg.counter(
+                    "governor_dvfs_transitions_total",
+                    "DVFS transitions by operating-point pair.",
+                    &[("from", &from), ("to", &to)],
+                )
+                .add(n);
+            }
+        }
+    }
+}
+
+impl Drop for TransitionTracker {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// FNV-1a for the pid → state map: pids are small integers and the map
+/// is looked up once per decision (once per *run* in `step_many`), so
+/// the default SipHash's DoS hardening buys nothing here and costs a
+/// measurable slice of the per-decision budget.
+#[derive(Debug, Default, Clone)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+type PidMap = HashMap<u32, PidState, FnvBuild>;
+
+type BoxedPredictorFactory = Box<dyn Fn() -> Box<dyn Predictor> + Send>;
+
+/// Everything the engine keeps per process: the predictor instance, the
+/// streaming scorer, and the operating point last decided for it (for
+/// transition accounting).
+struct PidState {
+    predictor: Box<dyn Predictor>,
+    scorer: StreamScorer,
+    /// Operating point of the previous decision; 0 (the fastest setting)
+    /// initially, matching the simulated CPU's starting DVFS index.
+    last_op: u8,
+}
+
+impl PidState {
+    fn new(factory: &BoxedPredictorFactory) -> Self {
+        Self {
+            predictor: factory(),
+            scorer: StreamScorer::new(),
+            last_op: 0,
+        }
+    }
+}
+
+/// The canonical decision pipeline: per-pid predictor family, prediction
+/// scoring, and phase → operating-point translation behind one API.
+pub struct DecisionEngine {
+    config: EngineConfig,
+    factory: BoxedPredictorFactory,
+    pids: PidMap,
+    name: String,
+    metrics: EngineMetrics,
+    transitions: TransitionTracker,
+}
+
+impl std::fmt::Debug for DecisionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionEngine")
+            .field("name", &self.name)
+            .field("platform", &self.config.platform())
+            .field("processes", &self.pids.len())
+            .finish()
+    }
+}
+
+impl DecisionEngine {
+    /// Creates an engine whose per-pid predictors are built from
+    /// `predictor_spec` (e.g. `gpht:8:128`). The display name defaults to
+    /// `Proactive(<predictor>)`, matching the governor's policy naming.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec error if the predictor specification does not
+    /// parse — checked here, once, so the per-pid factory cannot fail.
+    pub fn from_spec(
+        config: EngineConfig,
+        predictor_spec: &str,
+    ) -> Result<Self, PredictorSpecError> {
+        let probe = predictor_from_spec(predictor_spec)?;
+        let name = format!("Proactive({})", probe.name());
+        let spec = predictor_spec.to_owned();
+        let factory: BoxedPredictorFactory = Box::new(move || match predictor_from_spec(&spec) {
+            Ok(p) => p,
+            // The spec parsed when the engine was built and the grammar
+            // is deterministic, so a re-parse cannot fail.
+            Err(_) => unreachable!("predictor spec validated at engine construction"),
+        });
+        Ok(Self {
+            config,
+            factory,
+            pids: PidMap::default(),
+            name,
+            metrics: EngineMetrics::new(),
+            transitions: TransitionTracker::new(),
+        })
+    }
+
+    /// Overrides the display name (e.g. `Reactive(LastValue)` for the
+    /// prior-work reactive system, which is a last-value engine by
+    /// another name).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The engine's display name, used as the policy label in reports.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deployment context decisions are made in.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Ingests one sample and returns the decision for that pid's next
+    /// interval — the PMI handler's steps 2–4: classify the observed
+    /// rate, score and update the predictor, translate the prediction.
+    pub fn step(&mut self, sample: &Sample) -> Decision {
+        let started = Instant::now();
+        let Self {
+            config,
+            factory,
+            pids,
+            transitions,
+            metrics,
+            ..
+        } = self;
+        let state = pids
+            .entry(sample.pid)
+            .or_insert_with(|| PidState::new(factory));
+        let d = step_pid(config, metrics, transitions, state, sample);
+        metrics.record_decision(started.elapsed());
+        d
+    }
+
+    /// Drains a batch of samples through the decision path, appending one
+    /// decision per sample to `out` in input order.
+    ///
+    /// Equivalent to calling [`step`](Self::step) per sample — the
+    /// equivalence tests assert bit-exactness — but runs of consecutive
+    /// samples for the same pid resolve their predictor state with a
+    /// single map lookup, and `out` is grown once. This is the shard
+    /// loop's hot path: a busy connection's queued samples are decided
+    /// in one swing.
+    pub fn step_many(&mut self, samples: &[Sample], out: &mut Vec<Decision>) {
+        if samples.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        out.reserve(samples.len());
+        let Self {
+            config,
+            factory,
+            pids,
+            transitions,
+            metrics,
+            ..
+        } = self;
+        let mut i = 0;
+        while i < samples.len() {
+            let pid = samples[i].pid;
+            let state = pids.entry(pid).or_insert_with(|| PidState::new(factory));
+            while i < samples.len() && samples[i].pid == pid {
+                out.push(step_pid(config, metrics, transitions, state, &samples[i]));
+                i += 1;
+            }
+        }
+        self.metrics
+            .record_decisions(samples.len() as u64, started.elapsed());
+    }
+
+    /// The prediction currently standing for `pid`, if any — what the
+    /// next sample for that pid will be scored against.
+    #[must_use]
+    pub fn pending(&self, pid: u32) -> Option<PhaseId> {
+        self.pids.get(&pid).and_then(|s| s.scorer.pending())
+    }
+
+    /// Scores the standing prediction for `pid` against an observed
+    /// phase **without** stepping the predictor or issuing a decision.
+    ///
+    /// This is the run-tail case: a workload that ends off the sampling
+    /// grid leaves a partial interval whose phase is still meaningful
+    /// for accuracy accounting, but execution is over and no decision
+    /// will govern anything.
+    pub fn score_tail(&mut self, pid: u32, observed: PhaseId) -> Option<bool> {
+        let state = self.pids.get_mut(&pid)?;
+        let (_, correct) = state.scorer.score(observed)?;
+        self.metrics.record_scored(correct);
+        Some(correct)
+    }
+
+    /// Aggregate prediction statistics across every pid stream.
+    #[must_use]
+    pub fn stats(&self) -> PredictionStats {
+        self.pids
+            .values()
+            .fold(PredictionStats::default(), |acc, s| {
+                let st = s.scorer.stats();
+                PredictionStats {
+                    total: acc.total + st.total,
+                    correct: acc.correct + st.correct,
+                }
+            })
+    }
+
+    /// Prediction statistics for one pid stream, if it exists.
+    #[must_use]
+    pub fn pid_stats(&self, pid: u32) -> Option<PredictionStats> {
+        self.pids.get(&pid).map(|s| s.scorer.stats())
+    }
+
+    /// Number of pid streams with live predictor state.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Drops a terminated pid's state.
+    pub fn retire(&mut self, pid: u32) -> bool {
+        self.pids.remove(&pid).is_some()
+    }
+
+    /// Clears all per-pid state (predictors, scoring, transition
+    /// baselines); accumulated telemetry is left alone.
+    pub fn reset(&mut self) {
+        self.pids.clear();
+    }
+
+    /// Flushes label-formatted telemetry (the DVFS transition pairs).
+    /// Also runs on drop; flushing is idempotent.
+    pub fn flush_metrics(&mut self) {
+        self.transitions.flush();
+    }
+}
+
+/// One pid's classify → score → predict → translate step. Free-standing
+/// so `step_many` can hold the pid's state across a run of samples while
+/// the engine's other fields stay borrowed.
+fn step_pid(
+    config: &EngineConfig,
+    metrics: &EngineMetrics,
+    transitions: &mut TransitionTracker,
+    state: &mut PidState,
+    sample: &Sample,
+) -> Decision {
+    let rate = MemUopRate::from_counts(sample.mem_transactions, sample.uops);
+    let phase = config.phase_map().classify_rate(rate);
+    if let Some((_, correct)) = state.scorer.score(phase) {
+        metrics.record_scored(correct);
+    }
+    let predicted = state.predictor.next(PhaseSample { rate, phase });
+    state.scorer.predict(predicted);
+    let op_point = config.op_point_for(predicted);
+    transitions.record(usize::from(state.last_op), usize::from(op_point));
+    state.last_op = op_point;
+    Decision {
+        pid: sample.pid,
+        phase,
+        predicted,
+        op_point,
+        confidence: state.scorer.confidence_bp(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livephase_core::CONFIDENCE_SCALE;
+
+    fn engine(spec: &str) -> DecisionEngine {
+        DecisionEngine::from_spec(EngineConfig::pentium_m(), spec).unwrap()
+    }
+
+    /// 100 M uops with these memory-transaction counts land in phases
+    /// 1, 3 and 6 of the Table 1 map.
+    const P1: Sample = Sample {
+        pid: 1,
+        uops: 100_000_000,
+        mem_transactions: 0,
+    };
+    const P3: Sample = Sample {
+        pid: 1,
+        uops: 100_000_000,
+        mem_transactions: 1_200_000,
+    };
+    const P6: Sample = Sample {
+        pid: 1,
+        uops: 100_000_000,
+        mem_transactions: 4_000_000,
+    };
+
+    fn with_pid(s: Sample, pid: u32) -> Sample {
+        Sample { pid, ..s }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_once() {
+        assert!(DecisionEngine::from_spec(EngineConfig::pentium_m(), "gpht:0:128").is_err());
+        assert!(DecisionEngine::from_spec(EngineConfig::pentium_m(), "frobnicate").is_err());
+        assert!(DecisionEngine::from_spec(EngineConfig::pentium_m(), "gpht:8:128").is_ok());
+    }
+
+    #[test]
+    fn names_follow_the_policy_convention() {
+        assert_eq!(engine("gpht:8:128").name(), "Proactive(GPHT_8_128)");
+        assert_eq!(
+            engine("lastvalue").with_name("Reactive(LastValue)").name(),
+            "Reactive(LastValue)"
+        );
+    }
+
+    #[test]
+    fn first_decision_has_full_confidence_and_no_score() {
+        let mut e = engine("lastvalue");
+        let d = e.step(&P3);
+        assert_eq!(d.phase.get(), 3);
+        assert_eq!(d.confidence, CONFIDENCE_SCALE, "nothing scored yet");
+        assert_eq!(e.stats().total, 0);
+        let d2 = e.step(&P3);
+        assert_eq!(e.stats().total, 1);
+        assert_eq!(e.stats().correct, 1, "last-value repeated the phase");
+        assert_eq!(d2.confidence, CONFIDENCE_SCALE);
+    }
+
+    #[test]
+    fn gpht_engine_anticipates_alternation() {
+        let mut e = engine("gpht:8:128");
+        for _ in 0..50 {
+            let _ = e.step(&P1);
+            let _ = e.step(&P6);
+        }
+        let d = e.step(&P1);
+        assert_eq!(d.op_point, 5, "after P1, expects P6 next");
+        assert_eq!(d.predicted.get(), 6);
+        let d = e.step(&P6);
+        assert_eq!(d.op_point, 0, "after P6, expects P1 next");
+    }
+
+    #[test]
+    fn step_many_is_bit_exact_with_step() {
+        // A mixed-pid stream with runs and alternations, so batching
+        // exercises both the run-coalescing path and pid switches.
+        let mut samples = Vec::new();
+        for round in 0u32..40 {
+            samples.push(with_pid(P1, 1));
+            samples.push(with_pid(P6, 1));
+            samples.push(with_pid(P3, 2));
+            if round % 3 == 0 {
+                samples.push(with_pid(P3, 2));
+                samples.push(with_pid(P1, 3));
+            }
+        }
+
+        let mut one = engine("gpht:8:128");
+        let expected: Vec<Decision> = samples.iter().map(|s| one.step(s)).collect();
+
+        let mut batched = engine("gpht:8:128");
+        let mut got = Vec::new();
+        // Split into uneven chunks to exercise batch boundaries.
+        for chunk in samples.chunks(7) {
+            batched.step_many(chunk, &mut got);
+        }
+        assert_eq!(got, expected, "step_many must equal step, bit for bit");
+        assert_eq!(batched.stats(), one.stats());
+        assert_eq!(batched.processes(), one.processes());
+    }
+
+    #[test]
+    fn pids_are_isolated() {
+        let mut e = engine("gpht:8:128");
+        for _ in 0..50 {
+            let _ = e.step(&with_pid(P1, 1));
+            let _ = e.step(&with_pid(P6, 1));
+            let _ = e.step(&with_pid(P3, 2));
+        }
+        assert_eq!(e.processes(), 2);
+        let d1 = e.step(&with_pid(P1, 1));
+        assert_eq!(d1.op_point, 5, "pid 1's GPHT anticipates the alternation");
+        let d2 = e.step(&with_pid(P3, 2));
+        assert_eq!(d2.op_point, 2, "pid 2 stays in P3");
+        assert!(d2.confidence > 9_000, "constant stream predicts well");
+        assert!(e.pid_stats(2).is_some());
+        assert!(e.retire(1));
+        assert_eq!(e.processes(), 1);
+        assert!(!e.retire(1));
+        assert_eq!(e.pending(1), None);
+    }
+
+    #[test]
+    fn score_tail_scores_without_deciding() {
+        let mut e = engine("lastvalue");
+        let _ = e.step(&P3);
+        assert_eq!(e.pending(1), Some(PhaseId::new(3)));
+        assert_eq!(e.score_tail(1, PhaseId::new(3)), Some(true));
+        assert_eq!(e.stats().total, 1);
+        assert_eq!(e.pending(1), None, "tail scoring consumes the prediction");
+        assert_eq!(e.score_tail(1, PhaseId::new(3)), None, "nothing standing");
+        assert_eq!(e.score_tail(99, PhaseId::new(3)), None, "unknown pid");
+    }
+
+    #[test]
+    fn reset_clears_per_pid_state() {
+        let mut e = engine("gpht:8:128");
+        let _ = e.step(&P3);
+        let _ = e.step(&with_pid(P3, 2));
+        e.reset();
+        assert_eq!(e.processes(), 0);
+        assert_eq!(e.stats(), PredictionStats::default());
+    }
+
+    #[test]
+    fn transitions_accumulate_and_flush() {
+        let mut t = TransitionTracker::new();
+        t.record(0, 0);
+        t.record(0, 5);
+        t.record(5, 2);
+        t.record(0, 5);
+        assert_eq!(t.count(0, 5), 2);
+        assert_eq!(t.count(0, 0), 0, "no-op transitions dropped");
+        assert_eq!(t.count(17, 3), 0, "never-seen pair");
+        t.record(9, 2); // grows the matrix, preserving counts
+        assert_eq!(t.count(0, 5), 2);
+        assert_eq!(t.count(9, 2), 1);
+        t.flush();
+        assert_eq!(t.count(0, 5), 0, "flush drains");
+        t.flush(); // idempotent on empty
+    }
+}

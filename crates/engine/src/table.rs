@@ -57,7 +57,7 @@ impl Error for TranslationTableError {}
 /// Maps each phase to a DVFS setting index (0 = fastest).
 ///
 /// ```
-/// use livephase_governor::TranslationTable;
+/// use livephase_engine::TranslationTable;
 /// use livephase_core::PhaseId;
 /// let t = TranslationTable::pentium_m();
 /// assert_eq!(t.setting_for(PhaseId::new(1)), 0); // CPU-bound -> 1500 MHz
@@ -106,7 +106,12 @@ impl TranslationTable {
     /// Pentium-M platform (phase 1 → 1500 MHz … phase 6 → 600 MHz).
     #[must_use]
     pub fn pentium_m() -> Self {
-        Self::new(vec![0, 1, 2, 3, 4, 5], 6).expect("static Table 2 mapping is valid")
+        // Built directly rather than through `new`: the identity mapping
+        // over six settings is in-range and monotonic by inspection, so
+        // this constructor is infallible.
+        Self {
+            settings: vec![0, 1, 2, 3, 4, 5],
+        }
     }
 
     /// The DVFS setting for `phase`. Phases beyond the table clamp to the
@@ -146,6 +151,14 @@ impl Default for TranslationTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pentium_m_is_the_validated_identity_mapping() {
+        assert_eq!(
+            TranslationTable::pentium_m(),
+            TranslationTable::new(vec![0, 1, 2, 3, 4, 5], 6).unwrap()
+        );
+    }
 
     #[test]
     fn table2_mapping() {

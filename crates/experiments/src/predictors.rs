@@ -3,9 +3,10 @@
 
 use livephase_core::{
     evaluate, FixedWindow, Gpht, GphtConfig, LastValue, PhaseMap, PhaseSample, PredictionStats,
-    Predictor, Selector, VariableWindow,
+    Predictor, PredictorSpecError, Selector, VariableWindow,
 };
-use livephase_workloads::WorkloadTrace;
+use livephase_engine::{DecisionEngine, EngineConfig, Sample};
+use livephase_workloads::{counter_samples, WorkloadTrace};
 
 /// Builds the six predictors compared in Figure 4, in the paper's legend
 /// order: fixed windows 8 and 128, variable windows (128, 0.005) and
@@ -40,6 +41,33 @@ pub fn sample_stream(trace: &WorkloadTrace, map: &PhaseMap) -> Vec<PhaseSample> 
 pub fn accuracy_on(predictor: &mut dyn Predictor, trace: &WorkloadTrace) -> PredictionStats {
     let map = PhaseMap::pentium_m();
     evaluate(predictor, sample_stream(trace, &map))
+}
+
+/// Evaluates a predictor spec over a trace through the deployment
+/// pipeline itself: the trace's counter stream is batched through a
+/// [`DecisionEngine`] — the same classify → score → predict path the
+/// governor and the serve shards run — and the engine's own scoring is
+/// returned. Agrees exactly with [`accuracy_on`] for the equivalent
+/// predictor (the engine scores the same stream the same way).
+///
+/// # Errors
+///
+/// Returns the spec error if `predictor_spec` does not parse.
+pub fn engine_accuracy_on(
+    predictor_spec: &str,
+    trace: &WorkloadTrace,
+) -> Result<PredictionStats, PredictorSpecError> {
+    let mut engine = DecisionEngine::from_spec(EngineConfig::pentium_m(), predictor_spec)?;
+    let samples: Vec<Sample> = counter_samples(trace)
+        .map(|s| Sample {
+            pid: 0,
+            uops: s.uops,
+            mem_transactions: s.mem_transactions,
+        })
+        .collect();
+    let mut decisions = Vec::with_capacity(samples.len());
+    engine.step_many(&samples, &mut decisions);
+    Ok(engine.stats())
 }
 
 #[cfg(test)]
@@ -80,5 +108,29 @@ mod tests {
         let stats = accuracy_on(&mut lv, &trace);
         assert_eq!(stats.total, 99);
         assert!(stats.accuracy() > 0.9);
+    }
+
+    #[test]
+    fn engine_scoring_agrees_with_evaluate() {
+        // The harness's offline scoring and the deployment pipeline's
+        // own scoring are the same code path; their numbers must agree
+        // exactly, predictor family by predictor family.
+        let trace = require_benchmark("applu_in").with_length(150).generate(7);
+        for (spec, mut predictor) in [
+            (
+                "lastvalue",
+                Box::new(LastValue::new()) as Box<dyn Predictor>,
+            ),
+            ("gpht:8:1024", Box::new(Gpht::new(GphtConfig::REFERENCE))),
+            (
+                "fixwindow:8",
+                Box::new(FixedWindow::new(8, Selector::Majority)),
+            ),
+        ] {
+            let offline = accuracy_on(predictor.as_mut(), &trace);
+            let deployed = engine_accuracy_on(spec, &trace).unwrap();
+            assert_eq!(deployed, offline, "{spec} diverged");
+        }
+        assert!(engine_accuracy_on("bogus", &trace).is_err());
     }
 }

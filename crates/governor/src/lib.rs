@@ -4,7 +4,8 @@
 //! handler flow of Figure 8, driving DVFS from live phase predictions.
 //!
 //! * [`table`] — the phase → DVFS look-up table (the paper's Table 2),
-//!   reconfigurable after deployment;
+//!   re-exported from `livephase-engine`, where the shared decision
+//!   pipeline lives;
 //! * [`policy`] — the management policies compared in Section 6:
 //!   [`policy::Baseline`] (unmanaged, always full speed),
 //!   [`policy::Reactive`] (respond to the *last observed* phase —
@@ -44,8 +45,9 @@ pub mod manager;
 pub mod policy;
 pub mod report;
 pub mod session;
-pub mod table;
 pub mod thermal;
+
+pub use livephase_engine::table;
 
 pub use conservative::ConservativeDerivation;
 pub use dwell::MinDwell;

@@ -10,54 +10,35 @@
 //!    it differs from the current one;
 //! 5. clears the interrupt, reinitializes and restarts the counters.
 //!
+//! Steps 2–4 — the *decision* — are not implemented here: they are the
+//! [`DecisionEngine`] from `livephase-engine`, the same pipeline the
+//! serve shards and the experiment harness run. The manager contributes
+//! what only an in-process run has: the simulated CPU, the PMI cadence,
+//! handler and DVFS-transition overhead accounting, thermal integration
+//! and adaptive sampling. (Policies that are *not* the paper's pipeline
+//! — the unmanaged baseline, the oracle, thermally-aware wrappers — plug
+//! in through the [`Policy`] trait instead.)
+//!
 //! The handler's own execution cost (≈ 10 µs) and any DVFS transition
 //! (≈ 50 µs) are charged to the simulated CPU, so overheads — invisible at
 //! the paper's 100 ms sampling intervals, exactly as claimed — are
 //! nevertheless accounted for honestly.
+//!
+//! [`DecisionEngine`]: livephase_engine::DecisionEngine
 
-use crate::policy::{Baseline, Policy, Proactive, Reactive};
+use crate::policy::{Baseline, Policy};
 use crate::report::{IntervalLog, RunReport};
 use crate::session::IntervalObserver;
 use crate::table::TranslationTable;
 use livephase_core::{
-    DurationPredictor, DurationScheme, PhaseId, PhaseMap, PhaseSample, PredictionStats,
+    DurationPredictor, DurationScheme, PhaseId, PhaseMap, PhaseSample, StreamScorer,
 };
+use livephase_engine::{DecisionEngine, EngineConfig, EngineMetrics, Sample, TransitionTracker};
 use livephase_pmsim::cpu::{Cpu, PmiRecord};
 use livephase_pmsim::trace::pport;
 use livephase_pmsim::PlatformConfig;
-use livephase_telemetry::{Counter, Histogram};
 use livephase_workloads::{IntervalSource, IntoIntervalSource};
-use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Instant;
-
-/// Handles into the process-global registry for the per-interval hot
-/// path, fetched once per run; every record after that is a lock-free
-/// atomic. Predictor hit/miss totals and DVFS transition pairs are
-/// accumulated in [`RunState`] instead and flushed once at run end, so
-/// the PMI path never formats a label.
-struct GovernorMetrics {
-    decisions_total: Arc<Counter>,
-    decision_us: Arc<Histogram>,
-}
-
-impl GovernorMetrics {
-    fn new() -> Self {
-        let reg = livephase_telemetry::global();
-        Self {
-            decisions_total: reg.counter(
-                "governor_decisions_total",
-                "DVFS decisions computed (in-process runs and serve shards).",
-                &[],
-            ),
-            decision_us: reg.histogram(
-                "governor_decision_us",
-                "Per-interval decision latency in microseconds.",
-                &[],
-            ),
-        }
-    }
-}
 
 /// Handler-side configuration.
 #[derive(Debug, Clone)]
@@ -116,6 +97,19 @@ impl ManagerConfig {
         }
     }
 
+    /// The engine deployment context matching this handler configuration:
+    /// its phase map over the paper's Table 2 translation, on the Pentium
+    /// M platform — the one constructor serve and the experiment drivers
+    /// also derive from.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::new(
+            "pentium_m",
+            self.phase_map.clone(),
+            TranslationTable::pentium_m(),
+        )
+        .expect("the Table 2 mapping encodes as one-byte op points")
+    }
+
     fn validate(&self) {
         assert!(
             self.handler_overhead_s.is_finite() && self.handler_overhead_s >= 0.0,
@@ -133,16 +127,39 @@ impl Default for ManagerConfig {
     }
 }
 
+/// The in-process run's pid for its single simulated process: engine
+/// state is keyed by pid, and a manager-driven run has exactly one.
+const RUN_PID: u32 = 0;
+
+/// What computes the per-interval decision: the shared
+/// [`DecisionEngine`] (the paper's pipeline — reactive and proactive
+/// systems alike), or a custom [`Policy`] for decision makers outside
+/// that pipeline (baseline, oracle, thermal wrappers, conservative
+/// derivations).
+enum Decider {
+    Policy(Box<dyn Policy>),
+    Engine(Box<DecisionEngine>),
+}
+
+impl Decider {
+    fn name(&self) -> String {
+        match self {
+            Self::Policy(p) => p.name(),
+            Self::Engine(e) => e.name().to_owned(),
+        }
+    }
+}
+
 /// Drives a workload through the simulated CPU under a management policy.
 pub struct Manager {
-    policy: Box<dyn Policy>,
+    decider: Decider,
     config: ManagerConfig,
 }
 
 impl std::fmt::Debug for Manager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Manager")
-            .field("policy", &self.policy.name())
+            .field("policy", &self.decider.name())
             .field("config", &self.config)
             .finish()
     }
@@ -157,7 +174,25 @@ impl Manager {
     #[must_use]
     pub fn new(policy: Box<dyn Policy>, config: ManagerConfig) -> Self {
         config.validate();
-        Self { policy, config }
+        Self {
+            decider: Decider::Policy(policy),
+            config,
+        }
+    }
+
+    /// Creates a manager that delegates every decision to a
+    /// [`DecisionEngine`] — the same pipeline the serve shards run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_engine(engine: DecisionEngine, config: ManagerConfig) -> Self {
+        config.validate();
+        Self {
+            decider: Decider::Engine(Box::new(engine)),
+            config,
+        }
     }
 
     /// The unmanaged baseline system (always full speed).
@@ -173,7 +208,7 @@ impl Manager {
     }
 
     /// The reactive (last-value) manager of prior work, over the paper's
-    /// Table 2 mapping.
+    /// Table 2 mapping: a last-value decision engine by another name.
     #[must_use]
     pub fn reactive() -> Self {
         Self::reactive_with(ManagerConfig::pentium_m())
@@ -182,10 +217,10 @@ impl Manager {
     /// The reactive manager under a custom handler configuration.
     #[must_use]
     pub fn reactive_with(config: ManagerConfig) -> Self {
-        Self::new(
-            Box::new(Reactive::new(TranslationTable::pentium_m())),
-            config,
-        )
+        let engine = DecisionEngine::from_spec(config.engine_config(), "lastvalue")
+            .expect("lastvalue is a valid predictor spec")
+            .with_name("Reactive(LastValue)");
+        Self::with_engine(engine, config)
     }
 
     /// The paper's deployed system: proactive GPHT(8, 128) management over
@@ -198,13 +233,15 @@ impl Manager {
     /// The deployed GPHT system under a custom handler configuration.
     #[must_use]
     pub fn gpht_deployed_with(config: ManagerConfig) -> Self {
-        Self::new(Box::new(Proactive::gpht_deployed()), config)
+        let engine = DecisionEngine::from_spec(config.engine_config(), "gpht:8:128")
+            .expect("the deployed GPHT spec is valid");
+        Self::with_engine(engine, config)
     }
 
     /// The policy's display name.
     #[must_use]
     pub fn policy_name(&self) -> String {
-        self.policy.name()
+        self.decider.name()
     }
 
     /// Runs `workload` to completion on a fresh CPU sharing `platform`,
@@ -246,28 +283,55 @@ impl Manager {
             thermal: self.config.thermal.map(livephase_pmsim::ThermalState::new),
             ..RunState::default()
         };
-        let metrics = GovernorMetrics::new();
+        let metrics = EngineMetrics::new();
         cpu.set_pport_bits(pport::APP_RUNNING);
 
         while let Some(pmi) = cpu.run_to_pmi_with(|| source.next_interval()) {
             self.handle_pmi(&mut cpu, &pmi, &mut state, &metrics);
-            observer.on_interval(state.intervals.last().expect("interval just logged"));
+            if let Some(last) = state.intervals.last() {
+                observer.on_interval(last);
+            }
         }
         // A run that ends off the sampling grid leaves a partial interval:
-        // log it (its Mem/Uop ratio is still meaningful) without a policy
-        // action — execution is over.
+        // log it (its Mem/Uop ratio is still meaningful) and score the
+        // prediction that stood for it, without a policy action —
+        // execution is over.
         if let Some(pmi) = cpu.flush_partial_interval() {
-            state.log_interval(&pmi, &self.config.phase_map);
-            observer.on_interval(state.intervals.last().expect("interval just logged"));
+            let phase = self.config.phase_map.classify_rate(pmi.metrics.mem_uop());
+            let standing = match &mut self.decider {
+                Decider::Policy(_) => {
+                    let standing = state.scorer.pending();
+                    if let Some((_, correct)) = state.scorer.score(phase) {
+                        metrics.record_scored(correct);
+                    }
+                    standing
+                }
+                Decider::Engine(engine) => {
+                    let standing = engine.pending(RUN_PID);
+                    let _ = engine.score_tail(RUN_PID, phase);
+                    standing
+                }
+            };
+            state.log_interval(&pmi, phase, standing);
+            if let Some(last) = state.intervals.last() {
+                observer.on_interval(last);
+            }
         }
         cpu.set_pport_bits(0);
-        state.flush_run_metrics();
+        state.transitions.flush();
 
+        let (policy, prediction) = match &mut self.decider {
+            Decider::Policy(p) => (p.name(), state.scorer.stats()),
+            Decider::Engine(e) => {
+                e.flush_metrics();
+                (e.name().to_owned(), e.stats())
+            }
+        };
         let report = RunReport {
             workload: workload_name,
-            policy: self.policy.name(),
+            policy,
             totals: cpu.totals(),
-            prediction: state.prediction,
+            prediction,
             intervals: state.intervals,
             dvfs_transitions: cpu.dvfs_transitions(),
             peak_temperature_c: state.thermal.as_ref().map(|t| t.peak_c()),
@@ -288,9 +352,9 @@ impl Manager {
         cpu: &mut Cpu<'_>,
         pmi: &PmiRecord,
         state: &mut RunState,
-        metrics: &GovernorMetrics,
+        metrics: &EngineMetrics,
     ) {
-        let phase = state.log_interval(pmi, &self.config.phase_map);
+        let phase = self.config.phase_map.classify_rate(pmi.metrics.mem_uop());
 
         // Integrate the thermal model through the elapsed interval.
         let interval_power_w = if pmi.interval_seconds > 0.0 {
@@ -306,28 +370,49 @@ impl Manager {
         let toggled = cpu.pport_bits() ^ pport::PHASE_TOGGLE;
         cpu.set_pport_bits(toggled);
 
-        let sample = PhaseSample {
-            rate: pmi.metrics.mem_uop(),
-            phase,
+        let (setting, standing) = match &mut self.decider {
+            Decider::Policy(policy) => {
+                // The pipeline the engine runs for its streams, inlined
+                // for decision makers outside it: score the standing
+                // prediction, decide, stand the next prediction.
+                let standing = state.scorer.pending();
+                if let Some((_, correct)) = state.scorer.score(phase) {
+                    metrics.record_scored(correct);
+                }
+                let sample = PhaseSample {
+                    rate: pmi.metrics.mem_uop(),
+                    phase,
+                };
+                let env = crate::policy::Environment {
+                    temperature_c: state.thermal.as_ref().map(|t| t.temperature_c()),
+                    current_setting: pmi.dvfs_index,
+                    interval_power_w,
+                };
+                let decide_started = Instant::now();
+                let setting = policy.decide_with_env(sample, &env);
+                metrics.record_decision(decide_started.elapsed());
+                state.transitions.record(env.current_setting, setting);
+                match policy.predicted_phase() {
+                    Some(p) => state.scorer.predict(p),
+                    None => state.scorer.clear_pending(),
+                }
+                (setting, standing)
+            }
+            Decider::Engine(engine) => {
+                let standing = engine.pending(RUN_PID);
+                let decision = engine.step(&Sample {
+                    pid: RUN_PID,
+                    uops: pmi.metrics.uops_retired,
+                    mem_transactions: pmi.metrics.mem_transactions,
+                });
+                debug_assert_eq!(
+                    decision.phase, phase,
+                    "engine classification must match the handler's"
+                );
+                (usize::from(decision.op_point), standing)
+            }
         };
-        let env = crate::policy::Environment {
-            temperature_c: state.thermal.as_ref().map(|t| t.temperature_c()),
-            current_setting: pmi.dvfs_index,
-            interval_power_w,
-        };
-        let decide_started = Instant::now();
-        let setting = self.policy.decide_with_env(sample, &env);
-        metrics
-            .decision_us
-            .record(u64::try_from(decide_started.elapsed().as_micros()).unwrap_or(u64::MAX));
-        metrics.decisions_total.inc();
-        if setting != env.current_setting {
-            *state
-                .transition_pairs
-                .entry((env.current_setting, setting))
-                .or_insert(0) += 1;
-        }
-        state.pending_prediction = self.policy.predicted_phase();
+        state.log_interval(pmi, phase, standing);
 
         cpu.service_pmi_overhead(self.config.handler_overhead_s);
         cpu.set_dvfs(setting)
@@ -353,75 +438,39 @@ impl Manager {
 #[derive(Default)]
 struct RunState {
     intervals: Vec<IntervalLog>,
-    prediction: PredictionStats,
-    pending_prediction: Option<PhaseId>,
+    /// Prediction scoring for the policy path; engine-backed runs score
+    /// inside the engine instead.
+    scorer: StreamScorer,
     thermal: Option<livephase_pmsim::ThermalState>,
     durations: Option<DurationPredictor>,
-    /// DVFS transitions by (from, to) operating-point pair, flushed to
-    /// the registry once at run end.
-    transition_pairs: HashMap<(usize, usize), u64>,
+    /// DVFS transitions decided by the policy path, flushed to the
+    /// registry once at run end so the PMI path never formats a label.
+    /// Engine-backed runs account transitions inside the engine.
+    transitions: TransitionTracker,
 }
 
 impl RunState {
-    /// Pushes the run's accumulated predictor scoring and DVFS
-    /// transition pairs into the process-global registry. Label
-    /// formatting happens here, once per run — never on the PMI path.
-    fn flush_run_metrics(&self) {
-        let reg = livephase_telemetry::global();
-        if self.prediction.total > 0 {
-            reg.counter(
-                "governor_predictor_hits_total",
-                "Scored intervals whose predicted phase was observed.",
-                &[],
-            )
-            .add(self.prediction.correct);
-            reg.counter(
-                "governor_predictor_misses_total",
-                "Scored intervals whose predicted phase was not observed.",
-                &[],
-            )
-            .add(self.prediction.total - self.prediction.correct);
-        }
-        for (&(from, to), &n) in &self.transition_pairs {
-            let from = from.to_string();
-            let to = to.to_string();
-            reg.counter(
-                "governor_dvfs_transitions_total",
-                "DVFS transitions by operating-point pair.",
-                &[("from", &from), ("to", &to)],
-            )
-            .add(n);
-        }
-    }
-
-    /// Classifies and logs one elapsed interval; scores the prediction that
-    /// had been made for it.
-    fn log_interval(&mut self, pmi: &PmiRecord, map: &PhaseMap) -> PhaseId {
-        let phase = map.classify_rate(pmi.metrics.mem_uop());
-        if let Some(predicted) = self.pending_prediction {
-            self.prediction.total += 1;
-            if predicted == phase {
-                self.prediction.correct += 1;
-            }
-        }
+    /// Logs one elapsed interval, classified as `phase`, against the
+    /// prediction that was standing when it began.
+    fn log_interval(&mut self, pmi: &PmiRecord, phase: PhaseId, predicted: Option<PhaseId>) {
         self.intervals.push(IntervalLog {
             index: self.intervals.len(),
             mem_uop: pmi.metrics.mem_uop().get(),
             upc: pmi.metrics.upc().get(),
             phase,
-            predicted: self.pending_prediction,
+            predicted,
             dvfs_index: pmi.dvfs_index,
             duration_s: pmi.interval_seconds,
             energy_j: pmi.interval_energy_j,
             instructions: pmi.metrics.instructions_retired,
         });
-        phase
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Proactive, Reactive};
     use livephase_workloads::{spec, WorkloadTrace};
 
     fn short_trace(name: &str, len: usize) -> WorkloadTrace {
@@ -513,5 +562,44 @@ mod tests {
             proactive.prediction.accuracy(),
             reactive.prediction.accuracy()
         );
+    }
+
+    /// The engine-backed constructors must be drop-in replacements for
+    /// the policy objects they retired: same decisions, same scoring,
+    /// same report, interval for interval.
+    #[test]
+    fn engine_backed_managers_match_their_policy_equivalents() {
+        let cases: [(Manager, Manager); 2] = [
+            (
+                Manager::reactive(),
+                Manager::new(
+                    Box::new(Reactive::new(TranslationTable::pentium_m())),
+                    ManagerConfig::pentium_m(),
+                ),
+            ),
+            (
+                Manager::gpht_deployed(),
+                Manager::new(
+                    Box::new(Proactive::gpht_deployed()),
+                    ManagerConfig::pentium_m(),
+                ),
+            ),
+        ];
+        for (engine_backed, policy_backed) in cases {
+            let trace = short_trace("applu_in", 120);
+            let platform = PlatformConfig::pentium_m();
+            let a = engine_backed.run(&trace, &platform);
+            let b = policy_backed.run(&trace, &platform);
+            assert_eq!(a.policy, b.policy, "names agree");
+            assert_eq!(a.prediction, b.prediction, "scoring agrees");
+            assert_eq!(a.decision_trace(), b.decision_trace(), "decisions agree");
+            assert_eq!(a.dvfs_transitions, b.dvfs_transitions);
+            assert_eq!(a.intervals.len(), b.intervals.len());
+            for (x, y) in a.intervals.iter().zip(&b.intervals) {
+                assert_eq!(x.phase, y.phase);
+                assert_eq!(x.predicted, y.predicted);
+                assert_eq!(x.dvfs_index, y.dvfs_index);
+            }
+        }
     }
 }

@@ -1,167 +1,83 @@
-//! The shard-local session engine: per-client, per-process predictor
-//! state and the classify → predict → translate decision pipeline.
+//! The shard-local session layer: a thin adapter over the shared
+//! [`DecisionEngine`] from `livephase-engine`.
 //!
-//! This module is pure — no sockets, no threads — so the decision path
-//! can be unit-tested and benchmarked in isolation. A [`SessionState`] is
-//! exactly the management loop of `livephase_governor::Manager::handle_pmi`
-//! minus the simulated CPU: classify the observed Mem/Uop rate, feed the
-//! per-pid predictor, translate the predicted phase to an operating
-//! point. Because phase classification depends only on the DVFS-invariant
-//! `mem_transactions / uops` ratio, a session fed the counter stream an
-//! in-process run produces makes **bit-identical** decisions to that run
-//! — the property the loopback integration tests pin down.
+//! A [`SessionState`] is one client's decision engine — the exact
+//! classify → predict → translate pipeline the in-process
+//! `livephase_governor::Manager` delegates to, holding per-pid predictor
+//! state and scoring. Because phase classification depends only on the
+//! DVFS-invariant `mem_transactions / uops` ratio, a session fed the
+//! counter stream an in-process run produces makes **bit-identical**
+//! decisions to that run — the property the loopback integration tests
+//! pin down.
+//!
+//! What remains serve-specific here is small by design: the
+//! [`shard_for`] placement hash, and the sample/decision shapes the
+//! shard loop batches through [`SessionState::apply_batch`].
 
-use livephase_core::{
-    predictor_from_spec, MemUopRate, PerProcess, PhaseId, PhaseMap, PhaseSample, Predictor,
-    PredictorSpecError,
-};
-use livephase_governor::TranslationTable;
-use std::collections::HashMap;
+use livephase_core::PredictorSpecError;
+use livephase_engine::DecisionEngine;
 
-/// The fixed context every session on a server shares: phase definitions
-/// and the phase → operating-point translation table.
-#[derive(Debug, Clone)]
-pub struct EngineConfig {
-    /// Platform name clients must announce in `Hello`.
-    pub platform: String,
-    /// The Mem/Uop → phase classification in force.
-    pub phase_map: PhaseMap,
-    /// The phase → DVFS setting mapping in force.
-    pub table: TranslationTable,
-}
-
-impl EngineConfig {
-    /// The deployed configuration: Table 1 phases over the Table 2
-    /// mapping, as on the paper's Pentium M.
-    #[must_use]
-    pub fn pentium_m() -> Self {
-        Self {
-            platform: "pentium_m".to_owned(),
-            phase_map: PhaseMap::pentium_m(),
-            table: TranslationTable::pentium_m(),
-        }
-    }
-
-    /// Number of operating points decisions index into.
-    #[must_use]
-    pub fn op_points(&self) -> u8 {
-        u8::try_from(self.table.settings().len()).expect("op tables are small")
-    }
-}
-
-/// One computed decision, ready to be framed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Decision {
-    /// Process the decision is for.
-    pub pid: u32,
-    /// Operating-point index to apply next (0 = fastest).
-    pub op_point: u8,
-    /// Running prediction accuracy of this pid's stream, in basis points
-    /// (10 000 = every scored prediction so far was correct).
-    pub confidence: u16,
-}
-
-/// Per-pid prediction scoring, mirroring the manager's accuracy
-/// accounting: the prediction standing when a sample arrives is scored
-/// against the sample's observed phase.
-#[derive(Debug, Default, Clone, Copy)]
-struct PidScore {
-    pending: Option<PhaseId>,
-    total: u64,
-    correct: u64,
-}
-
-impl PidScore {
-    fn confidence(&self) -> u16 {
-        match (self.correct * u64::from(crate::wire::CONFIDENCE_SCALE)).checked_div(self.total) {
-            None => crate::wire::CONFIDENCE_SCALE,
-            Some(bp) => u16::try_from(bp).expect("ratio <= scale"),
-        }
-    }
-}
-
-type BoxedFactory = Box<dyn Fn() -> Box<dyn Predictor> + Send>;
+pub use livephase_engine::{Decision, EngineConfig, EngineConfigError, Sample};
 
 /// One client's session on a shard: a pid-indexed family of predictors
-/// plus per-pid scoring.
+/// plus per-pid scoring, wrapped around the shared [`DecisionEngine`].
+#[derive(Debug)]
 pub struct SessionState {
-    predictors: PerProcess<Box<dyn Predictor>, BoxedFactory>,
-    scores: HashMap<u32, PidScore>,
-}
-
-impl std::fmt::Debug for SessionState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SessionState")
-            .field("processes", &self.processes())
-            .finish()
-    }
+    engine: DecisionEngine,
 }
 
 impl SessionState {
-    /// Creates a session whose per-pid predictors are built from
-    /// `predictor_spec` (e.g. `gpht:8:128`).
+    /// Creates a session in deployment context `config` whose per-pid
+    /// predictors are built from `predictor_spec` (e.g. `gpht:8:128`).
     ///
     /// # Errors
     ///
     /// Returns the spec error if the predictor specification does not
-    /// parse — checked here, once, so the per-pid factory cannot fail.
-    pub fn new(predictor_spec: &str) -> Result<Self, PredictorSpecError> {
-        // Validate eagerly; the factory then re-parses a known-good spec.
-        drop(predictor_from_spec(predictor_spec)?);
-        let spec = predictor_spec.to_owned();
-        let factory: BoxedFactory =
-            Box::new(move || predictor_from_spec(&spec).expect("spec validated at session start"));
+    /// parse — checked here, once, so the decision path cannot fail.
+    pub fn new(config: &EngineConfig, predictor_spec: &str) -> Result<Self, PredictorSpecError> {
         Ok(Self {
-            predictors: PerProcess::new(factory),
-            scores: HashMap::new(),
+            engine: DecisionEngine::from_spec(config.clone(), predictor_spec)?,
         })
     }
 
     /// Ingests one sample and returns the decision for that pid's next
-    /// interval — the PMI handler's step 2–4, verbatim: classify the
-    /// observed rate, update the predictor, translate the prediction.
-    pub fn apply(
-        &mut self,
-        config: &EngineConfig,
-        pid: u32,
-        uops: u64,
-        mem_trans: u64,
-    ) -> Decision {
-        let rate = MemUopRate::from_counts(mem_trans, uops);
-        let phase = config.phase_map.classify_rate(rate);
-        let score = self.scores.entry(pid).or_default();
-        if let Some(predicted) = score.pending {
-            score.total += 1;
-            if predicted == phase {
-                score.correct += 1;
-            }
-        }
-        let predicted = self.predictors.next(pid, PhaseSample { rate, phase });
-        score.pending = Some(predicted);
-        let setting = config.table.setting_for(predicted);
-        Decision {
+    /// interval.
+    pub fn apply(&mut self, pid: u32, uops: u64, mem_transactions: u64) -> Decision {
+        self.engine.step(&Sample {
             pid,
-            op_point: u8::try_from(setting).expect("op tables are small"),
-            confidence: self.scores[&pid].confidence(),
-        }
+            uops,
+            mem_transactions,
+        })
+    }
+
+    /// Drains a queued batch of samples through the engine, appending one
+    /// decision per sample to `out` in input order — the shard loop's hot
+    /// path. Bit-identical to calling [`apply`](Self::apply) per sample,
+    /// but per-pid state lookups are amortized over runs of samples.
+    pub fn apply_batch(&mut self, samples: &[Sample], out: &mut Vec<Decision>) {
+        self.engine.step_many(samples, out);
     }
 
     /// Number of pid streams with live predictor state.
     #[must_use]
     pub fn processes(&self) -> usize {
-        self.predictors.processes()
+        self.engine.processes()
     }
 
     /// Drops a terminated pid's state.
     pub fn retire(&mut self, pid: u32) -> bool {
-        self.scores.remove(&pid);
-        self.predictors.retire(pid)
+        self.engine.retire(pid)
     }
 }
 
 /// Deterministic shard assignment: FNV-1a over the client id, modulo the
 /// shard count. Stable across runs and platforms, so a reconnecting
 /// client always lands on the same shard.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero — a server always has at least one shard,
+/// enforced when its configuration is validated.
 #[must_use]
 pub fn shard_for(client_id: u64, shards: usize) -> usize {
     assert!(shards > 0, "a server has at least one shard");
@@ -170,34 +86,33 @@ pub fn shard_for(client_id: u64, shards: usize) -> usize {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    usize::try_from(h % shards as u64).expect("modulo fits")
+    // `h % shards` is < shards by construction, and shards fits usize.
+    (h % shards as u64) as usize
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use livephase_governor::{Manager, ManagerConfig, Proactive};
+    use livephase_core::predictor_from_spec;
+    use livephase_governor::{Manager, ManagerConfig, Proactive, TranslationTable};
     use livephase_pmsim::PlatformConfig;
     use livephase_workloads::{counter_samples, spec};
 
     #[test]
     fn bad_predictor_specs_are_rejected_once() {
-        assert!(SessionState::new("gpht:0:128").is_err());
-        assert!(SessionState::new("frobnicate").is_err());
-        assert!(SessionState::new("gpht:8:128").is_ok());
+        let config = EngineConfig::pentium_m();
+        assert!(SessionState::new(&config, "gpht:0:128").is_err());
+        assert!(SessionState::new(&config, "frobnicate").is_err());
+        assert!(SessionState::new(&config, "gpht:8:128").is_ok());
     }
 
     #[test]
     fn session_decisions_match_the_in_process_manager() {
         let config = EngineConfig::pentium_m();
         let bench = spec::benchmark("applu_in").unwrap().with_length(80);
-        let mut session = SessionState::new("gpht:8:128").unwrap();
+        let mut session = SessionState::new(&config, "gpht:8:128").unwrap();
         let decisions: Vec<u8> = counter_samples(bench.stream(42))
-            .map(|s| {
-                session
-                    .apply(&config, 7, s.uops, s.mem_transactions)
-                    .op_point
-            })
+            .map(|s| session.apply(7, s.uops, s.mem_transactions).op_point)
             .collect();
 
         let report = Manager::gpht_deployed().run(bench.stream(42), &PlatformConfig::pentium_m());
@@ -209,16 +124,38 @@ mod tests {
     }
 
     #[test]
+    fn batched_sessions_match_sample_at_a_time_sessions() {
+        let config = EngineConfig::pentium_m();
+        let bench = spec::benchmark("applu_in").unwrap().with_length(80);
+        let samples: Vec<Sample> = counter_samples(bench.stream(42))
+            .map(|s| Sample {
+                pid: 7,
+                uops: s.uops,
+                mem_transactions: s.mem_transactions,
+            })
+            .collect();
+
+        let mut one = SessionState::new(&config, "gpht:8:128").unwrap();
+        let expected: Vec<Decision> = samples
+            .iter()
+            .map(|s| one.apply(s.pid, s.uops, s.mem_transactions))
+            .collect();
+
+        let mut batched = SessionState::new(&config, "gpht:8:128").unwrap();
+        let mut got = Vec::new();
+        for chunk in samples.chunks(13) {
+            batched.apply_batch(chunk, &mut got);
+        }
+        assert_eq!(got, expected, "batched decisions are bit-identical");
+    }
+
+    #[test]
     fn custom_predictor_sessions_match_their_manager() {
         let config = EngineConfig::pentium_m();
         let bench = spec::benchmark("crafty_in").unwrap().with_length(60);
-        let mut session = SessionState::new("lastvalue").unwrap();
+        let mut session = SessionState::new(&config, "lastvalue").unwrap();
         let decisions: Vec<u8> = counter_samples(bench.stream(5))
-            .map(|s| {
-                session
-                    .apply(&config, 1, s.uops, s.mem_transactions)
-                    .op_point
-            })
+            .map(|s| session.apply(1, s.uops, s.mem_transactions).op_point)
             .collect();
 
         let manager = Manager::new(
@@ -239,20 +176,20 @@ mod tests {
     #[test]
     fn pids_are_isolated_within_a_session() {
         let config = EngineConfig::pentium_m();
-        let mut session = SessionState::new("gpht:8:128").unwrap();
+        let mut session = SessionState::new(&config, "gpht:8:128").unwrap();
         // pid 1 alternates phases 1/6; pid 2 sits constant at phase 3.
         // 100M uops with 0 vs 4M memory transactions land in P1 and P6;
         // 1.2M lands in P3.
         for _ in 0..50 {
-            let _ = session.apply(&config, 1, 100_000_000, 0);
-            let _ = session.apply(&config, 1, 100_000_000, 4_000_000);
-            let _ = session.apply(&config, 2, 100_000_000, 1_200_000);
+            let _ = session.apply(1, 100_000_000, 0);
+            let _ = session.apply(1, 100_000_000, 4_000_000);
+            let _ = session.apply(2, 100_000_000, 1_200_000);
         }
         assert_eq!(session.processes(), 2);
         // pid 1's GPHT anticipates the alternation; pid 2 stays put.
-        let d1 = session.apply(&config, 1, 100_000_000, 0);
+        let d1 = session.apply(1, 100_000_000, 0);
         assert_eq!(d1.op_point, 5, "after P1, pid 1 expects P6");
-        let d2 = session.apply(&config, 2, 100_000_000, 1_200_000);
+        let d2 = session.apply(2, 100_000_000, 1_200_000);
         assert_eq!(d2.op_point, 2, "pid 2 stays in P3");
         assert!(d2.confidence > 9_000, "constant stream predicts well");
         assert!(session.retire(1));

@@ -12,9 +12,10 @@
 //! - [`wire`] — the versioned, length-prefixed binary frame protocol:
 //!   `Hello`/`HelloAck` handshake, `Sample` → `Decision` streaming,
 //!   `Stats`, explicit `Error` frames.
-//! - [`engine`] — the shard-local decision core: per-client
-//!   [`SessionState`](engine::SessionState) holding per-pid predictors,
-//!   bit-identical to the in-process manager's decision path.
+//! - [`engine`] — the shard-local session layer: per-client
+//!   [`SessionState`](engine::SessionState), a thin adapter over the
+//!   shared `livephase-engine` decision pipeline (bit-identical to the
+//!   in-process manager's decision path) with batched queue draining.
 //! - [`server`] — the sharded daemon: N shard owner threads exclusively
 //!   holding predictor state, per-connection reader/writer threads,
 //!   timeouts, a `max_conns` accept gate, poison-one-connection error
@@ -26,6 +27,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The decision path must not panic on malformed input: sessions are the
+// failure domain, so serving code is held unwrap/expect-free outside tests.
+// ci.sh runs clippy with -D warnings, turning any regression into an error.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod engine;
@@ -34,7 +39,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, ServedDecision};
-pub use engine::{shard_for, Decision, EngineConfig, SessionState};
+pub use engine::{shard_for, Decision, EngineConfig, EngineConfigError, Sample, SessionState};
 pub use loadgen::{Agreement, LoadGenConfig, LoadGenError, LoadReport};
 pub use server::{spawn, ServerConfig, ServerHandle, ServerSummary};
 pub use wire::{ErrorCode, Frame, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION};

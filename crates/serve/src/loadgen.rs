@@ -13,7 +13,8 @@
 use crate::client::{Client, ClientError};
 use crate::engine::EngineConfig;
 use livephase_core::predictor_from_spec;
-use livephase_governor::{par_map, Manager, ManagerConfig, Proactive, TranslationTable};
+use livephase_engine::DecisionEngine;
+use livephase_governor::{par_map, Manager, ManagerConfig};
 use livephase_pmsim::PlatformConfig;
 use livephase_telemetry::Histogram;
 use livephase_workloads::{counter_samples, spec, CounterSample};
@@ -239,7 +240,7 @@ impl fmt::Display for LoadReport {
                 checked.len()
             )?;
             for o in &checked {
-                let a = o.agreement.expect("filtered on agreement");
+                let Some(a) = o.agreement else { continue };
                 if !a.exact() {
                     writeln!(
                         f,
@@ -298,7 +299,7 @@ pub fn run(config: &LoadGenConfig) -> Result<LoadReport, LoadGenError> {
         };
         plans[i % config.connections].push(StreamPlan {
             spec,
-            pid: u32::try_from(i).expect("registry is small") + 1,
+            pid: u32::try_from(i).unwrap_or(u32::MAX - 1) + 1,
         });
     }
 
@@ -334,15 +335,15 @@ fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> C
     if plan.is_empty() {
         return Ok((Vec::new(), Histogram::new()));
     }
-    let platform = EngineConfig::pentium_m().platform;
+    let deployment = EngineConfig::pentium_m();
     let client_err = |source| LoadGenError::Client {
         connection: conn,
         source,
     };
     let mut client = Client::connect(
         config.addr.as_str(),
-        u64::try_from(conn).expect("connection index fits") + 1,
-        &platform,
+        conn as u64 + 1,
+        deployment.platform(),
         &config.predictor,
         config.timeout,
     )
@@ -397,14 +398,15 @@ fn score_against_oracle(
     config: &LoadGenConfig,
     decisions: &[u8],
 ) -> Agreement {
-    let manager = Manager::new(
-        Box::new(Proactive::new(
-            predictor_from_spec(&config.predictor).expect("spec validated before traffic"),
-            TranslationTable::pentium_m(),
-        )),
-        ManagerConfig::pentium_m(),
-    );
-    let oracle = manager
+    // The spec was validated before traffic; if a re-parse fails anyway,
+    // report total divergence rather than panicking mid-replay.
+    let Ok(engine) = DecisionEngine::from_spec(EngineConfig::pentium_m(), &config.predictor) else {
+        return Agreement {
+            matched: 0,
+            compared: decisions.len() as u64,
+        };
+    };
+    let oracle = Manager::with_engine(engine, ManagerConfig::pentium_m())
         .run(
             stream.spec.stream(config.seed),
             &PlatformConfig::pentium_m(),

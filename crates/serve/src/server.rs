@@ -30,7 +30,7 @@
 //! (the shard processes a session's queue before its unregister), and
 //! writers flush before exiting.
 
-use crate::engine::{shard_for, EngineConfig, SessionState};
+use crate::engine::{shard_for, Decision, EngineConfig, Sample, SessionState};
 use crate::wire::{
     self, ErrorCode, Frame, FrameError, StatsSnapshot, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
@@ -97,8 +97,6 @@ struct ShardMetrics {
     queue_depth: Arc<Gauge>,
     samples_total: Arc<Counter>,
     decision_us: Arc<Histogram>,
-    governor_decisions_total: Arc<Counter>,
-    governor_decision_us: Arc<Histogram>,
 }
 
 impl ShardMetrics {
@@ -122,24 +120,15 @@ impl ShardMetrics {
                 "Counter samples this shard has ingested.",
                 label,
             ),
+            // The governor-level decision series (governor_decisions_total,
+            // governor_decision_us, predictor hits/misses) are recorded by
+            // the DecisionEngine inside each SessionState — the shard
+            // pipeline IS the governor decision path — so only the
+            // shard-labeled view lives here.
             decision_us: reg.histogram(
                 "serve_shard_decision_us",
                 "Classify-predict-translate latency in microseconds.",
                 label,
-            ),
-            // The shard decision pipeline IS the governor decision path
-            // (engine::SessionState mirrors Manager::handle_pmi), so it
-            // feeds the same governor-level series the in-process
-            // manager records into.
-            governor_decisions_total: reg.counter(
-                "governor_decisions_total",
-                "DVFS decisions computed (in-process runs and serve shards).",
-                &[],
-            ),
-            governor_decision_us: reg.histogram(
-                "governor_decision_us",
-                "Per-interval decision latency in microseconds.",
-                &[],
             ),
         }
     }
@@ -299,7 +288,9 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor; it checks the flag before admitting.
         drop(TcpStream::connect(self.local_addr));
-        self.acceptor.join().expect("acceptor thread panicked")
+        self.acceptor
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
     }
 
     /// Waits for the server to exit on its own (`exit_after_conns`).
@@ -308,7 +299,9 @@ impl ServerHandle {
     ///
     /// Panics if the acceptor thread itself panicked.
     pub fn join(self) -> ServerSummary {
-        self.acceptor.join().expect("acceptor thread panicked")
+        self.acceptor
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
     }
 }
 
@@ -330,8 +323,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let shared_for_acceptor = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
         .name("serve-acceptor".to_owned())
-        .spawn(move || accept_loop(&listener, &config, &shared_for_acceptor))
-        .expect("spawning the acceptor thread");
+        .spawn(move || accept_loop(&listener, &config, &shared_for_acceptor))?;
     Ok(ServerHandle {
         local_addr,
         shared,
@@ -373,7 +365,7 @@ fn accept_loop(
             std::thread::Builder::new()
                 .name(format!("serve-shard-{i}"))
                 .spawn(move || shard_loop(&rx, i, &engine, &shared, &metrics))
-                .expect("spawning a shard thread");
+                .unwrap_or_else(|e| panic!("spawning shard thread {i}: {e}"));
             tx
         })
         .collect();
@@ -410,15 +402,27 @@ fn accept_loop(
         };
         let exit_after = config.exit_after_conns;
         let local_addr = listener.local_addr().ok();
-        conn_threads.push(
-            std::thread::Builder::new()
-                .name(format!("serve-conn-{conn_id}"))
-                .spawn(move || {
-                    connection_thread(stream, conn_id, &ctx);
-                    finish_connection(&ctx, exit_after, local_addr);
-                })
-                .expect("spawning a connection thread"),
-        );
+        let spawned = std::thread::Builder::new()
+            .name(format!("serve-conn-{conn_id}"))
+            .spawn(move || {
+                connection_thread(stream, conn_id, &ctx);
+                finish_connection(&ctx, exit_after, local_addr);
+            });
+        match spawned {
+            Ok(handle) => conn_threads.push(handle),
+            Err(_) => {
+                // Out of threads: the connection (and the ctx moved into
+                // the dropped closure) is gone; undo the admission.
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.metrics.connections_active.dec();
+                trace_event!(
+                    Level::Warn,
+                    TRACE,
+                    "spawning a connection thread failed",
+                    conn = conn_id
+                );
+            }
+        }
     }
     for t in conn_threads {
         let _ = t.join();
@@ -473,8 +477,20 @@ fn refuse_busy(stream: TcpStream, write_timeout: Duration) {
     let _ = w.flush();
 }
 
+/// Most messages a shard takes off its channel in one swing; bounds the
+/// reuse buffers while still amortizing wakeups under load.
+const MAX_SHARD_BATCH: usize = 1024;
+
 /// One shard owner: exclusively holds the predictor state of the
 /// sessions hashed onto it and answers their samples in arrival order.
+///
+/// The loop drains in batches: one blocking receive, then everything
+/// already queued (up to [`MAX_SHARD_BATCH`]). Runs of consecutive
+/// samples for the same connection are coalesced and pushed through
+/// [`SessionState::apply_batch`] — the engine's `step_many` — so a busy
+/// session's backlog costs one map lookup per run, not one per sample.
+/// Message order is preserved throughout, so decisions still come back
+/// in sample order per session.
 fn shard_loop(
     rx: &mpsc::Receiver<ShardMsg>,
     index: usize,
@@ -483,71 +499,148 @@ fn shard_loop(
     metrics: &ShardMetrics,
 ) {
     let mut sessions: HashMap<u64, (SessionState, mpsc::Sender<Frame>)> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Register {
-                conn,
-                predictor,
-                version,
-                reply,
-            } => match SessionState::new(&predictor) {
-                Ok(session) => {
-                    let ack = Frame::HelloAck {
-                        version,
-                        shard: u32::try_from(index).expect("shard index fits"),
-                        op_points: engine.op_points(),
-                    };
-                    if reply.send(ack).is_ok() {
-                        sessions.insert(conn, (session, reply));
-                        metrics.sessions.inc();
+    let mut batch: Vec<ShardMsg> = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut decisions: Vec<Decision> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < MAX_SHARD_BATCH {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let mut queue = batch.drain(..).peekable();
+        while let Some(msg) = queue.next() {
+            match msg {
+                ShardMsg::Register {
+                    conn,
+                    predictor,
+                    version,
+                    reply,
+                } => match SessionState::new(engine, &predictor) {
+                    Ok(session) => {
+                        let ack = Frame::HelloAck {
+                            version,
+                            shard: u32::try_from(index).unwrap_or(u32::MAX),
+                            op_points: engine.op_points(),
+                        };
+                        if reply.send(ack).is_ok() {
+                            sessions.insert(conn, (session, reply));
+                            metrics.sessions.inc();
+                        }
                     }
-                }
-                Err(e) => {
-                    let _ = reply.send(Frame::Error {
-                        code: ErrorCode::BadConfig,
-                        message: e.to_string(),
+                    Err(e) => {
+                        let _ = reply.send(Frame::Error {
+                            code: ErrorCode::BadConfig,
+                            message: e.to_string(),
+                        });
+                    }
+                },
+                ShardMsg::Sample {
+                    conn,
+                    pid,
+                    uops,
+                    mem_trans,
+                } => {
+                    samples.clear();
+                    samples.push(Sample {
+                        pid,
+                        uops,
+                        mem_transactions: mem_trans,
                     });
+                    // Coalesce the run of queued samples for this same
+                    // connection; stop at any other message so per-conn
+                    // ordering against register/unregister is untouched.
+                    while let Some(ShardMsg::Sample { conn: next, .. }) = queue.peek() {
+                        if *next != conn {
+                            break;
+                        }
+                        let Some(ShardMsg::Sample {
+                            pid,
+                            uops,
+                            mem_trans,
+                            ..
+                        }) = queue.next()
+                        else {
+                            break;
+                        };
+                        samples.push(Sample {
+                            pid,
+                            uops,
+                            mem_transactions: mem_trans,
+                        });
+                    }
+                    serve_sample_run(
+                        &mut sessions,
+                        conn,
+                        &samples,
+                        &mut decisions,
+                        shared,
+                        metrics,
+                    );
                 }
-            },
-            ShardMsg::Sample {
-                conn,
-                pid,
-                uops,
-                mem_trans,
-            } => {
-                metrics.queue_depth.dec();
-                let Some((session, reply)) = sessions.get_mut(&conn) else {
-                    // Samples after a failed registration; the client
-                    // already holds a terminal Error frame.
-                    continue;
-                };
-                let before = session.processes();
-                let started = Instant::now();
-                let d = session.apply(engine, pid, uops, mem_trans);
-                let decision_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                metrics.decision_us.record(decision_us);
-                metrics.governor_decision_us.record(decision_us);
-                metrics.samples_total.inc();
-                let grown = (session.processes() - before) as u64;
-                if grown > 0 {
-                    shared.processes.fetch_add(grown, Ordering::Relaxed);
-                }
-                shared.samples.fetch_add(1, Ordering::Relaxed);
-                let frame = Frame::Decision {
-                    pid: d.pid,
-                    op_point: d.op_point,
-                    confidence: d.confidence,
-                };
-                if reply.send(frame).is_ok() {
-                    shared.decisions.fetch_add(1, Ordering::Relaxed);
-                    metrics.governor_decisions_total.inc();
-                } else {
-                    // Writer is gone — the connection died mid-flight.
+                ShardMsg::Unregister { conn } => {
                     retire_session(&mut sessions, conn, shared, metrics);
                 }
             }
-            ShardMsg::Unregister { conn } => retire_session(&mut sessions, conn, shared, metrics),
         }
+    }
+}
+
+/// Decides one coalesced run of samples for `conn` and queues the
+/// decision frames, in order, on the connection's writer.
+fn serve_sample_run(
+    sessions: &mut HashMap<u64, (SessionState, mpsc::Sender<Frame>)>,
+    conn: u64,
+    samples: &[Sample],
+    decisions: &mut Vec<Decision>,
+    shared: &Shared,
+    metrics: &ShardMetrics,
+) {
+    for _ in 0..samples.len() {
+        metrics.queue_depth.dec();
+    }
+    let mut writer_gone = false;
+    if let Some((session, reply)) = sessions.get_mut(&conn) {
+        let n = samples.len() as u64;
+        let before = session.processes();
+        let started = Instant::now();
+        decisions.clear();
+        session.apply_batch(samples, decisions);
+        // One histogram entry per decision at the batch-amortized cost,
+        // so the count still equals the decision count.
+        let per_decision_us =
+            u64::try_from(started.elapsed().as_micros() / u128::from(n.max(1))).unwrap_or(u64::MAX);
+        metrics.decision_us.record_n(per_decision_us, n);
+        metrics.samples_total.add(n);
+        shared.samples.fetch_add(n, Ordering::Relaxed);
+        let grown = (session.processes() - before) as u64;
+        if grown > 0 {
+            shared.processes.fetch_add(grown, Ordering::Relaxed);
+        }
+        let mut sent = 0u64;
+        for d in decisions.iter() {
+            let frame = Frame::Decision {
+                pid: d.pid,
+                op_point: d.op_point,
+                confidence: d.confidence,
+            };
+            if reply.send(frame).is_ok() {
+                sent += 1;
+            } else {
+                // Writer is gone — the connection died mid-flight; the
+                // rest of this run has no one to go to.
+                writer_gone = true;
+                break;
+            }
+        }
+        shared.decisions.fetch_add(sent, Ordering::Relaxed);
+    }
+    // Samples for an unknown conn (failed registration) are dropped; the
+    // client already holds a terminal Error frame.
+    if writer_gone {
+        retire_session(sessions, conn, shared, metrics);
     }
 }
 
@@ -589,10 +682,13 @@ fn connection_thread(stream: TcpStream, conn_id: u64, ctx: &ConnCtx) {
     };
     let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
     let encode_us = Arc::clone(&ctx.shared.metrics.frame_encode_us);
-    let writer = std::thread::Builder::new()
+    let Ok(writer) = std::thread::Builder::new()
         .name(format!("serve-conn-{conn_id}-writer"))
         .spawn(move || writer_loop(write_half, &reply_rx, &encode_us))
-        .expect("spawning a connection writer thread");
+    else {
+        // Out of threads: nothing can answer this connection.
+        return;
+    };
 
     let mut reader = BufReader::new(stream);
     let shard = serve_connection(&mut reader, conn_id, ctx, &reply_tx);
@@ -676,13 +772,13 @@ fn handshake(
         );
         return Err(ConnEnd::Poisoned);
     }
-    if platform != ctx.engine.platform {
+    if platform != ctx.engine.platform() {
         refuse(
             reply,
             ErrorCode::BadConfig,
             format!(
                 "server is configured for platform {:?}",
-                ctx.engine.platform
+                ctx.engine.platform()
             ),
         );
         return Err(ConnEnd::Poisoned);
@@ -763,7 +859,7 @@ fn sample_loop(
             Frame::StatsRequest => {
                 // Answered from the shared counters without a shard round
                 // trip; may overtake decisions still queued on the shard.
-                let shards = u32::try_from(ctx.shard_txs.len()).expect("shard count fits");
+                let shards = u32::try_from(ctx.shard_txs.len()).unwrap_or(u32::MAX);
                 let _ = reply.send(Frame::Stats(ctx.shared.snapshot(shards)));
             }
             Frame::MetricsRequest => {

@@ -45,8 +45,10 @@ pub const MIN_PROTOCOL_VERSION: u16 = 1;
 pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 
 /// Confidence scale: [`Frame::Decision`] carries the shard's running
-/// prediction accuracy for the stream in basis points, `0..=10_000`.
-pub const CONFIDENCE_SCALE: u16 = 10_000;
+/// prediction accuracy for the stream in basis points, `0..=10_000` —
+/// the engine-wide scale, re-exported so wire consumers need not depend
+/// on `livephase-core` directly.
+pub use livephase_core::CONFIDENCE_SCALE;
 
 /// Ceiling on the exposition text a [`Frame::Metrics`] may carry,
 /// chosen so the string length (u16), tag and length prefix all stay
@@ -312,8 +314,19 @@ impl From<DecodeError> for FrameError {
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    let len = u16::try_from(bytes.len()).expect("protocol strings fit in u16");
+    // Protocol strings are length-prefixed with a u16; anything longer
+    // is truncated at a char boundary rather than panicking (no frame
+    // this protocol defines legitimately carries one — error messages
+    // and metrics text are bounded well below this upstream).
+    let mut bytes = s.as_bytes();
+    if bytes.len() > usize::from(u16::MAX) {
+        let mut end = usize::from(u16::MAX);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        bytes = &bytes[..end];
+    }
+    let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
     buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(bytes);
 }
@@ -397,7 +410,9 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let payload = encode_payload(frame);
     let mut out = Vec::with_capacity(4 + payload.len());
-    let len = u32::try_from(payload.len()).expect("payload fits in u32");
+    // Payloads are structurally bounded far below u32::MAX: strings are
+    // u16-length-prefixed and every other field is fixed-width.
+    let len = u32::try_from(payload.len()).unwrap_or_else(|_| unreachable!("payload fits in u32"));
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&payload);
     out
@@ -420,26 +435,28 @@ impl<'a> Fields<'a> {
         Ok(slice)
     }
 
+    /// [`take`](Self::take) into a fixed-width array, for the LE integer
+    /// readers below — infallible once `take` has supplied `N` bytes.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(self.take(N)?);
+        Ok(arr)
+    }
+
     fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.take_arr()?))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     fn string(&mut self) -> Result<String, DecodeError> {

@@ -169,6 +169,86 @@ fn v1_sessions_are_served_but_cannot_scrape_metrics() {
     handle.shutdown();
 }
 
+/// v1 and v2 sessions run the same `DecisionEngine`: the same counter
+/// stream through a hand-rolled v1 session and a library v2 client yields
+/// bit-identical decisions, operating point and confidence alike.
+#[test]
+fn v1_and_v2_sessions_decide_identically() {
+    use livephase_workloads::{counter_samples, spec};
+    let handle = test_server(5_000, 64);
+
+    let trace = spec::benchmark("applu_in")
+        .unwrap()
+        .with_length(60)
+        .generate(42);
+    let samples: Vec<(u64, u64)> = counter_samples(&trace)
+        .map(|s| (s.uops, s.mem_transactions))
+        .collect();
+
+    // v2 session through the library client.
+    let mut v2 = connect(&handle, 21);
+    for &(uops, mem) in &samples {
+        v2.queue_sample(1, uops, mem, 0).unwrap();
+    }
+    v2.flush().unwrap();
+    let v2_decisions: Vec<(u8, u16)> = (0..samples.len())
+        .map(|_| {
+            let d = v2.read_decision().expect("v2 decision");
+            (d.op_point, d.confidence)
+        })
+        .collect();
+    v2.goodbye().unwrap();
+
+    // v1 session, hand-rolled over the same stream.
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    writer
+        .write_all(&wire::encode(&Frame::Hello {
+            version: 1,
+            client_id: 22,
+            platform: "pentium_m".into(),
+            predictor: "gpht:8:128".into(),
+        }))
+        .unwrap();
+    match wire::read_frame(&mut reader).unwrap() {
+        Frame::HelloAck { version, .. } => assert_eq!(version, 1),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    for &(uops, mem) in &samples {
+        writer
+            .write_all(&wire::encode(&Frame::Sample {
+                pid: 1,
+                uops,
+                mem_trans: mem,
+                tsc_delta: 0,
+            }))
+            .unwrap();
+    }
+    let v1_decisions: Vec<(u8, u16)> = (0..samples.len())
+        .map(|_| match wire::read_frame(&mut reader).unwrap() {
+            Frame::Decision {
+                pid,
+                op_point,
+                confidence,
+            } => {
+                assert_eq!(pid, 1);
+                (op_point, confidence)
+            }
+            other => panic!("expected Decision, got {other:?}"),
+        })
+        .collect();
+
+    assert_eq!(
+        v1_decisions, v2_decisions,
+        "v1 and v2 sessions share one engine"
+    );
+    handle.shutdown();
+}
+
 /// A malformed frame earns `Error{Malformed}` and poisons only that
 /// connection: a concurrent well-behaved session on the same server
 /// keeps streaming decisions afterwards.

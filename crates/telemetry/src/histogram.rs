@@ -121,6 +121,23 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records `n` observations of the same value in one swing — five
+    /// relaxed atomic RMWs total, however large `n` is. Used by batch
+    /// consumers (a shard draining its queue) that attribute one
+    /// amortized value to every element of the batch.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Number of recorded observations.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -217,6 +234,23 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_n_is_n_records_in_one_swing() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..7 {
+            a.record(42);
+        }
+        a.record(9);
+        b.record_n(42, 7);
+        b.record_n(9, 1);
+        b.record_n(1_000, 0); // no-op
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.quantile(1.0), b.quantile(1.0));
+    }
 
     #[test]
     fn layout_is_total_and_ordered() {

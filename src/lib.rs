@@ -14,6 +14,10 @@
 //! * [`workloads`] — SPEC CPU2000-like synthetic workload generators and
 //!   the IPCxMEM characterization suite.
 //! * [`daq`] — the simulated data-acquisition power-measurement rig.
+//! * [`engine`] — the batched [`DecisionEngine`](engine::DecisionEngine):
+//!   classification, per-pid prediction, scoring, and phase→operating-point
+//!   translation behind one API, shared by the governor, the serve shards,
+//!   and the experiment harness.
 //! * [`governor`] — the phase-prediction-guided DVFS management loop.
 //! * [`experiments`] — drivers regenerating every table and figure of the
 //!   paper.
@@ -28,6 +32,7 @@
 
 pub use livephase_core as core;
 pub use livephase_daq as daq;
+pub use livephase_engine as engine;
 pub use livephase_experiments as experiments;
 pub use livephase_governor as governor;
 pub use livephase_pmsim as pmsim;
