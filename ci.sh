@@ -5,14 +5,30 @@ cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-# The decision path must not be able to panic on malformed input: the
-# engine and the serve layer carry #![warn(clippy::unwrap_used,
+# The decision path must not be able to panic on malformed input: every
+# decision-path crate carries #![warn(clippy::unwrap_used,
 # clippy::expect_used)] on non-test code; -D warnings makes that a gate.
-cargo clippy -p livephase-engine -p livephase-serve --lib -- -D warnings
+cargo clippy -p livephase-core -p livephase-engine -p livephase-serve \
+    -p livephase-governor -p livephase-pmsim -p livephase-telemetry \
+    --lib -- -D warnings
 # --workspace: the root façade package alone would skip the member
 # crates (and leave target/release/livephase-cli stale for the smoke
 # test below).
 cargo build --release --workspace
+
+# Workspace invariant linter (crates/lint): panic-freedom, determinism,
+# SAFETY comments, telemetry naming, wire-tag uniqueness. Exit-code
+# contract: 0 = clean, 1 = findings (report on stdout), 2 = operational
+# error (message on stderr) — so a failure here is a genuine finding,
+# never a broken tool hiding behind the same status.
+target/release/livephase-cli lint
+# The JSON surface is what dashboards consume; make sure it stays
+# parseable and agrees that the tree is clean. (Captured, not piped:
+# grep -q closing the pipe early would SIGPIPE the CLI mid-print.)
+lint_json=$(target/release/livephase-cli lint --json)
+echo "$lint_json" | grep -q '"findings": 0' \
+    || { echo "lint --json disagrees with the text report"; exit 1; }
+
 cargo test -q --workspace
 # The engine-equivalence bar explicitly: the governor, the serve shards,
 # and the raw engine must emit bit-identical decision streams. (Also part

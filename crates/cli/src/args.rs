@@ -5,17 +5,35 @@ use std::error::Error;
 use std::fmt;
 
 /// A user-facing command-line error.
+///
+/// Carries the process exit code: `2` (the default) for usage, I/O, and
+/// other operational failures, printed to stderr; `1` for a *gate*
+/// failure — a check that ran to completion and found violations (e.g.
+/// `lint` findings) — whose message is the report itself and belongs on
+/// stdout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
     message: String,
+    code: i32,
 }
 
 impl CliError {
-    /// Creates an error with the given message.
+    /// Creates an operational error (exit code 2).
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// Creates a gate failure (exit code 1) whose message is a report
+    /// destined for stdout.
+    #[must_use]
+    pub fn gate(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
         }
     }
 
@@ -23,6 +41,12 @@ impl CliError {
     #[must_use]
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn code(&self) -> i32 {
+        self.code
     }
 }
 
@@ -57,6 +81,8 @@ pub enum Command {
     ServeBench,
     /// `metrics <addr>` — scrape a running daemon's telemetry exposition
     Metrics,
+    /// `lint` — run the workspace invariant linter
+    Lint,
     /// `help` / `--help`
     Help,
 }
@@ -102,6 +128,8 @@ pub struct Parsed {
     /// `--log-json`: emit `serve` trace events as JSON lines instead of
     /// the human-readable form.
     pub log_json: bool,
+    /// `--json`: emit the `lint` report as machine-readable JSON.
+    pub json: bool,
 }
 
 impl Default for Parsed {
@@ -124,6 +152,7 @@ impl Default for Parsed {
             bench: Vec::new(),
             no_check: false,
             log_json: false,
+            json: false,
         }
     }
 }
@@ -152,6 +181,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "serve" => Command::Serve,
         "serve-bench" => Command::ServeBench,
         "metrics" => Command::Metrics,
+        "lint" => Command::Lint,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(CliError::new(format!(
@@ -222,6 +252,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             }
             "--no-check" => parsed.no_check = true,
             "--log-json" => parsed.log_json = true,
+            "--json" => parsed.json = true,
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown option {other:?}")))
             }
@@ -255,6 +286,11 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
     }
     if parsed.command == Command::Export && parsed.out.is_none() {
         return Err(CliError::new("export requires --out <file>"));
+    }
+    if parsed.command == Command::Lint && parsed.target.is_some() {
+        return Err(CliError::new(
+            "lint takes no argument; it scans the enclosing workspace",
+        ));
     }
     Ok(parsed)
 }
@@ -391,5 +427,17 @@ mod tests {
         let e = parse(&argv("frobnicate")).unwrap_err();
         assert!(!e.to_string().is_empty());
         assert!(e.message().contains("frobnicate"));
+        assert_eq!(e.code(), 2, "usage errors exit 2");
+        assert_eq!(CliError::gate("report").code(), 1, "gate failures exit 1");
+    }
+
+    #[test]
+    fn parses_lint() {
+        let p = parse(&argv("lint")).unwrap();
+        assert_eq!(p.command, Command::Lint);
+        assert!(!p.json);
+        let p = parse(&argv("lint --json")).unwrap();
+        assert!(p.json);
+        assert!(parse(&argv("lint extra")).is_err(), "lint takes no target");
     }
 }

@@ -26,6 +26,33 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         Command::Serve => serve(parsed),
         Command::ServeBench => serve_bench(parsed),
         Command::Metrics => metrics(parsed),
+        Command::Lint => lint(parsed),
+    }
+}
+
+/// Runs the workspace invariant linter over the enclosing workspace.
+///
+/// Exit-code contract (relied on by `ci.sh`): clean → `Ok` (exit 0);
+/// unsuppressed deny findings → a gate error carrying the rendered
+/// report (exit 1, report on stdout); not inside a workspace or
+/// unreadable sources → an operational error (exit 2, stderr).
+fn lint(parsed: &Parsed) -> Result<String, CliError> {
+    let cwd = std::env::current_dir()
+        .map_err(|e| CliError::new(format!("cannot determine working directory: {e}")))?;
+    let root = livephase_lint::workspace::find_workspace_root(&cwd).ok_or_else(|| {
+        CliError::new("lint: no Cargo.toml with [workspace] at or above the working directory")
+    })?;
+    let report =
+        livephase_lint::lint_workspace(&root).map_err(|e| CliError::new(format!("lint: {e}")))?;
+    let rendered = if parsed.json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::gate(rendered))
     }
 }
 

@@ -62,6 +62,8 @@ pub fn usage() -> String {
      \x20 serve                         run the phase-prediction TCP daemon\n\
      \x20 serve-bench <addr>            load-test a running daemon\n\
      \x20 metrics <addr>                scrape a running daemon's telemetry\n\
+     \x20 lint [--json]                 run the workspace invariant linter\n\
+     \x20                               (exit 0 clean, 1 findings, 2 error)\n\
      \n\
      OPTIONS:\n\
      \x20 --seed <n>            workload seed (default 42)\n\

@@ -142,9 +142,9 @@ impl PhaseMap {
                 return Err(PhaseMapError::InvalidBoundary(b));
             }
         }
-        for w in boundaries.windows(2) {
-            if w[0] >= w[1] {
-                return Err(PhaseMapError::NotIncreasing(w[0], w[1]));
+        for (&a, &b) in boundaries.iter().zip(boundaries.iter().skip(1)) {
+            if a >= b {
+                return Err(PhaseMapError::NotIncreasing(a, b));
             }
         }
         Ok(Self { boundaries })
@@ -154,8 +154,10 @@ impl PhaseMap {
     /// with boundaries at 0.005, 0.010, 0.015, 0.020 and 0.030 Mem/Uop.
     #[must_use]
     pub fn pentium_m() -> Self {
-        Self::new(vec![0.005, 0.010, 0.015, 0.020, 0.030])
-            .expect("static Table 1 boundaries are valid")
+        match Self::new(vec![0.005, 0.010, 0.015, 0.020, 0.030]) {
+            Ok(map) => map,
+            Err(_) => unreachable!("static Table 1 boundaries are valid"),
+        }
     }
 
     /// Number of phase categories (`boundaries + 1`).
@@ -187,7 +189,8 @@ impl PhaseMap {
         // partition_point: number of boundaries <= r, i.e. boundary values
         // fall into the upper phase (half-open intervals, Table 1).
         let k = self.boundaries.partition_point(|&b| b <= r);
-        PhaseId::new(u8::try_from(k + 1).expect("phase count fits in u8"))
+        // k <= boundaries.len() <= 254 (checked in `new`), so k + 1 <= 255.
+        PhaseId::new(u8::try_from(k + 1).unwrap_or(u8::MAX))
     }
 
     /// The half-open Mem/Uop interval `[low, high)` covered by `phase`.
@@ -206,11 +209,11 @@ impl PhaseMap {
             "{phase} is out of range for a {}-phase map",
             self.phase_count()
         );
-        let low = if i == 0 { 0.0 } else { self.boundaries[i - 1] };
+        let low = if i == 0 { 0.0 } else { self.boundaries[i - 1] }; // lint:allow(no-panic-path): 0 < i < phase_count asserted above
         let high = if i == self.boundaries.len() {
             f64::INFINITY
         } else {
-            self.boundaries[i]
+            self.boundaries[i] // lint:allow(no-panic-path): i < boundaries.len() in this branch
         };
         (low, high)
     }
@@ -236,7 +239,8 @@ impl PhaseMap {
 
     /// Iterates over all phases of this map in increasing order.
     pub fn phases(&self) -> impl Iterator<Item = PhaseId> + '_ {
-        (1..=self.phase_count()).map(|i| PhaseId::new(u8::try_from(i).expect("<=255")))
+        // phase_count <= 255 by the `new` validation, so i always fits.
+        (1..=self.phase_count()).map(|i| PhaseId::new(u8::try_from(i).unwrap_or(u8::MAX)))
     }
 }
 

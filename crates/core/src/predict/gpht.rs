@@ -204,7 +204,7 @@ impl Predictor for Gpht {
 
         // (3)/(4): train the row used last period with the actual outcome.
         if let Some(i) = self.pending_update.take() {
-            if let Some(entry) = &mut self.pht[i] {
+            if let Some(entry) = self.pht.get_mut(i).and_then(Option::as_mut) {
                 entry.prediction = sample.phase;
             }
         }
@@ -223,15 +223,18 @@ impl Predictor for Gpht {
         }
 
         // (2) Associative tag search.
-        let hit = (0..self.pht.len())
-            .find(|&i| self.pht[i].as_ref().is_some_and(|e| self.gphr_matches(e)));
+        let hit = self
+            .pht
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(|e| self.gphr_matches(e)));
 
         match hit {
             Some(i) => {
                 self.hits += 1;
-                let entry = self.pht[i].as_mut().expect("hit index is valid");
-                entry.age = self.tick;
-                self.prediction = entry.prediction;
+                if let Some(entry) = self.pht.get_mut(i).and_then(Option::as_mut) {
+                    entry.age = self.tick;
+                    self.prediction = entry.prediction;
+                }
                 self.pending_update = Some(i);
             }
             None => {
@@ -239,12 +242,14 @@ impl Predictor for Gpht {
                 // Fall back to last value and allocate the pattern.
                 self.prediction = sample.phase;
                 let i = self.victim();
-                self.pht[i] = Some(PhtEntry {
-                    tag: self.gphr.iter().copied().collect(),
-                    // Seed with last value until trained next period.
-                    prediction: sample.phase,
-                    age: self.tick,
-                });
+                if let Some(slot) = self.pht.get_mut(i) {
+                    *slot = Some(PhtEntry {
+                        tag: self.gphr.iter().copied().collect(),
+                        // Seed with last value until trained next period.
+                        prediction: sample.phase,
+                        age: self.tick,
+                    });
+                }
                 self.pending_update = Some(i);
             }
         }

@@ -116,7 +116,7 @@ impl Predictor for HashedGpht {
     fn observe(&mut self, sample: PhaseSample) {
         // Train the slot used last period with the actual outcome.
         if let Some(i) = self.pending_update.take() {
-            if let Some(slot) = &mut self.slots[i] {
+            if let Some(slot) = self.slots.get_mut(i).and_then(Option::as_mut) {
                 slot.prediction = sample.phase;
             }
         }
@@ -133,6 +133,7 @@ impl Predictor for HashedGpht {
 
         let tag = self.fingerprint();
         let index = (tag % self.slots.len() as u64) as usize;
+        // lint:allow(no-panic-path): index < slots.len() by the modulo above
         match &mut self.slots[index] {
             Some(slot) if slot.tag == tag => {
                 self.hits += 1;

@@ -50,7 +50,10 @@ impl MarkovPredictor {
     #[must_use]
     pub fn outgoing(&self, from: PhaseId) -> u32 {
         let base = from.index() * PHASES;
-        self.counts[base..base + PHASES].iter().sum()
+        // A phase outside the Table 1 map has no recorded transitions.
+        self.counts
+            .get(base..base + PHASES)
+            .map_or(0, |row| row.iter().sum())
     }
 
     /// The learned most likely successor of `from`, if any transition out
@@ -59,7 +62,7 @@ impl MarkovPredictor {
     #[must_use]
     pub fn most_likely_successor(&self, from: PhaseId) -> Option<PhaseId> {
         let base = from.index() * PHASES;
-        let row = &self.counts[base..base + PHASES];
+        let row = self.counts.get(base..base + PHASES)?;
         let (idx, &count) = row
             .iter()
             .enumerate()
@@ -67,7 +70,8 @@ impl MarkovPredictor {
         if count == 0 {
             None
         } else {
-            Some(PhaseId::new(u8::try_from(idx + 1).expect("< 256")))
+            // idx < PHASES = 6, so idx + 1 always fits a u8.
+            Some(PhaseId::new(u8::try_from(idx + 1).unwrap_or(u8::MAX)))
         }
     }
 }
@@ -81,7 +85,12 @@ impl Default for MarkovPredictor {
 impl Predictor for MarkovPredictor {
     fn observe(&mut self, sample: PhaseSample) {
         if let Some(prev) = self.current {
-            self.counts[prev.index() * PHASES + sample.phase.index()] += 1;
+            if let Some(c) = self
+                .counts
+                .get_mut(prev.index() * PHASES + sample.phase.index())
+            {
+                *c += 1;
+            }
         }
         self.current = Some(sample.phase);
     }

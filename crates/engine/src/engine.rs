@@ -29,7 +29,7 @@ use livephase_core::{
 use livephase_telemetry::{Counter, Histogram};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant}; // lint:allow(determinism): Instant feeds decision-latency telemetry only, never a decision input
 
 /// One performance-counter reading: what the PMI handler stops and reads
 /// at the end of a sampling interval, attributed to a process.
@@ -177,14 +177,14 @@ impl TransitionTracker {
         if needed > self.dim {
             self.grow(needed);
         }
-        self.counts[from * self.dim + to] += 1;
+        self.counts[from * self.dim + to] += 1; // lint:allow(no-panic-path): from, to < dim after grow; counts has dim*dim cells
     }
 
     /// Count recorded for one `(from, to)` pair since the last flush.
     #[must_use]
     pub fn count(&self, from: usize, to: usize) -> u64 {
         if from.max(to) < self.dim {
-            self.counts[from * self.dim + to]
+            self.counts[from * self.dim + to] // lint:allow(no-panic-path): from, to < dim checked on the line above
         } else {
             0
         }
@@ -196,6 +196,7 @@ impl TransitionTracker {
         let mut counts = vec![0u64; new_dim * new_dim];
         for from in 0..self.dim {
             for to in 0..self.dim {
+                // lint:allow(no-panic-path): from, to < dim <= new_dim; both buffers are dim²-sized
                 counts[from * new_dim + to] = self.counts[from * self.dim + to];
             }
         }
@@ -209,7 +210,7 @@ impl TransitionTracker {
         let reg = livephase_telemetry::global();
         for from in 0..self.dim {
             for to in 0..self.dim {
-                let n = std::mem::take(&mut self.counts[from * self.dim + to]);
+                let n = std::mem::take(&mut self.counts[from * self.dim + to]); // lint:allow(no-panic-path): from, to < dim by the loop bounds
                 if n == 0 {
                     continue;
                 }
@@ -372,7 +373,7 @@ impl DecisionEngine {
     /// interval — the PMI handler's steps 2–4: classify the observed
     /// rate, score and update the predictor, translate the prediction.
     pub fn step(&mut self, sample: &Sample) -> Decision {
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(determinism): decision-latency histogram only
         let Self {
             config,
             factory,
@@ -402,7 +403,7 @@ impl DecisionEngine {
         if samples.is_empty() {
             return;
         }
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(determinism): decision-latency histogram only
         out.reserve(samples.len());
         let Self {
             config,
@@ -414,10 +415,11 @@ impl DecisionEngine {
         } = self;
         let mut i = 0;
         while i < samples.len() {
-            let pid = samples[i].pid;
+            let pid = samples[i].pid; // lint:allow(no-panic-path): i < samples.len() by the loop guard
             let state = pids.entry(pid).or_insert_with(|| PidState::new(factory));
+            // lint:allow(no-panic-path): i < samples.len() by the inner guard
             while i < samples.len() && samples[i].pid == pid {
-                out.push(step_pid(config, metrics, transitions, state, &samples[i]));
+                out.push(step_pid(config, metrics, transitions, state, &samples[i])); // lint:allow(no-panic-path): i < samples.len() by the inner guard
                 i += 1;
             }
         }
@@ -449,6 +451,8 @@ impl DecisionEngine {
     /// Aggregate prediction statistics across every pid stream.
     #[must_use]
     pub fn stats(&self) -> PredictionStats {
+        // lint:allow(determinism): the fold is a commutative sum, so the
+        // FNV iteration order cannot change the result
         self.pids
             .values()
             .fold(PredictionStats::default(), |acc, s| {

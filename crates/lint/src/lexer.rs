@@ -1,0 +1,464 @@
+//! A small, hand-rolled Rust lexer.
+//!
+//! The linter's rules are token-shaped (`.unwrap(`, `panic!`, `const
+//! TAG_X: u8 = 3;`), so the lexer only has to get *boundaries* right:
+//! comments (line, doc, and nested block), string-like literals (plain,
+//! raw with any number of `#`s, byte, char) and lifetimes must never
+//! bleed into the token stream as code, or a rule would fire on the word
+//! `unwrap` inside a doc comment. Numeric fine structure (exponent
+//! signs, suffix parsing) is deliberately loose — no rule looks inside a
+//! number — but every token carries exact byte offsets and a 1-based
+//! line/column, and lexing arbitrary input must never panic (see the
+//! property tests in `tests/lexer_props.rs`).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A character literal, `'x'` or `'\n'`.
+    Char,
+    /// A byte literal, `b'x'`.
+    ByteChar,
+    /// A string literal, `"..."` (escapes handled, may span lines).
+    Str,
+    /// A raw string literal, `r"..."` / `r##"..."##`.
+    RawStr,
+    /// A byte string literal, `b"..."` or raw `br#"..."#`.
+    ByteStr,
+    /// A numeric literal (integer or float, loosely scanned).
+    Num,
+    /// A `//` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled), including `/** ... */`.
+    BlockComment,
+    /// Any single punctuation or otherwise-unclassified character.
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether the token is a comment (excluded from code-token streams).
+    #[must_use]
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token: kind plus exact location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive), always a char boundary.
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive), a char boundary.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    ///
+    /// Returns an empty string if `src` is not the text this token was
+    /// lexed from (spans are always valid for the original source).
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length in bytes of the UTF-8 character starting at `b` (input comes
+/// from `&str`, so `b` is always a valid leading byte).
+fn char_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances to byte offset `to`, counting newlines along the way.
+    fn advance_to(&mut self, to: usize) {
+        let to = to.min(self.bytes.len());
+        let mut i = self.pos;
+        while i < to {
+            if self.bytes[i] == b'\n' {
+                self.line += 1;
+                self.line_start = i + 1;
+            }
+            i += 1;
+        }
+        self.pos = to;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32, start_col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    /// Scans a `"..."`-style body starting *after* the opening quote,
+    /// honouring backslash escapes; leaves `pos` after the closing quote
+    /// (or at EOF if unterminated).
+    fn scan_escaped_until(&mut self, quote: u8) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                let esc_len = 1 + self.peek(1).map_or(0, char_len);
+                self.advance_to(self.pos + esc_len);
+            } else if b == quote {
+                self.advance_to(self.pos + 1);
+                return;
+            } else {
+                self.advance_to(self.pos + char_len(b));
+            }
+        }
+    }
+
+    /// Scans a raw-string body from the opening `r`/`br`; returns `false`
+    /// if what follows is not actually a raw string (e.g. a raw
+    /// identifier `r#type`), leaving `pos` untouched.
+    fn try_scan_raw_string(&mut self, prefix_len: usize) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(prefix_len + hashes) != Some(b'"') {
+            return false;
+        }
+        // Consume prefix, hashes, and the opening quote.
+        self.advance_to(self.pos + prefix_len + hashes + 1);
+        // Body runs until `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(1 + k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.advance_to(self.pos + 1 + hashes);
+                    return true;
+                }
+            }
+            self.advance_to(self.pos + char_len(b));
+        }
+        true // unterminated: token runs to EOF
+    }
+
+    fn scan_ident(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.advance_to(self.pos + 1);
+        }
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'a'` / `'\n'` (char literal)
+    /// and scans whichever it is.
+    fn scan_quote(&mut self) -> TokenKind {
+        // pos is at the opening `'`.
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Consume the opening quote; the body scanner handles the
+                // escape itself (so `'\''` closes after the escaped quote).
+                self.advance_to(self.pos + 1);
+                self.scan_escaped_until(b'\'');
+                TokenKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                // Identifier-ish: lifetime unless a `'` closes it.
+                let mut j = self.pos + 2;
+                while self.bytes.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    self.advance_to(j + 1);
+                    TokenKind::Char
+                } else {
+                    self.advance_to(j);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('`-style: a single (possibly multibyte) char then `'`.
+                self.advance_to(self.pos + 1);
+                if let Some(b) = self.peek(0) {
+                    self.advance_to(self.pos + char_len(b));
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.advance_to(self.pos + 1);
+                }
+                TokenKind::Char
+            }
+            None => {
+                self.advance_to(self.pos + 1);
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn scan_number(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.advance_to(self.pos + 1);
+            } else if b == b'.' && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                // `1.5` continues the number; `1..10` does not.
+                self.advance_to(self.pos + 1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        let start_col = u32::try_from(start - self.line_start).unwrap_or(u32::MAX - 1) + 1;
+        let Some(b) = self.peek(0) else { return };
+        let kind = match b {
+            b'/' if self.peek(1) == Some(b'/') => {
+                let mut j = self.pos;
+                while j < self.bytes.len() && self.bytes[j] != b'\n' {
+                    j += 1;
+                }
+                self.advance_to(j);
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.advance_to(self.pos + 2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(0), self.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            self.advance_to(self.pos + 2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            self.advance_to(self.pos + 2);
+                        }
+                        (Some(c), _) => self.advance_to(self.pos + char_len(c)),
+                        (None, _) => break, // unterminated: run to EOF
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                self.advance_to(self.pos + 1);
+                self.scan_escaped_until(b'"');
+                TokenKind::Str
+            }
+            b'\'' => self.scan_quote(),
+            b'r' if self.try_scan_raw_string(1) => TokenKind::RawStr,
+            b'b' if self.peek(1) == Some(b'"') => {
+                self.advance_to(self.pos + 2);
+                self.scan_escaped_until(b'"');
+                TokenKind::ByteStr
+            }
+            b'b' if self.peek(1) == Some(b'\'') => {
+                self.advance_to(self.pos + 2);
+                self.scan_escaped_until(b'\'');
+                TokenKind::ByteChar
+            }
+            b'b' if self.peek(1) == Some(b'r') && self.try_scan_raw_string(2) => TokenKind::ByteStr,
+            b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#type`.
+                self.advance_to(self.pos + 2);
+                self.scan_ident();
+                TokenKind::Ident
+            }
+            _ if is_ident_start(b) => {
+                self.scan_ident();
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                self.scan_number();
+                TokenKind::Num
+            }
+            _ => {
+                self.advance_to(self.pos + char_len(b));
+                TokenKind::Punct
+            }
+        };
+        debug_assert!(self.pos > start, "lexer must always make progress");
+        if self.pos == start {
+            // Defensive: never loop forever, whatever the input.
+            self.advance_to(start + char_len(b));
+        }
+        self.push(kind, start, start_line, start_col);
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.advance_to(self.pos + 1);
+            } else {
+                self.next_token();
+            }
+        }
+        self.tokens
+    }
+}
+
+/// Lexes `src` into a token stream covering every non-whitespace byte.
+///
+/// Never panics, for any input; unterminated literals and comments run
+/// to end-of-file as a single token.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text(src).to_owned()).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        assert_eq!(
+            kinds("let x = a.unwrap();"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Punct,
+            ]
+        );
+        assert_eq!(
+            texts("x1 0xff 1_000 1.5 1..2")[..3],
+            ["x1", "0xff", "1_000"]
+        );
+        // `1.5` holds together; `1..2` splits at the range.
+        assert_eq!(texts("1.5"), ["1.5"]);
+        assert_eq!(texts("1..2"), ["1", ".", ".", "2"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "/* outer /* inner */ still outer */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[0].text(src), "/* outer /* inner */ still outer */");
+        assert_eq!(toks[1].text(src), "x");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"r##"a " quote and "# partial"## + r"plain""####;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::RawStr);
+        assert!(toks[0].text(src).ends_with(r####""##"####));
+        assert_eq!(toks[2].kind, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(kinds("'a"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Char]);
+        assert_eq!(kinds(r"'\''"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct, TokenKind::Lifetime, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn byte_literals_and_raw_identifiers() {
+        assert_eq!(kinds("b'x'"), vec![TokenKind::ByteChar]);
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::ByteStr]);
+        assert_eq!(kinds(r###"br#"raw bytes"#"###), vec![TokenKind::ByteStr]);
+        assert_eq!(kinds("r#type"), vec![TokenKind::Ident]);
+        assert_eq!(texts("r#type"), ["r#type"]);
+    }
+
+    #[test]
+    fn strings_hide_code_looking_text() {
+        let src = r#"let s = "x.unwrap() /* not a comment */";"#;
+        let toks = lex(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        // No Ident token named unwrap leaked out of the string.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "a\n  bb\n/* c\nc */ d";
+        let toks = lex(src);
+        let at = |s: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == s)
+                .map(|t| (t.line, t.col))
+                .unwrap()
+        };
+        assert_eq!(at("a"), (1, 1));
+        assert_eq!(at("bb"), (2, 3));
+        assert_eq!(at("d"), (4, 6));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        assert_eq!(kinds("\"open"), vec![TokenKind::Str]);
+        assert_eq!(kinds("/* open"), vec![TokenKind::BlockComment]);
+        assert_eq!(kinds("r#\"open"), vec![TokenKind::RawStr]);
+    }
+}

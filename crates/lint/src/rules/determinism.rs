@@ -1,0 +1,210 @@
+//! `determinism`: decision streams must be bit-reproducible, so the
+//! non-test code of decision-path crates must not read wall-clock time
+//! (`std::time::Instant` / `SystemTime`), consult the process
+//! environment (`std::env`), or iterate a `HashMap`/`HashSet` (iteration
+//! order varies run to run under the default seeded hasher). Simulated
+//! time and sorted or dense structures only. Wall-clock reads that feed
+//! *telemetry only* — latency histograms, trace timestamps — are the
+//! sanctioned exception, carried per-site with a justified
+//! `lint:allow(determinism)` so each one stays visible and reviewed.
+
+use super::{finding_at, Rule, DECISION_CRATES};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct Determinism;
+
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const MAP_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !DECISION_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks: Vec<_> = file.code_tokens().collect();
+        let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+
+        // Aliases of map types (`type PidMap = HashMap<...>;`) count too.
+        let mut map_types: Vec<String> = MAP_TYPES.iter().map(|s| (*s).to_owned()).collect();
+        for k in 0..toks.len() {
+            if text(k) == "type" && toks.get(k + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+                let mut m = k + 2;
+                while m < toks.len() && text(m) != ";" {
+                    if MAP_TYPES.contains(&text(m)) {
+                        map_types.push(text(k + 1).to_owned());
+                        break;
+                    }
+                    m += 1;
+                }
+            }
+        }
+
+        // Variables declared with a map type: `name: HashMap<..>`,
+        // `name: PidMap`, or `let [mut] name = HashMap::new()`.
+        let mut map_vars: Vec<String> = Vec::new();
+        for k in 0..toks.len() {
+            if toks[k].kind != TokenKind::Ident || !map_types.contains(&text(k).to_owned()) {
+                continue;
+            }
+            // Walk back over a `std :: collections ::`-style path prefix.
+            let mut j = k;
+            while j >= 3 && text(j - 1) == ":" && text(j - 2) == ":" {
+                j -= 3; // the preceding path segment ident
+            }
+            if j >= 2 && text(j - 1) == ":" && text(j - 2) != ":" {
+                // `name : <map type>` — an annotation.
+                if toks[j - 2].kind == TokenKind::Ident {
+                    map_vars.push(text(j - 2).to_owned());
+                }
+            } else if j >= 2 && text(j - 1) == "=" && toks[j - 2].kind == TokenKind::Ident {
+                // `let [mut] name = HashMap::new()` — a constructor bind.
+                map_vars.push(text(j - 2).to_owned());
+            }
+        }
+
+        for k in 0..toks.len() {
+            let t = toks[k];
+            if file.in_test(t.start) || file.in_attr(t.start) {
+                continue;
+            }
+            if t.kind == TokenKind::Ident && WALL_CLOCK_TYPES.contains(&text(k)) {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t,
+                    format!(
+                        "wall-clock `{}` in a decision-path crate; decisions must use \
+                         simulated time (telemetry-only reads need a justified lint:allow)",
+                        text(k)
+                    ),
+                ));
+            }
+            if text(k) == "std" && text(k + 1) == ":" && text(k + 2) == ":" && text(k + 3) == "env"
+            {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t,
+                    "`std::env` makes behavior environment-dependent in a decision-path crate"
+                        .to_owned(),
+                ));
+            }
+            // `map.iter()`-family calls on a known map variable.
+            if t.kind == TokenKind::Ident
+                && map_vars.contains(&text(k).to_owned())
+                && text(k + 1) == "."
+                && ITER_METHODS.contains(&text(k + 2))
+                && text(k + 3) == "("
+            {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t,
+                    format!(
+                        "iterating `{}` (a HashMap/HashSet) is order-nondeterministic; \
+                         use a BTreeMap/Vec, sort first, or justify order-independence",
+                        text(k)
+                    ),
+                ));
+            }
+            // `for ... in <expr mentioning a map var> {`
+            if text(k) == "for" {
+                let mut m = k + 1;
+                let mut seen_in = false;
+                while m < toks.len() && m < k + 64 && text(m) != "{" {
+                    if text(m) == "in" {
+                        seen_in = true;
+                    } else if seen_in
+                        && toks[m].kind == TokenKind::Ident
+                        && map_vars.contains(&text(m).to_owned())
+                        // `for x in map.keys()` is already reported above.
+                        && text(m + 1) != "."
+                    {
+                        out.push(finding_at(
+                            self.id(),
+                            self.severity(),
+                            file,
+                            toks[m],
+                            format!(
+                                "`for` over `{}` (a HashMap/HashSet) is order-nondeterministic",
+                                text(m)
+                            ),
+                        ));
+                    }
+                    m += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::analyze("x.rs", crate_name, src.to_owned());
+        let mut out = Vec::new();
+        Determinism.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn wall_clock_and_env_fire() {
+        let src = "use std::time::Instant;\nfn f() {\n    let t = Instant::now();\n    let s = SystemTime::now();\n    let v = std::env::var(\"X\");\n}";
+        let lines: Vec<u32> = check("engine", src).iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_but_lookup_does_not() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) {\n    let _ = m.get(&1);\n    for v in m.values() { let _ = v; }\n    m.insert(1, 2);\n}";
+        let got = check("serve", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 4);
+    }
+
+    #[test]
+    fn alias_and_constructor_binds_are_tracked() {
+        let src = "type PidMap = HashMap<u32, u32>;\nstruct S { pids: PidMap }\nimpl S {\n    fn g(&self) { self.pids.values().count(); }\n}\nfn h() {\n    let mut seen = HashMap::new();\n    for k in &seen { let _ = k; }\n    seen.insert(1, 1);\n}";
+        let lines: Vec<u32> = check("core", src).iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![4, 8]);
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine_and_scope_is_respected() {
+        let src = "fn f(m: std::collections::BTreeMap<u32, u32>) { for v in m.values() {} }";
+        assert!(check("core", src).is_empty());
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(check("experiments", src).is_empty(), "out-of-scope crate");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let t = std::time::Instant::now(); } }";
+        assert!(check("core", src).is_empty());
+    }
+}

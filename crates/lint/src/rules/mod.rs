@@ -1,0 +1,103 @@
+//! The rule set: each rule encodes one invariant the workspace's tests
+//! and review process previously enforced only by convention.
+//!
+//! | rule                  | scope                  | invariant |
+//! |-----------------------|------------------------|-----------|
+//! | `no-panic-path`       | decision-path crates   | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`[...]` indexing in non-test code |
+//! | `determinism`         | decision-path crates   | no `Instant`/`SystemTime`/`std::env`, no `HashMap`/`HashSet` iteration in non-test code |
+//! | `safety-comment`      | whole workspace        | every `unsafe` is preceded by a `// SAFETY:` comment |
+//! | `telemetry-naming`    | whole workspace        | metric names are snake_case, kind-suffixed, consistent, and cover what `ci.sh` scrapes |
+//! | `wire-tag-uniqueness` | `serve`                | frame tag constants are unique within a protocol version |
+//!
+//! The *decision-path crates* are the ones whose code can run between a
+//! counter sample arriving and a DVFS decision leaving: `core`,
+//! `engine`, `serve`, `governor`, `pmsim`, and `telemetry` (its
+//! instruments run inside the decision loop even though they never
+//! influence it).
+
+pub mod determinism;
+pub mod panic_path;
+pub mod safety;
+pub mod telemetry_names;
+pub mod wire_tags;
+
+use crate::report::{Finding, Severity};
+use crate::source::SourceFile;
+
+/// Crates whose non-test code sits on (or inside) the per-sample
+/// decision path and therefore must be panic-free and deterministic.
+pub const DECISION_CRATES: [&str; 6] =
+    ["core", "engine", "serve", "governor", "pmsim", "telemetry"];
+
+/// The CI driver script, scanned by the telemetry-naming rule so the
+/// metric names it greps for cannot drift from the ones the code
+/// registers.
+#[derive(Debug)]
+pub struct CiScript {
+    /// Workspace-relative path (normally `ci.sh`).
+    pub path: String,
+    /// The script's text.
+    pub text: String,
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable rule id, usable in `lint:allow(<id>)`.
+    fn id(&self) -> &'static str;
+
+    /// Whether findings from this rule gate the run.
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    /// Scans one file in isolation.
+    fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Finding>) {}
+
+    /// Scans cross-file state (after every file was analyzed).
+    fn check_workspace(
+        &self,
+        _files: &[SourceFile],
+        _ci_script: Option<&CiScript>,
+        _out: &mut Vec<Finding>,
+    ) {
+    }
+}
+
+/// The full shipped ruleset, in a fixed order.
+#[must_use]
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panic_path::NoPanicPath),
+        Box::new(determinism::Determinism),
+        Box::new(safety::SafetyComment),
+        Box::new(telemetry_names::TelemetryNaming),
+        Box::new(wire_tags::WireTagUniqueness),
+    ]
+}
+
+/// Helper: build a finding anchored at a token.
+pub(crate) fn finding_at(
+    rule: &'static str,
+    severity: Severity,
+    file: &SourceFile,
+    tok: &crate::lexer::Token,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        severity,
+        path: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// Rust keywords that can legitimately precede a `[` without the bracket
+/// being an index expression (slice patterns, array types, and friends).
+pub(crate) const KEYWORDS_BEFORE_BRACKET: [&str; 37] = [
+    "as", "await", "become", "box", "break", "const", "continue", "crate", "do", "dyn", "else",
+    "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod",
+    "move", "mut", "pub", "ref", "return", "static", "struct", "trait", "type", "union", "unsafe",
+    "use", "where", "yield",
+];

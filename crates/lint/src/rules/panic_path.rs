@@ -1,0 +1,150 @@
+//! `no-panic-path`: the per-sample decision path must not be able to
+//! panic. In the non-test code of decision-path crates this forbids
+//! `.unwrap()`, `.expect(...)`, the `panic!`/`todo!`/`unimplemented!`
+//! macros, and slice/array indexing with `[...]` (which hides a bounds
+//! panic). `unreachable!` stays legal: the workspace idiom for
+//! construction-time impossibilities (validated static configuration)
+//! is an explicit `unreachable!` with the invariant named, and those
+//! sites run before any sample is in flight.
+
+use super::{finding_at, Rule, DECISION_CRATES, KEYWORDS_BEFORE_BRACKET};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct NoPanicPath;
+
+const METHODS: [&str; 2] = ["unwrap", "expect"];
+const MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+impl Rule for NoPanicPath {
+    fn id(&self) -> &'static str {
+        "no-panic-path"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !DECISION_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks: Vec<_> = file.code_tokens().collect();
+        let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+        for k in 0..toks.len() {
+            let t = toks[k];
+            if file.in_test(t.start) || file.in_attr(t.start) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(`
+            if text(k) == "."
+                && METHODS.contains(&text(k + 1))
+                && text(k + 2) == "("
+                && !file.in_test(toks[k + 1].start)
+            {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    toks[k + 1],
+                    format!(
+                        "`.{}()` can panic on the decision path; return a typed error, \
+                         restructure, or justify with lint:allow",
+                        text(k + 1)
+                    ),
+                ));
+            }
+            // `panic!` / `todo!` / `unimplemented!`
+            if t.kind == TokenKind::Ident && MACROS.contains(&text(k)) && text(k + 1) == "!" {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t,
+                    format!("`{}!` is forbidden in decision-path crates", text(k)),
+                ));
+            }
+            // Index expressions: `expr[...]`. A `[` is an index when the
+            // previous code token can end an expression (identifier that
+            // is not a keyword, `)`, `]`, or `?`) and is not the tail of
+            // an attribute.
+            if text(k) == "[" && k > 0 {
+                let prev = toks[k - 1];
+                if file.in_attr(prev.start) {
+                    continue;
+                }
+                let prev_text = file.tok_text(prev);
+                let indexes = match prev.kind {
+                    TokenKind::Ident => !KEYWORDS_BEFORE_BRACKET.contains(&prev_text),
+                    TokenKind::Punct => matches!(prev_text, ")" | "]" | "?"),
+                    _ => false,
+                };
+                if indexes {
+                    out.push(finding_at(
+                        self.id(),
+                        self.severity(),
+                        file,
+                        t,
+                        "indexing with `[...]` hides a bounds panic; use `.get()` \
+                         or justify the bound with lint:allow"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::analyze("x.rs", crate_name, src.to_owned());
+        let mut out = Vec::new();
+        NoPanicPath.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_the_forbidden_constructs() {
+        let src = "fn f(v: Vec<u8>) {\n    v.unwrap();\n    v.expect(\"x\");\n    panic!(\"no\");\n    todo!();\n    unimplemented!();\n    let _ = v[0];\n}";
+        let rules: Vec<u32> = check("core", src).iter().map(|f| f.line).collect();
+        assert_eq!(rules, vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn out_of_scope_crates_and_test_code_are_exempt() {
+        let src = "fn f(v: Vec<u8>) { v.unwrap(); }";
+        assert!(check("workloads", src).is_empty());
+        let src = "#[cfg(test)]\nmod tests { fn f(v: Vec<u8>) { v.unwrap(); let _ = v[0]; } }";
+        assert!(check("core", src).is_empty());
+    }
+
+    #[test]
+    fn non_index_brackets_do_not_fire() {
+        let src = "#[derive(Debug)]\n#[repr(u8)]\nstruct S;\nfn f() {\n    let a: [u8; 2] = [0, 1];\n    let v = vec![1];\n    let [x, y] = a;\n    let s: &[u8] = &a;\n    let _ = (x, y, v, s);\n}";
+        let got = check("core", src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn index_after_call_or_question_mark_fires() {
+        let src = "fn f() { g()[0]; h?[1]; m[0][1]; }";
+        assert_eq!(check("core", src).len(), 4, "g()[0], h?[1], m[0], [1]");
+    }
+
+    #[test]
+    fn unreachable_is_legal() {
+        assert!(check(
+            "core",
+            "fn f() { unreachable!(\"static config is valid\") }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "// v.unwrap() in a comment\nfn f() { let s = \"v.unwrap()\"; let _ = s; }";
+        assert!(check("core", src).is_empty());
+    }
+}

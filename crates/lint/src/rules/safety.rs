@@ -1,0 +1,89 @@
+//! `safety-comment`: every `unsafe` keyword — block, fn, impl, or trait
+//! — must be preceded (within three lines, or trailed on the same line)
+//! by a comment containing `SAFETY:` stating why the invariants hold.
+//! Applies to the whole workspace, test code included: an unsound test
+//! is still unsound. The workspace currently carries `forbid(unsafe_code)`
+//! everywhere, so this rule guards the first future `unsafe` rather than
+//! existing sites.
+
+use super::{finding_at, Rule};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct SafetyComment;
+
+impl Rule for SafetyComment {
+    fn id(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for t in file.code_tokens() {
+            if t.kind != TokenKind::Ident || file.tok_text(t) != "unsafe" {
+                continue;
+            }
+            if file.in_attr(t.start) {
+                continue; // e.g. `#[forbid(unsafe_code)]` paths never match, but stay safe
+            }
+            let documented = file.tokens.iter().any(|c| {
+                c.kind.is_comment()
+                    && file.tok_text(c).contains("SAFETY:")
+                    && ((c.line <= t.line && c.line + 3 > t.line && c.start < t.start)
+                        || (c.line == t.line && c.start > t.start))
+            });
+            if !documented {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t,
+                    "`unsafe` without a preceding `// SAFETY:` comment naming the \
+                     invariants that make it sound"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let f = SourceFile::analyze("x.rs", "telemetry", src.to_owned());
+        let mut out = Vec::new();
+        SafetyComment.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_unsafe_fires() {
+        let got = check("fn f() { unsafe { core::hint::unreachable_unchecked() } }");
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies() {
+        assert!(
+            check("// SAFETY: the pointer is non-null by construction\nunsafe { g() }").is_empty()
+        );
+        assert!(check("unsafe { g() } // SAFETY: g has no preconditions").is_empty());
+        assert!(check("/* SAFETY: checked above */\nunsafe fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn stale_comment_too_far_above_does_not_satisfy() {
+        let src = "// SAFETY: old\n\n\n\nunsafe { g() }";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn the_word_in_a_string_does_not_count() {
+        let src = "let s = \"SAFETY:\";\nunsafe { g() }";
+        assert_eq!(check(src).len(), 1);
+    }
+}

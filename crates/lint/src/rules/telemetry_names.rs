@@ -1,0 +1,316 @@
+//! `telemetry-naming`: the metric namespace is an API. Names extracted
+//! from non-test `.counter(...)` / `.gauge(...)` / `.histogram(...)`
+//! registration sites must be snake_case; counters must end `_total`
+//! and histograms `_us` (their rendered series add `_bucket`/`_sum`/
+//! `_count`, so those suffixes are reserved on every kind); a name
+//! registered from several sites must agree on kind and help text
+//! workspace-wide; and every metric name `ci.sh` greps out of the
+//! exposition must actually be registered somewhere, so the scrape gate
+//! cannot silently go stale.
+
+use super::{finding_at, CiScript, Rule};
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Severity};
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct TelemetryNaming;
+
+const KINDS: [&str; 3] = ["counter", "gauge", "histogram"];
+const RESERVED_RENDER_SUFFIXES: [&str; 3] = ["_bucket", "_sum", "_count"];
+
+/// One registration call site.
+struct Site {
+    name: String,
+    kind: &'static str,
+    help: Option<String>,
+    path: String,
+    line: u32,
+    col: u32,
+}
+
+fn is_snake_case(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.contains("__")
+        && !name.ends_with('_')
+}
+
+fn strip_quotes(s: &str) -> &str {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+}
+
+fn collect_sites(file: &SourceFile) -> Vec<Site> {
+    let toks: Vec<_> = file.code_tokens().collect();
+    let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+    let mut sites = Vec::new();
+    for k in 0..toks.len() {
+        if file.in_test(toks[k].start) {
+            continue;
+        }
+        if text(k) != "." || !KINDS.contains(&text(k + 1)) || text(k + 2) != "(" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(k + 3) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Str {
+            continue; // dynamic name: out of this rule's static reach
+        }
+        let kind = KINDS
+            .iter()
+            .find(|s| **s == text(k + 1))
+            .copied()
+            .unwrap_or("counter");
+        // Help is the second argument when it is a string literal.
+        let help = (text(k + 4) == ",")
+            .then(|| toks.get(k + 5))
+            .flatten()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| strip_quotes(file.tok_text(t)).to_owned());
+        sites.push(Site {
+            name: strip_quotes(file.tok_text(name_tok)).to_owned(),
+            kind,
+            help,
+            path: file.path.clone(),
+            line: name_tok.line,
+            col: name_tok.col,
+        });
+    }
+    sites
+}
+
+/// Metric names `ci.sh` greps for, normalized to the registered form
+/// (rendered `_bucket`/`_sum`/`_count` histogram series map back to the
+/// `_us` base name), with the 1-based line of first occurrence.
+fn ci_metric_names(ci: &CiScript) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    for (i, line) in ci.text.lines().enumerate() {
+        for word in
+            line.split(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+        {
+            let normalized = RESERVED_RENDER_SUFFIXES
+                .iter()
+                .find_map(|s| word.strip_suffix(s))
+                .unwrap_or(word);
+            let metric_like = normalized.ends_with("_total") || normalized.ends_with("_us");
+            if !metric_like || !is_snake_case(normalized) || normalized.len() < 6 {
+                continue;
+            }
+            if !out.iter().any(|(n, _)| n == normalized) {
+                out.push((
+                    normalized.to_owned(),
+                    u32::try_from(i).unwrap_or(u32::MAX - 1) + 1,
+                ));
+            }
+        }
+    }
+    out
+}
+
+impl Rule for TelemetryNaming {
+    fn id(&self) -> &'static str {
+        "telemetry-naming"
+    }
+
+    fn check_workspace(
+        &self,
+        files: &[SourceFile],
+        ci_script: Option<&CiScript>,
+        out: &mut Vec<Finding>,
+    ) {
+        let mut sites: Vec<(usize, Site)> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for s in collect_sites(file) {
+                sites.push((fi, s));
+            }
+        }
+        // Per-site: case and kind suffix.
+        for (fi, s) in &sites {
+            let file = &files[*fi];
+            let at = crate::lexer::Token {
+                kind: TokenKind::Str,
+                start: 0,
+                end: 0,
+                line: s.line,
+                col: s.col,
+            };
+            let mut complain = |msg: String| {
+                out.push(finding_at(self.id(), Severity::Deny, file, &at, msg));
+            };
+            if !is_snake_case(&s.name) {
+                complain(format!("metric name `{}` is not snake_case", s.name));
+            }
+            match s.kind {
+                "counter" if !s.name.ends_with("_total") => {
+                    complain(format!("counter `{}` must be suffixed `_total`", s.name));
+                }
+                "histogram" if !s.name.ends_with("_us") => {
+                    complain(format!(
+                        "histogram `{}` must be suffixed `_us` (series render as `_bucket`/`_sum`/`_count`)",
+                        s.name
+                    ));
+                }
+                "gauge" if s.name.ends_with("_total") || s.name.ends_with("_us") => {
+                    complain(format!(
+                        "gauge `{}` uses a suffix reserved for another kind",
+                        s.name
+                    ));
+                }
+                _ => {}
+            }
+            if s.kind != "histogram"
+                && RESERVED_RENDER_SUFFIXES
+                    .iter()
+                    .any(|suf| s.name.ends_with(suf))
+            {
+                complain(format!(
+                    "`{}` ends with a suffix reserved for rendered histogram series",
+                    s.name
+                ));
+            }
+        }
+        // Cross-site: one name, one kind, one help string.
+        for (i, (fi, s)) in sites.iter().enumerate() {
+            for (_, earlier) in &sites[..i] {
+                if earlier.name != s.name {
+                    continue;
+                }
+                let file = &files[*fi];
+                let at = crate::lexer::Token {
+                    kind: TokenKind::Str,
+                    start: 0,
+                    end: 0,
+                    line: s.line,
+                    col: s.col,
+                };
+                if earlier.kind != s.kind {
+                    out.push(finding_at(
+                        self.id(),
+                        Severity::Deny,
+                        file,
+                        &at,
+                        format!(
+                            "metric `{}` registered as {} here but as {} at {}:{}",
+                            s.name, s.kind, earlier.kind, earlier.path, earlier.line
+                        ),
+                    ));
+                } else if let (Some(a), Some(b)) = (&earlier.help, &s.help) {
+                    if a != b {
+                        out.push(finding_at(
+                            self.id(),
+                            Severity::Deny,
+                            file,
+                            &at,
+                            format!(
+                                "metric `{}` help text diverges from {}:{} — one name, one meaning",
+                                s.name, earlier.path, earlier.line
+                            ),
+                        ));
+                    }
+                }
+                break;
+            }
+        }
+        // The scrape gate in ci.sh must name real metrics.
+        if let Some(ci) = ci_script {
+            for (name, line) in ci_metric_names(ci) {
+                if !sites.iter().any(|(_, s)| s.name == name) {
+                    out.push(Finding {
+                        rule: self.id(),
+                        severity: Severity::Deny,
+                        path: ci.path.clone(),
+                        line,
+                        col: 1,
+                        message: format!(
+                            "ci greps for metric `{name}`, but no registration site defines it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(p, s)| SourceFile::analyze(*p, "serve", (*s).to_owned()))
+            .collect()
+    }
+
+    fn check(srcs: &[(&str, &str)], ci: Option<&str>) -> Vec<Finding> {
+        let fs = files(srcs);
+        let ci = ci.map(|t| CiScript {
+            path: "ci.sh".to_owned(),
+            text: t.to_owned(),
+        });
+        let mut out = Vec::new();
+        TelemetryNaming.check_workspace(&fs, ci.as_ref(), &mut out);
+        out
+    }
+
+    #[test]
+    fn well_formed_registrations_pass() {
+        let src = r#"fn f(reg: &Registry) {
+            reg.counter("serve_connections_total", "Connections.", &[]);
+            reg.gauge("serve_shard_sessions", "Sessions.", &[]);
+            reg.histogram("serve_frame_decode_us", "Decode time.", &[]);
+        }"#;
+        assert!(check(&[("a.rs", src)], None).is_empty());
+    }
+
+    #[test]
+    fn bad_names_and_suffixes_fire() {
+        let src = r#"fn f(reg: &Registry) {
+            reg.counter("BadCase_total", "x", &[]);
+            reg.counter("requests", "x", &[]);
+            reg.histogram("latency_total", "x", &[]);
+            reg.gauge("depth_us", "x", &[]);
+            reg.gauge("depth_bucket", "x", &[]);
+        }"#;
+        let got = check(&[("a.rs", src)], None);
+        assert_eq!(got.len(), 5, "{got:?}");
+    }
+
+    #[test]
+    fn kind_and_help_conflicts_fire_across_files() {
+        let a = r#"fn f(r: &Registry) { r.counter("x_total", "Things.", &[]); }"#;
+        let b = r#"fn g(r: &Registry) { r.gauge("x_total", "Things.", &[]); }"#;
+        let c = r#"fn h(r: &Registry) { r.counter("x_total", "Other.", &[]); }"#;
+        let got = check(&[("a.rs", a), ("b.rs", b), ("c.rs", c)], None);
+        // Three: the kind conflict, the help conflict, and the per-site
+        // suffix check the mis-kinded gauge necessarily also trips.
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert!(got
+            .iter()
+            .any(|f| f.message.contains("registered as gauge")));
+        assert!(got.iter().any(|f| f.message.contains("help text diverges")));
+    }
+
+    #[test]
+    fn ci_cross_check_finds_stale_greps() {
+        let src = r#"fn f(r: &Registry) { r.counter("serve_connections_total", "c", &[]); }"#;
+        let ci = "grep -q serve_connections_total out\ngrep -q '^ghost_metric_us_bucket{' out\n";
+        let got = check(&[("a.rs", src)], Some(ci));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("ghost_metric_us"));
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_registrations_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests { fn f(r: &Registry) { r.counter(\"Bad\", \"x\", &[]); } }";
+        assert!(check(&[("a.rs", src)], None).is_empty());
+    }
+}

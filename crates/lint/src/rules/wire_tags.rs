@@ -1,0 +1,120 @@
+//! `wire-tag-uniqueness`: the serve wire protocol dispatches frames on a
+//! one-byte tag, so two `TAG_*` constants sharing a value would make one
+//! frame kind silently shadow another. Scans non-test code of the
+//! `serve` crate for `const TAG_<X>: u8 = <n>;` items and reports any
+//! value collision at the later declaration site.
+
+use super::{finding_at, Rule};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct WireTagUniqueness;
+
+fn parse_u8(text: &str) -> Option<u8> {
+    // Tags are small decimal or hex literals; underscores are legal.
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+impl Rule for WireTagUniqueness {
+    fn id(&self) -> &'static str {
+        "wire-tag-uniqueness"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name != "serve" {
+            return;
+        }
+        let toks: Vec<_> = file.code_tokens().collect();
+        let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+        // (value, name, line) of each tag constant seen so far in this file.
+        let mut seen: Vec<(u8, String, u32)> = Vec::new();
+        for k in 0..toks.len() {
+            if file.in_test(toks[k].start) || text(k) != "const" {
+                continue;
+            }
+            let Some(name_tok) = toks.get(k + 1) else {
+                continue;
+            };
+            let name = file.tok_text(name_tok);
+            if name_tok.kind != TokenKind::Ident || !name.starts_with("TAG_") {
+                continue;
+            }
+            if text(k + 2) != ":" || text(k + 3) != "u8" || text(k + 4) != "=" {
+                continue;
+            }
+            let Some(val_tok) = toks.get(k + 5).filter(|t| t.kind == TokenKind::Num) else {
+                continue;
+            };
+            let Some(value) = parse_u8(file.tok_text(val_tok)) else {
+                continue;
+            };
+            if let Some((_, other, line)) = seen.iter().find(|(v, _, _)| *v == value) {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    name_tok,
+                    format!(
+                        "wire tag `{name}` = {value} collides with `{other}` (line {line}); \
+                         one frame kind would shadow the other at dispatch"
+                    ),
+                ));
+            } else {
+                seen.push((value, name.to_owned(), name_tok.line));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::analyze("wire.rs", crate_name, src.to_owned());
+        let mut out = Vec::new();
+        WireTagUniqueness.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unique_tags_pass() {
+        let src = "const TAG_HELLO: u8 = 1;\nconst TAG_SAMPLE: u8 = 2;\nconst TAG_ERR: u8 = 0xff;";
+        assert!(check("serve", src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_values_fire_at_the_later_site() {
+        let src = "const TAG_A: u8 = 3;\nconst TAG_B: u8 = 0x03;";
+        let got = check("serve", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 2);
+        assert!(got[0].message.contains("TAG_A"));
+    }
+
+    #[test]
+    fn non_tag_consts_and_other_crates_are_ignored() {
+        let src = "const MAX: u8 = 3;\nconst LIMIT: u8 = 3;";
+        assert!(check("serve", src).is_empty());
+        let src = "const TAG_A: u8 = 1;\nconst TAG_B: u8 = 1;";
+        assert!(check("engine", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    const TAG_X: u8 = 9;\n    const TAG_Y: u8 = 9;\n}";
+        assert!(check("serve", src).is_empty());
+    }
+}

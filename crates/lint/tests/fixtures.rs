@@ -1,0 +1,190 @@
+//! Fixture-driven end-to-end tests.
+//!
+//! Each file under `lint_fixtures/` trips exactly one rule at known
+//! locations; the `lint_allow` fixture exercises the suppression
+//! protocol (justified, unjustified, unused). Together they pin the
+//! exit-code contract the CI gate relies on: a fixture report is never
+//! clean, so `livephase-cli lint` over such code exits 1.
+
+use livephase_lint::report::{Report, Severity};
+use livephase_lint::source::SourceFile;
+use livephase_lint::{lint_files, RULE_ALLOW_JUSTIFICATION, RULE_UNUSED_SUPPRESSION};
+
+/// Lints one fixture in isolation under the given crate identity.
+fn lint_fixture(path: &str, crate_name: &str, src: &str) -> Report {
+    let files = vec![SourceFile::analyze(path, crate_name, src.to_owned())];
+    lint_files(&files, None)
+}
+
+/// Lines at which `rule` fired, in report order.
+fn lines(report: &Report, rule: &str) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn no_panic_path_fixture_fires_on_every_construct() {
+    let report = lint_fixture(
+        "no_panic_path.rs",
+        "core",
+        include_str!("lint_fixtures/no_panic_path.rs"),
+    );
+    assert!(!report.is_clean(), "fixtures must gate");
+    assert_eq!(
+        lines(&report, "no-panic-path"),
+        vec![4, 5, 7, 9, 11],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.findings.len(), 5, "no other rule fires here");
+}
+
+#[test]
+fn determinism_fixture_fires_on_clock_env_and_map_iteration() {
+    let report = lint_fixture(
+        "determinism.rs",
+        "engine",
+        include_str!("lint_fixtures/determinism.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "determinism"),
+        vec![4, 7, 8, 10],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.findings.len(), 4);
+}
+
+#[test]
+fn safety_fixture_fires_only_on_the_undocumented_site() {
+    let report = lint_fixture(
+        "safety_comment.rs",
+        "workloads", // the rule applies workspace-wide, not just decision crates
+        include_str!("lint_fixtures/safety_comment.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "safety-comment"),
+        vec![3],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.findings.len(), 1, "the documented site passes");
+}
+
+#[test]
+fn telemetry_fixture_fires_once_per_misnamed_registration() {
+    let report = lint_fixture(
+        "telemetry_naming.rs",
+        "telemetry",
+        include_str!("lint_fixtures/telemetry_naming.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "telemetry-naming"),
+        vec![4, 5, 6, 7],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.findings.len(), 4);
+}
+
+#[test]
+fn wire_tag_fixture_fires_at_the_later_duplicate() {
+    let report = lint_fixture(
+        "wire_tags.rs",
+        "serve",
+        include_str!("lint_fixtures/wire_tags.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "wire-tag-uniqueness"),
+        vec![5],
+        "{}",
+        report.render_text()
+    );
+    let finding = &report.findings[0];
+    assert!(
+        finding.message.contains("TAG_HELLO"),
+        "names the shadowed tag: {}",
+        finding.message
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn lint_allow_fixture_exercises_the_suppression_protocol() {
+    let report = lint_fixture(
+        "lint_allow.rs",
+        "core",
+        include_str!("lint_fixtures/lint_allow.rs"),
+    );
+    // The justified trailing allow on line 4 suppresses its finding.
+    assert_eq!(report.suppressed, 1, "{}", report.render_text());
+    // The unjustified allow on line 8 suppresses nothing: the indexing
+    // finding survives AND the bare allow is itself a deny finding.
+    assert_eq!(lines(&report, "no-panic-path"), vec![8]);
+    assert_eq!(lines(&report, RULE_ALLOW_JUSTIFICATION), vec![8]);
+    // The justified-but-unused allow on line 11 warns without gating.
+    assert_eq!(lines(&report, RULE_UNUSED_SUPPRESSION), vec![11]);
+    let unused = report
+        .findings
+        .iter()
+        .find(|f| f.rule == RULE_UNUSED_SUPPRESSION)
+        .expect("unused-suppression reported");
+    assert_eq!(unused.severity, Severity::Warn);
+    assert!(!report.is_clean(), "the unjustified allow still gates");
+    assert_eq!(report.deny_count(), 2);
+    assert_eq!(report.findings.len(), 3);
+}
+
+#[test]
+fn every_fixture_would_fail_the_ci_gate() {
+    // The gate's contract: any fixture-bearing tree exits 1. Checked at
+    // the library level: no fixture report is clean.
+    let fixtures: [(&str, &str, &str); 6] = [
+        (
+            "no_panic_path.rs",
+            "core",
+            include_str!("lint_fixtures/no_panic_path.rs"),
+        ),
+        (
+            "determinism.rs",
+            "engine",
+            include_str!("lint_fixtures/determinism.rs"),
+        ),
+        (
+            "safety_comment.rs",
+            "workloads",
+            include_str!("lint_fixtures/safety_comment.rs"),
+        ),
+        (
+            "telemetry_naming.rs",
+            "telemetry",
+            include_str!("lint_fixtures/telemetry_naming.rs"),
+        ),
+        (
+            "wire_tags.rs",
+            "serve",
+            include_str!("lint_fixtures/wire_tags.rs"),
+        ),
+        (
+            "lint_allow.rs",
+            "core",
+            include_str!("lint_fixtures/lint_allow.rs"),
+        ),
+    ];
+    for (path, crate_name, src) in fixtures {
+        let report = lint_fixture(path, crate_name, src);
+        assert!(!report.is_clean(), "{path} must gate");
+        assert!(
+            report.render_json().contains("\"details\": ["),
+            "{path} renders machine-readable details"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the hand-rolled lexer.
+//!
+//! The lexer is the foundation every rule stands on, and it consumes
+//! arbitrary text (whatever is on disk), so its robustness properties
+//! are checked over generated input:
+//!
+//! 1. `lex` never panics, for any string;
+//! 2. token spans are well-formed: in-bounds, non-empty, strictly
+//!    ordered, on char boundaries, and line/col point at the span start;
+//! 3. tokens plus whitespace tile the input — no non-whitespace byte
+//!    escapes tokenization;
+//! 4. lexing is deterministic (same input, same tokens).
+//!
+//! A golden corpus of tricky literals pins the classifications the
+//! rules rely on.
+
+use livephase_lint::lexer::{lex, TokenKind};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Arbitrary Unicode text: any scalar values, surrogates skipped.
+fn arb_text() -> impl Strategy<Value = String> {
+    collection::vec(0u32..=0x0010_FFFF, 0..64)
+        .prop_map(|points| points.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Inputs biased toward lexer-relevant structure: quotes, hashes,
+/// slashes, backslashes, newlines, multibyte characters, and the
+/// identifier shapes the rules match on.
+fn arb_tricky() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("\""),
+        Just("'"),
+        Just("\\"),
+        Just("//"),
+        Just("/*"),
+        Just("*/"),
+        Just("#"),
+        Just("r#"),
+        Just("r\""),
+        Just("br#\""),
+        Just("b'"),
+        Just("b\""),
+        Just("\n"),
+        Just("é"),
+        Just("日"),
+        Just("unwrap"),
+        Just("."),
+        Just("("),
+        Just("1.5"),
+        Just("'a"),
+        Just("ident_07"),
+        Just(" "),
+    ];
+    collection::vec(fragment, 0..24).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn lexing_never_panics_on_arbitrary_text(src in arb_text()) {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lexing_never_panics_on_tricky_structure(src in arb_tricky()) {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn spans_are_well_formed_and_tile_the_input(src in arb_tricky()) {
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            // Non-empty, in-bounds, ordered, and on char boundaries.
+            prop_assert!(t.start < t.end, "empty span {:?}", t);
+            prop_assert!(t.end <= src.len(), "span past EOF {:?}", t);
+            prop_assert!(t.start >= prev_end, "overlapping spans at {:?}", t);
+            prop_assert!(src.is_char_boundary(t.start), "start splits a char {:?}", t);
+            prop_assert!(src.is_char_boundary(t.end), "end splits a char {:?}", t);
+            // Gaps between tokens hold only whitespace.
+            prop_assert!(
+                src[prev_end..t.start].chars().all(char::is_whitespace),
+                "non-whitespace byte outside any token before {:?}", t
+            );
+            prev_end = t.end;
+        }
+        prop_assert!(
+            src[prev_end..].chars().all(char::is_whitespace),
+            "non-whitespace tail after the last token"
+        );
+    }
+
+    #[test]
+    fn line_and_col_point_at_the_span_start(src in arb_tricky()) {
+        let toks = lex(&src);
+        for t in &toks {
+            let newlines = src[..t.start].bytes().filter(|b| *b == b'\n').count();
+            let line = u32::try_from(newlines).unwrap_or(u32::MAX - 1) + 1;
+            prop_assert_eq!(t.line, line, "line mismatch for {:?}", t);
+            let line_start = src[..t.start].rfind('\n').map_or(0, |i| i + 1);
+            let col = u32::try_from(t.start - line_start).unwrap_or(u32::MAX - 1) + 1;
+            prop_assert_eq!(t.col, col, "col mismatch for {:?}", t);
+        }
+    }
+
+    #[test]
+    fn lexing_is_deterministic(src in arb_tricky()) {
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+
+    #[test]
+    fn code_in_comments_and_strings_never_leaks(
+        payload in collection::vec(b'a'..=b'z', 1..8)
+    ) {
+        // Whatever identifier we bury in a comment or string, it must
+        // not surface as an Ident token a rule could fire on.
+        let payload = String::from_utf8(payload).expect("ascii letters");
+        for src in [
+            format!("// {payload}.unwrap()"),
+            format!("/* {payload}.unwrap() */"),
+            format!("let s = \"{payload}.unwrap()\";"),
+            format!("let s = r#\"{payload}.unwrap()\"#;"),
+        ] {
+            let toks = lex(&src);
+            prop_assert!(
+                !toks.iter().any(|t| t.kind == TokenKind::Ident
+                    && t.text(&src) == "unwrap"),
+                "`unwrap` leaked from: {}", src
+            );
+        }
+    }
+}
+
+/// Golden corpus: exact classifications for the literals most likely to
+/// derail a token-pattern linter.
+#[test]
+fn golden_corpus_of_tricky_literals() {
+    let cases: [(&str, &[TokenKind]); 12] = [
+        ("'a", &[TokenKind::Lifetime]),
+        ("'a'", &[TokenKind::Char]),
+        (r"'\''", &[TokenKind::Char]),
+        ("b'x'", &[TokenKind::ByteChar]),
+        (r#"b"b""#, &[TokenKind::ByteStr]),
+        (r###"br#"x"#"###, &[TokenKind::ByteStr]),
+        ("r#match", &[TokenKind::Ident]),
+        (r####"r##"has "# inside"##"####, &[TokenKind::RawStr]),
+        ("/* a /* nested */ b */", &[TokenKind::BlockComment]),
+        ("//! doc", &[TokenKind::LineComment]),
+        ("1_000.5e3", &[TokenKind::Num]),
+        ("\"multi\nline\"", &[TokenKind::Str]),
+    ];
+    for (src, expect) in cases {
+        let kinds: Vec<TokenKind> = lex(src).iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, expect, "for input {src:?}");
+    }
+}

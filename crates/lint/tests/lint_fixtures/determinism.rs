@@ -1,0 +1,15 @@
+//! Fixture for `determinism`: wall clock, process env, map iteration.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn decide(m: HashMap<u32, u32>) -> u64 {
+    let t = Instant::now();
+    let seed = std::env::var("SEED");
+    let mut acc = 0u64;
+    for v in m.values() {
+        acc += u64::from(*v);
+    }
+    let _ = (t, seed);
+    acc
+}

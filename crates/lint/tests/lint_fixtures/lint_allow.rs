@@ -1,0 +1,12 @@
+//! Fixture for the suppression protocol: justified, unjustified, unused.
+
+fn first(v: &[u8]) -> u8 {
+    v[0] // lint:allow(no-panic-path): caller guarantees a non-empty slice
+}
+
+fn second(v: &[u8]) -> u8 {
+    v[0] // lint:allow(no-panic-path)
+}
+
+// lint:allow(no-panic-path): nothing on the next line can panic
+fn third() {}

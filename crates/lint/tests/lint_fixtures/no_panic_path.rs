@@ -1,0 +1,12 @@
+//! Fixture for `no-panic-path`: each forbidden construct on its own line.
+
+fn decide(v: Vec<u8>, m: &[u8]) -> u8 {
+    let a = v.first().unwrap();
+    let b = v.first().expect("non-empty");
+    if m.is_empty() {
+        panic!("empty sample window");
+    }
+    let c = m[0];
+    let _ = (a, b, c);
+    todo!()
+}

@@ -1,0 +1,6 @@
+//! Fixture for `safety-comment`: one undocumented `unsafe`, one documented.
+
+unsafe fn undocumented() {}
+
+// SAFETY: no preconditions; the function body is empty.
+unsafe fn documented() {}

@@ -1,0 +1,8 @@
+//! Fixture for `telemetry-naming`: four misnamed registrations.
+
+fn register(reg: &Registry) {
+    reg.counter("BadCase_total", "Non-snake-case name.", &[]);
+    reg.counter("requests", "Counter missing `_total`.", &[]);
+    reg.histogram("latency_total", "Histogram missing `_us`.", &[]);
+    reg.gauge("depth_bucket", "Gauge on a reserved rendered suffix.", &[]);
+}

@@ -1,0 +1,5 @@
+//! Fixture for `wire-tag-uniqueness`: two tags share the value 1.
+
+const TAG_HELLO: u8 = 1;
+const TAG_SAMPLE: u8 = 2;
+const TAG_SHADOW: u8 = 0x01;

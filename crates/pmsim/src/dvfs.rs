@@ -76,9 +76,10 @@ impl DvfsController {
     /// The current operating point.
     #[must_use]
     pub fn current(&self) -> OperatingPoint {
+        // `set` rejects out-of-range indices, so the fallback never fires.
         self.table
             .get(self.current)
-            .expect("current index is always valid")
+            .unwrap_or_else(|| self.table.fastest())
     }
 
     /// The current setting index (0 = fastest).

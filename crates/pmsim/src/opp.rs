@@ -176,8 +176,8 @@ impl OperatingPointTable {
         if points.is_empty() {
             return Err(OppTableError::Empty);
         }
-        for (i, w) in points.windows(2).enumerate() {
-            if w[1].frequency >= w[0].frequency || w[1].voltage > w[0].voltage {
+        for (i, (a, b)) in points.iter().zip(points.iter().skip(1)).enumerate() {
+            if b.frequency >= a.frequency || b.voltage > a.voltage {
                 return Err(OppTableError::NotDecreasing { index: i + 1 });
             }
         }
@@ -189,15 +189,18 @@ impl OperatingPointTable {
     #[must_use]
     pub fn pentium_m() -> Self {
         let mk = |mhz, mv| OperatingPoint::new(Frequency::from_mhz(mhz), Voltage::from_mv(mv));
-        Self::new(vec![
+        let table = Self::new(vec![
             mk(1500, 1484),
             mk(1400, 1452),
             mk(1200, 1356),
             mk(1000, 1228),
             mk(800, 1116),
             mk(600, 956),
-        ])
-        .expect("static Table 2 points are valid")
+        ]);
+        match table {
+            Ok(table) => table,
+            Err(_) => unreachable!("static Table 2 points are valid"),
+        }
     }
 
     /// Number of operating points.
@@ -225,13 +228,16 @@ impl OperatingPointTable {
     /// unmanaged system* always runs here.
     #[must_use]
     pub fn fastest(&self) -> OperatingPoint {
-        self.points[0]
+        self.points[0] // lint:allow(no-panic-path): `new` rejects empty tables
     }
 
     /// The lowest-frequency point.
     #[must_use]
     pub fn slowest(&self) -> OperatingPoint {
-        *self.points.last().expect("table is non-empty")
+        self.points
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.fastest())
     }
 
     /// All points, fastest first.

@@ -19,6 +19,8 @@ use livephase_pmsim::PlatformConfig;
 use livephase_telemetry::Histogram;
 use livephase_workloads::{counter_samples, spec, CounterSample};
 use std::fmt;
+// lint:allow(determinism): Instant times wall-clock throughput and latency for the
+// load report; decision streams come from the server and never read the clock.
 use std::time::{Duration, Instant};
 
 /// What to replay, where, and how hard.
@@ -297,6 +299,7 @@ pub fn run(config: &LoadGenConfig) -> Result<LoadReport, LoadGenError> {
         } else {
             s
         };
+        // lint:allow(no-panic-path): i % connections < connections = plans.len()
         plans[i % config.connections].push(StreamPlan {
             spec,
             pid: u32::try_from(i).unwrap_or(u32::MAX - 1) + 1,
@@ -304,7 +307,7 @@ pub fn run(config: &LoadGenConfig) -> Result<LoadReport, LoadGenError> {
     }
 
     let indexed: Vec<(usize, Vec<StreamPlan>)> = plans.into_iter().enumerate().collect();
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(determinism): wall-clock for the load report only
     let results = par_map(&indexed, |(conn, plan)| run_connection(config, *conn, plan));
     let elapsed = started.elapsed();
 
@@ -358,6 +361,7 @@ fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> C
         let mut sent = 0usize;
         while decisions.len() < samples.len() {
             let batch_end = (sent + config.window).min(samples.len());
+            // lint:allow(no-panic-path): sent <= batch_end <= samples.len() by the min above
             for s in &samples[sent..batch_end] {
                 client
                     .queue_sample(stream.pid, s.uops, s.mem_transactions, s.core_cycles)
@@ -365,7 +369,7 @@ fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> C
             }
             sent = batch_end;
             client.flush().map_err(client_err)?;
-            let flushed_at = Instant::now();
+            let flushed_at = Instant::now(); // lint:allow(determinism): latency histogram only
             while decisions.len() < sent {
                 let d = client.read_decision().map_err(client_err)?;
                 latencies_us

@@ -41,6 +41,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+// lint:allow(determinism): Instant feeds uptime and batch-latency telemetry; the
+// decision path itself is a pure function of the sample stream.
 use std::time::{Duration, Instant};
 
 /// Tracing target for every event this module emits.
@@ -365,6 +367,8 @@ fn accept_loop(
             std::thread::Builder::new()
                 .name(format!("serve-shard-{i}"))
                 .spawn(move || shard_loop(&rx, i, &engine, &shared, &metrics))
+                // lint:allow(no-panic-path): spawn failure at server startup is fatal
+                // by design — a server missing a shard must not limp along silently.
                 .unwrap_or_else(|e| panic!("spawning shard thread {i}: {e}"));
             tx
         })
@@ -605,7 +609,7 @@ fn serve_sample_run(
     if let Some((session, reply)) = sessions.get_mut(&conn) {
         let n = samples.len() as u64;
         let before = session.processes();
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(determinism): decision-latency histogram only
         decisions.clear();
         session.apply_batch(samples, decisions);
         // One histogram entry per decision at the batch-amortized cost,
@@ -699,6 +703,7 @@ fn connection_thread(stream: TcpStream, conn_id: u64, ctx: &ConnCtx) {
     // reply sender so the writer drains and exits once the shard's clone
     // is gone too.
     if let Some(shard) = shard {
+        // lint:allow(no-panic-path): shard_for returns an index modulo shard_txs.len()
         let _ = ctx.shard_txs[shard].send(ShardMsg::Unregister { conn: conn_id });
     }
     drop(reply_tx);
@@ -792,6 +797,7 @@ fn handshake(
         version,
         reply: reply.clone(),
     };
+    // lint:allow(no-panic-path): shard_for returns an index modulo shard_txs.len()
     if ctx.shard_txs[shard].send(register).is_err() {
         return Err(ConnEnd::ShuttingDown);
     }
@@ -851,6 +857,7 @@ fn sample_loop(
                     mem_trans,
                 };
                 queue_depth.inc();
+                // lint:allow(no-panic-path): shard_for returns an index modulo shard_txs.len()
                 if ctx.shard_txs[shard].send(msg).is_err() {
                     queue_depth.dec(); // the shard never saw it
                     return ConnEnd::ShuttingDown;
@@ -968,7 +975,7 @@ fn frame_name(frame: &Frame) -> &'static str {
 /// Encodes into the buffer, timing encode (not socket I/O) for the
 /// writer-side latency histogram.
 fn write_timed(w: &mut impl Write, frame: &Frame, encode_us: &Histogram) -> io::Result<()> {
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(determinism): encode-latency histogram only
     let bytes = wire::encode(frame);
     encode_us.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
     w.write_all(&bytes)

@@ -31,13 +31,14 @@ pub const BUCKETS: usize = (SUB_COUNT as usize) + (64 - SUB_BITS as usize) * (SU
 #[inline]
 pub fn bucket_index(value: u64) -> usize {
     if value < SUB_COUNT {
-        return usize::try_from(value).expect("SUB_COUNT fits usize");
+        // value < SUB_COUNT = 32, so the conversion cannot fail.
+        return usize::try_from(value).unwrap_or(0);
     }
     let msb = 63 - value.leading_zeros(); // >= SUB_BITS here
     let octave = msb - SUB_BITS;
     let offset = (value >> octave) - SUB_COUNT; // 0..SUB_COUNT
-    usize::try_from(SUB_COUNT + u64::from(octave) * SUB_COUNT + offset)
-        .expect("bucket index fits usize")
+                                                // The index is at most BUCKETS - 1 (< 2^12), so it always fits usize.
+    usize::try_from(SUB_COUNT + u64::from(octave) * SUB_COUNT + offset).unwrap_or(BUCKETS - 1)
 }
 
 /// Inclusive `[lower, upper]` value range covered by bucket `index`.
@@ -54,7 +55,8 @@ pub fn bucket_bounds(index: usize) -> (u64, u64) {
     }
     let octave = (i - SUB_COUNT) / SUB_COUNT;
     let offset = (i - SUB_COUNT) % SUB_COUNT;
-    let width_log2 = u32::try_from(octave).expect("octave < 64");
+    // index < BUCKETS bounds octave below 64, so the conversion cannot fail.
+    let width_log2 = u32::try_from(octave).unwrap_or(63);
     let lower = (SUB_COUNT + offset) << width_log2;
     let upper = lower + ((1u64 << width_log2) - 1);
     (lower, upper)
@@ -114,6 +116,7 @@ impl Histogram {
     /// five relaxed atomic RMWs, no branches that allocate or lock.
     #[inline]
     pub fn record(&self, value: u64) {
+        // lint:allow(no-panic-path): bucket_index is total over u64 and < BUCKETS
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
@@ -130,6 +133,7 @@ impl Histogram {
         if n == 0 {
             return;
         }
+        // lint:allow(no-panic-path): bucket_index is total over u64 and < BUCKETS
         self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
         self.count.fetch_add(n, Ordering::Relaxed);
         self.sum

@@ -9,7 +9,7 @@
 use crate::histogram::Histogram;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// A monotonically increasing counter. Hot path: one relaxed atomic add.
 #[derive(Debug, Default)]
@@ -100,7 +100,7 @@ pub struct Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let families = self.families.read().expect("registry lock");
+        let families = self.families.read().unwrap_or_else(PoisonError::into_inner);
         f.debug_struct("Registry")
             .field("families", &families.len())
             .finish()
@@ -150,12 +150,17 @@ impl Registry {
         let labels = normalize_labels(labels);
         // Fast path: series already exists.
         {
-            let families = self.families.read().expect("registry lock");
+            // Poisoning cannot corrupt the map (writers only insert), so a
+            // poisoned lock is recovered rather than propagated.
+            let families = self.families.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(found) = families
                 .get(name)
                 .and_then(|fam| fam.series.get(&labels))
                 .map(|ins| {
                     get(ins).unwrap_or_else(|| {
+                        // lint:allow(no-panic-path): documented registration-time contract —
+                        // re-registering a name as a different kind is a programming error
+                        // caught at startup, never reachable from the sample path.
                         panic!("metric {name} already registered as a {}", ins.kind())
                     })
                 })
@@ -163,12 +168,16 @@ impl Registry {
                 return found;
             }
         }
-        let mut families = self.families.write().expect("registry lock");
+        let mut families = self
+            .families
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let family = families.entry(name.to_owned()).or_insert_with(|| Family {
             help: help.to_owned(),
             series: BTreeMap::new(),
         });
         let ins = family.series.entry(labels).or_insert_with(make);
+        // lint:allow(no-panic-path): documented registration-time contract (see above)
         get(ins).unwrap_or_else(|| panic!("metric {name} already registered as a {}", ins.kind()))
     }
 
@@ -249,7 +258,7 @@ impl Registry {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let families = self.families.read().expect("registry lock");
+        let families = self.families.read().unwrap_or_else(PoisonError::into_inner);
         for (name, family) in families.iter() {
             let kind = family
                 .series

@@ -26,6 +26,10 @@
 //! * [`telemetry`] — zero-dependency observability: process-global
 //!   metrics registry with Prometheus-style exposition and leveled
 //!   structured tracing.
+//! * [`lint`] — the workspace invariant linter: panic-freedom and
+//!   determinism on the decision path, `SAFETY:` discipline, telemetry
+//!   naming, and wire-tag uniqueness, checked over a hand-rolled token
+//!   stream and gated in CI.
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the
 //! paper-to-crate mapping.
@@ -35,6 +39,7 @@ pub use livephase_daq as daq;
 pub use livephase_engine as engine;
 pub use livephase_experiments as experiments;
 pub use livephase_governor as governor;
+pub use livephase_lint as lint;
 pub use livephase_pmsim as pmsim;
 pub use livephase_serve as serve;
 pub use livephase_telemetry as telemetry;
