@@ -70,3 +70,38 @@ wait "$serve_pid" || { echo "smoke: serve exited non-zero"; exit 1; }
 grep -q 'served 2 connections' serve_smoke.log || { echo "smoke: bad serve summary"; exit 1; }
 rm -f serve_smoke.log
 echo "serve loopback smoke test passed"
+
+# Reactor scale gate: 5000 concurrent connections through the epoll
+# reactor, every stream held open at once and bit-exact against the
+# in-process manager. Each side (server, load generator) needs one fd
+# per connection plus headroom, so skip — loudly — where the fd limit
+# cannot carry it rather than fail on an environment constraint.
+REACTOR_GATE_CONNS=5000
+nofile=$(ulimit -n)
+if [ "$nofile" != "unlimited" ] && [ "$nofile" -lt $((REACTOR_GATE_CONNS + 200)) ]; then
+    echo "SKIP reactor scale gate: ulimit -n is $nofile," \
+         "need >= $((REACTOR_GATE_CONNS + 200)) to hold $REACTOR_GATE_CONNS" \
+         "connections per process (raise with 'ulimit -n 8192')"
+else
+    "$cli" serve --port 0 --shards 2 --max-conns $((REACTOR_GATE_CONNS + 100)) \
+        --read-timeout-ms 60000 --exit-after-conns "$REACTOR_GATE_CONNS" \
+        > serve_scale.log &
+    scale_pid=$!
+    trap 'kill "$scale_pid" 2>/dev/null || true; rm -f serve_smoke.log serve_scale.log' EXIT
+    for _ in $(seq 50); do
+        grep -q '^listening on ' serve_scale.log && break
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' serve_scale.log)
+    [ -n "$addr" ] || { echo "scale: serve never announced its address"; exit 1; }
+    scale_out=$("$cli" serve-bench "$addr" --conns "$REACTOR_GATE_CONNS" --reactor \
+        --length 8 --window 16 --read-timeout-ms 60000)
+    echo "$scale_out"
+    echo "$scale_out" | grep -q "concurrent connections peak $REACTOR_GATE_CONNS" \
+        || { echo "scale: not every connection was held open concurrently"; exit 1; }
+    echo "$scale_out" | grep -q "$REACTOR_GATE_CONNS/$REACTOR_GATE_CONNS benchmarks bit-exact" \
+        || { echo "scale: served decisions diverged at scale"; exit 1; }
+    wait "$scale_pid" || { echo "scale: serve exited non-zero"; exit 1; }
+    rm -f serve_scale.log
+    echo "reactor scale gate passed ($REACTOR_GATE_CONNS connections)"
+fi

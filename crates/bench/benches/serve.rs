@@ -29,6 +29,25 @@ fn bench_frame_codec(c: &mut Criterion) {
     group.bench_function("encode_decision", |b| {
         b.iter(|| black_box(wire::encode(black_box(&decision))))
     });
+    // The reactor's write path: `encode_into` appends onto a reused
+    // outbound queue instead of allocating a Vec per frame. Steady-state
+    // (buffer capacity reached) this is the zero-allocation encode.
+    group.bench_function("encode_decision_into_reused", |b| {
+        let mut outbound = Vec::with_capacity(4096);
+        b.iter(|| {
+            outbound.clear();
+            wire::encode_into(black_box(&decision), &mut outbound);
+            black_box(outbound.len())
+        })
+    });
+    group.bench_function("encode_sample_into_reused", |b| {
+        let mut outbound = Vec::with_capacity(4096);
+        b.iter(|| {
+            outbound.clear();
+            wire::encode_into(black_box(&sample), &mut outbound);
+            black_box(outbound.len())
+        })
+    });
     let sample_payload = wire::encode_payload(&sample);
     group.bench_function("decode_sample", |b| {
         b.iter(|| wire::decode_payload(black_box(&sample_payload)).expect("valid"))

@@ -125,6 +125,22 @@ pub struct Parsed {
     /// `--no-check`: skip the in-process oracle agreement pass in
     /// `serve-bench`.
     pub no_check: bool,
+    /// `--reactor`: the nonblocking epoll engine. The default for
+    /// `serve`; for `serve-bench` it selects the many-connection
+    /// single-thread load generator (one multiplexed connection per
+    /// `--conns`, all held open concurrently).
+    pub reactor: bool,
+    /// `--blocking`: run `serve` on the legacy thread-per-connection
+    /// engine (deprecated; retained for one release as the reactor's
+    /// equivalence oracle).
+    pub blocking: bool,
+    /// `--max-outbound` per-connection outbound queue cap in bytes for
+    /// `serve` (reactor mode); a slow consumer exceeding it is shed.
+    pub max_outbound_bytes: usize,
+    /// `--sndbuf` socket send-buffer size in bytes for `serve`
+    /// (reactor mode), if given; small values surface backpressure
+    /// early in tests.
+    pub sndbuf: Option<usize>,
     /// `--log-json`: emit `serve` trace events as JSON lines instead of
     /// the human-readable form.
     pub log_json: bool,
@@ -151,6 +167,10 @@ impl Default for Parsed {
             window: 64,
             bench: Vec::new(),
             no_check: false,
+            reactor: false,
+            blocking: false,
+            max_outbound_bytes: 256 * 1024,
+            sndbuf: None,
             log_json: false,
             json: false,
         }
@@ -251,6 +271,21 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                     .collect();
             }
             "--no-check" => parsed.no_check = true,
+            "--reactor" => parsed.reactor = true,
+            "--blocking" => parsed.blocking = true,
+            "--max-outbound" => {
+                parsed.max_outbound_bytes = parse_num(&mut it, "--max-outbound")?;
+                if parsed.max_outbound_bytes == 0 {
+                    return Err(CliError::new("--max-outbound must be at least 1"));
+                }
+            }
+            "--sndbuf" => {
+                let v: usize = parse_num(&mut it, "--sndbuf")?;
+                if v == 0 {
+                    return Err(CliError::new("--sndbuf must be at least 1"));
+                }
+                parsed.sndbuf = Some(v);
+            }
             "--log-json" => parsed.log_json = true,
             "--json" => parsed.json = true,
             other if other.starts_with('-') => {
@@ -290,6 +325,11 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
     if parsed.command == Command::Lint && parsed.target.is_some() {
         return Err(CliError::new(
             "lint takes no argument; it scans the enclosing workspace",
+        ));
+    }
+    if parsed.reactor && parsed.blocking {
+        return Err(CliError::new(
+            "--reactor and --blocking are mutually exclusive",
         ));
     }
     Ok(parsed)
@@ -420,6 +460,28 @@ mod tests {
         assert!(parse(&argv("serve-bench 1.2.3.4:5 --conns 0")).is_err());
         assert!(parse(&argv("serve-bench 1.2.3.4:5 --window 0")).is_err());
         assert!(parse(&argv("serve --read-timeout-ms 0")).is_err());
+        assert!(parse(&argv("serve --max-outbound 0")).is_err());
+        assert!(parse(&argv("serve --sndbuf 0")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_mode_flags() {
+        let p = parse(&argv("serve")).unwrap();
+        assert!(!p.reactor && !p.blocking, "mode flags default off");
+        assert_eq!(p.max_outbound_bytes, 256 * 1024);
+        assert_eq!(p.sndbuf, None);
+        let p = parse(&argv("serve --blocking")).unwrap();
+        assert!(p.blocking);
+        let p = parse(&argv("serve --reactor --max-outbound 65536 --sndbuf 8192")).unwrap();
+        assert!(p.reactor);
+        assert_eq!(p.max_outbound_bytes, 65_536);
+        assert_eq!(p.sndbuf, Some(8_192));
+        let p = parse(&argv("serve-bench 127.0.0.1:9626 --conns 5000 --reactor")).unwrap();
+        assert!(p.reactor, "serve-bench --reactor selects many-conn mode");
+        assert!(
+            parse(&argv("serve --reactor --blocking")).is_err(),
+            "the mode flags are mutually exclusive"
+        );
     }
 
     #[test]

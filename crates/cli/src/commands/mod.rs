@@ -78,6 +78,13 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
         write_timeout: std::time::Duration::from_millis(parsed.read_timeout_ms),
         exit_after_conns: parsed.exit_after_conns,
         engine: livephase_serve::EngineConfig::pentium_m(),
+        mode: if parsed.blocking {
+            livephase_serve::ServeMode::Blocking
+        } else {
+            livephase_serve::ServeMode::Reactor
+        },
+        max_outbound_bytes: parsed.max_outbound_bytes,
+        sndbuf: parsed.sndbuf,
     };
     let handle = livephase_serve::spawn(config)
         .map_err(|e| CliError::new(format!("cannot bind port {}: {e}", parsed.port)))?;
@@ -105,6 +112,7 @@ fn serve_bench(parsed: &Parsed) -> Result<String, CliError> {
         window: parsed.window,
         check_agreement: !parsed.no_check,
         timeout: std::time::Duration::from_millis(parsed.read_timeout_ms.max(1_000)),
+        many_conn: parsed.reactor,
     };
     let report =
         livephase_serve::loadgen::run(&config).map_err(|e| CliError::new(e.to_string()))?;

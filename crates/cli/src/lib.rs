@@ -81,12 +81,20 @@ pub fn usage() -> String {
      \x20 --max-conns <n>       concurrent-connection accept gate (default 256)\n\
      \x20 --exit-after-conns <n> exit after admitting and draining n connections\n\
      \x20 --read-timeout-ms <n> socket timeout (default 5000)\n\
+     \x20 --reactor             nonblocking epoll engine (the default)\n\
+     \x20 --blocking            legacy thread-per-connection engine\n\
+     \x20                       (deprecated; one release as equivalence oracle)\n\
+     \x20 --max-outbound <n>    per-connection outbound queue cap in bytes\n\
+     \x20                       (default 262144; slow consumers over it are shed)\n\
+     \x20 --sndbuf <n>          socket send-buffer size in bytes\n\
      \x20 --log-json            emit trace events as JSON lines\n\
      \n\
      SERVE-BENCH OPTIONS:\n\
      \x20 --conns <n>           concurrent connections (default 8)\n\
      \x20 --window <n>          samples in flight per connection (default 64)\n\
      \x20 --bench <a,b,...>     benchmark subset (default: all 33)\n\
-     \x20 --no-check            skip the in-process oracle agreement pass\n"
+     \x20 --no-check            skip the in-process oracle agreement pass\n\
+     \x20 --reactor             many-connection mode: one thread multiplexes\n\
+     \x20                       all --conns connections, held open concurrently\n"
         .to_owned()
 }

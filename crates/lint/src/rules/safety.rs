@@ -2,14 +2,25 @@
 //! — must be preceded (within three lines, or trailed on the same line)
 //! by a comment containing `SAFETY:` stating why the invariants hold.
 //! Applies to the whole workspace, test code included: an unsound test
-//! is still unsound. The workspace currently carries `forbid(unsafe_code)`
-//! everywhere, so this rule guards the first future `unsafe` rather than
-//! existing sites.
+//! is still unsound.
+//!
+//! The rule also pins the workspace's unsafe-island scoping: `unsafe`
+//! is sanctioned only in the files listed in [`UNSAFE_ISLANDS`] (today,
+//! the serve crate's raw epoll/fcntl syscall layer — every other crate
+//! carries `forbid(unsafe_code)` or `deny(unsafe_code)`). An `unsafe`
+//! anywhere else is a finding even when impeccably documented: grow the
+//! allowlist deliberately, in this file, or keep the code safe.
 
 use super::{finding_at, Rule};
 use crate::lexer::TokenKind;
 use crate::report::Finding;
 use crate::source::SourceFile;
+
+/// The only files sanctioned to contain `unsafe` code, by
+/// workspace-relative path. Each island is expected to justify every
+/// site with a `// SAFETY:` comment and keep the unsafety behind a safe
+/// public API.
+pub const UNSAFE_ISLANDS: [&str; 1] = ["crates/serve/src/reactor.rs"];
 
 /// See the module docs.
 #[derive(Debug)]
@@ -21,6 +32,7 @@ impl Rule for SafetyComment {
     }
 
     fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let island = UNSAFE_ISLANDS.contains(&file.path.as_str());
         for t in file.code_tokens() {
             if t.kind != TokenKind::Ident || file.tok_text(t) != "unsafe" {
                 continue;
@@ -28,11 +40,39 @@ impl Rule for SafetyComment {
             if file.in_attr(t.start) {
                 continue; // e.g. `#[forbid(unsafe_code)]` paths never match, but stay safe
             }
-            let documented = file.tokens.iter().any(|c| {
-                c.kind.is_comment()
-                    && file.tok_text(c).contains("SAFETY:")
-                    && ((c.line <= t.line && c.line + 3 > t.line && c.start < t.start)
-                        || (c.line == t.line && c.start > t.start))
+            if !island {
+                out.push(finding_at(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    t,
+                    "`unsafe` outside the sanctioned island(s); keep raw \
+                     syscalls behind the existing island or extend \
+                     UNSAFE_ISLANDS deliberately"
+                        .to_owned(),
+                ));
+                continue;
+            }
+            // A `SAFETY:` comment opens a window: three lines past the
+            // end of its contiguous comment block (so a multi-line
+            // justification does not push its own `unsafe` out of
+            // range), or trailing on the same line.
+            let documented = file.tokens.iter().enumerate().any(|(i, c)| {
+                if !c.kind.is_comment() || !file.tok_text(c).contains("SAFETY:") {
+                    return false;
+                }
+                if c.line == t.line && c.start > t.start {
+                    return true; // trailing justification
+                }
+                let mut end = c.line + file.tok_text(c).matches('\n').count() as u32;
+                for cont in file.tokens.iter().skip(i + 1) {
+                    if cont.kind.is_comment() && cont.line == end + 1 {
+                        end = cont.line;
+                    } else if cont.line > end {
+                        break;
+                    }
+                }
+                end <= t.line && end + 3 > t.line && c.start < t.start
             });
             if !documented {
                 out.push(finding_at(
@@ -53,11 +93,15 @@ impl Rule for SafetyComment {
 mod tests {
     use super::*;
 
-    fn check(src: &str) -> Vec<Finding> {
-        let f = SourceFile::analyze("x.rs", "telemetry", src.to_owned());
+    fn check_at(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::analyze(path, "serve", src.to_owned());
         let mut out = Vec::new();
         SafetyComment.check_file(&f, &mut out);
         out
+    }
+
+    fn check(src: &str) -> Vec<Finding> {
+        check_at("crates/serve/src/reactor.rs", src)
     }
 
     #[test]
@@ -82,8 +126,41 @@ mod tests {
     }
 
     #[test]
+    fn multi_line_safety_block_extends_the_window() {
+        // The `SAFETY:` opener is 3 lines above, but its continuation
+        // lines carry the window down to the `unsafe`.
+        let src = "// SAFETY: the descriptor was just created\n\
+                   // and is owned exclusively here;\n\
+                   // nothing closes it twice.\n\
+                   unsafe { g() }";
+        assert!(check(src).is_empty());
+        // Non-comment code between the block and the site still breaks it.
+        let src =
+            "// SAFETY: stale\n// continuation\nlet x = 1;\nlet y = 2;\nlet z = 3;\nunsafe { g() }";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
     fn the_word_in_a_string_does_not_count() {
         let src = "let s = \"SAFETY:\";\nunsafe { g() }";
         assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_outside_the_island_fires_even_when_documented() {
+        let src = "// SAFETY: impeccably argued\nunsafe { g() }";
+        let got = check_at("crates/engine/src/lib.rs", src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("outside the sanctioned island"));
+    }
+
+    #[test]
+    fn the_island_allowlist_names_real_files() {
+        for path in UNSAFE_ISLANDS {
+            assert!(
+                path.starts_with("crates/") && path.ends_with(".rs"),
+                "island path {path:?} must be a workspace-relative .rs file"
+            );
+        }
     }
 }

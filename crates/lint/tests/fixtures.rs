@@ -62,9 +62,10 @@ fn determinism_fixture_fires_on_clock_env_and_map_iteration() {
 
 #[test]
 fn safety_fixture_fires_only_on_the_undocumented_site() {
+    // Inside the sanctioned unsafe island, documentation is what gates.
     let report = lint_fixture(
-        "safety_comment.rs",
-        "workloads", // the rule applies workspace-wide, not just decision crates
+        "crates/serve/src/reactor.rs",
+        "serve",
         include_str!("lint_fixtures/safety_comment.rs"),
     );
     assert!(!report.is_clean());
@@ -75,6 +76,25 @@ fn safety_fixture_fires_only_on_the_undocumented_site() {
         report.render_text()
     );
     assert_eq!(report.findings.len(), 1, "the documented site passes");
+}
+
+#[test]
+fn safety_fixture_fires_everywhere_outside_the_island() {
+    // Off the island, even the impeccably documented site is a finding:
+    // the allowlist in `rules::safety` is the only sanctioned scope.
+    let report = lint_fixture(
+        "safety_comment.rs",
+        "workloads", // the rule applies workspace-wide, not just decision crates
+        include_str!("lint_fixtures/safety_comment.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "safety-comment"),
+        vec![3, 6],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.findings.len(), 2, "both sites fire off-island");
 }
 
 #[test]

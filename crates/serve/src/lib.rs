@@ -17,15 +17,25 @@
 //!   shared `livephase-engine` decision pipeline (bit-identical to the
 //!   in-process manager's decision path) with batched queue draining.
 //! - [`server`] — the sharded daemon: N shard owner threads exclusively
-//!   holding predictor state, per-connection reader/writer threads,
-//!   timeouts, a `max_conns` accept gate, poison-one-connection error
-//!   handling and flag-based draining shutdown.
+//!   holding predictor state, timeouts, a `max_conns` accept gate,
+//!   poison-one-connection error handling and flag-based draining
+//!   shutdown. Two I/O engines, selected by
+//!   [`ServeMode`](server::ServeMode): the default nonblocking epoll
+//!   **reactor** (the [`reactor`] syscall layer plus the private `conn`
+//!   and `shard` modules — one readiness loop per shard thread owning
+//!   thousands of sockets, bounded outbound queues with slow-consumer
+//!   shedding, idle reaping on a coarse tick) and the original
+//!   thread-per-connection **blocking** mode, retained for one release
+//!   as the reactor's equivalence oracle.
 //! - [`client`] / [`loadgen`] — the blocking client and the
 //!   `serve-bench` load generator, which replays the synthetic SPEC
 //!   workloads over M connections and checks served decisions bit-exactly
 //!   against an in-process oracle run.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the `reactor` syscall module, the workspace's sanctioned unsafe
+// island (livephase-lint's safety-comment rule pins that scoping).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // The decision path must not panic on malformed input: sessions are the
 // failure domain, so serving code is held unwrap/expect-free outside tests.
@@ -33,13 +43,16 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub(crate) mod conn;
 pub mod engine;
 pub mod loadgen;
+pub mod reactor;
 pub mod server;
+pub(crate) mod shard;
 pub mod wire;
 
 pub use client::{Client, ClientError, ServedDecision};
 pub use engine::{shard_for, Decision, EngineConfig, EngineConfigError, Sample, SessionState};
 pub use loadgen::{Agreement, LoadGenConfig, LoadGenError, LoadReport};
-pub use server::{spawn, ServerConfig, ServerHandle, ServerSummary};
+pub use server::{spawn, ServeMode, ServerConfig, ServerHandle, ServerSummary};
 pub use wire::{ErrorCode, Frame, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -1,6 +1,15 @@
 //! The sharded TCP phase-prediction server.
 //!
-//! Threading model (std only — one `TcpListener`, `std::thread`, mpsc):
+//! Two I/O modes share this module's configuration, counters and
+//! summary, selected by [`ServerConfig::mode`]:
+//!
+//! - [`ServeMode::Reactor`] (default) — N shard threads, each running a
+//!   nonblocking epoll readiness loop over the listener and every
+//!   connection it accepted (see [`crate::shard`] and [`crate::conn`]).
+//!   One thread owns thousands of sockets; sessions never cross threads.
+//! - [`ServeMode::Blocking`] — the original thread-per-connection model,
+//!   retained for one release as the reactor's equivalence oracle (see
+//!   the `--blocking` deprecation note in the README):
 //!
 //! ```text
 //! acceptor ── spawns ──► connection reader ──► shard 0 owner ─┐
@@ -9,26 +18,28 @@
 //!                        connection writer ◄──────────────────┘
 //! ```
 //!
-//! Each of the N **shard owner** threads exclusively owns the predictor
-//! state ([`SessionState`]) of the sessions hashed onto it — there is no
-//! lock around any GPHT. Connections are assigned to shards by
-//! [`shard_for`] over the client id from `Hello`. A connection's reader
-//! thread forwards samples to its shard over an mpsc channel; the shard
-//! computes decisions and queues them on the connection's **writer**
-//! thread, which drains its queue into a `BufWriter` and flushes once per
-//! batch — so decisions are batched per socket flush, not written one
-//! syscall each. mpsc channels are FIFO per sender, so a session's
-//! decisions come back in sample order.
+//! In blocking mode each of the N **shard owner** threads exclusively
+//! owns the predictor state ([`SessionState`]) of the sessions hashed
+//! onto it — there is no lock around any GPHT. Connections are assigned
+//! to shards by [`shard_for`] over the client id from `Hello`. A
+//! connection's reader thread forwards samples to its shard over an mpsc
+//! channel; the shard computes decisions and queues them on the
+//! connection's **writer** thread, which drains its queue into a
+//! `BufWriter` and flushes once per batch — so decisions are batched per
+//! socket flush, not written one syscall each. mpsc channels are FIFO
+//! per sender, so a session's decisions come back in sample order.
 //!
-//! Robustness: every socket carries read/write timeouts; a malformed or
-//! oversized frame earns the sender a terminal [`Frame::Error`] and
-//! poisons **only that connection** — its shard and every other session
-//! keep running. Shutdown is flag-based: [`ServerHandle::shutdown`] (or
-//! `exit_after_conns` draining the last connection) raises the flag and
-//! pokes the acceptor with a loopback connect; readers notice at their
-//! next frame or timeout, in-flight samples still get their decisions
-//! (the shard processes a session's queue before its unregister), and
-//! writers flush before exiting.
+//! Robustness (both modes): every connection carries read/write
+//! timeouts; a malformed or oversized frame earns the sender a terminal
+//! [`Frame::Error`] and poisons **only that connection** — its shard and
+//! every other session keep running. The reactor additionally sheds
+//! connections whose outbound queue exceeds
+//! [`ServerConfig::max_outbound_bytes`] with a typed
+//! [`ErrorCode::SlowConsumer`]. Shutdown is flag-based:
+//! [`ServerHandle::shutdown`] (or `exit_after_conns` draining the last
+//! connection) raises the flag and pokes the listener with a loopback
+//! connect; connections are drained — in-flight samples still get their
+//! decisions and queued frames flush — before sockets close.
 
 use crate::engine::{shard_for, Decision, EngineConfig, Sample, SessionState};
 use crate::wire::{
@@ -52,12 +63,12 @@ const TRACE: &str = "serve::server";
 /// threads hold their own per-shard handles (see [`ShardMetrics`]).
 /// Created once per server, recorded lock-free ever after.
 #[derive(Debug)]
-struct ServeMetrics {
-    connections_total: Arc<Counter>,
-    connections_active: Arc<Gauge>,
-    rejected_total: Arc<Counter>,
-    poisoned_total: Arc<Counter>,
-    frame_encode_us: Arc<Histogram>,
+pub(crate) struct ServeMetrics {
+    pub(crate) connections_total: Arc<Counter>,
+    pub(crate) connections_active: Arc<Gauge>,
+    pub(crate) rejected_total: Arc<Counter>,
+    pub(crate) poisoned_total: Arc<Counter>,
+    pub(crate) frame_encode_us: Arc<Histogram>,
 }
 
 impl ServeMetrics {
@@ -94,15 +105,15 @@ impl ServeMetrics {
 }
 
 /// Per-shard instrument handles, owned by one shard thread.
-struct ShardMetrics {
-    sessions: Arc<Gauge>,
-    queue_depth: Arc<Gauge>,
-    samples_total: Arc<Counter>,
-    decision_us: Arc<Histogram>,
+pub(crate) struct ShardMetrics {
+    pub(crate) sessions: Arc<Gauge>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) samples_total: Arc<Counter>,
+    pub(crate) decision_us: Arc<Histogram>,
 }
 
 impl ShardMetrics {
-    fn new(index: usize) -> Self {
+    pub(crate) fn new(index: usize) -> Self {
         let reg = livephase_telemetry::global();
         let shard = index.to_string();
         let label: &[(&str, &str)] = &[("shard", &shard)];
@@ -136,6 +147,19 @@ impl ShardMetrics {
     }
 }
 
+/// Which I/O engine drives the server's connections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Nonblocking epoll readiness loops, one per shard thread, each
+    /// owning thousands of sockets — the default.
+    #[default]
+    Reactor,
+    /// Thread-per-connection blocking I/O — the original model, kept for
+    /// one release as the reactor's equivalence oracle and slated for
+    /// removal (see the README's `--blocking` deprecation note).
+    Blocking,
+}
+
 /// Everything a server needs to start.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -159,6 +183,15 @@ pub struct ServerConfig {
     pub exit_after_conns: Option<u64>,
     /// Phase map, translation table and platform name served.
     pub engine: EngineConfig,
+    /// Which I/O engine drives connections.
+    pub mode: ServeMode,
+    /// Reactor only: a connection whose un-drained outbound queue
+    /// exceeds this many bytes is shed with [`ErrorCode::SlowConsumer`].
+    pub max_outbound_bytes: usize,
+    /// Reactor only: cap each accepted socket's kernel send buffer
+    /// (`SO_SNDBUF`) to this many bytes. `None` keeps the kernel
+    /// default; tests set it low to make backpressure prompt.
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -171,6 +204,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             exit_after_conns: None,
             engine: EngineConfig::pentium_m(),
+            mode: ServeMode::default(),
+            max_outbound_bytes: 256 * 1024,
+            sndbuf: None,
         }
     }
 }
@@ -193,16 +229,16 @@ pub struct ServerSummary {
 
 /// Counters shared by every thread of a running server.
 #[derive(Debug)]
-struct Shared {
-    shutdown: AtomicBool,
-    accepted: AtomicU64,
-    active: AtomicU64,
-    rejected: AtomicU64,
-    poisoned: AtomicU64,
-    samples: AtomicU64,
-    decisions: AtomicU64,
-    processes: AtomicU64,
-    metrics: ServeMetrics,
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) poisoned: AtomicU64,
+    pub(crate) samples: AtomicU64,
+    pub(crate) decisions: AtomicU64,
+    pub(crate) processes: AtomicU64,
+    pub(crate) metrics: ServeMetrics,
 }
 
 impl Shared {
@@ -220,7 +256,7 @@ impl Shared {
         }
     }
 
-    fn snapshot(&self, shards: u32) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self, shards: u32) -> StatsSnapshot {
         StatsSnapshot {
             samples: self.samples.load(Ordering::Relaxed),
             decisions: self.decisions.load(Ordering::Relaxed),
@@ -231,7 +267,7 @@ impl Shared {
         }
     }
 
-    fn summary(&self) -> ServerSummary {
+    pub(crate) fn summary(&self) -> ServerSummary {
         ServerSummary {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -270,7 +306,7 @@ enum ShardMsg {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: JoinHandle<ServerSummary>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -280,39 +316,51 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Raises the shutdown flag, pokes the acceptor awake, and waits for
+    /// Raises the shutdown flag, pokes the listener awake, and waits for
     /// every connection to drain.
     ///
     /// # Panics
     ///
-    /// Panics if the acceptor thread itself panicked.
+    /// Panics if a server thread itself panicked.
     pub fn shutdown(self) -> ServerSummary {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor; it checks the flag before admitting.
+        // Unblock whichever thread is waiting on the listener; the flag
+        // is checked before admitting.
         drop(TcpStream::connect(self.local_addr));
-        self.acceptor
-            .join()
-            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+        self.join()
     }
 
     /// Waits for the server to exit on its own (`exit_after_conns`).
     ///
     /// # Panics
     ///
-    /// Panics if the acceptor thread itself panicked.
+    /// Panics if a server thread itself panicked.
     pub fn join(self) -> ServerSummary {
-        self.acceptor
-            .join()
-            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+        for t in self.threads {
+            t.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+        let summary = self.shared.summary();
+        trace_event!(
+            Level::Info,
+            TRACE,
+            "server stopped",
+            accepted = summary.accepted,
+            samples = summary.samples,
+            decisions = summary.decisions,
+            poisoned = summary.poisoned
+        );
+        summary
     }
 }
 
-/// Binds `config.addr` and spawns the acceptor; returns once the port is
-/// bound, so [`ServerHandle::local_addr`] is immediately connectable.
+/// Binds `config.addr` and spawns the server threads for the configured
+/// [`ServeMode`]; returns once the port is bound, so
+/// [`ServerHandle::local_addr`] is immediately connectable.
 ///
 /// # Errors
 ///
-/// Propagates the bind failure.
+/// Propagates the bind failure (and, for the reactor, listener clone or
+/// shard spawn failures).
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     assert!(config.shards > 0, "a server has at least one shard");
     assert!(
@@ -322,14 +370,19 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let shared = Arc::new(Shared::new());
-    let shared_for_acceptor = Arc::clone(&shared);
-    let acceptor = std::thread::Builder::new()
-        .name("serve-acceptor".to_owned())
-        .spawn(move || accept_loop(&listener, &config, &shared_for_acceptor))?;
+    let threads = match config.mode {
+        ServeMode::Reactor => crate::shard::spawn_shards(listener, &config, &shared)?,
+        ServeMode::Blocking => {
+            let shared_for_acceptor = Arc::clone(&shared);
+            vec![std::thread::Builder::new()
+                .name("serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &config, &shared_for_acceptor))?]
+        }
+    };
     Ok(ServerHandle {
         local_addr,
         shared,
-        acceptor,
+        threads,
     })
 }
 
@@ -342,11 +395,7 @@ struct ConnCtx {
     write_timeout: Duration,
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    config: &ServerConfig,
-    shared: &Arc<Shared>,
-) -> ServerSummary {
+fn accept_loop(listener: &TcpListener, config: &ServerConfig, shared: &Arc<Shared>) {
     let engine = Arc::new(config.engine.clone());
     if let Ok(addr) = listener.local_addr() {
         trace_event!(
@@ -432,17 +481,6 @@ fn accept_loop(
         let _ = t.join();
     }
     drop(shard_txs); // disconnects every shard channel
-    let summary = shared.summary();
-    trace_event!(
-        Level::Info,
-        TRACE,
-        "server stopped",
-        accepted = summary.accepted,
-        samples = summary.samples,
-        decisions = summary.decisions,
-        poisoned = summary.poisoned
-    );
-    summary
 }
 
 /// Post-connection bookkeeping: drop the active count and, when an
@@ -957,7 +995,7 @@ fn refuse(reply: &mpsc::Sender<Frame>, code: ErrorCode, message: impl Into<Strin
     });
 }
 
-fn frame_name(frame: &Frame) -> &'static str {
+pub(crate) fn frame_name(frame: &Frame) -> &'static str {
     match frame {
         Frame::Hello { .. } => "Hello",
         Frame::HelloAck { .. } => "HelloAck",
@@ -972,25 +1010,32 @@ fn frame_name(frame: &Frame) -> &'static str {
     }
 }
 
-/// Encodes into the buffer, timing encode (not socket I/O) for the
-/// writer-side latency histogram.
-fn write_timed(w: &mut impl Write, frame: &Frame, encode_us: &Histogram) -> io::Result<()> {
+/// Encodes into the reused scratch buffer (no per-frame allocation),
+/// timing encode (not socket I/O) for the writer-side latency histogram.
+fn write_timed(
+    w: &mut impl Write,
+    frame: &Frame,
+    encode_us: &Histogram,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
     let started = Instant::now(); // lint:allow(determinism): encode-latency histogram only
-    let bytes = wire::encode(frame);
+    scratch.clear();
+    wire::encode_into(frame, scratch);
     encode_us.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
-    w.write_all(&bytes)
+    w.write_all(scratch)
 }
 
 /// Drains queued frames into a `BufWriter`, flushing once per batch: one
 /// blocking receive, then everything else already queued, then a flush.
 fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Frame>, encode_us: &Histogram) {
     let mut w = BufWriter::with_capacity(32 * 1024, stream);
+    let mut scratch: Vec<u8> = Vec::with_capacity(64);
     while let Ok(frame) = rx.recv() {
-        if write_timed(&mut w, &frame, encode_us).is_err() {
+        if write_timed(&mut w, &frame, encode_us, &mut scratch).is_err() {
             return;
         }
         while let Ok(f) = rx.try_recv() {
-            if write_timed(&mut w, &f, encode_us).is_err() {
+            if write_timed(&mut w, &f, encode_us, &mut scratch).is_err() {
                 return;
             }
         }

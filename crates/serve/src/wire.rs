@@ -74,6 +74,9 @@ pub enum ErrorCode {
     Protocol,
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// The peer stopped draining its socket: the sender's bounded
+    /// outbound queue overflowed and the connection is being shed.
+    SlowConsumer,
 }
 
 impl ErrorCode {
@@ -89,6 +92,7 @@ impl ErrorCode {
             Self::BadConfig => "bad_config",
             Self::Protocol => "protocol",
             Self::ShuttingDown => "shutting_down",
+            Self::SlowConsumer => "slow_consumer",
         }
     }
 
@@ -101,6 +105,7 @@ impl ErrorCode {
             Self::BadConfig => 5,
             Self::Protocol => 6,
             Self::ShuttingDown => 7,
+            Self::SlowConsumer => 8,
         }
     }
 
@@ -113,6 +118,7 @@ impl ErrorCode {
             5 => Self::BadConfig,
             6 => Self::Protocol,
             7 => Self::ShuttingDown,
+            8 => Self::SlowConsumer,
             _ => return None,
         })
     }
@@ -128,6 +134,7 @@ impl fmt::Display for ErrorCode {
             Self::BadConfig => "bad configuration",
             Self::Protocol => "protocol violation",
             Self::ShuttingDown => "shutting down",
+            Self::SlowConsumer => "slow consumer",
         };
         f.write_str(s)
     }
@@ -335,6 +342,14 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
 #[must_use]
 pub fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(32);
+    encode_payload_into(frame, &mut buf);
+    buf
+}
+
+/// Encodes a frame's payload (tag + body) by appending to `buf`,
+/// without the length prefix and without allocating a fresh vector —
+/// the hot-path variant for write loops that reuse an outbound buffer.
+pub fn encode_payload_into(frame: &Frame, buf: &mut Vec<u8>) {
     match frame {
         Frame::Hello {
             version,
@@ -345,8 +360,8 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             buf.push(TAG_HELLO);
             buf.extend_from_slice(&version.to_le_bytes());
             buf.extend_from_slice(&client_id.to_le_bytes());
-            put_str(&mut buf, platform);
-            put_str(&mut buf, predictor);
+            put_str(buf, platform);
+            put_str(buf, predictor);
         }
         Frame::HelloAck {
             version,
@@ -393,29 +408,42 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
         Frame::Error { code, message } => {
             buf.push(TAG_ERROR);
             buf.push(code.to_u8());
-            put_str(&mut buf, message);
+            put_str(buf, message);
         }
         Frame::Goodbye => buf.push(TAG_GOODBYE),
         Frame::MetricsRequest => buf.push(TAG_METRICS_REQUEST),
         Frame::Metrics { text } => {
             buf.push(TAG_METRICS);
-            put_str(&mut buf, text);
+            put_str(buf, text);
         }
     }
-    buf
 }
 
 /// Encodes a frame to its full wire form: length prefix plus payload.
 #[must_use]
 pub fn encode(frame: &Frame) -> Vec<u8> {
-    let payload = encode_payload(frame);
-    let mut out = Vec::with_capacity(4 + payload.len());
+    let mut out = Vec::with_capacity(36);
+    encode_into(frame, &mut out);
+    out
+}
+
+/// Encodes a frame to its full wire form (length prefix plus payload)
+/// by appending to `out`, allocating nothing beyond amortized buffer
+/// growth. This is the shard write path: one reusable outbound buffer
+/// per connection accumulates many frames per socket flush, so the
+/// steady-state decision stream performs zero per-frame allocations.
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    encode_payload_into(frame, out);
     // Payloads are structurally bounded far below u32::MAX: strings are
     // u16-length-prefixed and every other field is fixed-width.
-    let len = u32::try_from(payload.len()).unwrap_or_else(|_| unreachable!("payload fits in u32"));
-    out.extend_from_slice(&len.to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    let payload_len = out.len() - start - 4;
+    let len = u32::try_from(payload_len).unwrap_or_else(|_| unreachable!("payload fits in u32"));
+    match out.get_mut(start..start + 4) {
+        Some(prefix) => prefix.copy_from_slice(&len.to_le_bytes()),
+        None => unreachable!("length prefix was reserved above"),
+    }
 }
 
 /// Sequential little-endian field reader over a frame payload.
@@ -595,6 +623,128 @@ pub fn read_frame_timed(r: &mut impl Read) -> Result<(Frame, std::time::Duration
     let started = std::time::Instant::now();
     let frame = decode_payload(&payload)?;
     Ok((frame, started.elapsed()))
+}
+
+/// Once the consumed prefix of the decode buffer grows past this, the
+/// remaining bytes are shifted to the front so the buffer's capacity
+/// stays bounded by the largest burst, not the lifetime byte count.
+const DECODER_COMPACT_BYTES: usize = 16 * 1024;
+
+/// Incremental, resumable frame decoder for non-blocking reads.
+///
+/// Blocking connections can use [`read_frame`], which owns the socket
+/// until a whole frame arrives. A reactor cannot: a readiness event
+/// delivers however many bytes the kernel has — half a length prefix,
+/// three frames and a torn fourth — and the decoder must bank them and
+/// resume later. `FrameDecoder` accepts arbitrary byte-boundary splits
+/// via [`feed`](Self::feed) and yields exactly the frames a one-shot
+/// decode of the concatenated stream would, in order.
+///
+/// The internal buffer is reused across frames and compacted as the
+/// consumed prefix grows, so steady-state decoding of fixed-width
+/// frames ([`Frame::Sample`], [`Frame::Decision`]) performs no
+/// per-frame heap allocation. Errors are terminal for the stream, as
+/// everywhere else in this protocol: the caller poisons the connection
+/// and drops the decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    /// Times [`next_frame`](Self::next_frame) came up empty-handed with
+    /// a torn frame banked — resumes attributable to the frame at the
+    /// head of the buffer.
+    head_resumes: u32,
+    /// Resumes the most recently yielded frame needed (telemetry).
+    last_resumes: u32,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Banks `bytes` for decoding. Call [`next_frame`](Self::next_frame)
+    /// until it returns `Ok(None)` to drain every completed frame.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes banked but not yet consumed by a yielded frame.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// How many resumed `next_frame` attempts the most recently yielded
+    /// frame needed before its bytes were complete (0 when the frame
+    /// arrived whole in one feed) — the reactor's decode-resume
+    /// histogram samples this.
+    #[must_use]
+    pub fn last_resumes(&self) -> u32 {
+        self.last_resumes
+    }
+
+    /// Yields the next complete frame, or `Ok(None)` when the banked
+    /// bytes end mid-frame (feed more and retry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] exactly where the one-shot path would:
+    /// a length prefix outside `1..=MAX_FRAME_BYTES`, or a payload
+    /// [`decode_payload`] rejects. Errors poison the stream; the caller
+    /// is expected to drop the decoder with its connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let Some(avail) = self.buf.len().checked_sub(self.pos) else {
+            unreachable!("consumed prefix never exceeds buffer length")
+        };
+        if avail < 4 {
+            return Ok(self.pending(avail));
+        }
+        let Some(len_bytes) = self.buf.get(self.pos..self.pos + 4) else {
+            unreachable!("avail >= 4 bytes were checked above")
+        };
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(len_bytes);
+        let len = u32::from_le_bytes(arr) as usize;
+        if len == 0 || len > MAX_FRAME_BYTES {
+            return Err(DecodeError::BadLength(len));
+        }
+        if avail < 4 + len {
+            return Ok(self.pending(avail));
+        }
+        let Some(payload) = self.buf.get(self.pos + 4..self.pos + 4 + len) else {
+            unreachable!("avail >= 4 + len bytes were checked above")
+        };
+        let frame = decode_payload(payload)?;
+        self.pos += 4 + len;
+        self.last_resumes = self.head_resumes;
+        self.head_resumes = 0;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Bookkeeping for an incomplete head frame: counts the resume (a
+    /// torn frame is banked) and compacts so a long-lived connection's
+    /// buffer does not creep.
+    fn pending(&mut self, avail: usize) -> Option<Frame> {
+        if avail > 0 {
+            self.head_resumes = self.head_resumes.saturating_add(1);
+        }
+        self.compact();
+        None
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= DECODER_COMPACT_BYTES {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 /// Truncates exposition text to at most [`MAX_METRICS_TEXT_BYTES`],
@@ -785,11 +935,129 @@ mod tests {
             ErrorCode::BadConfig,
             ErrorCode::Protocol,
             ErrorCode::ShuttingDown,
+            ErrorCode::SlowConsumer,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()), Some(code));
             assert!(!code.to_string().is_empty());
         }
         assert_eq!(ErrorCode::from_u8(0), None);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let frames = [
+            Frame::Sample {
+                pid: 7,
+                uops: 1,
+                mem_trans: 2,
+                tsc_delta: 3,
+            },
+            Frame::Decision {
+                pid: 7,
+                op_point: 4,
+                confidence: 5_000,
+            },
+            Frame::Error {
+                code: ErrorCode::SlowConsumer,
+                message: "queue overflow".into(),
+            },
+        ];
+        let mut out = Vec::new();
+        let mut expect = Vec::new();
+        for frame in &frames {
+            encode_into(frame, &mut out);
+            expect.extend_from_slice(&encode(frame));
+        }
+        assert_eq!(out, expect, "encode_into must append identical bytes");
+    }
+
+    #[test]
+    fn frame_decoder_handles_split_and_batched_frames() {
+        let frames = [
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                client_id: 9,
+                platform: "pentium_m".into(),
+                predictor: "gpht:8:128".into(),
+            },
+            Frame::Sample {
+                pid: 1,
+                uops: 10,
+                mem_trans: 20,
+                tsc_delta: 30,
+            },
+            Frame::Goodbye,
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            encode_into(frame, &mut stream);
+        }
+
+        // One byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in &stream {
+            dec.feed(std::slice::from_ref(byte));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.buffered(), 0);
+        assert!(dec.last_resumes() > 0, "torn frames must count resumes");
+
+        // All at once: whole-feed frames report zero resumes.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        for frame in &frames {
+            assert_eq!(dec.next_frame().unwrap().as_ref(), Some(frame));
+            assert_eq!(dec.last_resumes(), 0);
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_bad_lengths_like_the_stream_reader() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&0u32.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(DecodeError::BadLength(0)));
+
+        let mut dec = FrameDecoder::new();
+        let too_big = u32::try_from(MAX_FRAME_BYTES).unwrap() + 1;
+        dec.feed(&too_big.to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(DecodeError::BadLength(MAX_FRAME_BYTES + 1))
+        );
+    }
+
+    #[test]
+    fn frame_decoder_compacts_without_losing_bytes() {
+        let frame = Frame::Sample {
+            pid: 3,
+            uops: 4,
+            mem_trans: 5,
+            tsc_delta: 6,
+        };
+        let bytes = encode(&frame);
+        let mut dec = FrameDecoder::new();
+        // Push far more than the compaction threshold through a small
+        // decoder, splitting feeds at an awkward stride.
+        let rounds = (2 * super::DECODER_COMPACT_BYTES) / bytes.len() + 8;
+        let mut fed = Vec::new();
+        for _ in 0..rounds {
+            fed.extend_from_slice(&bytes);
+        }
+        let mut seen = 0usize;
+        for chunk in fed.chunks(7) {
+            dec.feed(chunk);
+            while let Some(got) = dec.next_frame().unwrap() {
+                assert_eq!(got, frame);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, rounds);
+        assert_eq!(dec.buffered(), 0);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! instead of taking the server with it.
 
 use livephase_serve::wire::{
-    decode_payload, encode, encode_payload, read_frame, DecodeError, ErrorCode, Frame, FrameError,
-    StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    decode_payload, encode, encode_payload, read_frame, DecodeError, ErrorCode, Frame,
+    FrameDecoder, FrameError, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -26,6 +26,7 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::BadConfig),
         Just(ErrorCode::Protocol),
         Just(ErrorCode::ShuttingDown),
+        Just(ErrorCode::SlowConsumer),
     ]
 }
 
@@ -163,6 +164,95 @@ proptest! {
         match decode_payload(&encode_payload(&frame)) {
             Ok(Frame::Hello { version, .. }) => prop_assert_eq!(version, PROTOCOL_VERSION),
             other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+
+    /// The incremental decoder fed one byte at a time yields exactly the
+    /// frames of the corpus, in order — resumable decoding is
+    /// byte-identical to one-shot decoding however the stream fragments.
+    #[test]
+    fn incremental_decoder_matches_one_shot_byte_at_a_time(
+        corpus in collection::vec(arb_frame(), 1usize..8),
+    ) {
+        let stream: Vec<u8> = corpus.iter().flat_map(encode).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for byte in &stream {
+            decoder.feed(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame().expect("valid corpus") {
+                // Every frame except one delivered whole in the very
+                // first byte must have waited on at least one resume.
+                prop_assert!(stream.len() == 1 || decoder.last_resumes() >= 1);
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, corpus);
+        prop_assert_eq!(decoder.buffered(), 0, "nothing left buffered");
+    }
+
+    /// The same corpus chopped into arbitrary chunk sizes decodes to the
+    /// same frames as feeding it whole.
+    #[test]
+    fn incremental_decoder_is_chunking_invariant(
+        corpus in collection::vec(arb_frame(), 1usize..8),
+        cuts in collection::vec(1usize..64, 0usize..32),
+    ) {
+        let stream: Vec<u8> = corpus.iter().flat_map(encode).collect();
+
+        // One-shot: the whole stream in a single feed.
+        let mut one_shot = FrameDecoder::new();
+        one_shot.feed(&stream);
+        let mut expected = Vec::new();
+        while let Some(frame) = one_shot.next_frame().expect("valid corpus") {
+            expected.push(frame);
+        }
+        prop_assert_eq!(expected.as_slice(), corpus.as_slice());
+
+        // Chunked: cut points from the random cut list, remainder last.
+        let mut chunked = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut rest = stream.as_slice();
+        for cut in cuts {
+            if rest.is_empty() {
+                break;
+            }
+            let take = cut.min(rest.len());
+            chunked.feed(&rest[..take]);
+            rest = &rest[take..];
+            while let Some(frame) = chunked.next_frame().expect("valid corpus") {
+                decoded.push(frame);
+            }
+        }
+        chunked.feed(rest);
+        while let Some(frame) = chunked.next_frame().expect("valid corpus") {
+            decoded.push(frame);
+        }
+        prop_assert_eq!(decoded, expected);
+        prop_assert_eq!(chunked.buffered(), 0);
+    }
+
+    /// Incremental byte soup never panics the decoder: it either waits
+    /// for more bytes or reports a typed error, and after the first
+    /// error every subsequent call keeps failing (no livelock, no UB on
+    /// a poisoned stream).
+    #[test]
+    fn incremental_byte_soup_never_panics(
+        chunks in collection::vec(collection::vec(0u8..=u8::MAX, 0usize..64), 0usize..16),
+    ) {
+        let mut decoder = FrameDecoder::new();
+        let mut errored = false;
+        for chunk in &chunks {
+            decoder.feed(chunk);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(_)) => prop_assert!(!errored, "no frames after an error"),
+                    Ok(None) => break,
+                    Err(_) => {
+                        errored = true;
+                        break;
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,341 @@
+//! Reactor-specific end-to-end tests: the many-connection load
+//! generator holding every session open at once, slow-consumer shedding
+//! under an outbound-queue cap, and the `--blocking` engine as the
+//! reactor's equivalence oracle — both modes must refuse, drain, reap
+//! and decide identically.
+
+use livephase_serve::client::Client;
+use livephase_serve::loadgen::{self, LoadGenConfig};
+use livephase_serve::reactor;
+use livephase_serve::server::{spawn, ServeMode, ServerConfig};
+use livephase_serve::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+fn connect(handle: &livephase_serve::ServerHandle, client_id: u64) -> Client {
+    Client::connect(
+        handle.local_addr(),
+        client_id,
+        "pentium_m",
+        "gpht:8:128",
+        Duration::from_secs(5),
+    )
+    .expect("handshake")
+}
+
+/// The scaled acceptance bar, sized for CI: the many-connection load
+/// generator opens 1200 sessions, holds them ALL open concurrently
+/// (peak == requested), and every served stream is bit-exact against
+/// the in-process manager.
+#[test]
+fn many_connection_mode_holds_all_sessions_and_stays_bit_exact() {
+    let handle = spawn(ServerConfig {
+        shards: 2,
+        max_conns: 1500,
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+
+    let report = loadgen::run(&LoadGenConfig {
+        addr: handle.local_addr().to_string(),
+        connections: 1200,
+        benchmarks: vec!["applu_in".into(), "swim_in".into(), "crafty_in".into()],
+        length: 12,
+        window: 16,
+        many_conn: true,
+        timeout: Duration::from_secs(30),
+        ..LoadGenConfig::default()
+    })
+    .expect("many-connection load generation succeeds");
+
+    assert_eq!(
+        report.peak_connections, 1200,
+        "every session is held open before any stream starts"
+    );
+    assert_eq!(report.outcomes.len(), 1200, "one outcome per connection");
+    assert!(report.all_exact(), "all 1200 streams bit-exact");
+    assert_eq!(report.samples, 1200 * 12);
+
+    let summary = handle.shutdown();
+    assert_eq!(summary.accepted, 1200);
+    assert_eq!(summary.poisoned, 0);
+    assert_eq!(summary.decisions, 1200 * 12);
+}
+
+/// A connection that stops draining its decisions is shed with a typed
+/// `Error{SlowConsumer}` once its outbound queue exceeds the configured
+/// cap — and a well-behaved sibling on the same shard keeps streaming
+/// bit-exact decisions throughout.
+#[test]
+fn slow_consumer_is_shed_without_disturbing_its_shard_siblings() {
+    // One shard (so the flood and the sibling share an owner thread),
+    // a small server send buffer and a small outbound cap so the
+    // backpressure ladder trips quickly.
+    let handle = spawn(ServerConfig {
+        shards: 1,
+        max_conns: 8,
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(5),
+        max_outbound_bytes: 32 * 1024,
+        sndbuf: Some(8 * 1024),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+
+    // The sibling replays a benchmark through the standard load
+    // generator (with the oracle agreement check) while the flood runs.
+    let sibling = std::thread::spawn(move || {
+        loadgen::run(&LoadGenConfig {
+            addr,
+            connections: 1,
+            benchmarks: vec!["applu_in".into()],
+            length: 200,
+            window: 8,
+            timeout: Duration::from_secs(30),
+            ..LoadGenConfig::default()
+        })
+    });
+
+    // The slow consumer: handshake, shrink its receive window, then
+    // flood samples without ever reading a decision.
+    let mut raw = TcpStream::connect(handle.local_addr()).expect("connect");
+    reactor::set_recv_buffer(raw.as_raw_fd(), 8 * 1024).expect("shrink rcvbuf");
+    raw.set_write_timeout(Some(Duration::from_millis(500)))
+        .expect("write timeout");
+    raw.write_all(&wire::encode(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        client_id: 666,
+        platform: "pentium_m".into(),
+        predictor: "gpht:8:128".into(),
+    }))
+    .expect("send hello");
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    match wire::read_frame(&mut reader) {
+        Ok(Frame::HelloAck { .. }) => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    let sample = wire::encode(&Frame::Sample {
+        pid: 1,
+        uops: 100_000_000,
+        mem_trans: 1_200_000,
+        tsc_delta: 0,
+    });
+    // Each sample earns a ~12-byte decision; tens of thousands overrun
+    // the 16 KiB of socket buffer per side plus the 32 KiB cap. Writes
+    // start failing once the server sheds us and closes; that is the
+    // signal to stop flooding.
+    for _ in 0..60_000 {
+        if raw.write_all(&sample).is_err() {
+            break;
+        }
+    }
+    // Now drain: decisions the server flushed before the cap tripped,
+    // then the typed shed error, then EOF.
+    let mut shed = false;
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok(Frame::Decision { .. }) => {}
+            Ok(Frame::Error { code, message }) => {
+                assert_eq!(code, ErrorCode::SlowConsumer, "typed shed error");
+                assert!(
+                    message.contains("shedding slow consumer"),
+                    "actionable message: {message}"
+                );
+                shed = true;
+            }
+            Ok(other) => panic!("unexpected frame while draining: {other:?}"),
+            Err(_) => break, // EOF after the terminal error
+        }
+    }
+    assert!(shed, "the flood was shed with Error{{SlowConsumer}}");
+
+    // The sibling finished its stream bit-exact despite sharing the shard.
+    let report = sibling
+        .join()
+        .expect("sibling thread")
+        .expect("sibling load generation succeeds");
+    assert!(report.all_exact(), "sibling stayed bit-exact");
+    assert_eq!(report.samples, 200);
+
+    // The shed shows up in the telemetry and the poison count.
+    let mut probe = connect(&handle, 2);
+    let text = probe.metrics().expect("metrics scrape");
+    assert!(
+        text.lines().any(|l| {
+            l.starts_with("serve_conns_shed_total")
+                && l.rsplit(' ')
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .is_some_and(|v| v >= 1)
+        }),
+        "shed counter exported: {text}"
+    );
+    probe.goodbye().expect("close probe");
+    let summary = handle.shutdown();
+    assert!(summary.poisoned >= 1, "the shed connection was poisoned");
+}
+
+/// The blocking engine is the reactor's equivalence oracle: the same
+/// counter stream through both modes yields bit-identical decision
+/// streams — operating point and confidence alike.
+#[test]
+fn reactor_and_blocking_modes_decide_identically() {
+    use livephase_workloads::{counter_samples, spec};
+    let samples: Vec<(u64, u64)> = counter_samples(
+        spec::benchmark("applu_in")
+            .expect("known benchmark")
+            .with_length(120)
+            .stream(42),
+    )
+    .map(|s| (s.uops, s.mem_transactions))
+    .collect();
+
+    let serve_once = |mode: ServeMode| -> Vec<(u8, u16)> {
+        let handle = spawn(ServerConfig {
+            shards: 2,
+            mode,
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+        let mut client = connect(&handle, 7);
+        for &(uops, mem) in &samples {
+            client.queue_sample(1, uops, mem, 0).expect("queue");
+        }
+        client.flush().expect("flush");
+        let decisions: Vec<(u8, u16)> = (0..samples.len())
+            .map(|_| {
+                let d = client.read_decision().expect("decision");
+                (d.op_point, d.confidence)
+            })
+            .collect();
+        client.goodbye().expect("close");
+        let summary = handle.shutdown();
+        assert_eq!(summary.decisions, samples.len() as u64);
+        assert_eq!(summary.poisoned, 0);
+        decisions
+    };
+
+    let via_reactor = serve_once(ServeMode::Reactor);
+    let via_blocking = serve_once(ServeMode::Blocking);
+    assert_eq!(
+        via_reactor, via_blocking,
+        "both engines run the identical decision path"
+    );
+}
+
+/// Idle reaping and graceful drain behave identically under both
+/// engines: an idle session earns `Error{IdleTimeout}`, queued
+/// decisions survive a shutdown (flushed before the close), and the
+/// poison accounting matches.
+#[test]
+fn idle_reap_and_graceful_drain_match_across_modes() {
+    let run_scenario = |mode: ServeMode| -> (u64, u64) {
+        let handle = spawn(ServerConfig {
+            shards: 2,
+            mode,
+            read_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+
+        // An idle session is reaped with the typed timeout error.
+        let mut idle = connect(&handle, 1);
+        match idle.read() {
+            Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
+            other => panic!("expected Error{{IdleTimeout}}, got {other:?}"),
+        }
+
+        // A busy session's queued samples are all decided, and the
+        // decisions are flushed to the client before the server closes
+        // on shutdown.
+        let mut busy = connect(&handle, 2);
+        for i in 0..30 {
+            busy.queue_sample(5, 100_000_000, i * 200_000, 0)
+                .expect("queue");
+        }
+        busy.flush().expect("flush");
+        // Wait until the server has computed all 30 decisions so the
+        // shutdown drains delivery, not computation.
+        let mut observer = connect(&handle, 3);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = observer.stats().expect("stats");
+            if stats.decisions >= 30 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never ingested the 30 samples"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        observer.goodbye().expect("close observer");
+
+        let summary = handle.shutdown();
+        for _ in 0..30 {
+            busy.read_decision().expect("drained decision");
+        }
+        match busy.read() {
+            Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+            Ok(other) => panic!("expected Error{{ShuttingDown}} or EOF, got {other:?}"),
+            Err(_) => {} // EOF: the writer closed right after the drain
+        }
+        (summary.decisions, summary.poisoned)
+    };
+
+    let reactor_outcome = run_scenario(ServeMode::Reactor);
+    let blocking_outcome = run_scenario(ServeMode::Blocking);
+    assert_eq!(reactor_outcome, (30, 1));
+    assert_eq!(
+        reactor_outcome, blocking_outcome,
+        "reap and drain accounting agree across engines"
+    );
+}
+
+/// The standard (threaded) load generator reports identical outcomes
+/// against a reactor server and a blocking server: same per-benchmark
+/// agreement, same sample counts.
+#[test]
+fn loadgen_reports_match_across_modes() {
+    let run_mode = |mode: ServeMode| {
+        let handle = spawn(ServerConfig {
+            shards: 2,
+            mode,
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+        let report = loadgen::run(&LoadGenConfig {
+            addr: handle.local_addr().to_string(),
+            connections: 3,
+            benchmarks: vec!["applu_in".into(), "mcf_inp".into(), "swim_in".into()],
+            length: 60,
+            window: 16,
+            ..LoadGenConfig::default()
+        })
+        .expect("load generation succeeds");
+        handle.shutdown();
+        report
+    };
+    let reactor_report = run_mode(ServeMode::Reactor);
+    let blocking_report = run_mode(ServeMode::Blocking);
+    assert!(reactor_report.all_exact() && blocking_report.all_exact());
+    let digest = |r: &loadgen::LoadReport| -> Vec<(String, u64, bool)> {
+        r.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    o.samples,
+                    o.agreement.expect("checked").exact(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(digest(&reactor_report), digest(&blocking_report));
+}
