@@ -9,8 +9,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # decision-path crate carries #![warn(clippy::unwrap_used,
 # clippy::expect_used)] on non-test code; -D warnings makes that a gate.
 cargo clippy -p livephase-core -p livephase-engine -p livephase-serve \
-    -p livephase-governor -p livephase-pmsim -p livephase-telemetry \
-    --lib -- -D warnings
+    -p livephase-governor -p livephase-pmsim -p livephase-tenants \
+    -p livephase-telemetry --lib -- -D warnings
 # --workspace: the root façade package alone would skip the member
 # crates (and leave target/release/livephase-cli stale for the smoke
 # test below).
@@ -70,6 +70,27 @@ wait "$serve_pid" || { echo "smoke: serve exited non-zero"; exit 1; }
 grep -q 'served 2 connections' serve_smoke.log || { echo "smoke: bad serve summary"; exit 1; }
 rm -f serve_smoke.log
 echo "serve loopback smoke test passed"
+
+# Multi-tenant smoke gate: a small cluster scenario under a binding
+# power cap must run deterministically (identical cluster decision
+# digests across two runs) and export the arbiter's grant/denial
+# telemetry. The digest covers every tenant's sample and decision
+# stream, so this also pins counter virtualization end to end.
+tenants_args="--tenants 6 --cores 2 --budget 20 --noisy 1 --length 6"
+tenants_a=$("$cli" tenants $tenants_args --metrics)
+tenants_b=$("$cli" tenants $tenants_args)
+digest_a=$(echo "$tenants_a" | sed -n 's/^cluster decision digest //p')
+digest_b=$(echo "$tenants_b" | sed -n 's/^cluster decision digest //p')
+[ -n "$digest_a" ] || { echo "tenants: no cluster decision digest in output"; exit 1; }
+[ "$digest_a" = "$digest_b" ] \
+    || { echo "tenants: digests diverged across identical runs ($digest_a vs $digest_b)"; exit 1; }
+echo "$tenants_a" | grep -q '^# TYPE tenants_arbiter_grants_total counter' \
+    || { echo "tenants: arbiter grant counter missing from telemetry"; exit 1; }
+echo "$tenants_a" | grep -q '^tenants_arbiter_denials_total{' \
+    || { echo "tenants: a 20 W budget over 2 cores must deny someone"; exit 1; }
+echo "$tenants_a" | grep -q '^tenants_context_switches_total ' \
+    || { echo "tenants: context-switch counter missing from telemetry"; exit 1; }
+echo "tenants smoke gate passed (digest $digest_a)"
 
 # Reactor scale gate: 5000 concurrent connections through the epoll
 # reactor, every stream held open at once and bit-exact against the

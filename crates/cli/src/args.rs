@@ -77,6 +77,8 @@ pub enum Command {
     Repro,
     /// `serve` — run the phase-prediction TCP daemon
     Serve,
+    /// `tenants` — run a multi-tenant cluster scenario under a power cap
+    Tenants,
     /// `serve-bench <addr>` — load-test a running daemon
     ServeBench,
     /// `metrics <addr>` — scrape a running daemon's telemetry exposition
@@ -125,22 +127,37 @@ pub struct Parsed {
     /// `--no-check`: skip the in-process oracle agreement pass in
     /// `serve-bench`.
     pub no_check: bool,
-    /// `--reactor`: the nonblocking epoll engine. The default for
-    /// `serve`; for `serve-bench` it selects the many-connection
+    /// `--reactor`: for `serve-bench`, selects the many-connection
     /// single-thread load generator (one multiplexed connection per
-    /// `--conns`, all held open concurrently).
+    /// `--conns`, all held open concurrently). Accepted as a no-op for
+    /// `serve`, whose only engine is the epoll reactor.
     pub reactor: bool,
-    /// `--blocking`: run `serve` on the legacy thread-per-connection
-    /// engine (deprecated; retained for one release as the reactor's
-    /// equivalence oracle).
-    pub blocking: bool,
     /// `--max-outbound` per-connection outbound queue cap in bytes for
-    /// `serve` (reactor mode); a slow consumer exceeding it is shed.
+    /// `serve`; a slow consumer exceeding it is shed.
     pub max_outbound_bytes: usize,
-    /// `--sndbuf` socket send-buffer size in bytes for `serve`
-    /// (reactor mode), if given; small values surface backpressure
-    /// early in tests.
+    /// `--sndbuf` socket send-buffer size in bytes for `serve`, if
+    /// given; small values surface backpressure early in tests.
     pub sndbuf: Option<usize>,
+    /// `--tenants` VM count for the `tenants` scenario.
+    pub tenants: usize,
+    /// `--cores` simulated core count for the `tenants` scenario.
+    pub cores: usize,
+    /// `--budget` cluster power budget in watts for `tenants`, if given
+    /// (the scenario default applies otherwise).
+    pub budget_w: Option<f64>,
+    /// `--quantum` per-tenant scheduling credit in uops for `tenants`,
+    /// if given.
+    pub quantum_uops: Option<u64>,
+    /// `--noisy` noisy-neighbor tenant count for `tenants`.
+    pub noisy: usize,
+    /// `--mix` comma-separated benchmark mix for `tenants` (empty =
+    /// the scenario's default mix).
+    pub mix: Vec<String>,
+    /// `--arbiter` power-cap arbitration policy for `tenants`
+    /// (`waterfill` or `priority`).
+    pub arbiter: String,
+    /// `--metrics`: append the telemetry exposition to `tenants` output.
+    pub metrics: bool,
     /// `--log-json`: emit `serve` trace events as JSON lines instead of
     /// the human-readable form.
     pub log_json: bool,
@@ -168,9 +185,16 @@ impl Default for Parsed {
             bench: Vec::new(),
             no_check: false,
             reactor: false,
-            blocking: false,
             max_outbound_bytes: 256 * 1024,
             sndbuf: None,
+            tenants: 8,
+            cores: 2,
+            budget_w: None,
+            quantum_uops: None,
+            noisy: 0,
+            mix: Vec::new(),
+            arbiter: "waterfill".to_owned(),
+            metrics: false,
             log_json: false,
             json: false,
         }
@@ -199,6 +223,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "replay" => Command::Replay,
         "repro" => Command::Repro,
         "serve" => Command::Serve,
+        "tenants" => Command::Tenants,
         "serve-bench" => Command::ServeBench,
         "metrics" => Command::Metrics,
         "lint" => Command::Lint,
@@ -272,7 +297,42 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             }
             "--no-check" => parsed.no_check = true,
             "--reactor" => parsed.reactor = true,
-            "--blocking" => parsed.blocking = true,
+            "--tenants" => {
+                parsed.tenants = parse_num(&mut it, "--tenants")?;
+                if parsed.tenants == 0 {
+                    return Err(CliError::new("--tenants must be at least 1"));
+                }
+            }
+            "--cores" => {
+                parsed.cores = parse_num(&mut it, "--cores")?;
+                if parsed.cores == 0 {
+                    return Err(CliError::new("--cores must be at least 1"));
+                }
+            }
+            "--budget" => {
+                let v: f64 = parse_num(&mut it, "--budget")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(CliError::new("--budget must be a positive number of watts"));
+                }
+                parsed.budget_w = Some(v);
+            }
+            "--quantum" => {
+                let v: u64 = parse_num(&mut it, "--quantum")?;
+                if v == 0 {
+                    return Err(CliError::new("--quantum must be at least 1 uop"));
+                }
+                parsed.quantum_uops = Some(v);
+            }
+            "--noisy" => parsed.noisy = parse_num(&mut it, "--noisy")?,
+            "--mix" => {
+                parsed.mix = take_value(&mut it, "--mix")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--arbiter" => parsed.arbiter = take_value(&mut it, "--arbiter")?,
+            "--metrics" => parsed.metrics = true,
             "--max-outbound" => {
                 parsed.max_outbound_bytes = parse_num(&mut it, "--max-outbound")?;
                 if parsed.max_outbound_bytes == 0 {
@@ -325,11 +385,6 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
     if parsed.command == Command::Lint && parsed.target.is_some() {
         return Err(CliError::new(
             "lint takes no argument; it scans the enclosing workspace",
-        ));
-    }
-    if parsed.reactor && parsed.blocking {
-        return Err(CliError::new(
-            "--reactor and --blocking are mutually exclusive",
         ));
     }
     Ok(parsed)
@@ -467,11 +522,9 @@ mod tests {
     #[test]
     fn parses_serve_mode_flags() {
         let p = parse(&argv("serve")).unwrap();
-        assert!(!p.reactor && !p.blocking, "mode flags default off");
+        assert!(!p.reactor, "the reactor flag defaults off");
         assert_eq!(p.max_outbound_bytes, 256 * 1024);
         assert_eq!(p.sndbuf, None);
-        let p = parse(&argv("serve --blocking")).unwrap();
-        assert!(p.blocking);
         let p = parse(&argv("serve --reactor --max-outbound 65536 --sndbuf 8192")).unwrap();
         assert!(p.reactor);
         assert_eq!(p.max_outbound_bytes, 65_536);
@@ -479,9 +532,41 @@ mod tests {
         let p = parse(&argv("serve-bench 127.0.0.1:9626 --conns 5000 --reactor")).unwrap();
         assert!(p.reactor, "serve-bench --reactor selects many-conn mode");
         assert!(
-            parse(&argv("serve --reactor --blocking")).is_err(),
-            "the mode flags are mutually exclusive"
+            parse(&argv("serve --blocking")).is_err(),
+            "the removed blocking engine is no longer a flag"
         );
+    }
+
+    #[test]
+    fn parses_tenants() {
+        let p = parse(&argv(
+            "tenants --tenants 64 --cores 8 --budget 75 --noisy 8 --length 4 \
+             --quantum 7000000 --arbiter priority --mix applu_in,mcf_inp --metrics",
+        ))
+        .unwrap();
+        assert_eq!(p.command, Command::Tenants);
+        assert_eq!(p.tenants, 64);
+        assert_eq!(p.cores, 8);
+        assert_eq!(p.budget_w, Some(75.0));
+        assert_eq!(p.noisy, 8);
+        assert_eq!(p.length, Some(4));
+        assert_eq!(p.quantum_uops, Some(7_000_000));
+        assert_eq!(p.arbiter, "priority");
+        assert_eq!(p.mix, vec!["applu_in".to_owned(), "mcf_inp".to_owned()]);
+        assert!(p.metrics);
+        // Defaults when flags are absent.
+        let p = parse(&argv("tenants")).unwrap();
+        assert_eq!(p.tenants, 8);
+        assert_eq!(p.cores, 2);
+        assert_eq!(p.budget_w, None);
+        assert_eq!(p.arbiter, "waterfill");
+        assert!(p.mix.is_empty() && !p.metrics);
+        // Degenerate values are rejected at parse time.
+        assert!(parse(&argv("tenants --tenants 0")).is_err());
+        assert!(parse(&argv("tenants --cores 0")).is_err());
+        assert!(parse(&argv("tenants --budget 0")).is_err());
+        assert!(parse(&argv("tenants --budget nan")).is_err());
+        assert!(parse(&argv("tenants --quantum 0")).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         Command::Replay => replay(parsed),
         Command::Repro => repro(parsed),
         Command::Serve => serve(parsed),
+        Command::Tenants => tenants(parsed),
         Command::ServeBench => serve_bench(parsed),
         Command::Metrics => metrics(parsed),
         Command::Lint => lint(parsed),
@@ -78,11 +79,6 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
         write_timeout: std::time::Duration::from_millis(parsed.read_timeout_ms),
         exit_after_conns: parsed.exit_after_conns,
         engine: livephase_serve::EngineConfig::pentium_m(),
-        mode: if parsed.blocking {
-            livephase_serve::ServeMode::Blocking
-        } else {
-            livephase_serve::ServeMode::Reactor
-        },
         max_outbound_bytes: parsed.max_outbound_bytes,
         sndbuf: parsed.sndbuf,
     };
@@ -96,6 +92,44 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
         "served {} connections ({} rejected, {} poisoned): {} samples, {} decisions",
         summary.accepted, summary.rejected, summary.poisoned, summary.samples, summary.decisions
     ))
+}
+
+/// Runs a multi-tenant cluster scenario — M tenant VMs round-robin
+/// scheduled on K simulated cores under a cluster power cap — and
+/// renders the per-tenant report (optionally followed by the telemetry
+/// exposition when `--metrics` is given).
+fn tenants(parsed: &Parsed) -> Result<String, CliError> {
+    let policy = livephase_tenants::ArbiterPolicy::parse(&parsed.arbiter).ok_or_else(|| {
+        CliError::new(format!(
+            "--arbiter: unknown policy {:?} (expected `waterfill` or `priority`)",
+            parsed.arbiter
+        ))
+    })?;
+    let mut spec = livephase_tenants::ScenarioSpec::new(parsed.tenants, parsed.cores);
+    spec.policy = policy;
+    spec.noisy = parsed.noisy;
+    spec.seed = parsed.seed;
+    spec.predictor = parsed.predictor.clone();
+    if let Some(budget) = parsed.budget_w {
+        spec.budget_w = budget;
+    }
+    if let Some(quantum) = parsed.quantum_uops {
+        spec.quantum_uops = quantum;
+    }
+    if let Some(intervals) = parsed.length {
+        spec.intervals = intervals;
+    }
+    if !parsed.mix.is_empty() {
+        spec.mix = parsed.mix.clone();
+    }
+    let report =
+        livephase_tenants::run_scenario(&spec).map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = report.to_string();
+    if parsed.metrics {
+        let _ = writeln!(out);
+        out.push_str(&livephase_telemetry::global().render());
+    }
+    Ok(out)
 }
 
 /// Replays benchmark counter streams against a running daemon and
@@ -437,6 +471,10 @@ fn repro(parsed: &Parsed) -> Result<String, CliError> {
             let e = exp::extensions::adaptive_sampling::run(seed);
             (e.to_string(), exp::extensions::adaptive_sampling::check(&e))
         }
+        "tenants" => {
+            let e = exp::extensions::tenants::run(seed);
+            (e.to_string(), exp::extensions::tenants::check(&e))
+        }
         other => {
             return Err(CliError::new(format!(
                 "unknown artifact {other:?}; accepted: table1 table2 fig02 fig03 \
@@ -444,7 +482,7 @@ fn repro(parsed: &Parsed) -> Result<String, CliError> {
                  (gphr_depth upc_pitfall oracle_gap overheads granularity \
                  selector pht_organization confidence family_tour) and \
                  extensions (dtm power_cap multiprogram duration \
-                 adaptive_sampling)"
+                 adaptive_sampling tenants)"
             )))
         }
     };
@@ -536,6 +574,26 @@ mod tests {
         assert!(out.contains("shape claims hold"), "{out}");
         let out = run("repro duration").unwrap();
         assert!(out.contains("shape claims hold"), "{out}");
+    }
+
+    #[test]
+    fn tenants_runs_a_small_cluster() {
+        let out = run("tenants --tenants 4 --cores 2 --budget 20 --length 4 --noisy 1").unwrap();
+        assert!(out.contains("cluster decision digest"), "{out}");
+        assert!(out.contains("mcf_inp"), "the noisy neighbor is visible");
+        let out = run("tenants --tenants 2 --cores 1 --length 2 --metrics").unwrap();
+        assert!(
+            out.contains("tenants_arbiter_grants_total"),
+            "--metrics appends the telemetry exposition: {out}"
+        );
+        assert!(run("tenants --arbiter frob")
+            .unwrap_err()
+            .message()
+            .contains("unknown policy"));
+        assert!(run("tenants --mix no_such_benchmark --length 2")
+            .unwrap_err()
+            .message()
+            .contains("unknown benchmark"));
     }
 
     #[test]

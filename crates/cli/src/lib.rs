@@ -12,6 +12,7 @@
 //! livephase export applu_in --out applu.csv
 //! livephase replay applu.csv --policy reactive
 //! livephase repro fig04
+//! livephase tenants --tenants 64 --cores 8 --budget 75 --noisy 8
 //! livephase serve --port 9626 --shards 4
 //! livephase serve-bench 127.0.0.1:9626 --conns 8
 //! livephase metrics 127.0.0.1:9626
@@ -59,6 +60,7 @@ pub fn usage() -> String {
      \x20 export <bench> --out <file>   write the trace as CSV\n\
      \x20 replay <file.csv>             govern a replayed counter log\n\
      \x20 repro <artifact>              regenerate a paper table/figure\n\
+     \x20 tenants                       run a multi-tenant cluster under a power cap\n\
      \x20 serve                         run the phase-prediction TCP daemon\n\
      \x20 serve-bench <addr>            load-test a running daemon\n\
      \x20 metrics <addr>                scrape a running daemon's telemetry\n\
@@ -81,9 +83,6 @@ pub fn usage() -> String {
      \x20 --max-conns <n>       concurrent-connection accept gate (default 256)\n\
      \x20 --exit-after-conns <n> exit after admitting and draining n connections\n\
      \x20 --read-timeout-ms <n> socket timeout (default 5000)\n\
-     \x20 --reactor             nonblocking epoll engine (the default)\n\
-     \x20 --blocking            legacy thread-per-connection engine\n\
-     \x20                       (deprecated; one release as equivalence oracle)\n\
      \x20 --max-outbound <n>    per-connection outbound queue cap in bytes\n\
      \x20                       (default 262144; slow consumers over it are shed)\n\
      \x20 --sndbuf <n>          socket send-buffer size in bytes\n\
@@ -95,6 +94,19 @@ pub fn usage() -> String {
      \x20 --bench <a,b,...>     benchmark subset (default: all 33)\n\
      \x20 --no-check            skip the in-process oracle agreement pass\n\
      \x20 --reactor             many-connection mode: one thread multiplexes\n\
-     \x20                       all --conns connections, held open concurrently\n"
+     \x20                       all --conns connections, held open concurrently\n\
+     \n\
+     TENANTS OPTIONS:\n\
+     \x20 --tenants <n>         tenant VM count M (default 8)\n\
+     \x20 --cores <n>           simulated core count K (default 2)\n\
+     \x20 --budget <w>          cluster power budget in watts (default 60)\n\
+     \x20 --length <n>          trace length per tenant in sampling intervals\n\
+     \x20 --quantum <n>         scheduling credit per tenant per epoch in uops\n\
+     \x20                       (default 25000000)\n\
+     \x20 --arbiter <name>      power-cap policy: waterfill | priority\n\
+     \x20 --mix <a,b,...>       benchmark mix cycled across tenants\n\
+     \x20 --noisy <n>           noisy-neighbor tenants (highest ids; they run\n\
+     \x20                       the most memory-bound benchmark at 4x credit)\n\
+     \x20 --metrics             append the telemetry exposition to the report\n"
         .to_owned()
 }

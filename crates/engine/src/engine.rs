@@ -27,7 +27,7 @@ use livephase_core::{
     PredictorSpecError, StreamScorer,
 };
 use livephase_telemetry::{Counter, Histogram};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant}; // lint:allow(determinism): Instant feeds decision-latency telemetry only, never a decision input
 
@@ -70,6 +70,7 @@ pub struct EngineMetrics {
     decision_us: Arc<Histogram>,
     hits_total: Arc<Counter>,
     misses_total: Arc<Counter>,
+    pids_evicted_total: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -98,7 +99,17 @@ impl EngineMetrics {
                 "Scored intervals whose predicted phase was not observed.",
                 &[],
             ),
+            pids_evicted_total: reg.counter(
+                "engine_pids_evicted_total",
+                "Per-pid predictor states evicted by the LRU capacity bound.",
+                &[],
+            ),
         }
+    }
+
+    /// Records one per-pid state eviction.
+    pub fn record_pid_evicted(&self) {
+        self.pids_evicted_total.inc();
     }
 
     /// Records `n` decisions computed in `elapsed` total: the counter
@@ -283,6 +294,9 @@ struct PidState {
     /// Operating point of the previous decision; 0 (the fastest setting)
     /// initially, matching the simulated CPU's starting DVFS index.
     last_op: u8,
+    /// Recency stamp for LRU eviction; 0 = freshly created, never yet in
+    /// the recency index (stamps handed out start at 1).
+    stamp: u64,
 }
 
 impl PidState {
@@ -291,8 +305,50 @@ impl PidState {
             predictor: factory(),
             scorer: StreamScorer::new(),
             last_op: 0,
+            stamp: 0,
         }
     }
+}
+
+/// Default capacity of the per-pid state map: generous enough for every
+/// scenario shipped today (the fleet stress tests run 10k+ pids) while
+/// still bounding a long-lived serve shard against pid churn.
+pub const DEFAULT_MAX_PIDS: usize = 65_536;
+
+/// Resolves (creating if needed) the state for `pid`, evicting the
+/// least-recently-used pid first when the map is at capacity, and marks
+/// `pid` most-recently-used. Free-standing so `step_many` can call it
+/// with the engine's fields individually borrowed.
+fn touch_pid_state<'m>(
+    pids: &'m mut PidMap,
+    lru: &mut BTreeMap<u64, u32>,
+    next_stamp: &mut u64,
+    max_pids: usize,
+    factory: &BoxedPredictorFactory,
+    metrics: &EngineMetrics,
+    pid: u32,
+) -> &'m mut PidState {
+    let cap = max_pids.max(1);
+    if !pids.contains_key(&pid) {
+        while pids.len() >= cap {
+            let Some((&oldest, &victim)) = lru.iter().next() else {
+                break;
+            };
+            lru.remove(&oldest);
+            if pids.remove(&victim).is_some() {
+                metrics.record_pid_evicted();
+            }
+        }
+    }
+    *next_stamp += 1;
+    let stamp = *next_stamp;
+    let state = pids.entry(pid).or_insert_with(|| PidState::new(factory));
+    if state.stamp != 0 {
+        lru.remove(&state.stamp);
+    }
+    state.stamp = stamp;
+    lru.insert(stamp, pid);
+    state
 }
 
 /// The canonical decision pipeline: per-pid predictor family, prediction
@@ -301,6 +357,14 @@ pub struct DecisionEngine {
     config: EngineConfig,
     factory: BoxedPredictorFactory,
     pids: PidMap,
+    /// Recency index: stamp → pid, oldest stamp first. Every live pid has
+    /// exactly one entry; the map's first entry is the eviction victim.
+    lru: BTreeMap<u64, u32>,
+    /// Monotonic recency clock; the last stamp handed out.
+    next_stamp: u64,
+    /// Capacity bound on `pids`; least-recently-used streams are evicted
+    /// (with their predictor history) once it is reached.
+    max_pids: usize,
     name: String,
     metrics: EngineMetrics,
     transitions: TransitionTracker,
@@ -342,10 +406,31 @@ impl DecisionEngine {
             config,
             factory,
             pids: PidMap::default(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            max_pids: DEFAULT_MAX_PIDS,
             name,
             metrics: EngineMetrics::new(),
             transitions: TransitionTracker::new(),
         })
+    }
+
+    /// Bounds the per-pid state map to `max_pids` streams (builder style);
+    /// the least-recently-stepped stream is evicted — predictor history
+    /// and scoring included — when a new pid arrives at capacity, and
+    /// `engine_pids_evicted_total` counts each eviction. A bound of zero
+    /// is treated as one (the engine always holds the stream it is
+    /// deciding for).
+    #[must_use]
+    pub fn with_max_pids(mut self, max_pids: usize) -> Self {
+        self.max_pids = max_pids.max(1);
+        self
+    }
+
+    /// The capacity bound on concurrent per-pid streams.
+    #[must_use]
+    pub fn max_pids(&self) -> usize {
+        self.max_pids
     }
 
     /// Overrides the display name (e.g. `Reactive(LastValue)` for the
@@ -378,13 +463,16 @@ impl DecisionEngine {
             config,
             factory,
             pids,
+            lru,
+            next_stamp,
+            max_pids,
             transitions,
             metrics,
             ..
         } = self;
-        let state = pids
-            .entry(sample.pid)
-            .or_insert_with(|| PidState::new(factory));
+        let state = touch_pid_state(
+            pids, lru, next_stamp, *max_pids, factory, metrics, sample.pid,
+        );
         let d = step_pid(config, metrics, transitions, state, sample);
         metrics.record_decision(started.elapsed());
         d
@@ -409,6 +497,9 @@ impl DecisionEngine {
             config,
             factory,
             pids,
+            lru,
+            next_stamp,
+            max_pids,
             transitions,
             metrics,
             ..
@@ -416,7 +507,7 @@ impl DecisionEngine {
         let mut i = 0;
         while i < samples.len() {
             let pid = samples[i].pid; // lint:allow(no-panic-path): i < samples.len() by the loop guard
-            let state = pids.entry(pid).or_insert_with(|| PidState::new(factory));
+            let state = touch_pid_state(pids, lru, next_stamp, *max_pids, factory, metrics, pid);
             // lint:allow(no-panic-path): i < samples.len() by the inner guard
             while i < samples.len() && samples[i].pid == pid {
                 out.push(step_pid(config, metrics, transitions, state, &samples[i])); // lint:allow(no-panic-path): i < samples.len() by the inner guard
@@ -478,13 +569,20 @@ impl DecisionEngine {
 
     /// Drops a terminated pid's state.
     pub fn retire(&mut self, pid: u32) -> bool {
-        self.pids.remove(&pid).is_some()
+        match self.pids.remove(&pid) {
+            Some(state) => {
+                self.lru.remove(&state.stamp);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Clears all per-pid state (predictors, scoring, transition
     /// baselines); accumulated telemetry is left alone.
     pub fn reset(&mut self) {
         self.pids.clear();
+        self.lru.clear();
     }
 
     /// Flushes label-formatted telemetry (the DVFS transition pairs).
@@ -667,6 +765,76 @@ mod tests {
         e.reset();
         assert_eq!(e.processes(), 0);
         assert_eq!(e.stats(), PredictionStats::default());
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_stepped_pid() {
+        let mut e = engine("gpht:8:128").with_max_pids(2);
+        assert_eq!(e.max_pids(), 2);
+        let _ = e.step(&with_pid(P1, 1));
+        let _ = e.step(&with_pid(P1, 2));
+        // Touch pid 1 so pid 2 is the LRU victim.
+        let _ = e.step(&with_pid(P1, 1));
+        let _ = e.step(&with_pid(P1, 3));
+        assert_eq!(e.processes(), 2);
+        assert!(e.pid_stats(1).is_some(), "recently used pid survives");
+        assert!(e.pid_stats(2).is_none(), "LRU pid was evicted");
+        assert!(e.pid_stats(3).is_some());
+        // A returning evicted pid starts from scratch (fresh predictor).
+        let d = e.step(&with_pid(P3, 2));
+        assert_eq!(d.confidence, CONFIDENCE_SCALE, "no scored history");
+        assert!(e.pid_stats(1).is_none(), "pid 1 evicted in turn");
+    }
+
+    #[test]
+    fn lru_bound_of_zero_still_holds_the_live_stream() {
+        let mut e = engine("lastvalue").with_max_pids(0);
+        assert_eq!(e.max_pids(), 1);
+        let _ = e.step(&with_pid(P3, 1));
+        let _ = e.step(&with_pid(P3, 2));
+        assert_eq!(e.processes(), 1);
+        assert!(e.pid_stats(2).is_some());
+    }
+
+    #[test]
+    fn retire_and_reset_keep_the_lru_index_consistent() {
+        let mut e = engine("lastvalue").with_max_pids(2);
+        let _ = e.step(&with_pid(P3, 1));
+        let _ = e.step(&with_pid(P3, 2));
+        assert!(e.retire(1));
+        // Capacity freed: two more pids fit without evicting pid 2's slot
+        // twice (a stale index entry would make this under-count).
+        let _ = e.step(&with_pid(P3, 3));
+        assert_eq!(e.processes(), 2);
+        assert!(e.pid_stats(2).is_some());
+        e.reset();
+        assert_eq!(e.processes(), 0);
+        let _ = e.step(&with_pid(P3, 4));
+        let _ = e.step(&with_pid(P3, 5));
+        assert_eq!(e.processes(), 2);
+    }
+
+    #[test]
+    fn eviction_is_bit_exact_for_surviving_streams() {
+        // Streams for surviving pids must be unaffected by churn evicting
+        // other pids around them.
+        let mut churned = engine("gpht:8:128").with_max_pids(8);
+        let mut solo = engine("gpht:8:128");
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for round in 0u32..60 {
+            let s = if round % 2 == 0 {
+                with_pid(P1, 7)
+            } else {
+                with_pid(P6, 7)
+            };
+            expected.push(solo.step(&s));
+            got.push(churned.step(&s));
+            // Churn: a parade of one-shot pids that evict each other but
+            // never pid 7 (it is re-touched every round).
+            let _ = churned.step(&with_pid(P3, 1000 + round));
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -35,5 +35,7 @@ pub mod engine;
 pub mod table;
 
 pub use config::{EngineConfig, EngineConfigError};
-pub use engine::{Decision, DecisionEngine, EngineMetrics, Sample, TransitionTracker};
+pub use engine::{
+    Decision, DecisionEngine, EngineMetrics, Sample, TransitionTracker, DEFAULT_MAX_PIDS,
+};
 pub use table::{TranslationTable, TranslationTableError};

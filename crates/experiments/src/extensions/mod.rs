@@ -8,9 +8,11 @@
 //! | [`multiprogram`] | autonomous operation on *any* running applications, incl. timesliced mixes |
 //! | [`duration`] | phase-duration prediction (the companion IEEE Micro work, ref \[14\]) |
 //! | [`adaptive_sampling`] | duration predictions stretching the PMI window through stable phases |
+//! | [`tenants`] | the whole loop at datacenter shape: M tenant VMs on K cores under a cluster power cap |
 
 pub mod adaptive_sampling;
 pub mod dtm;
 pub mod duration;
 pub mod multiprogram;
 pub mod power_cap;
+pub mod tenants;

@@ -1,0 +1,220 @@
+//! Multi-tenant cluster governance under a power cap.
+//!
+//! The paper manages one program on one Pentium-M. This experiment runs
+//! the deployed loop at datacenter shape: M tenant VMs multiplexed onto
+//! K simulated cores by a credit scheduler with full counter
+//! virtualization, their DVFS requests arbitrated under a cluster watt
+//! budget ([`livephase_tenants`]). Three claims are checked:
+//!
+//! * **virtualization is lossless** — each tenant's prediction accuracy
+//!   in the shared, capped cluster equals its solo uncapped run exactly
+//!   (the counter streams are bit-identical, so scoring is too);
+//! * **the cap holds** — measured epoch power never exceeds the budget,
+//!   so cap-violation time is zero while the arbiter still has to deny
+//!   requests (the budget genuinely binds);
+//! * **capping re-times but never re-decides** — per-tenant execution
+//!   time under the cap is no shorter than solo, and EDP moves the way
+//!   the paper's thesis predicts (slowing memory-bound phases is cheap).
+
+use crate::ShapeViolations;
+use livephase_tenants::{run_scenario, ScenarioSpec};
+use std::fmt;
+
+/// One tenant's capped-cluster outcome against its solo uncapped oracle.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Benchmark the tenant runs.
+    pub benchmark: String,
+    /// Whether this tenant is an injected noisy neighbor.
+    pub noisy: bool,
+    /// EDP (J·s) in the capped, multiplexed cluster.
+    pub capped_edp: f64,
+    /// EDP (J·s) running solo and uncapped.
+    pub solo_edp: f64,
+    /// Execution time (s) in the capped cluster.
+    pub capped_time_s: f64,
+    /// Execution time (s) solo and uncapped.
+    pub solo_time_s: f64,
+    /// (scored, correct) prediction counts in the cluster.
+    pub capped_score: (u64, u64),
+    /// (scored, correct) prediction counts solo.
+    pub solo_score: (u64, u64),
+    /// Epochs in which the arbiter denied this tenant its request.
+    pub denied_epochs: u64,
+}
+
+impl TenantRow {
+    fn accuracy(score: (u64, u64)) -> f64 {
+        if score.0 == 0 {
+            1.0
+        } else {
+            score.1 as f64 / score.0 as f64
+        }
+    }
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct TenantsExperiment {
+    /// Tenant count M.
+    pub tenants: usize,
+    /// Core count K.
+    pub cores: usize,
+    /// Cluster power budget in watts.
+    pub budget_w: f64,
+    /// Arbitration policy name.
+    pub policy: String,
+    /// Arbitration epochs the cluster ran.
+    pub epochs: u64,
+    /// Context switches across all cores.
+    pub context_switches: u64,
+    /// Seconds any epoch's measured power exceeded the budget.
+    pub cap_violation_s: f64,
+    /// Highest measured epoch power.
+    pub peak_epoch_power_w: f64,
+    /// Per-tenant outcomes.
+    pub rows: Vec<TenantRow>,
+}
+
+/// Runs the capped cluster and every tenant's solo uncapped oracle.
+#[must_use]
+pub fn run(seed: u64) -> TenantsExperiment {
+    let mut spec = ScenarioSpec::new(12, 4);
+    spec.intervals = 8;
+    spec.noisy = 2;
+    // Four cores flat out draw ~52 W; 40 W forces the arbiter to deny.
+    spec.budget_w = 40.0;
+    spec.seed = seed;
+    let capped = run_scenario(&spec).expect("capped cluster scenario runs");
+
+    let rows = capped
+        .tenants
+        .iter()
+        .map(|t| {
+            let solo_report = run_scenario(&spec.solo(t.tenant)).expect("solo oracle runs");
+            let solo = solo_report
+                .tenants
+                .first()
+                .expect("solo run has one tenant");
+            TenantRow {
+                tenant: t.tenant,
+                benchmark: t.benchmark.clone(),
+                noisy: t.noisy,
+                capped_edp: t.edp(),
+                solo_edp: solo.edp(),
+                capped_time_s: t.time_s,
+                solo_time_s: solo.time_s,
+                capped_score: (t.scored, t.correct),
+                solo_score: (solo.scored, solo.correct),
+                denied_epochs: t.denied_epochs,
+            }
+        })
+        .collect();
+
+    TenantsExperiment {
+        tenants: capped.tenants.len(),
+        cores: capped.cores,
+        budget_w: capped.budget_w,
+        policy: capped.policy.clone(),
+        epochs: capped.epochs,
+        context_switches: capped.context_switches,
+        cap_violation_s: capped.cap_violation_s,
+        peak_epoch_power_w: capped.peak_epoch_power_w,
+        rows,
+    }
+}
+
+/// The cap must hold with zero violation time while genuinely binding,
+/// virtualization must keep per-tenant accuracy exactly equal to solo,
+/// and capping may stretch but never shrink any tenant's time.
+#[must_use]
+pub fn check(e: &TenantsExperiment) -> ShapeViolations {
+    let mut v = Vec::new();
+    if e.cap_violation_s != 0.0 {
+        v.push(format!(
+            "measured power exceeded the {} W budget for {:.6} s",
+            e.budget_w, e.cap_violation_s
+        ));
+    }
+    if e.peak_epoch_power_w > e.budget_w + 1e-6 {
+        v.push(format!(
+            "peak epoch power {:.2} W exceeds the {} W budget",
+            e.peak_epoch_power_w, e.budget_w
+        ));
+    }
+    if e.rows.iter().map(|r| r.denied_epochs).sum::<u64>() == 0 {
+        v.push("the budget never bound: no tenant was ever denied".to_owned());
+    }
+    for r in &e.rows {
+        if r.capped_score != r.solo_score {
+            v.push(format!(
+                "tenant {}: cluster score {:?} != solo score {:?} \
+                 (virtualization must be lossless)",
+                r.tenant, r.capped_score, r.solo_score
+            ));
+        }
+        if r.capped_time_s < r.solo_time_s * 0.999 {
+            v.push(format!(
+                "tenant {}: capped time {:.4} s beat solo time {:.4} s \
+                 (grants only slow tenants down)",
+                r.tenant, r.capped_time_s, r.solo_time_s
+            ));
+        }
+    }
+    v
+}
+
+impl fmt::Display for TenantsExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension: {} tenants on {} cores under a {} W cap \
+             ({} arbitration, {} epochs, {} context switches).",
+            self.tenants,
+            self.cores,
+            self.budget_w,
+            self.policy,
+            self.epochs,
+            self.context_switches
+        )?;
+        writeln!(
+            f,
+            "cap violation {:.3} s, peak epoch power {:.2} W\n",
+            self.cap_violation_s, self.peak_epoch_power_w
+        )?;
+        writeln!(
+            f,
+            "{:>6}  {:<12} {:>5}  {:>10}  {:>10}  {:>7}  {:>7}  {:>6}",
+            "tenant", "benchmark", "noisy", "EDP J.s", "solo EDP", "acc %", "solo %", "denied"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6}  {:<12} {:>5}  {:>10.2}  {:>10.2}  {:>7.1}  {:>7.1}  {:>6}",
+                r.tenant,
+                r.benchmark,
+                if r.noisy { "yes" } else { "" },
+                r.capped_edp,
+                r.solo_edp,
+                TenantRow::accuracy(r.capped_score) * 100.0,
+                TenantRow::accuracy(r.solo_score) * 100.0,
+                r.denied_epochs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenants_shape_holds() {
+        let e = run(crate::DEFAULT_SEED);
+        let violations = check(&e);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}

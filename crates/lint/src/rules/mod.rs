@@ -11,9 +11,10 @@
 //!
 //! The *decision-path crates* are the ones whose code can run between a
 //! counter sample arriving and a DVFS decision leaving: `core`,
-//! `engine`, `serve`, `governor`, `pmsim`, and `telemetry` (its
-//! instruments run inside the decision loop even though they never
-//! influence it).
+//! `engine`, `serve`, `governor`, `pmsim`, `tenants` (its scheduler and
+//! arbiter sit between every tenant's samples and their DVFS grants),
+//! and `telemetry` (its instruments run inside the decision loop even
+//! though they never influence it).
 
 pub mod determinism;
 pub mod panic_path;
@@ -26,8 +27,15 @@ use crate::source::SourceFile;
 
 /// Crates whose non-test code sits on (or inside) the per-sample
 /// decision path and therefore must be panic-free and deterministic.
-pub const DECISION_CRATES: [&str; 6] =
-    ["core", "engine", "serve", "governor", "pmsim", "telemetry"];
+pub const DECISION_CRATES: [&str; 7] = [
+    "core",
+    "engine",
+    "serve",
+    "governor",
+    "pmsim",
+    "tenants",
+    "telemetry",
+];
 
 /// The CI driver script, scanned by the telemetry-naming rule so the
 /// metric names it greps for cannot drift from the ones the code

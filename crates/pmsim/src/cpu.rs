@@ -156,6 +156,53 @@ impl RunTotals {
     }
 }
 
+/// Saved per-vCPU counter state for virtualized multiplexing.
+///
+/// A hypervisor multiplexing several tenants onto one [`Cpu`] stores the
+/// outgoing tenant's context on every switch and loads the incoming one:
+/// the counter file (PMC deltas, TSC, PMI arm state) plus the partial
+/// sampling-interval time/energy the tenant has already accrued. Because
+/// the counters travel with the tenant, its per-interval Mem/Uop readings
+/// are bit-for-bit identical to a solo run regardless of how execution is
+/// sliced — the property the paper's phase classifier depends on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VcpuContext {
+    counters: CounterFile,
+    /// Simulated seconds accrued in the tenant's current partial interval.
+    partial_time_s: f64,
+    /// Joules accrued in the tenant's current partial interval.
+    partial_energy_j: f64,
+}
+
+impl VcpuContext {
+    /// A fresh context with idle counters armed to overflow every
+    /// `pmi_granularity_uops` retired micro-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pmi_granularity_uops` is zero.
+    #[must_use]
+    pub fn new(pmi_granularity_uops: u64) -> Self {
+        Self {
+            counters: CounterFile::pentium_m(pmi_granularity_uops),
+            partial_time_s: 0.0,
+            partial_energy_j: 0.0,
+        }
+    }
+
+    /// Simulated seconds accrued in the saved partial interval.
+    #[must_use]
+    pub fn partial_time_s(&self) -> f64 {
+        self.partial_time_s
+    }
+
+    /// Joules accrued in the saved partial interval.
+    #[must_use]
+    pub fn partial_energy_j(&self) -> f64 {
+        self.partial_energy_j
+    }
+}
+
 /// Handles into the global telemetry registry, resolved once per CPU so
 /// the PMI path never takes the registry lock.
 #[derive(Debug, Clone)]
@@ -393,6 +440,28 @@ impl<'a> Cpu<'a> {
     #[must_use]
     pub fn config(&self) -> &'a PlatformConfig {
         self.config
+    }
+
+    /// Installs a saved vCPU context: the tenant's counter file becomes the
+    /// live one and the interval time/energy marks are re-based so the
+    /// tenant's previously accrued partial interval carries over exactly.
+    ///
+    /// The caller (the hypervisor) is responsible for having drained or
+    /// saved any pending work belonging to the outgoing tenant first; work
+    /// still queued on this CPU executes against the newly loaded counters.
+    pub fn load_vcpu(&mut self, ctx: &VcpuContext) {
+        self.counters = ctx.counters.clone();
+        self.interval_start_time_s = self.totals.time_s - ctx.partial_time_s;
+        self.interval_start_energy_j = self.totals.energy_j - ctx.partial_energy_j;
+    }
+
+    /// Saves the live counter state into `ctx`: the counter file plus the
+    /// partial-interval time/energy accrued since the last PMI, ready to be
+    /// re-installed later with [`load_vcpu`](Self::load_vcpu).
+    pub fn store_vcpu(&self, ctx: &mut VcpuContext) {
+        ctx.counters = self.counters.clone();
+        ctx.partial_time_s = self.totals.time_s - self.interval_start_time_s;
+        ctx.partial_energy_j = self.totals.energy_j - self.interval_start_energy_j;
     }
 
     /// Executes one chunk entirely at the current operating point.
@@ -636,6 +705,80 @@ mod tests {
         cpu.push_work(work(3_000_000, 10));
         let r3 = cpu.run_to_pmi().unwrap();
         assert_eq!(r3.metrics.uops_retired, 3_000_000);
+    }
+
+    #[test]
+    fn vcpu_switch_preserves_partial_interval() {
+        let config = small_config();
+        let mut cpu = Cpu::new(&config);
+        let mut a = VcpuContext::new(config.pmi_granularity_uops);
+        let mut b = VcpuContext::new(config.pmi_granularity_uops);
+
+        // Tenant A runs 600 k of its 1 M-uop interval, then is descheduled.
+        cpu.load_vcpu(&a);
+        cpu.push_work(work(600_000, 10));
+        assert!(cpu.run_to_pmi().is_none());
+        cpu.store_vcpu(&mut a);
+        assert!(a.partial_time_s() > 0.0);
+        assert!(a.partial_energy_j() > 0.0);
+
+        // Tenant B runs a full interval in between; its PMI sees only B.
+        cpu.load_vcpu(&b);
+        cpu.push_work(work(1_000_000, 40));
+        let rb = cpu.run_to_pmi().expect("B's interval");
+        assert_eq!(rb.metrics.uops_retired, 1_000_000);
+        assert_eq!(rb.metrics.mem_transactions, 40_000);
+        cpu.store_vcpu(&mut b);
+        assert_eq!(b.partial_time_s(), 0.0, "B ended exactly on a PMI");
+
+        // A resumes and completes its interval: exactly 1 M uops, with
+        // A's memory counts only, and a duration that excludes B's time.
+        cpu.load_vcpu(&a);
+        cpu.push_work(work(400_000, 10));
+        let ra = cpu.run_to_pmi().expect("A's interval");
+        assert_eq!(ra.metrics.uops_retired, 1_000_000);
+        assert_eq!(ra.metrics.mem_transactions, 10_000);
+        // A's interval duration = its saved partial plus the resumed slice;
+        // B's full interval in between contributes nothing.
+        let resumed_slice_s = ra.timestamp_s - rb.timestamp_s;
+        assert!(
+            (ra.interval_seconds - (a.partial_time_s() + resumed_slice_s)).abs() < 1e-12,
+            "A's interval must not absorb B's execution time"
+        );
+    }
+
+    #[test]
+    fn vcpu_counters_match_solo_run_bit_for_bit() {
+        let config = small_config();
+
+        // Solo: tenant runs 2.5 M uops alone on its own CPU.
+        let mut solo = Cpu::new(&config);
+        solo.push_work(work(2_500_000, 10));
+        let mut solo_records = Vec::new();
+        while let Some(r) = solo.run_to_pmi() {
+            solo_records.push(r.metrics);
+        }
+
+        // Multiplexed: the same work sliced into 500 k quanta, with a
+        // noisy neighbor interleaved between every quantum.
+        let mut cpu = Cpu::new(&config);
+        let mut tenant = VcpuContext::new(config.pmi_granularity_uops);
+        let mut noisy = VcpuContext::new(config.pmi_granularity_uops);
+        let mut muxed_records = Vec::new();
+        for _ in 0..5 {
+            cpu.load_vcpu(&tenant);
+            cpu.push_work(work(500_000, 10));
+            while let Some(r) = cpu.run_to_pmi() {
+                muxed_records.push(r.metrics);
+            }
+            cpu.store_vcpu(&mut tenant);
+
+            cpu.load_vcpu(&noisy);
+            cpu.push_work(work(300_000, 90));
+            while cpu.run_to_pmi().is_some() {}
+            cpu.store_vcpu(&mut noisy);
+        }
+        assert_eq!(solo_records, muxed_records);
     }
 
     #[test]

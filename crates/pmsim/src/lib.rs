@@ -50,7 +50,7 @@ pub mod thermal;
 pub mod timing;
 pub mod trace;
 
-pub use cpu::{Cpu, PlatformConfig, PmiRecord};
+pub use cpu::{Cpu, PlatformConfig, PmiRecord, VcpuContext};
 pub use dvfs::DvfsController;
 pub use opp::{Frequency, OperatingPoint, OperatingPointTable, Voltage};
 pub use pmc::{CounterFile, Event};

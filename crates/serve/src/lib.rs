@@ -19,14 +19,11 @@
 //! - [`server`] — the sharded daemon: N shard owner threads exclusively
 //!   holding predictor state, timeouts, a `max_conns` accept gate,
 //!   poison-one-connection error handling and flag-based draining
-//!   shutdown. Two I/O engines, selected by
-//!   [`ServeMode`](server::ServeMode): the default nonblocking epoll
-//!   **reactor** (the [`reactor`] syscall layer plus the private `conn`
-//!   and `shard` modules — one readiness loop per shard thread owning
-//!   thousands of sockets, bounded outbound queues with slow-consumer
-//!   shedding, idle reaping on a coarse tick) and the original
-//!   thread-per-connection **blocking** mode, retained for one release
-//!   as the reactor's equivalence oracle.
+//!   shutdown. Connections are driven by a nonblocking epoll **reactor**
+//!   (the [`reactor`] syscall layer plus the private `conn` and `shard`
+//!   modules) — one readiness loop per shard thread owning thousands of
+//!   sockets, bounded outbound queues with slow-consumer shedding, idle
+//!   reaping on a coarse tick.
 //! - [`client`] / [`loadgen`] — the blocking client and the
 //!   `serve-bench` load generator, which replays the synthetic SPEC
 //!   workloads over M connections and checks served decisions bit-exactly
@@ -54,5 +51,5 @@ pub mod wire;
 pub use client::{Client, ClientError, ServedDecision};
 pub use engine::{shard_for, Decision, EngineConfig, EngineConfigError, Sample, SessionState};
 pub use loadgen::{Agreement, LoadGenConfig, LoadGenError, LoadReport};
-pub use server::{spawn, ServeMode, ServerConfig, ServerHandle, ServerSummary};
+pub use server::{spawn, ServerConfig, ServerHandle, ServerSummary};
 pub use wire::{ErrorCode, Frame, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -1,60 +1,36 @@
 //! The sharded TCP phase-prediction server.
 //!
-//! Two I/O modes share this module's configuration, counters and
-//! summary, selected by [`ServerConfig::mode`]:
+//! One I/O engine drives every connection: N shard threads, each
+//! running a nonblocking epoll readiness loop over the listener and
+//! every connection it accepted (see [`crate::shard`] and
+//! [`crate::conn`]). One thread owns thousands of sockets; sessions
+//! never cross threads, so each shard exclusively owns the predictor
+//! state of the sessions hashed onto it — there is no lock around any
+//! GPHT. (The original thread-per-connection blocking engine served one
+//! release as the reactor's equivalence oracle and has been removed;
+//! the reactor tests now check bit-exactness directly against the
+//! in-process [`crate::engine::SessionState`] decision path.)
 //!
-//! - [`ServeMode::Reactor`] (default) — N shard threads, each running a
-//!   nonblocking epoll readiness loop over the listener and every
-//!   connection it accepted (see [`crate::shard`] and [`crate::conn`]).
-//!   One thread owns thousands of sockets; sessions never cross threads.
-//! - [`ServeMode::Blocking`] — the original thread-per-connection model,
-//!   retained for one release as the reactor's equivalence oracle (see
-//!   the `--blocking` deprecation note in the README):
-//!
-//! ```text
-//! acceptor ── spawns ──► connection reader ──► shard 0 owner ─┐
-//!                        connection reader ──► shard 1 owner ─┤ decisions
-//!                        ...                   ...            │
-//!                        connection writer ◄──────────────────┘
-//! ```
-//!
-//! In blocking mode each of the N **shard owner** threads exclusively
-//! owns the predictor state ([`SessionState`]) of the sessions hashed
-//! onto it — there is no lock around any GPHT. Connections are assigned
-//! to shards by [`shard_for`] over the client id from `Hello`. A
-//! connection's reader thread forwards samples to its shard over an mpsc
-//! channel; the shard computes decisions and queues them on the
-//! connection's **writer** thread, which drains its queue into a
-//! `BufWriter` and flushes once per batch — so decisions are batched per
-//! socket flush, not written one syscall each. mpsc channels are FIFO
-//! per sender, so a session's decisions come back in sample order.
-//!
-//! Robustness (both modes): every connection carries read/write
-//! timeouts; a malformed or oversized frame earns the sender a terminal
-//! [`Frame::Error`] and poisons **only that connection** — its shard and
-//! every other session keep running. The reactor additionally sheds
-//! connections whose outbound queue exceeds
-//! [`ServerConfig::max_outbound_bytes`] with a typed
-//! [`ErrorCode::SlowConsumer`]. Shutdown is flag-based:
+//! Robustness: every connection carries read/write timeouts; a
+//! malformed or oversized frame earns the sender a terminal
+//! [`Frame::Error`] and poisons **only that connection** — its shard
+//! and every other session keep running. Connections whose outbound
+//! queue exceeds [`ServerConfig::max_outbound_bytes`] are shed with a
+//! typed slow-consumer error. Shutdown is flag-based:
 //! [`ServerHandle::shutdown`] (or `exit_after_conns` draining the last
 //! connection) raises the flag and pokes the listener with a loopback
 //! connect; connections are drained — in-flight samples still get their
 //! decisions and queued frames flush — before sockets close.
 
-use crate::engine::{shard_for, Decision, EngineConfig, Sample, SessionState};
-use crate::wire::{
-    self, ErrorCode, Frame, FrameError, StatsSnapshot, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
-};
+use crate::engine::EngineConfig;
+use crate::wire::{Frame, StatsSnapshot};
 use livephase_telemetry::{trace_event, Counter, Gauge, Histogram, Level};
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-// lint:allow(determinism): Instant feeds uptime and batch-latency telemetry; the
-// decision path itself is a pure function of the sample stream.
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tracing target for every event this module emits.
 const TRACE: &str = "serve::server";
@@ -107,7 +83,6 @@ impl ServeMetrics {
 /// Per-shard instrument handles, owned by one shard thread.
 pub(crate) struct ShardMetrics {
     pub(crate) sessions: Arc<Gauge>,
-    pub(crate) queue_depth: Arc<Gauge>,
     pub(crate) samples_total: Arc<Counter>,
     pub(crate) decision_us: Arc<Histogram>,
 }
@@ -121,11 +96,6 @@ impl ShardMetrics {
             sessions: reg.gauge(
                 "serve_shard_sessions",
                 "Sessions whose predictor state this shard owns.",
-                label,
-            ),
-            queue_depth: reg.gauge(
-                "serve_shard_queue_depth",
-                "Messages queued to the shard and not yet processed.",
                 label,
             ),
             samples_total: reg.counter(
@@ -147,19 +117,6 @@ impl ShardMetrics {
     }
 }
 
-/// Which I/O engine drives the server's connections.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub enum ServeMode {
-    /// Nonblocking epoll readiness loops, one per shard thread, each
-    /// owning thousands of sockets — the default.
-    #[default]
-    Reactor,
-    /// Thread-per-connection blocking I/O — the original model, kept for
-    /// one release as the reactor's equivalence oracle and slated for
-    /// removal (see the README's `--blocking` deprecation note).
-    Blocking,
-}
-
 /// Everything a server needs to start.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -169,10 +126,10 @@ pub struct ServerConfig {
     /// Number of shard owner threads.
     pub shards: usize,
     /// Accept gate: connections beyond this many concurrent sessions are
-    /// refused with [`ErrorCode::Busy`].
+    /// refused with [`crate::wire::ErrorCode::Busy`].
     pub max_conns: usize,
     /// Per-connection socket read timeout; an idle connection is closed
-    /// with [`ErrorCode::IdleTimeout`] after this long, and shutdown is
+    /// with [`crate::wire::ErrorCode::IdleTimeout`] after this long, and shutdown is
     /// noticed at most this late.
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
@@ -183,14 +140,12 @@ pub struct ServerConfig {
     pub exit_after_conns: Option<u64>,
     /// Phase map, translation table and platform name served.
     pub engine: EngineConfig,
-    /// Which I/O engine drives connections.
-    pub mode: ServeMode,
-    /// Reactor only: a connection whose un-drained outbound queue
-    /// exceeds this many bytes is shed with [`ErrorCode::SlowConsumer`].
+    /// A connection whose un-drained outbound queue exceeds this many
+    /// bytes is shed with a typed slow-consumer error.
     pub max_outbound_bytes: usize,
-    /// Reactor only: cap each accepted socket's kernel send buffer
-    /// (`SO_SNDBUF`) to this many bytes. `None` keeps the kernel
-    /// default; tests set it low to make backpressure prompt.
+    /// Cap each accepted socket's kernel send buffer (`SO_SNDBUF`) to
+    /// this many bytes. `None` keeps the kernel default; tests set it
+    /// low to make backpressure prompt.
     pub sndbuf: Option<usize>,
 }
 
@@ -204,7 +159,6 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             exit_after_conns: None,
             engine: EngineConfig::pentium_m(),
-            mode: ServeMode::default(),
             max_outbound_bytes: 256 * 1024,
             sndbuf: None,
         }
@@ -216,7 +170,7 @@ impl Default for ServerConfig {
 pub struct ServerSummary {
     /// Connections admitted past the accept gate.
     pub accepted: u64,
-    /// Connections refused with [`ErrorCode::Busy`].
+    /// Connections refused with [`crate::wire::ErrorCode::Busy`].
     pub rejected: u64,
     /// Connections terminated for malformed frames, protocol violations
     /// or idle timeouts.
@@ -278,29 +232,6 @@ impl Shared {
     }
 }
 
-/// What a connection reader sends its shard owner.
-enum ShardMsg {
-    /// A `Hello` passed transport checks; validate the predictor spec and
-    /// answer `HelloAck` or `Error{BadConfig}` on `reply`.
-    Register {
-        conn: u64,
-        predictor: String,
-        /// Protocol version the session negotiated (echoed in
-        /// `HelloAck`).
-        version: u16,
-        reply: mpsc::Sender<Frame>,
-    },
-    /// One counter sample for `conn`'s session.
-    Sample {
-        conn: u64,
-        pid: u32,
-        uops: u64,
-        mem_trans: u64,
-    },
-    /// The connection is gone; drop its session state.
-    Unregister { conn: u64 },
-}
-
 /// A running server: its bound address plus the means to stop it.
 #[derive(Debug)]
 pub struct ServerHandle {
@@ -353,14 +284,14 @@ impl ServerHandle {
     }
 }
 
-/// Binds `config.addr` and spawns the server threads for the configured
-/// [`ServeMode`]; returns once the port is bound, so
-/// [`ServerHandle::local_addr`] is immediately connectable.
+/// Binds `config.addr` and spawns the shard reactor threads; returns
+/// once the port is bound, so [`ServerHandle::local_addr`] is
+/// immediately connectable.
 ///
 /// # Errors
 ///
-/// Propagates the bind failure (and, for the reactor, listener clone or
-/// shard spawn failures).
+/// Propagates the bind failure, listener clone failures and shard
+/// spawn failures.
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     assert!(config.shards > 0, "a server has at least one shard");
     assert!(
@@ -370,629 +301,12 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let shared = Arc::new(Shared::new());
-    let threads = match config.mode {
-        ServeMode::Reactor => crate::shard::spawn_shards(listener, &config, &shared)?,
-        ServeMode::Blocking => {
-            let shared_for_acceptor = Arc::clone(&shared);
-            vec![std::thread::Builder::new()
-                .name("serve-acceptor".to_owned())
-                .spawn(move || accept_loop(&listener, &config, &shared_for_acceptor))?]
-        }
-    };
+    let threads = crate::shard::spawn_shards(listener, &config, &shared)?;
     Ok(ServerHandle {
         local_addr,
         shared,
         threads,
     })
-}
-
-/// The context a connection thread works in.
-struct ConnCtx {
-    shared: Arc<Shared>,
-    shard_txs: Vec<mpsc::Sender<ShardMsg>>,
-    engine: Arc<EngineConfig>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-}
-
-fn accept_loop(listener: &TcpListener, config: &ServerConfig, shared: &Arc<Shared>) {
-    let engine = Arc::new(config.engine.clone());
-    if let Ok(addr) = listener.local_addr() {
-        trace_event!(
-            Level::Info,
-            TRACE,
-            "server started",
-            addr = addr,
-            shards = config.shards,
-            max_conns = config.max_conns
-        );
-    }
-    let shard_txs: Vec<mpsc::Sender<ShardMsg>> = (0..config.shards)
-        .map(|i| {
-            let (tx, rx) = mpsc::channel();
-            let engine = Arc::clone(&engine);
-            let shared = Arc::clone(shared);
-            let metrics = ShardMetrics::new(i);
-            std::thread::Builder::new()
-                .name(format!("serve-shard-{i}"))
-                .spawn(move || shard_loop(&rx, i, &engine, &shared, &metrics))
-                // lint:allow(no-panic-path): spawn failure at server startup is fatal
-                // by design — a server missing a shard must not limp along silently.
-                .unwrap_or_else(|e| panic!("spawning shard thread {i}: {e}"));
-            tx
-        })
-        .collect();
-
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break; // the shutdown poke lands here
-        }
-        let Ok(stream) = stream else { continue };
-        if shared.active.load(Ordering::SeqCst) >= config.max_conns as u64 {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
-            shared.metrics.rejected_total.inc();
-            trace_event!(
-                Level::Warn,
-                TRACE,
-                "connection refused at accept gate",
-                max_conns = config.max_conns
-            );
-            refuse_busy(stream, config.write_timeout);
-            continue;
-        }
-        let conn_id = shared.accepted.fetch_add(1, Ordering::SeqCst) + 1;
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        shared.metrics.connections_total.inc();
-        shared.metrics.connections_active.inc();
-        trace_event!(Level::Debug, TRACE, "connection accepted", conn = conn_id);
-        let ctx = ConnCtx {
-            shared: Arc::clone(shared),
-            shard_txs: shard_txs.clone(),
-            engine: Arc::clone(&engine),
-            read_timeout: config.read_timeout,
-            write_timeout: config.write_timeout,
-        };
-        let exit_after = config.exit_after_conns;
-        let local_addr = listener.local_addr().ok();
-        let spawned = std::thread::Builder::new()
-            .name(format!("serve-conn-{conn_id}"))
-            .spawn(move || {
-                connection_thread(stream, conn_id, &ctx);
-                finish_connection(&ctx, exit_after, local_addr);
-            });
-        match spawned {
-            Ok(handle) => conn_threads.push(handle),
-            Err(_) => {
-                // Out of threads: the connection (and the ctx moved into
-                // the dropped closure) is gone; undo the admission.
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-                shared.metrics.connections_active.dec();
-                trace_event!(
-                    Level::Warn,
-                    TRACE,
-                    "spawning a connection thread failed",
-                    conn = conn_id
-                );
-            }
-        }
-    }
-    for t in conn_threads {
-        let _ = t.join();
-    }
-    drop(shard_txs); // disconnects every shard channel
-}
-
-/// Post-connection bookkeeping: drop the active count and, when an
-/// `exit_after_conns` quota is both reached and fully drained, initiate
-/// shutdown.
-fn finish_connection(ctx: &ConnCtx, exit_after: Option<u64>, local_addr: Option<SocketAddr>) {
-    let remaining = ctx.shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
-    ctx.shared.metrics.connections_active.dec();
-    let Some(quota) = exit_after else { return };
-    if remaining == 0 && ctx.shared.accepted.load(Ordering::SeqCst) >= quota {
-        trace_event!(
-            Level::Info,
-            TRACE,
-            "connection quota drained; shutting down",
-            quota = quota
-        );
-        ctx.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(addr) = local_addr {
-            drop(TcpStream::connect(addr)); // poke the acceptor awake
-        }
-    }
-}
-
-/// Refuses a connection at the accept gate with a synchronous
-/// `Error{Busy}`.
-fn refuse_busy(stream: TcpStream, write_timeout: Duration) {
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let mut w = BufWriter::new(stream);
-    let _ = wire::write_frame(
-        &mut w,
-        &Frame::Error {
-            code: ErrorCode::Busy,
-            message: "connection limit reached; retry later".to_owned(),
-        },
-    );
-    let _ = w.flush();
-}
-
-/// Most messages a shard takes off its channel in one swing; bounds the
-/// reuse buffers while still amortizing wakeups under load.
-const MAX_SHARD_BATCH: usize = 1024;
-
-/// One shard owner: exclusively holds the predictor state of the
-/// sessions hashed onto it and answers their samples in arrival order.
-///
-/// The loop drains in batches: one blocking receive, then everything
-/// already queued (up to [`MAX_SHARD_BATCH`]). Runs of consecutive
-/// samples for the same connection are coalesced and pushed through
-/// [`SessionState::apply_batch`] — the engine's `step_many` — so a busy
-/// session's backlog costs one map lookup per run, not one per sample.
-/// Message order is preserved throughout, so decisions still come back
-/// in sample order per session.
-fn shard_loop(
-    rx: &mpsc::Receiver<ShardMsg>,
-    index: usize,
-    engine: &EngineConfig,
-    shared: &Shared,
-    metrics: &ShardMetrics,
-) {
-    let mut sessions: HashMap<u64, (SessionState, mpsc::Sender<Frame>)> = HashMap::new();
-    let mut batch: Vec<ShardMsg> = Vec::new();
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut decisions: Vec<Decision> = Vec::new();
-    while let Ok(first) = rx.recv() {
-        batch.push(first);
-        while batch.len() < MAX_SHARD_BATCH {
-            match rx.try_recv() {
-                Ok(msg) => batch.push(msg),
-                Err(_) => break,
-            }
-        }
-        let mut queue = batch.drain(..).peekable();
-        while let Some(msg) = queue.next() {
-            match msg {
-                ShardMsg::Register {
-                    conn,
-                    predictor,
-                    version,
-                    reply,
-                } => match SessionState::new(engine, &predictor) {
-                    Ok(session) => {
-                        let ack = Frame::HelloAck {
-                            version,
-                            shard: u32::try_from(index).unwrap_or(u32::MAX),
-                            op_points: engine.op_points(),
-                        };
-                        if reply.send(ack).is_ok() {
-                            sessions.insert(conn, (session, reply));
-                            metrics.sessions.inc();
-                        }
-                    }
-                    Err(e) => {
-                        let _ = reply.send(Frame::Error {
-                            code: ErrorCode::BadConfig,
-                            message: e.to_string(),
-                        });
-                    }
-                },
-                ShardMsg::Sample {
-                    conn,
-                    pid,
-                    uops,
-                    mem_trans,
-                } => {
-                    samples.clear();
-                    samples.push(Sample {
-                        pid,
-                        uops,
-                        mem_transactions: mem_trans,
-                    });
-                    // Coalesce the run of queued samples for this same
-                    // connection; stop at any other message so per-conn
-                    // ordering against register/unregister is untouched.
-                    while let Some(ShardMsg::Sample { conn: next, .. }) = queue.peek() {
-                        if *next != conn {
-                            break;
-                        }
-                        let Some(ShardMsg::Sample {
-                            pid,
-                            uops,
-                            mem_trans,
-                            ..
-                        }) = queue.next()
-                        else {
-                            break;
-                        };
-                        samples.push(Sample {
-                            pid,
-                            uops,
-                            mem_transactions: mem_trans,
-                        });
-                    }
-                    serve_sample_run(
-                        &mut sessions,
-                        conn,
-                        &samples,
-                        &mut decisions,
-                        shared,
-                        metrics,
-                    );
-                }
-                ShardMsg::Unregister { conn } => {
-                    retire_session(&mut sessions, conn, shared, metrics);
-                }
-            }
-        }
-    }
-}
-
-/// Decides one coalesced run of samples for `conn` and queues the
-/// decision frames, in order, on the connection's writer.
-fn serve_sample_run(
-    sessions: &mut HashMap<u64, (SessionState, mpsc::Sender<Frame>)>,
-    conn: u64,
-    samples: &[Sample],
-    decisions: &mut Vec<Decision>,
-    shared: &Shared,
-    metrics: &ShardMetrics,
-) {
-    for _ in 0..samples.len() {
-        metrics.queue_depth.dec();
-    }
-    let mut writer_gone = false;
-    if let Some((session, reply)) = sessions.get_mut(&conn) {
-        let n = samples.len() as u64;
-        let before = session.processes();
-        let started = Instant::now(); // lint:allow(determinism): decision-latency histogram only
-        decisions.clear();
-        session.apply_batch(samples, decisions);
-        // One histogram entry per decision at the batch-amortized cost,
-        // so the count still equals the decision count.
-        let per_decision_us =
-            u64::try_from(started.elapsed().as_micros() / u128::from(n.max(1))).unwrap_or(u64::MAX);
-        metrics.decision_us.record_n(per_decision_us, n);
-        metrics.samples_total.add(n);
-        shared.samples.fetch_add(n, Ordering::Relaxed);
-        let grown = (session.processes() - before) as u64;
-        if grown > 0 {
-            shared.processes.fetch_add(grown, Ordering::Relaxed);
-        }
-        let mut sent = 0u64;
-        for d in decisions.iter() {
-            let frame = Frame::Decision {
-                pid: d.pid,
-                op_point: d.op_point,
-                confidence: d.confidence,
-            };
-            if reply.send(frame).is_ok() {
-                sent += 1;
-            } else {
-                // Writer is gone — the connection died mid-flight; the
-                // rest of this run has no one to go to.
-                writer_gone = true;
-                break;
-            }
-        }
-        shared.decisions.fetch_add(sent, Ordering::Relaxed);
-    }
-    // Samples for an unknown conn (failed registration) are dropped; the
-    // client already holds a terminal Error frame.
-    if writer_gone {
-        retire_session(sessions, conn, shared, metrics);
-    }
-}
-
-fn retire_session(
-    sessions: &mut HashMap<u64, (SessionState, mpsc::Sender<Frame>)>,
-    conn: u64,
-    shared: &Shared,
-    metrics: &ShardMetrics,
-) {
-    if let Some((session, _)) = sessions.remove(&conn) {
-        shared
-            .processes
-            .fetch_sub(session.processes() as u64, Ordering::Relaxed);
-        metrics.sessions.dec();
-    }
-}
-
-/// Why a connection's read loop ended; decides poisoning and the terminal
-/// frame.
-enum ConnEnd {
-    /// Client said `Goodbye` or closed the socket.
-    Clean,
-    /// The client broke protocol (malformed frame, out-of-order frame,
-    /// idle timeout); a terminal `Error` was queued.
-    Poisoned,
-    /// The server is draining.
-    ShuttingDown,
-}
-
-fn connection_thread(stream: TcpStream, conn_id: u64, ctx: &ConnCtx) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(ctx.read_timeout)).is_err()
-        || stream.set_write_timeout(Some(ctx.write_timeout)).is_err()
-    {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
-    let encode_us = Arc::clone(&ctx.shared.metrics.frame_encode_us);
-    let Ok(writer) = std::thread::Builder::new()
-        .name(format!("serve-conn-{conn_id}-writer"))
-        .spawn(move || writer_loop(write_half, &reply_rx, &encode_us))
-    else {
-        // Out of threads: nothing can answer this connection.
-        return;
-    };
-
-    let mut reader = BufReader::new(stream);
-    let shard = serve_connection(&mut reader, conn_id, ctx, &reply_tx);
-    trace_event!(Level::Debug, TRACE, "connection closed", conn = conn_id);
-
-    // Drop the session (FIFO per sender: the shard answers every sample
-    // already queued before it sees the unregister), then release our
-    // reply sender so the writer drains and exits once the shard's clone
-    // is gone too.
-    if let Some(shard) = shard {
-        // lint:allow(no-panic-path): shard_for returns an index modulo shard_txs.len()
-        let _ = ctx.shard_txs[shard].send(ShardMsg::Unregister { conn: conn_id });
-    }
-    drop(reply_tx);
-    let _ = writer.join();
-}
-
-/// Runs the handshake and the sample loop; returns the shard this
-/// connection registered on, if it got that far.
-fn serve_connection(
-    reader: &mut BufReader<TcpStream>,
-    conn_id: u64,
-    ctx: &ConnCtx,
-    reply: &mpsc::Sender<Frame>,
-) -> Option<usize> {
-    let (shard, version) = match handshake(reader, conn_id, ctx, reply) {
-        Ok(outcome) => outcome,
-        Err(end) => {
-            if matches!(end, ConnEnd::Poisoned) {
-                poison(ctx, conn_id);
-            }
-            return None;
-        }
-    };
-    let end = sample_loop(reader, conn_id, ctx, reply, shard, version);
-    if matches!(end, ConnEnd::Poisoned) {
-        poison(ctx, conn_id);
-    }
-    Some(shard)
-}
-
-fn poison(ctx: &ConnCtx, conn_id: u64) {
-    ctx.shared.poisoned.fetch_add(1, Ordering::Relaxed);
-    ctx.shared.metrics.poisoned_total.inc();
-    trace_event!(Level::Warn, TRACE, "connection poisoned", conn = conn_id);
-}
-
-/// Reads and answers the `Hello`; returns the shard index and the
-/// negotiated protocol version on success.
-fn handshake(
-    reader: &mut BufReader<TcpStream>,
-    conn_id: u64,
-    ctx: &ConnCtx,
-    reply: &mpsc::Sender<Frame>,
-) -> Result<(usize, u16), ConnEnd> {
-    let (frame, _) = read_or_end(reader, ctx, reply)?;
-    let (version, client_id, platform, predictor) = match frame {
-        Frame::Hello {
-            version,
-            client_id,
-            platform,
-            predictor,
-        } => (version, client_id, platform, predictor),
-        Frame::Goodbye => return Err(ConnEnd::Clean),
-        other => {
-            refuse(
-                reply,
-                ErrorCode::Protocol,
-                format!("expected Hello, got {}", frame_name(&other)),
-            );
-            return Err(ConnEnd::Poisoned);
-        }
-    };
-    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
-        refuse(
-            reply,
-            ErrorCode::VersionMismatch,
-            format!(
-                "server speaks protocol v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}, \
-                 client sent v{version}"
-            ),
-        );
-        return Err(ConnEnd::Poisoned);
-    }
-    if platform != ctx.engine.platform() {
-        refuse(
-            reply,
-            ErrorCode::BadConfig,
-            format!(
-                "server is configured for platform {:?}",
-                ctx.engine.platform()
-            ),
-        );
-        return Err(ConnEnd::Poisoned);
-    }
-    let shard = shard_for(client_id, ctx.shard_txs.len());
-    // The shard answers HelloAck (or Error{BadConfig} for a predictor
-    // spec that does not parse) on the reply channel.
-    let register = ShardMsg::Register {
-        conn: conn_id,
-        predictor,
-        version,
-        reply: reply.clone(),
-    };
-    // lint:allow(no-panic-path): shard_for returns an index modulo shard_txs.len()
-    if ctx.shard_txs[shard].send(register).is_err() {
-        return Err(ConnEnd::ShuttingDown);
-    }
-    trace_event!(
-        Level::Debug,
-        TRACE,
-        "session registered",
-        conn = conn_id,
-        shard = shard,
-        version = version
-    );
-    Ok((shard, version))
-}
-
-/// The post-handshake read loop.
-fn sample_loop(
-    reader: &mut BufReader<TcpStream>,
-    conn_id: u64,
-    ctx: &ConnCtx,
-    reply: &mpsc::Sender<Frame>,
-    shard: usize,
-    version: u16,
-) -> ConnEnd {
-    // Handles cached once per connection; records are then lock-free.
-    let reg = livephase_telemetry::global();
-    let shard_label = shard.to_string();
-    let labels: &[(&str, &str)] = &[("shard", &shard_label)];
-    let decode_us = reg.histogram(
-        "serve_frame_decode_us",
-        "Frame decode latency in microseconds (reader threads).",
-        labels,
-    );
-    let queue_depth = reg.gauge(
-        "serve_shard_queue_depth",
-        "Messages queued to the shard and not yet processed.",
-        labels,
-    );
-    loop {
-        let frame = match read_or_end(reader, ctx, reply) {
-            Ok((frame, decode_time)) => {
-                decode_us.record(u64::try_from(decode_time.as_micros()).unwrap_or(u64::MAX));
-                frame
-            }
-            Err(end) => return end,
-        };
-        match frame {
-            Frame::Sample {
-                pid,
-                uops,
-                mem_trans,
-                tsc_delta: _,
-            } => {
-                let msg = ShardMsg::Sample {
-                    conn: conn_id,
-                    pid,
-                    uops,
-                    mem_trans,
-                };
-                queue_depth.inc();
-                // lint:allow(no-panic-path): shard_for returns an index modulo shard_txs.len()
-                if ctx.shard_txs[shard].send(msg).is_err() {
-                    queue_depth.dec(); // the shard never saw it
-                    return ConnEnd::ShuttingDown;
-                }
-            }
-            Frame::StatsRequest => {
-                // Answered from the shared counters without a shard round
-                // trip; may overtake decisions still queued on the shard.
-                let shards = u32::try_from(ctx.shard_txs.len()).unwrap_or(u32::MAX);
-                let _ = reply.send(Frame::Stats(ctx.shared.snapshot(shards)));
-            }
-            Frame::MetricsRequest => {
-                // v2+ only: a v1 session asking for metrics is breaking
-                // the protocol it negotiated.
-                if version < 2 {
-                    refuse(
-                        reply,
-                        ErrorCode::Protocol,
-                        format!("MetricsRequest needs protocol v2, session negotiated v{version}"),
-                    );
-                    return ConnEnd::Poisoned;
-                }
-                let text = wire::truncate_metrics_text(&reg.render()).to_owned();
-                let _ = reply.send(Frame::Metrics { text });
-            }
-            Frame::Goodbye => return ConnEnd::Clean,
-            other => {
-                refuse(
-                    reply,
-                    ErrorCode::Protocol,
-                    format!("client may not send {}", frame_name(&other)),
-                );
-                return ConnEnd::Poisoned;
-            }
-        }
-    }
-}
-
-/// Reads one frame, translating transport/decode failures and the
-/// shutdown flag into a [`ConnEnd`] (queueing the terminal error frame
-/// where one is owed). Success carries the decode-only latency for the
-/// caller's per-shard histogram.
-fn read_or_end(
-    reader: &mut BufReader<TcpStream>,
-    ctx: &ConnCtx,
-    reply: &mpsc::Sender<Frame>,
-) -> Result<(Frame, Duration), ConnEnd> {
-    if ctx.shared.shutdown.load(Ordering::SeqCst) {
-        refuse(
-            reply,
-            ErrorCode::ShuttingDown,
-            "server is draining".to_owned(),
-        );
-        return Err(ConnEnd::ShuttingDown);
-    }
-    match wire::read_frame_timed(reader) {
-        Ok(timed) => Ok(timed),
-        Err(e) if e.is_timeout() => {
-            if ctx.shared.shutdown.load(Ordering::SeqCst) {
-                refuse(
-                    reply,
-                    ErrorCode::ShuttingDown,
-                    "server is draining".to_owned(),
-                );
-                Err(ConnEnd::ShuttingDown)
-            } else {
-                refuse(
-                    reply,
-                    ErrorCode::IdleTimeout,
-                    format!("no frame within {:?}", ctx.read_timeout),
-                );
-                Err(ConnEnd::Poisoned)
-            }
-        }
-        Err(FrameError::Decode(e)) => {
-            refuse(reply, ErrorCode::Malformed, e.to_string());
-            Err(ConnEnd::Poisoned)
-        }
-        // EOF or a dead socket: nothing left to tell the peer.
-        Err(FrameError::Io(_)) => Err(ConnEnd::Clean),
-    }
-}
-
-fn refuse(reply: &mpsc::Sender<Frame>, code: ErrorCode, message: impl Into<String>) {
-    // Cold path — refusals are terminal — so the registry lookup per
-    // call is fine.
-    livephase_telemetry::global()
-        .counter(
-            "serve_errors_total",
-            "Terminal Error frames sent, by error code.",
-            &[("code", code.label())],
-        )
-        .inc();
-    let _ = reply.send(Frame::Error {
-        code,
-        message: message.into(),
-    });
 }
 
 pub(crate) fn frame_name(frame: &Frame) -> &'static str {
@@ -1008,40 +322,4 @@ pub(crate) fn frame_name(frame: &Frame) -> &'static str {
         Frame::MetricsRequest => "MetricsRequest",
         Frame::Metrics { .. } => "Metrics",
     }
-}
-
-/// Encodes into the reused scratch buffer (no per-frame allocation),
-/// timing encode (not socket I/O) for the writer-side latency histogram.
-fn write_timed(
-    w: &mut impl Write,
-    frame: &Frame,
-    encode_us: &Histogram,
-    scratch: &mut Vec<u8>,
-) -> io::Result<()> {
-    let started = Instant::now(); // lint:allow(determinism): encode-latency histogram only
-    scratch.clear();
-    wire::encode_into(frame, scratch);
-    encode_us.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
-    w.write_all(scratch)
-}
-
-/// Drains queued frames into a `BufWriter`, flushing once per batch: one
-/// blocking receive, then everything else already queued, then a flush.
-fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Frame>, encode_us: &Histogram) {
-    let mut w = BufWriter::with_capacity(32 * 1024, stream);
-    let mut scratch: Vec<u8> = Vec::with_capacity(64);
-    while let Ok(frame) = rx.recv() {
-        if write_timed(&mut w, &frame, encode_us, &mut scratch).is_err() {
-            return;
-        }
-        while let Ok(f) = rx.try_recv() {
-            if write_timed(&mut w, &f, encode_us, &mut scratch).is_err() {
-                return;
-            }
-        }
-        if w.flush().is_err() {
-            return;
-        }
-    }
-    let _ = w.flush();
 }

@@ -1,13 +1,16 @@
-//! Reactor-specific end-to-end tests: the many-connection load
-//! generator holding every session open at once, slow-consumer shedding
-//! under an outbound-queue cap, and the `--blocking` engine as the
-//! reactor's equivalence oracle — both modes must refuse, drain, reap
-//! and decide identically.
+//! Reactor end-to-end tests: the many-connection load generator holding
+//! every session open at once, slow-consumer shedding under an
+//! outbound-queue cap, bit-exactness of served decisions against the
+//! in-process session engine, and reap/drain accounting. (These used to
+//! run the same scenarios through the removed thread-per-connection
+//! blocking engine as an equivalence oracle; the in-process decision
+//! path is the oracle now.)
 
 use livephase_serve::client::Client;
+use livephase_serve::engine::{EngineConfig, SessionState};
 use livephase_serve::loadgen::{self, LoadGenConfig};
 use livephase_serve::reactor;
-use livephase_serve::server::{spawn, ServeMode, ServerConfig};
+use livephase_serve::server::{spawn, ServerConfig};
 use livephase_serve::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
 use std::io::Write;
 use std::net::TcpStream;
@@ -179,11 +182,13 @@ fn slow_consumer_is_shed_without_disturbing_its_shard_siblings() {
     assert!(summary.poisoned >= 1, "the shed connection was poisoned");
 }
 
-/// The blocking engine is the reactor's equivalence oracle: the same
-/// counter stream through both modes yields bit-identical decision
-/// streams — operating point and confidence alike.
+/// The in-process session engine is the reactor's equivalence oracle:
+/// the same counter stream served over the wire yields the decision
+/// stream `SessionState` computes directly — operating point and
+/// confidence alike, bit for bit.
 #[test]
-fn reactor_and_blocking_modes_decide_identically() {
+fn reactor_decides_identically_to_the_in_process_engine() {
+    use livephase_serve::Sample;
     use livephase_workloads::{counter_samples, spec};
     let samples: Vec<(u64, u64)> = counter_samples(
         spec::benchmark("applu_in")
@@ -194,118 +199,121 @@ fn reactor_and_blocking_modes_decide_identically() {
     .map(|s| (s.uops, s.mem_transactions))
     .collect();
 
-    let serve_once = |mode: ServeMode| -> Vec<(u8, u16)> {
-        let handle = spawn(ServerConfig {
-            shards: 2,
-            mode,
-            read_timeout: Duration::from_secs(10),
-            ..ServerConfig::default()
+    // The oracle: the exact decision path the shards run, in process.
+    let config = EngineConfig::pentium_m();
+    let mut oracle = SessionState::new(&config, "gpht:8:128").expect("oracle session");
+    let oracle_samples: Vec<Sample> = samples
+        .iter()
+        .map(|&(uops, mem)| Sample {
+            pid: 1,
+            uops,
+            mem_transactions: mem,
         })
-        .expect("bind loopback");
-        let mut client = connect(&handle, 7);
-        for &(uops, mem) in &samples {
-            client.queue_sample(1, uops, mem, 0).expect("queue");
-        }
-        client.flush().expect("flush");
-        let decisions: Vec<(u8, u16)> = (0..samples.len())
-            .map(|_| {
-                let d = client.read_decision().expect("decision");
-                (d.op_point, d.confidence)
-            })
-            .collect();
-        client.goodbye().expect("close");
-        let summary = handle.shutdown();
-        assert_eq!(summary.decisions, samples.len() as u64);
-        assert_eq!(summary.poisoned, 0);
-        decisions
-    };
+        .collect();
+    let mut oracle_decisions = Vec::new();
+    oracle.apply_batch(&oracle_samples, &mut oracle_decisions);
+    let expected: Vec<(u8, u16)> = oracle_decisions
+        .iter()
+        .map(|d| (d.op_point, d.confidence))
+        .collect();
 
-    let via_reactor = serve_once(ServeMode::Reactor);
-    let via_blocking = serve_once(ServeMode::Blocking);
+    let handle = spawn(ServerConfig {
+        shards: 2,
+        read_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = connect(&handle, 7);
+    for &(uops, mem) in &samples {
+        client.queue_sample(1, uops, mem, 0).expect("queue");
+    }
+    client.flush().expect("flush");
+    let served: Vec<(u8, u16)> = (0..samples.len())
+        .map(|_| {
+            let d = client.read_decision().expect("decision");
+            (d.op_point, d.confidence)
+        })
+        .collect();
+    client.goodbye().expect("close");
+    let summary = handle.shutdown();
+    assert_eq!(summary.decisions, samples.len() as u64);
+    assert_eq!(summary.poisoned, 0);
     assert_eq!(
-        via_reactor, via_blocking,
-        "both engines run the identical decision path"
+        served, expected,
+        "the served stream is the in-process decision path, bit for bit"
     );
 }
 
-/// Idle reaping and graceful drain behave identically under both
-/// engines: an idle session earns `Error{IdleTimeout}`, queued
-/// decisions survive a shutdown (flushed before the close), and the
-/// poison accounting matches.
+/// Idle reaping and graceful drain: an idle session earns
+/// `Error{IdleTimeout}`, queued decisions survive a shutdown (flushed
+/// before the close), and the poison accounting charges exactly the
+/// reaped session.
 #[test]
-fn idle_reap_and_graceful_drain_match_across_modes() {
-    let run_scenario = |mode: ServeMode| -> (u64, u64) {
-        let handle = spawn(ServerConfig {
-            shards: 2,
-            mode,
-            read_timeout: Duration::from_millis(150),
-            ..ServerConfig::default()
-        })
-        .expect("bind loopback");
+fn idle_reap_and_graceful_drain_account_exactly() {
+    let handle = spawn(ServerConfig {
+        shards: 2,
+        read_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
 
-        // An idle session is reaped with the typed timeout error.
-        let mut idle = connect(&handle, 1);
-        match idle.read() {
-            Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
-            other => panic!("expected Error{{IdleTimeout}}, got {other:?}"),
-        }
+    // An idle session is reaped with the typed timeout error.
+    let mut idle = connect(&handle, 1);
+    match idle.read() {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
+        other => panic!("expected Error{{IdleTimeout}}, got {other:?}"),
+    }
 
-        // A busy session's queued samples are all decided, and the
-        // decisions are flushed to the client before the server closes
-        // on shutdown.
-        let mut busy = connect(&handle, 2);
-        for i in 0..30 {
-            busy.queue_sample(5, 100_000_000, i * 200_000, 0)
-                .expect("queue");
+    // A busy session's queued samples are all decided, and the
+    // decisions are flushed to the client before the server closes
+    // on shutdown.
+    let mut busy = connect(&handle, 2);
+    for i in 0..30 {
+        busy.queue_sample(5, 100_000_000, i * 200_000, 0)
+            .expect("queue");
+    }
+    busy.flush().expect("flush");
+    // Wait until the server has computed all 30 decisions so the
+    // shutdown drains delivery, not computation.
+    let mut observer = connect(&handle, 3);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = observer.stats().expect("stats");
+        if stats.decisions >= 30 {
+            break;
         }
-        busy.flush().expect("flush");
-        // Wait until the server has computed all 30 decisions so the
-        // shutdown drains delivery, not computation.
-        let mut observer = connect(&handle, 3);
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        loop {
-            let stats = observer.stats().expect("stats");
-            if stats.decisions >= 30 {
-                break;
-            }
-            assert!(
-                std::time::Instant::now() < deadline,
-                "server never ingested the 30 samples"
-            );
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        observer.goodbye().expect("close observer");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never ingested the 30 samples"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    observer.goodbye().expect("close observer");
 
-        let summary = handle.shutdown();
-        for _ in 0..30 {
-            busy.read_decision().expect("drained decision");
-        }
-        match busy.read() {
-            Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
-            Ok(other) => panic!("expected Error{{ShuttingDown}} or EOF, got {other:?}"),
-            Err(_) => {} // EOF: the writer closed right after the drain
-        }
-        (summary.decisions, summary.poisoned)
-    };
-
-    let reactor_outcome = run_scenario(ServeMode::Reactor);
-    let blocking_outcome = run_scenario(ServeMode::Blocking);
-    assert_eq!(reactor_outcome, (30, 1));
+    let summary = handle.shutdown();
+    for _ in 0..30 {
+        busy.read_decision().expect("drained decision");
+    }
+    match busy.read() {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        Ok(other) => panic!("expected Error{{ShuttingDown}} or EOF, got {other:?}"),
+        Err(_) => {} // EOF: the writer closed right after the drain
+    }
     assert_eq!(
-        reactor_outcome, blocking_outcome,
-        "reap and drain accounting agree across engines"
+        (summary.decisions, summary.poisoned),
+        (30, 1),
+        "all 30 decisions drained; only the idle session was poisoned"
     );
 }
 
 /// The standard (threaded) load generator reports identical outcomes
-/// against a reactor server and a blocking server: same per-benchmark
-/// agreement, same sample counts.
+/// across two independent reactor servers: same per-benchmark
+/// agreement, same sample counts — serving is deterministic end to end.
 #[test]
-fn loadgen_reports_match_across_modes() {
-    let run_mode = |mode: ServeMode| {
+fn loadgen_reports_are_reproducible_across_servers() {
+    let run_once = || {
         let handle = spawn(ServerConfig {
             shards: 2,
-            mode,
             read_timeout: Duration::from_secs(10),
             ..ServerConfig::default()
         })
@@ -322,9 +330,9 @@ fn loadgen_reports_match_across_modes() {
         handle.shutdown();
         report
     };
-    let reactor_report = run_mode(ServeMode::Reactor);
-    let blocking_report = run_mode(ServeMode::Blocking);
-    assert!(reactor_report.all_exact() && blocking_report.all_exact());
+    let first = run_once();
+    let second = run_once();
+    assert!(first.all_exact() && second.all_exact());
     let digest = |r: &loadgen::LoadReport| -> Vec<(String, u64, bool)> {
         r.outcomes
             .iter()
@@ -337,5 +345,5 @@ fn loadgen_reports_match_across_modes() {
             })
             .collect()
     };
-    assert_eq!(digest(&reactor_report), digest(&blocking_report));
+    assert_eq!(digest(&first), digest(&second));
 }

@@ -1,0 +1,455 @@
+//! The cluster power-cap arbiter.
+//!
+//! Once per scheduling epoch the arbiter collects one DVFS request per
+//! live tenant (the operating point that tenant's own phase prediction
+//! asked for) and hands back a *grant*: the fastest setting the tenant
+//! may run at. Grants are floors on the operating-point index — a tenant
+//! may always run slower than its grant (power falls monotonically with
+//! the index), never faster — so the budget argument is local and
+//! airtight:
+//!
+//! * a grant is costed at the platform's worst case for that setting,
+//!   `P(opp, core_fraction = 1)`, an upper bound on anything a tenant can
+//!   actually draw there (stalls draw less, memory-bound phases draw
+//!   less);
+//! * tenants are pinned to cores and a core runs one tenant at a time,
+//!   so a core's instantaneous draw is bounded by the *maximum* grant
+//!   cost among its tenants, not the sum;
+//! * the arbiter admits only grant vectors whose summed per-core maxima
+//!   fit the budget, so measured cluster power can never exceed it.
+//!
+//! Two policies are provided. `priority` serves tenants in priority
+//! order (ties by tenant id), giving each the fastest still-affordable
+//! setting — noisy neighbors, which carry the lowest priority, are
+//! throttled first. `waterfill` starts everyone at the slowest setting
+//! and repeatedly upgrades the currently worst-off tenant by one step
+//! while the budget holds, converging to the most even feasible
+//! allocation.
+
+use livephase_pmsim::PlatformConfig;
+use livephase_telemetry::Histogram;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// How the arbiter divides headroom among competing tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbiterPolicy {
+    /// Grant in priority order, fastest affordable setting each.
+    Priority,
+    /// Upgrade the worst-off tenant one step at a time until the budget
+    /// is exhausted.
+    WaterFill,
+}
+
+impl ArbiterPolicy {
+    /// Parses a policy name (`priority` | `waterfill`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "priority" => Some(Self::Priority),
+            "waterfill" => Some(Self::WaterFill),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ArbiterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Priority => write!(f, "priority"),
+            Self::WaterFill => write!(f, "waterfill"),
+        }
+    }
+}
+
+/// One tenant's per-epoch DVFS request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Requesting tenant.
+    pub tenant: u32,
+    /// Core the tenant is pinned to.
+    pub core: usize,
+    /// Operating-point index the tenant's prediction asked for
+    /// (0 = fastest).
+    pub requested_op: usize,
+    /// Arbitration priority; higher wins under the `priority` policy.
+    pub priority: u8,
+}
+
+/// One tenant's per-epoch grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The tenant granted.
+    pub tenant: u32,
+    /// The fastest operating-point index the tenant may run at this
+    /// epoch (a floor: running at a higher index is always allowed).
+    pub op: usize,
+    /// Whether the grant is slower than what the tenant requested.
+    pub denied: bool,
+}
+
+/// The per-epoch power-cap arbiter.
+#[derive(Debug)]
+pub struct Arbiter {
+    /// `cost_w[op]`: worst-case watts one core can draw at setting `op`.
+    cost_w: Vec<f64>,
+    budget_w: f64,
+    policy: ArbiterPolicy,
+    cores: usize,
+    grants_total: u64,
+    denials_total: u64,
+    starvation_us: Arc<Histogram>,
+}
+
+impl Arbiter {
+    /// Builds an arbiter for `cores` cores of `platform` under
+    /// `budget_w` watts.
+    #[must_use]
+    pub fn new(
+        platform: &PlatformConfig,
+        budget_w: f64,
+        policy: ArbiterPolicy,
+        cores: usize,
+    ) -> Self {
+        let cost_w = platform
+            .opp_table
+            .iter()
+            .map(|(_, opp)| platform.power.power(opp, 1.0))
+            .collect();
+        let starvation_us = livephase_telemetry::global().histogram(
+            "tenants_arbiter_starvation_us",
+            "Simulated microseconds tenants spent in denial streaks (granted slower than requested).",
+            &[],
+        );
+        Self {
+            cost_w,
+            budget_w,
+            policy,
+            cores,
+            grants_total: 0,
+            denials_total: 0,
+            starvation_us,
+        }
+    }
+
+    /// The worst-case cost (watts) of running one core at `op`.
+    #[must_use]
+    pub fn cost_w(&self, op: usize) -> f64 {
+        let last = self.cost_w.len().saturating_sub(1);
+        self.cost_w.get(op.min(last)).copied().unwrap_or(0.0)
+    }
+
+    /// The slowest (highest-index) setting of the platform.
+    #[must_use]
+    pub fn slowest(&self) -> usize {
+        self.cost_w.len().saturating_sub(1)
+    }
+
+    /// Whether even the all-slowest grant vector fits the budget for
+    /// this request set — if not, the budget is infeasible and the cap
+    /// cannot be guaranteed by DVFS alone.
+    #[must_use]
+    pub fn floor_feasible(&self, requests: &[Request]) -> bool {
+        let mut ops = Vec::new();
+        ops.resize(requests.len(), self.slowest());
+        self.total_cost(requests, &ops) <= self.budget_w + 1e-9
+    }
+
+    /// Summed per-core maxima of the grant vector's costs.
+    fn total_cost(&self, requests: &[Request], ops: &[usize]) -> f64 {
+        let mut core_max = Vec::new();
+        core_max.resize(self.cores.max(1), 0.0f64);
+        for (i, req) in requests.iter().enumerate() {
+            let op = ops.get(i).copied().unwrap_or_else(|| self.slowest());
+            let cost = self.cost_w(op);
+            let core = req.core.min(core_max.len().saturating_sub(1));
+            if let Some(slot) = core_max.get_mut(core) {
+                if cost > *slot {
+                    *slot = cost;
+                }
+            }
+        }
+        core_max.iter().sum()
+    }
+
+    /// Whether replacing grant `i` with `candidate` keeps the vector
+    /// within budget.
+    fn feasible_with(
+        &self,
+        requests: &[Request],
+        ops: &[usize],
+        i: usize,
+        candidate: usize,
+    ) -> bool {
+        let mut trial = ops.to_vec();
+        if let Some(slot) = trial.get_mut(i) {
+            *slot = candidate;
+        }
+        self.total_cost(requests, &trial) <= self.budget_w + 1e-9
+    }
+
+    /// Arbitrates one epoch: returns one [`Grant`] per request, in
+    /// request order. Deterministic: ties break by tenant id.
+    pub fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        let slowest = self.slowest();
+        let want: Vec<usize> = requests
+            .iter()
+            .map(|r| r.requested_op.min(slowest))
+            .collect();
+        let mut ops: Vec<usize> = Vec::new();
+        ops.resize(requests.len(), slowest);
+
+        match self.policy {
+            ArbiterPolicy::Priority => {
+                let mut order: Vec<usize> = (0..requests.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let (pa, ta) = requests
+                        .get(a)
+                        .map_or((0, u32::MAX), |r| (r.priority, r.tenant));
+                    let (pb, tb) = requests
+                        .get(b)
+                        .map_or((0, u32::MAX), |r| (r.priority, r.tenant));
+                    pb.cmp(&pa).then(ta.cmp(&tb))
+                });
+                for &i in &order {
+                    let target = want.get(i).copied().unwrap_or(slowest);
+                    let current = ops.get(i).copied().unwrap_or(slowest);
+                    // Fastest affordable setting no faster than requested.
+                    for candidate in target..=current {
+                        if self.feasible_with(requests, &ops, i, candidate) {
+                            if let Some(slot) = ops.get_mut(i) {
+                                *slot = candidate;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            ArbiterPolicy::WaterFill => {
+                let mut frozen = vec![false; requests.len()];
+                loop {
+                    // The worst-off upgradable tenant: slowest current
+                    // grant, ties by tenant id.
+                    let mut pick: Option<(usize, usize, u32)> = None;
+                    for (i, req) in requests.iter().enumerate() {
+                        if frozen.get(i).copied().unwrap_or(true) {
+                            continue;
+                        }
+                        let current = ops.get(i).copied().unwrap_or(slowest);
+                        let target = want.get(i).copied().unwrap_or(slowest);
+                        if current <= target {
+                            continue;
+                        }
+                        let better = match pick {
+                            None => true,
+                            Some((_, best_op, best_tenant)) => {
+                                current > best_op
+                                    || (current == best_op && req.tenant < best_tenant)
+                            }
+                        };
+                        if better {
+                            pick = Some((i, current, req.tenant));
+                        }
+                    }
+                    let Some((i, current, _)) = pick else {
+                        break;
+                    };
+                    let candidate = current.saturating_sub(1);
+                    if self.feasible_with(requests, &ops, i, candidate) {
+                        if let Some(slot) = ops.get_mut(i) {
+                            *slot = candidate;
+                        }
+                    } else if let Some(slot) = frozen.get_mut(i) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+
+        let mut grants = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            let op = ops.get(i).copied().unwrap_or(slowest);
+            let denied = op > want.get(i).copied().unwrap_or(slowest);
+            if denied {
+                self.denials_total += 1;
+            } else {
+                self.grants_total += 1;
+            }
+            let op_label = op.to_string();
+            let outcome = if denied {
+                livephase_telemetry::global().counter(
+                    "tenants_arbiter_denials_total",
+                    "Epoch requests granted slower than requested, by granted setting.",
+                    &[("op", &op_label)],
+                )
+            } else {
+                livephase_telemetry::global().counter(
+                    "tenants_arbiter_grants_total",
+                    "Epoch requests granted at the requested setting, by granted setting.",
+                    &[("op", &op_label)],
+                )
+            };
+            outcome.inc();
+            grants.push(Grant {
+                tenant: req.tenant,
+                op,
+                denied,
+            });
+        }
+        grants
+    }
+
+    /// Records the simulated length of one completed denial streak.
+    pub fn record_starvation(&self, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let us = (seconds * 1e6).min(9.0e18) as u64;
+        self.starvation_us.record(us);
+    }
+
+    /// Requests granted at the requested setting so far.
+    #[must_use]
+    pub fn grants_total(&self) -> u64 {
+        self.grants_total
+    }
+
+    /// Requests granted slower than requested so far.
+    #[must_use]
+    pub fn denials_total(&self) -> u64 {
+        self.denials_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livephase_pmsim::PlatformConfig;
+
+    fn requests(ops: &[(u32, usize, usize, u8)]) -> Vec<Request> {
+        ops.iter()
+            .map(|&(tenant, core, requested_op, priority)| Request {
+                tenant,
+                core,
+                requested_op,
+                priority,
+            })
+            .collect()
+    }
+
+    fn arbiter(budget_w: f64, policy: ArbiterPolicy, cores: usize) -> Arbiter {
+        Arbiter::new(&PlatformConfig::pentium_m(), budget_w, policy, cores)
+    }
+
+    #[test]
+    fn costs_fall_with_setting() {
+        let a = arbiter(100.0, ArbiterPolicy::WaterFill, 1);
+        for op in 1..=a.slowest() {
+            assert!(a.cost_w(op) < a.cost_w(op - 1));
+        }
+    }
+
+    #[test]
+    fn generous_budget_grants_everything() {
+        let mut a = arbiter(1000.0, ArbiterPolicy::Priority, 2);
+        let reqs = requests(&[(0, 0, 0, 1), (1, 1, 2, 1), (2, 0, 1, 0)]);
+        let grants = a.arbitrate(&reqs);
+        assert!(grants.iter().all(|g| !g.denied));
+        assert_eq!(
+            grants.iter().map(|g| g.op).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
+        assert_eq!(a.grants_total(), 3);
+        assert_eq!(a.denials_total(), 0);
+    }
+
+    #[test]
+    fn grants_never_exceed_budget() {
+        for policy in [ArbiterPolicy::Priority, ArbiterPolicy::WaterFill] {
+            let mut a = arbiter(18.0, policy, 2);
+            let reqs = requests(&[(0, 0, 0, 1), (1, 1, 0, 1), (2, 0, 0, 0), (3, 1, 0, 0)]);
+            let grants = a.arbitrate(&reqs);
+            // Reconstruct the admitted cost and check it fits.
+            let ops: Vec<usize> = grants.iter().map(|g| g.op).collect();
+            let mut core_max = [0.0f64; 2];
+            for (req, &op) in reqs.iter().zip(&ops) {
+                core_max[req.core] = core_max[req.core].max(a.cost_w(op));
+            }
+            assert!(
+                core_max.iter().sum::<f64>() <= 18.0 + 1e-9,
+                "{policy}: grant vector exceeds the budget"
+            );
+            assert!(
+                grants.iter().any(|g| g.denied),
+                "{policy}: a tight budget must deny someone"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_throttles_low_priority_first() {
+        // Budget fits one core at full speed plus one throttled core.
+        let a_probe = arbiter(100.0, ArbiterPolicy::Priority, 1);
+        let budget = a_probe.cost_w(0) + a_probe.cost_w(3);
+        let mut a = arbiter(budget, ArbiterPolicy::Priority, 2);
+        let reqs = requests(&[(0, 0, 0, 1), (1, 1, 0, 0)]);
+        let grants = a.arbitrate(&reqs);
+        assert_eq!(
+            grants.first().map(|g| g.op),
+            Some(0),
+            "high priority runs fast"
+        );
+        assert!(
+            grants.get(1).is_some_and(|g| g.op >= 3),
+            "low priority throttled"
+        );
+    }
+
+    #[test]
+    fn waterfill_spreads_the_pain_evenly() {
+        let a_probe = arbiter(100.0, ArbiterPolicy::WaterFill, 1);
+        let budget = 2.0 * a_probe.cost_w(2);
+        let mut a = arbiter(budget, ArbiterPolicy::WaterFill, 2);
+        let reqs = requests(&[(0, 0, 0, 1), (1, 1, 0, 0)]);
+        let grants = a.arbitrate(&reqs);
+        let ops: Vec<usize> = grants.iter().map(|g| g.op).collect();
+        assert_eq!(ops, vec![2, 2], "both tenants settle at the same level");
+    }
+
+    #[test]
+    fn same_core_tenants_share_a_max_not_a_sum() {
+        // Two tenants pinned to one core cost max(), so both can run
+        // fast under a budget that could not carry two cores.
+        let a_probe = arbiter(100.0, ArbiterPolicy::WaterFill, 1);
+        let budget = a_probe.cost_w(0) * 1.1;
+        let mut a = arbiter(budget, ArbiterPolicy::WaterFill, 1);
+        let reqs = requests(&[(0, 0, 0, 1), (1, 0, 0, 1)]);
+        let grants = a.arbitrate(&reqs);
+        assert!(grants.iter().all(|g| g.op == 0 && !g.denied));
+    }
+
+    #[test]
+    fn infeasible_floor_is_detected() {
+        let a = arbiter(0.5, ArbiterPolicy::WaterFill, 2);
+        let reqs = requests(&[(0, 0, 0, 1), (1, 1, 0, 1)]);
+        assert!(!a.floor_feasible(&reqs));
+        let generous = arbiter(100.0, ArbiterPolicy::WaterFill, 2);
+        assert!(generous.floor_feasible(&reqs));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        assert_eq!(
+            ArbiterPolicy::parse("priority"),
+            Some(ArbiterPolicy::Priority)
+        );
+        assert_eq!(
+            ArbiterPolicy::parse("waterfill"),
+            Some(ArbiterPolicy::WaterFill)
+        );
+        assert_eq!(ArbiterPolicy::parse("nope"), None);
+        assert_eq!(ArbiterPolicy::Priority.to_string(), "priority");
+        assert_eq!(ArbiterPolicy::WaterFill.to_string(), "waterfill");
+    }
+}

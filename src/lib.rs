@@ -43,4 +43,5 @@ pub use livephase_lint as lint;
 pub use livephase_pmsim as pmsim;
 pub use livephase_serve as serve;
 pub use livephase_telemetry as telemetry;
+pub use livephase_tenants as tenants;
 pub use livephase_workloads as workloads;
