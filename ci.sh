@@ -11,6 +11,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p livephase-core -p livephase-engine -p livephase-serve \
     -p livephase-governor -p livephase-pmsim -p livephase-tenants \
     -p livephase-telemetry --lib -- -D warnings
+# The bench harness is not a decision crate (it may expect/unwrap), but
+# it gates CI, so it holds the ordinary warning bar across all targets.
+cargo clippy -p livephase-bench --all-targets -- -D warnings
 # --workspace: the root façade package alone would skip the member
 # crates (and leave target/release/livephase-cli stale for the smoke
 # test below).
@@ -126,3 +129,24 @@ else
     rm -f serve_scale.log
     echo "reactor scale gate passed ($REACTOR_GATE_CONNS connections)"
 fi
+
+# Calibrated bench gate: every registered hot path must stay within a
+# multiple of its committed expected ratio to the machine's own
+# calibration baseline — no hardcoded milliseconds, so the gate gives
+# the same verdict on a fast laptop and a slow CI runner. When the
+# calibration is too noisy to trust, the harness prints a loud
+# `bench gate: SKIP` and exits 0 rather than issue a meaningless
+# verdict. LIVEPHASE_BENCH_STRICT=1 tightens the headroom from 5x to
+# 2x for quiet machines. (Captured, not piped: grep -q closing the
+# pipe early would SIGPIPE the CLI mid-print.)
+bench_multiplier=5.0
+if [ "${LIVEPHASE_BENCH_STRICT:-0}" = "1" ]; then
+    bench_multiplier=2.0
+fi
+bench_out=$("$cli" bench --gate --multiplier "$bench_multiplier" --json --out results/bench/ci-latest) \
+    || { echo "$bench_out"; echo "bench gate: calibrated thresholds exceeded"; exit 1; }
+echo "$bench_out"
+echo "$bench_out" | grep -Eq 'bench gate: (PASS|SKIP)' \
+    || { echo "bench gate: no verdict in output"; exit 1; }
+echo "$bench_out" | grep -q 'wrote results/bench/ci-latest/BENCH_engine_step_many.json' \
+    || { echo "bench gate: BENCH_*.json records were not written"; exit 1; }

@@ -1,0 +1,308 @@
+//! The registered bench areas: every hot path the workspace gates on.
+//!
+//! An [`Area`] is a named, self-contained measurement — it builds its
+//! own inputs, runs a fixed amount of work per iteration, and returns
+//! raw per-iteration nanoseconds for [`Summary`](crate::stats::Summary)
+//! to digest. Areas carry an [`expected_ratio`](Area::expected_ratio):
+//! the cost of one iteration relative to the calibration baseline,
+//! measured once on an idle machine and committed. The CI gate flags an
+//! area when its live ratio exceeds `multiplier × expected_ratio`, so
+//! the committed constants are machine-independent by construction.
+
+use crate::stats::Summary;
+use livephase_engine::{Decision, DecisionEngine, EngineConfig};
+use livephase_serve::wire::{encode_into, Frame, FrameDecoder};
+use livephase_telemetry::Histogram;
+use livephase_tenants::{run_scenario, ScenarioSpec};
+use livephase_workloads::spec;
+use std::time::Instant;
+
+/// Default timed iterations per area.
+pub const DEFAULT_ITERS: usize = 30;
+/// Default untimed warmup iterations per area.
+pub const DEFAULT_WARMUP: usize = 3;
+
+/// One registered hot path.
+pub struct Area {
+    /// Stable identifier; becomes the `BENCH_<name>.json` filename.
+    pub name: &'static str,
+    /// One-line description of what an iteration does.
+    pub what: &'static str,
+    /// Committed cost of one iteration relative to the calibration
+    /// baseline, measured on an idle machine. The gate threshold is
+    /// `multiplier × expected_ratio × baseline_ns`.
+    pub expected_ratio: f64,
+    /// Runs `warmup` untimed then `iters` timed iterations, returning
+    /// per-iteration nanoseconds.
+    pub run: fn(warmup: usize, iters: usize) -> Vec<u64>,
+}
+
+impl Area {
+    /// Measures this area and summarizes the samples.
+    #[must_use]
+    pub fn measure(&self, warmup: usize, iters: usize) -> Summary {
+        let ns = (self.run)(warmup, iters.max(1));
+        Summary::from_ns(&ns).expect("iters >= 1 yields samples")
+    }
+}
+
+/// Times `iters` invocations of `iter` after `warmup` untimed ones.
+fn timed(warmup: usize, iters: usize, mut iter: impl FnMut()) -> Vec<u64> {
+    for _ in 0..warmup {
+        iter();
+    }
+    let mut ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let started = Instant::now();
+        iter();
+        ns.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    ns
+}
+
+fn deployed_engine() -> DecisionEngine {
+    DecisionEngine::from_spec(EngineConfig::pentium_m(), "gpht:8:128")
+        .expect("the deployed predictor spec is valid")
+}
+
+/// `engine_step`: 1000 single-sample steps through the decision engine
+/// — the per-interval path a PMI handler would take.
+fn run_engine_step(warmup: usize, iters: usize) -> Vec<u64> {
+    let samples = crate::calibrate::calibration_samples(1000);
+    let mut engine = deployed_engine();
+    timed(warmup, iters, || {
+        let mut acc = 0u32;
+        for s in &samples {
+            acc = acc.wrapping_add(u32::from(engine.step(s).op_point));
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+/// `engine_step_many`: one batched `step_many` over 1000 samples — the
+/// serve shard's drain path.
+fn run_engine_step_many(warmup: usize, iters: usize) -> Vec<u64> {
+    let samples = crate::calibrate::calibration_samples(1000);
+    let mut engine = deployed_engine();
+    let mut decisions: Vec<Decision> = Vec::with_capacity(samples.len());
+    timed(warmup, iters, || {
+        decisions.clear();
+        engine.step_many(&samples, &mut decisions);
+        std::hint::black_box(decisions.last().map_or(0, |d| d.op_point));
+    })
+}
+
+/// The 1000-frame traffic mix the wire areas encode and decode:
+/// alternating samples and decisions, the steady-state protocol load.
+fn wire_frames() -> Vec<Frame> {
+    (0..1000u32)
+        .map(|i| {
+            if i % 2 == 0 {
+                Frame::Sample {
+                    pid: i % 16,
+                    uops: 100_000_000 + u64::from(i) * 1_000,
+                    mem_trans: 2_000_000 + u64::from(i) * 37,
+                    tsc_delta: 180_000_000,
+                }
+            } else {
+                Frame::Decision {
+                    pid: i % 16,
+                    op_point: (i % 6) as u8,
+                    confidence: (i % 10_000) as u16,
+                }
+            }
+        })
+        .collect()
+}
+
+/// `wire_encode`: encode the 1000-frame mix into a reused buffer.
+fn run_wire_encode(warmup: usize, iters: usize) -> Vec<u64> {
+    let frames = wire_frames();
+    let mut buf = Vec::with_capacity(64 * 1024);
+    timed(warmup, iters, || {
+        buf.clear();
+        for f in &frames {
+            encode_into(f, &mut buf);
+        }
+        std::hint::black_box(buf.len());
+    })
+}
+
+/// `wire_decode`: feed the encoded 1000-frame mix through a
+/// `FrameDecoder` and drain every frame.
+fn run_wire_decode(warmup: usize, iters: usize) -> Vec<u64> {
+    let frames = wire_frames();
+    let mut bytes = Vec::with_capacity(64 * 1024);
+    for f in &frames {
+        encode_into(f, &mut bytes);
+    }
+    timed(warmup, iters, || {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        let mut n = 0usize;
+        while let Ok(Some(_)) = decoder.next_frame() {
+            n += 1;
+        }
+        std::hint::black_box(n);
+    })
+}
+
+/// `telemetry_record`: 4000 varied-magnitude records into a local
+/// histogram — the cost every instrumented hot path pays.
+fn run_telemetry_record(warmup: usize, iters: usize) -> Vec<u64> {
+    // Magnitudes spanning the bucket range so sub-bucket and bucket
+    // indexing both get exercised.
+    let values: Vec<u64> = (0..4000u64)
+        .map(|i| (i % 40) * (1 << (i % 20)) + 1)
+        .collect();
+    let h = Histogram::new();
+    timed(warmup, iters, || {
+        for &v in &values {
+            h.record(v);
+        }
+        std::hint::black_box(h.count());
+    })
+}
+
+/// `telemetry_quantile`: merge a prefilled histogram into an
+/// accumulator and read p50/p90/p99 — the scrape/render path.
+fn run_telemetry_quantile(warmup: usize, iters: usize) -> Vec<u64> {
+    let source = Histogram::new();
+    for i in 0..10_000u64 {
+        source.record((i % 50) * (1 << (i % 16)) + 1);
+    }
+    let acc = Histogram::new();
+    timed(warmup, iters, || {
+        acc.merge_from(&source);
+        let p50 = acc.quantile(0.50).unwrap_or(0);
+        let p90 = acc.quantile(0.90).unwrap_or(0);
+        let p99 = acc.quantile(0.99).unwrap_or(0);
+        std::hint::black_box(p50 + p90 + p99);
+    })
+}
+
+/// `workload_gen`: synthesize a 256-interval counter trace from the
+/// benchmark registry — the input side of every experiment.
+fn run_workload_gen(warmup: usize, iters: usize) -> Vec<u64> {
+    let mut seed = 0u64;
+    timed(warmup, iters, || {
+        seed = seed.wrapping_add(1);
+        let trace = spec::benchmark("applu_in")
+            .expect("applu_in is registered")
+            .with_length(256)
+            .generate(seed);
+        std::hint::black_box(trace.len());
+    })
+}
+
+/// `tenants_quantum`: one small multi-tenant scenario end to end —
+/// arbitration, scheduling quanta, and per-tenant engines.
+fn run_tenants_quantum(warmup: usize, iters: usize) -> Vec<u64> {
+    let mut spec = ScenarioSpec::new(4, 2);
+    spec.intervals = 8;
+    timed(warmup, iters, || {
+        let report = run_scenario(&spec).expect("the bundled scenario is valid");
+        std::hint::black_box(report.decision_digest());
+    })
+}
+
+/// Every registered area, in report order.
+///
+/// `expected_ratio` values were measured with `livephase-cli bench
+/// --json` on an idle machine (median of the committed trajectory under
+/// `results/bench/`), then rounded up ~25% so ordinary scheduling
+/// jitter does not eat into the gate multiplier.
+#[must_use]
+pub fn registry() -> &'static [Area] {
+    &[
+        Area {
+            name: "engine_step",
+            what: "1000 single-sample DecisionEngine::step calls",
+            expected_ratio: 0.30,
+            run: run_engine_step,
+        },
+        Area {
+            name: "engine_step_many",
+            what: "one DecisionEngine::step_many over 1000 samples",
+            expected_ratio: 0.13,
+            run: run_engine_step_many,
+        },
+        Area {
+            name: "wire_encode",
+            what: "encode 1000 sample/decision frames into a reused buffer",
+            expected_ratio: 0.012,
+            run: run_wire_encode,
+        },
+        Area {
+            name: "wire_decode",
+            what: "FrameDecoder over a 1000-frame buffer, drained",
+            expected_ratio: 0.045,
+            run: run_wire_decode,
+        },
+        Area {
+            name: "telemetry_record",
+            what: "4000 varied-magnitude Histogram::record calls",
+            expected_ratio: 0.12,
+            run: run_telemetry_record,
+        },
+        Area {
+            name: "telemetry_quantile",
+            what: "merge a 10k-sample histogram and read p50/p90/p99",
+            expected_ratio: 0.005,
+            run: run_telemetry_quantile,
+        },
+        Area {
+            name: "workload_gen",
+            what: "synthesize a 256-interval applu_in counter trace",
+            expected_ratio: 0.032,
+            run: run_workload_gen,
+        },
+        Area {
+            name: "tenants_quantum",
+            what: "one 4-tenant/2-core/8-interval cluster scenario",
+            expected_ratio: 0.25,
+            run: run_tenants_quantum,
+        },
+    ]
+}
+
+/// Looks an area up by name.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static Area> {
+    registry().iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let areas = registry();
+        assert!(areas.len() >= 5, "the gate needs at least five areas");
+        for (i, a) in areas.iter().enumerate() {
+            assert!(find(a.name).is_some());
+            assert!(
+                !areas[..i].iter().any(|b| b.name == a.name),
+                "duplicate area name {}",
+                a.name
+            );
+            assert!(a.expected_ratio > 0.0);
+            assert!(
+                a.name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "area names are snake_case: {}",
+                a.name
+            );
+        }
+        assert!(find("no_such_area").is_none());
+    }
+
+    #[test]
+    fn every_area_produces_a_summary() {
+        for a in registry() {
+            let s = a.measure(0, 2);
+            assert_eq!(s.iterations, 2, "{}", a.name);
+            assert!(s.max_ns >= s.min_ns, "{}", a.name);
+        }
+    }
+}

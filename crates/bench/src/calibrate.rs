@@ -1,0 +1,167 @@
+//! Machine calibration: the one wall-clock measurement everything else
+//! is a ratio of.
+//!
+//! Hardcoded millisecond thresholds make a perf gate a liar on any
+//! machine other than the one that wrote them. Instead the harness
+//! measures a **bundled calibration workload** — a fixed
+//! `DecisionEngine::step_many` run over a deterministic interval stream,
+//! the exact pipeline the paper deploys in its PMI handler — once per
+//! invocation, and every bench area reports its cost as a *ratio to
+//! that baseline*. A fast machine shrinks both numerator and
+//! denominator; the ratio survives the trip from a dev laptop to a
+//! loaded CI runner.
+//!
+//! The measurement is cached in a process-wide `OnceLock`, so a run
+//! over many areas calibrates exactly once.
+
+use crate::stats::Summary;
+use livephase_engine::{Decision, DecisionEngine, EngineConfig, Sample};
+use livephase_workloads::{counter_samples, spec};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Samples in the calibration batch. Large enough that one rep takes
+/// hundreds of microseconds (clock granularity disappears), small
+/// enough that warmup + reps stays well under the ~200 ms budget the
+/// whole calibration is allowed.
+pub const CALIBRATION_BATCH: usize = 8_192;
+/// Timed repetitions of the calibration batch.
+pub const CALIBRATION_REPS: usize = 15;
+/// Untimed warmup repetitions before the timed ones.
+pub const CALIBRATION_WARMUP: usize = 3;
+
+/// The calibration result: the machine's baseline cost for the bundled
+/// workload, plus how noisy the measurement itself was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Median wall-clock nanoseconds for one calibration rep.
+    pub baseline_ns: u64,
+    /// MAD of the reps — the gate's variance sanity check reads
+    /// `mad / median` from here via [`variance`](Self::variance).
+    pub mad_ns: u64,
+    /// Number of timed reps behind the numbers.
+    pub reps: usize,
+}
+
+impl Calibration {
+    /// Relative measurement noise (`mad / median`). Machines where this
+    /// exceeds the gate's sanity bound get a loud skip instead of a
+    /// meaningless verdict.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.baseline_ns == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.mad_ns as f64 / self.baseline_ns as f64
+            }
+        }
+    }
+}
+
+/// The deterministic sample batch the calibration workload steps
+/// through: a real workload trace round-robined across 16 pids, the way
+/// a serve shard's drained queue interleaves sessions. Also reused by
+/// the engine bench areas so their ratios measure code, not workload
+/// differences.
+#[must_use]
+pub fn calibration_samples(batch: usize) -> Vec<Sample> {
+    const PIDS: u32 = 16;
+    let trace = spec::benchmark("applu_in")
+        .expect("applu_in is registered")
+        .with_length(batch / PIDS as usize + 1)
+        .generate(1);
+    let per_pid: Vec<(u64, u64)> = counter_samples(&trace)
+        .map(|s| (s.uops, s.mem_transactions))
+        .collect();
+    let mut samples = Vec::with_capacity(batch);
+    'outer: for &(uops, mem_transactions) in &per_pid {
+        for pid in 0..PIDS {
+            samples.push(Sample {
+                pid,
+                uops,
+                mem_transactions,
+            });
+            if samples.len() == batch {
+                break 'outer;
+            }
+        }
+    }
+    samples
+}
+
+/// A fresh engine configured the way every deployment site configures
+/// it.
+fn engine() -> DecisionEngine {
+    DecisionEngine::from_spec(EngineConfig::pentium_m(), "gpht:8:128")
+        .expect("the deployed predictor spec is valid")
+}
+
+/// Runs the calibration workload now, uncached. Exposed for tests and
+/// for the variance measurement; production callers want
+/// [`calibration`].
+#[must_use]
+pub fn measure_calibration() -> Calibration {
+    let samples = calibration_samples(CALIBRATION_BATCH);
+    let mut engine = engine();
+    let mut decisions: Vec<Decision> = Vec::with_capacity(samples.len());
+    let mut rep = || {
+        decisions.clear();
+        engine.step_many(&samples, &mut decisions);
+        std::hint::black_box(decisions.last().map_or(0, |d| d.op_point));
+    };
+    for _ in 0..CALIBRATION_WARMUP {
+        rep();
+    }
+    let mut ns = Vec::with_capacity(CALIBRATION_REPS);
+    for _ in 0..CALIBRATION_REPS {
+        let started = Instant::now();
+        rep();
+        ns.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let summary = Summary::from_ns(&ns).expect("CALIBRATION_REPS > 0");
+    Calibration {
+        baseline_ns: summary.median_ns.max(1),
+        mad_ns: summary.mad_ns,
+        reps: summary.iterations,
+    }
+}
+
+static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+
+/// The process-wide calibration, measured on first use and cached: many
+/// areas, one baseline.
+pub fn calibration() -> &'static Calibration {
+    CALIBRATION.get_or_init(|| {
+        livephase_telemetry::timed_span!("bench::calibrate", "calibration", {
+            measure_calibration()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_samples_are_deterministic_and_sized() {
+        let a = calibration_samples(256);
+        let b = calibration_samples(256);
+        assert_eq!(a.len(), 256);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|s| s.pid != a[0].pid), "pids interleave");
+    }
+
+    #[test]
+    fn calibration_is_positive_and_cached() {
+        let first = calibration();
+        assert!(first.baseline_ns > 0);
+        assert_eq!(first.reps, CALIBRATION_REPS);
+        let second = calibration();
+        assert!(
+            std::ptr::eq(first, second),
+            "OnceLock hands out the same measurement"
+        );
+    }
+}

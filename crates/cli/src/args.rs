@@ -85,6 +85,8 @@ pub enum Command {
     Metrics,
     /// `lint` — run the workspace invariant linter
     Lint,
+    /// `bench` — run the calibrated in-process benchmark harness
+    Bench,
     /// `help` / `--help`
     Help,
 }
@@ -161,8 +163,25 @@ pub struct Parsed {
     /// `--log-json`: emit `serve` trace events as JSON lines instead of
     /// the human-readable form.
     pub log_json: bool,
-    /// `--json`: emit the `lint` report as machine-readable JSON.
+    /// `--json`: emit the `lint` report as machine-readable JSON, the
+    /// `metrics` scrape as structured JSON, or (for `bench`) write one
+    /// `BENCH_<area>.json` record per area.
     pub json: bool,
+    /// `--areas` comma-separated bench-area subset (empty = all).
+    pub areas: Vec<String>,
+    /// `--iters` timed iterations per bench area.
+    pub iters: usize,
+    /// `--warmup` untimed iterations per bench area.
+    pub warmup: usize,
+    /// `--profile`: append the `timed_span!` hot-path table to `bench`
+    /// output.
+    pub profile: bool,
+    /// `--gate`: make `bench` judge its records against the calibrated
+    /// thresholds (exit 1 on findings, loud skip on a noisy machine).
+    pub gate: bool,
+    /// `--multiplier` gate headroom override for `bench --gate`
+    /// (default 5.0; ci.sh passes 2.0 under `LIVEPHASE_BENCH_STRICT`).
+    pub multiplier: Option<f64>,
 }
 
 impl Default for Parsed {
@@ -197,6 +216,12 @@ impl Default for Parsed {
             metrics: false,
             log_json: false,
             json: false,
+            areas: Vec::new(),
+            iters: 30,
+            warmup: 3,
+            profile: false,
+            gate: false,
+            multiplier: None,
         }
     }
 }
@@ -227,6 +252,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "serve-bench" => Command::ServeBench,
         "metrics" => Command::Metrics,
         "lint" => Command::Lint,
+        "bench" => Command::Bench,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(CliError::new(format!(
@@ -348,6 +374,29 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             }
             "--log-json" => parsed.log_json = true,
             "--json" => parsed.json = true,
+            "--areas" => {
+                parsed.areas = take_value(&mut it, "--areas")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--iters" => {
+                parsed.iters = parse_num(&mut it, "--iters")?;
+                if parsed.iters == 0 {
+                    return Err(CliError::new("--iters must be at least 1"));
+                }
+            }
+            "--warmup" => parsed.warmup = parse_num(&mut it, "--warmup")?,
+            "--profile" => parsed.profile = true,
+            "--gate" => parsed.gate = true,
+            "--multiplier" => {
+                let v: f64 = parse_num(&mut it, "--multiplier")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(CliError::new("--multiplier must be a positive number"));
+                }
+                parsed.multiplier = Some(v);
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown option {other:?}")))
             }
@@ -385,6 +434,11 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
     if parsed.command == Command::Lint && parsed.target.is_some() {
         return Err(CliError::new(
             "lint takes no argument; it scans the enclosing workspace",
+        ));
+    }
+    if parsed.command == Command::Bench && parsed.target.is_some() {
+        return Err(CliError::new(
+            "bench takes no argument; use --areas to select a subset",
         ));
     }
     Ok(parsed)
@@ -576,6 +630,38 @@ mod tests {
         assert!(e.message().contains("frobnicate"));
         assert_eq!(e.code(), 2, "usage errors exit 2");
         assert_eq!(CliError::gate("report").code(), 1, "gate failures exit 1");
+    }
+
+    #[test]
+    fn parses_bench() {
+        let p = parse(&argv("bench")).unwrap();
+        assert_eq!(p.command, Command::Bench);
+        assert!(p.areas.is_empty());
+        assert_eq!(p.iters, 30);
+        assert_eq!(p.warmup, 3);
+        assert!(!p.json && !p.profile && !p.gate);
+        assert_eq!(p.multiplier, None);
+        let p = parse(&argv(
+            "bench --areas wire_encode,engine_step --iters 10 --warmup 1 \
+             --json --profile --gate --multiplier 2 --out results",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.areas,
+            vec!["wire_encode".to_owned(), "engine_step".to_owned()]
+        );
+        assert_eq!(p.iters, 10);
+        assert_eq!(p.warmup, 1);
+        assert!(p.json && p.profile && p.gate);
+        assert_eq!(p.multiplier, Some(2.0));
+        assert_eq!(p.out.as_deref(), Some("results"));
+        assert!(
+            parse(&argv("bench extra")).is_err(),
+            "bench takes no target"
+        );
+        assert!(parse(&argv("bench --iters 0")).is_err());
+        assert!(parse(&argv("bench --multiplier 0")).is_err());
+        assert!(parse(&argv("bench --multiplier nan")).is_err());
     }
 
     #[test]

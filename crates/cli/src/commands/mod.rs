@@ -28,7 +28,141 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         Command::ServeBench => serve_bench(parsed),
         Command::Metrics => metrics(parsed),
         Command::Lint => lint(parsed),
+        Command::Bench => bench(parsed),
     }
+}
+
+/// Runs the calibrated in-process benchmark harness.
+///
+/// Always prints the per-area summary table. `--json` additionally
+/// writes one `BENCH_<area>.json` record per area under `--out`
+/// (default `.`); `--gate` judges the records against the calibrated
+/// thresholds (exit-code contract as for `lint`: 0 clean or loud skip,
+/// 1 findings on stdout, 2 operational error); `--profile` appends the
+/// `timed_span!` hot-path table.
+fn bench(parsed: &Parsed) -> Result<String, CliError> {
+    use livephase_bench as bench;
+
+    let areas: Vec<&'static bench::Area> = if parsed.areas.is_empty() {
+        bench::registry().iter().collect()
+    } else {
+        parsed
+            .areas
+            .iter()
+            .map(|name| {
+                bench::find(name).ok_or_else(|| {
+                    let known: Vec<&str> = bench::registry().iter().map(|a| a.name).collect();
+                    CliError::new(format!(
+                        "unknown bench area {name:?}; known areas: {}",
+                        known.join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let calibration = *bench::calibration();
+    let machine = bench::Machine::detect();
+    let repo_root = std::env::current_dir()
+        .ok()
+        .and_then(|cwd| livephase_lint::workspace::find_workspace_root(&cwd));
+    let git_rev = repo_root
+        .as_deref()
+        .map_or_else(|| "unknown".to_owned(), bench::git_rev);
+    // The one wall-clock read: stamped here in the CLI and passed down,
+    // so nothing in the measurement path touches the clock-of-day.
+    let unix_ms = livephase_telemetry::now_unix_ms();
+
+    let mut records = Vec::with_capacity(areas.len());
+    for area in &areas {
+        let summary = area.measure(parsed.warmup, parsed.iters);
+        records.push(bench::BenchRecord {
+            area: area.name.to_owned(),
+            summary,
+            warmup: parsed.warmup,
+            calibration,
+            expected_ratio: area.expected_ratio,
+            machine: machine.clone(),
+            git_rev: git_rev.clone(),
+            unix_ms,
+        });
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "calibration baseline {} ns (MAD {} ns over {} reps, variance {:.3})",
+        calibration.baseline_ns,
+        calibration.mad_ns,
+        calibration.reps,
+        calibration.variance()
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>12} {:>12} {:>10} {:>9} {:>9}",
+        "area", "iters", "median ns", "p90 ns", "mad ns", "ratio", "expected"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>12} {:>12} {:>10} {:>9.3} {:>9.3}",
+            r.area,
+            r.summary.iterations,
+            r.summary.median_ns,
+            r.summary.p90_ns,
+            r.summary.mad_ns,
+            r.ratio(),
+            r.expected_ratio
+        );
+    }
+
+    if parsed.json {
+        let dir = std::path::PathBuf::from(parsed.out.as_deref().unwrap_or("."));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::new(format!("cannot create {}: {e}", dir.display())))?;
+        for r in &records {
+            let path = dir.join(r.filename());
+            std::fs::write(&path, r.to_json())
+                .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))?;
+            let _ = writeln!(out, "wrote {}", path.display());
+        }
+    }
+
+    if parsed.profile {
+        let rows = livephase_bench::collect(livephase_telemetry::global());
+        let _ = writeln!(out, "\nhot-path profile (timed_span! telemetry):");
+        out.push_str(&livephase_bench::render(&rows));
+    }
+
+    if parsed.gate {
+        let config = bench::GateConfig {
+            multiplier: parsed
+                .multiplier
+                .unwrap_or(bench::GateConfig::default().multiplier),
+            ..bench::GateConfig::default()
+        };
+        match bench::evaluate(&config, &calibration, &records) {
+            bench::GateOutcome::Pass => {
+                let _ = writeln!(
+                    out,
+                    "\nbench gate: PASS ({} areas within {:.1}x of their expected ratio)",
+                    records.len(),
+                    config.multiplier
+                );
+            }
+            bench::GateOutcome::Skip(reason) => {
+                let _ = writeln!(out, "\nbench gate: SKIP — {reason}");
+            }
+            bench::GateOutcome::Fail(findings) => {
+                let _ = writeln!(out, "\nbench gate: FAIL");
+                for f in &findings {
+                    let _ = writeln!(out, "  {f}");
+                }
+                return Err(CliError::gate(out));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the workspace invariant linter over the enclosing workspace.
@@ -158,16 +292,24 @@ fn serve_bench(parsed: &Parsed) -> Result<String, CliError> {
     Ok(report.to_string())
 }
 
-/// Scrapes a running daemon's metrics exposition and prints it verbatim.
+/// Scrapes a running daemon's metrics exposition and prints it verbatim,
+/// or (with `--json`) re-renders it as structured JSON with per-series
+/// quantiles folded out of the histogram buckets.
 fn metrics(parsed: &Parsed) -> Result<String, CliError> {
     let addr = parsed.target.as_deref().expect("validated by the parser");
     let timeout = std::time::Duration::from_millis(parsed.read_timeout_ms.max(1_000));
     let mut client =
         livephase_serve::Client::connect(addr, 0, "pentium_m", &parsed.predictor, timeout)
             .map_err(|e| CliError::new(format!("cannot connect to {addr}: {e}")))?;
-    client
+    let text = client
         .metrics()
-        .map_err(|e| CliError::new(format!("metrics scrape failed: {e}")))
+        .map_err(|e| CliError::new(format!("metrics scrape failed: {e}")))?;
+    if parsed.json {
+        livephase_telemetry::scrape::exposition_to_json(&text)
+            .map_err(|e| CliError::new(format!("metrics scrape unparsable: {e}")))
+    } else {
+        Ok(text)
+    }
 }
 
 /// Resolves the benchmark named by the command line and generates its
@@ -594,6 +736,21 @@ mod tests {
             .unwrap_err()
             .message()
             .contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn bench_reports_every_selected_area() {
+        let out = run("bench --areas wire_encode,telemetry_quantile --iters 2 --warmup 0").unwrap();
+        assert!(out.contains("calibration baseline"), "{out}");
+        assert!(out.contains("wire_encode"), "{out}");
+        assert!(out.contains("telemetry_quantile"), "{out}");
+        assert!(
+            run("bench --areas no_such_area")
+                .unwrap_err()
+                .message()
+                .contains("unknown bench area"),
+            "unknown areas are rejected before any measurement"
+        );
     }
 
     #[test]

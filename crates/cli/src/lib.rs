@@ -63,9 +63,10 @@ pub fn usage() -> String {
      \x20 tenants                       run a multi-tenant cluster under a power cap\n\
      \x20 serve                         run the phase-prediction TCP daemon\n\
      \x20 serve-bench <addr>            load-test a running daemon\n\
-     \x20 metrics <addr>                scrape a running daemon's telemetry\n\
+     \x20 metrics <addr> [--json]       scrape a running daemon's telemetry\n\
      \x20 lint [--json]                 run the workspace invariant linter\n\
      \x20                               (exit 0 clean, 1 findings, 2 error)\n\
+     \x20 bench                         run the calibrated benchmark harness\n\
      \n\
      OPTIONS:\n\
      \x20 --seed <n>            workload seed (default 42)\n\
@@ -107,6 +108,18 @@ pub fn usage() -> String {
      \x20 --mix <a,b,...>       benchmark mix cycled across tenants\n\
      \x20 --noisy <n>           noisy-neighbor tenants (highest ids; they run\n\
      \x20                       the most memory-bound benchmark at 4x credit)\n\
-     \x20 --metrics             append the telemetry exposition to the report\n"
+     \x20 --metrics             append the telemetry exposition to the report\n\
+     \n\
+     BENCH OPTIONS:\n\
+     \x20 --areas <a,b,...>     bench-area subset (default: all)\n\
+     \x20 --iters <n>           timed iterations per area (default 30)\n\
+     \x20 --warmup <n>          untimed warmup iterations per area (default 3)\n\
+     \x20 --json                write one BENCH_<area>.json record per area\n\
+     \x20 --out <dir>           directory for --json records (default .)\n\
+     \x20 --gate                judge records against calibrated thresholds\n\
+     \x20                       (exit 0 pass/skip, 1 findings, 2 error)\n\
+     \x20 --multiplier <x>      gate headroom over the expected ratio\n\
+     \x20                       (default 5.0; strict CI uses 2.0)\n\
+     \x20 --profile             append the timed_span! hot-path table\n"
         .to_owned()
 }

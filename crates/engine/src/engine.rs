@@ -121,9 +121,8 @@ impl EngineMetrics {
             return;
         }
         self.decisions_total.add(n);
-        let per_decision_us =
-            u64::try_from(elapsed.as_micros() / u128::from(n)).unwrap_or(u64::MAX);
-        self.decision_us.record_n(per_decision_us, n);
+        self.decision_us
+            .record_n_saturating(elapsed.as_micros() / u128::from(n), n);
     }
 
     /// Records one decision computed in `elapsed`.

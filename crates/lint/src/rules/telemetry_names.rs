@@ -2,11 +2,17 @@
 //! from non-test `.counter(...)` / `.gauge(...)` / `.histogram(...)`
 //! registration sites must be snake_case; counters must end `_total`
 //! and histograms `_us` (their rendered series add `_bucket`/`_sum`/
-//! `_count`, so those suffixes are reserved on every kind); a name
-//! registered from several sites must agree on kind and help text
-//! workspace-wide; and every metric name `ci.sh` greps out of the
-//! exposition must actually be registered somewhere, so the scrape gate
-//! cannot silently go stale.
+//! `_count`/`_overflow`, so those suffixes are reserved on every
+//! kind); a name registered from several sites must agree on kind and
+//! help text workspace-wide; and every metric name `ci.sh` greps out
+//! of the exposition must actually be registered somewhere, so the
+//! scrape gate cannot silently go stale.
+//!
+//! `timed_span!` spans live in the same namespace: every span feeds the
+//! `span_elapsed_us{target,span}` histogram (the input to `bench
+//! --profile`), so static span targets and names must be snake_case
+//! (`::`-separated segments for targets) and names must not squat on
+//! the rendered-series suffixes.
 
 use super::{finding_at, CiScript, Rule};
 use crate::lexer::TokenKind;
@@ -18,7 +24,7 @@ use crate::source::SourceFile;
 pub struct TelemetryNaming;
 
 const KINDS: [&str; 3] = ["counter", "gauge", "histogram"];
-const RESERVED_RENDER_SUFFIXES: [&str; 3] = ["_bucket", "_sum", "_count"];
+const RESERVED_RENDER_SUFFIXES: [&str; 4] = ["_bucket", "_sum", "_count", "_overflow"];
 
 /// One registration call site.
 struct Site {
@@ -79,6 +85,53 @@ fn collect_sites(file: &SourceFile) -> Vec<Site> {
             kind,
             help,
             path: file.path.clone(),
+            line: name_tok.line,
+            col: name_tok.col,
+        });
+    }
+    sites
+}
+
+/// One static `timed_span!(target, name, ...)` call site.
+struct SpanSite {
+    target: String,
+    name: String,
+    line: u32,
+    col: u32,
+}
+
+/// A span target is a `::`-separated path of snake_case segments
+/// (e.g. `serve::conn`).
+fn is_span_target(target: &str) -> bool {
+    !target.is_empty() && target.split("::").all(is_snake_case)
+}
+
+fn collect_span_sites(file: &SourceFile) -> Vec<SpanSite> {
+    let toks: Vec<_> = file.code_tokens().collect();
+    let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+    let mut sites = Vec::new();
+    for k in 0..toks.len() {
+        if file.in_test(toks[k].start) {
+            continue;
+        }
+        if text(k) != "timed_span" || text(k + 1) != "!" || text(k + 2) != "(" {
+            continue;
+        }
+        // Only fully static sites are in reach: string target, comma,
+        // string name. (The macro definition itself matches `$target`
+        // metavariables, which are not string tokens.)
+        let (Some(target_tok), Some(name_tok)) = (toks.get(k + 3), toks.get(k + 5)) else {
+            continue;
+        };
+        if target_tok.kind != TokenKind::Str
+            || text(k + 4) != ","
+            || name_tok.kind != TokenKind::Str
+        {
+            continue;
+        }
+        sites.push(SpanSite {
+            target: strip_quotes(file.tok_text(target_tok)).to_owned(),
+            name: strip_quotes(file.tok_text(name_tok)).to_owned(),
             line: name_tok.line,
             col: name_tok.col,
         });
@@ -153,7 +206,7 @@ impl Rule for TelemetryNaming {
                 }
                 "histogram" if !s.name.ends_with("_us") => {
                     complain(format!(
-                        "histogram `{}` must be suffixed `_us` (series render as `_bucket`/`_sum`/`_count`)",
+                        "histogram `{}` must be suffixed `_us` (series render as `_bucket`/`_sum`/`_count`/`_overflow`)",
                         s.name
                     ));
                 }
@@ -216,6 +269,55 @@ impl Rule for TelemetryNaming {
                     }
                 }
                 break;
+            }
+        }
+        // Span targets and names feed span_elapsed_us{target,span}: same
+        // namespace, same discipline.
+        for (fi, file) in files.iter().enumerate() {
+            let _ = fi;
+            for s in collect_span_sites(file) {
+                let at = crate::lexer::Token {
+                    kind: TokenKind::Str,
+                    start: 0,
+                    end: 0,
+                    line: s.line,
+                    col: s.col,
+                };
+                if !is_span_target(&s.target) {
+                    out.push(finding_at(
+                        self.id(),
+                        Severity::Deny,
+                        file,
+                        &at,
+                        format!(
+                            "timed_span! target `{}` is not a snake_case `::` path",
+                            s.target
+                        ),
+                    ));
+                }
+                if !is_snake_case(&s.name) {
+                    out.push(finding_at(
+                        self.id(),
+                        Severity::Deny,
+                        file,
+                        &at,
+                        format!("timed_span! name `{}` is not snake_case", s.name),
+                    ));
+                } else if RESERVED_RENDER_SUFFIXES
+                    .iter()
+                    .any(|suf| s.name.ends_with(suf))
+                {
+                    out.push(finding_at(
+                        self.id(),
+                        Severity::Deny,
+                        file,
+                        &at,
+                        format!(
+                            "timed_span! name `{}` ends with a suffix reserved for rendered histogram series",
+                            s.name
+                        ),
+                    ));
+                }
             }
         }
         // The scrape gate in ci.sh must name real metrics.
@@ -305,6 +407,69 @@ mod tests {
         assert_eq!(got.len(), 1, "{got:?}");
         assert!(got[0].message.contains("ghost_metric_us"));
         assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn well_formed_span_sites_pass() {
+        let src = r#"fn f() {
+            let v = timed_span!("serve::conn", "drain_shard", { 1 });
+            let w = livephase_telemetry::timed_span!("bench::calibrate", "calibration", { 2 });
+        }"#;
+        assert!(check(&[("a.rs", src)], None).is_empty());
+    }
+
+    #[test]
+    fn bad_span_targets_and_names_fire() {
+        let src = r#"fn f() {
+            let a = timed_span!("Serve::Conn", "drain", { 1 });
+            let b = timed_span!("serve", "DrainShard", { 1 });
+            let c = timed_span!("serve", "drain_count", { 1 });
+            let d = timed_span!("serve", "drain_overflow", { 1 });
+        }"#;
+        let got = check(&[("a.rs", src)], None);
+        assert_eq!(got.len(), 4, "{got:?}");
+        assert!(got
+            .iter()
+            .any(|f| f.message.contains("`Serve::Conn` is not a snake_case")));
+        assert!(got
+            .iter()
+            .any(|f| f.message.contains("`DrainShard` is not snake_case")));
+        assert!(got
+            .iter()
+            .any(|f| f.message.contains("`drain_count` ends with a suffix")));
+        assert!(got
+            .iter()
+            .any(|f| f.message.contains("`drain_overflow` ends with a suffix")));
+    }
+
+    #[test]
+    fn span_sites_in_tests_and_dynamic_sites_are_exempt() {
+        let test_src =
+            "#[cfg(test)]\nmod tests { fn f() { let v = timed_span!(\"X\", \"Y\", { 1 }); } }";
+        assert!(check(&[("a.rs", test_src)], None).is_empty());
+        let dynamic = r#"fn f(t: &'static str) { let v = timed_span!(t, "ok_name", { 1 }); }"#;
+        assert!(check(&[("b.rs", dynamic)], None).is_empty());
+    }
+
+    #[test]
+    fn overflow_suffix_is_reserved_and_normalized_in_ci() {
+        // A gauge squatting on the rendered `_overflow` suffix fires.
+        let src = r#"fn f(r: &Registry) {
+            r.gauge("queue_overflow", "x", &[]);
+            r.histogram("serve_frame_decode_us", "Decode time.", &[]);
+        }"#;
+        let got = check(&[("a.rs", src)], None);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("queue_overflow"));
+        // A ci.sh grep for the rendered `_overflow` series normalizes
+        // back to the registered histogram name.
+        let ci = "grep -q 'serve_frame_decode_us_overflow{' out\n";
+        let got = check(&[("a.rs", src)], Some(ci));
+        assert_eq!(got.len(), 1, "{got:?}"); // still only the gauge finding
+        let ci = "grep -q 'ghost_us_overflow{' out\n";
+        let got = check(&[("a.rs", src)], Some(ci));
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().any(|f| f.message.contains("ghost_us")));
     }
 
     #[test]

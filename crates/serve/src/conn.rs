@@ -312,7 +312,7 @@ impl Conn {
                 Ok(Some(frame)) => {
                     cx.metrics
                         .decode_us
-                        .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        .record_saturating(started.elapsed().as_micros());
                     let resumes = self.decoder.last_resumes();
                     if resumes > 0 {
                         cx.metrics.decode_resumes.record(u64::from(resumes));
@@ -498,9 +498,11 @@ impl Conn {
         session.apply_batch(cx.samples, cx.decisions);
         // One histogram entry per decision at the batch-amortized cost,
         // so the count still equals the decision count.
-        let per_decision_us =
-            u64::try_from(started.elapsed().as_micros() / u128::from(n.max(1))).unwrap_or(u64::MAX);
-        cx.metrics.shard.decision_us.record_n(per_decision_us, n);
+        let per_decision_us = started.elapsed().as_micros() / u128::from(n.max(1));
+        cx.metrics
+            .shard
+            .decision_us
+            .record_n_saturating(per_decision_us, n);
         cx.metrics.shard.samples_total.add(n);
         cx.shared.samples.fetch_add(n, Ordering::Relaxed);
         let grown = (session.processes() - before) as u64;
@@ -518,12 +520,11 @@ impl Conn {
                 &mut self.outbound,
             );
         }
-        let per_encode_us = u64::try_from(enc_started.elapsed().as_micros() / u128::from(n.max(1)))
-            .unwrap_or(u64::MAX);
+        let per_encode_us = enc_started.elapsed().as_micros() / u128::from(n.max(1));
         cx.shared
             .metrics
             .frame_encode_us
-            .record_n(per_encode_us, cx.decisions.len() as u64);
+            .record_n_saturating(per_encode_us, cx.decisions.len() as u64);
         cx.shared
             .decisions
             .fetch_add(cx.decisions.len() as u64, Ordering::Relaxed);

@@ -419,8 +419,7 @@ fn run_connection(config: &LoadGenConfig, conn: usize, plan: &[StreamPlan]) -> C
             let flushed_at = Instant::now(); // lint:allow(determinism): latency histogram only
             while decisions.len() < sent {
                 let d = client.read_decision().map_err(client_err)?;
-                latencies_us
-                    .record(u64::try_from(flushed_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                latencies_us.record_saturating(flushed_at.elapsed().as_micros());
                 decisions.push(d.op_point);
             }
         }
@@ -695,9 +694,8 @@ mod many {
                             }
                             st.got += 1;
                             if st.track_latency {
-                                latencies_us.record(
-                                    u64::try_from(now.duration_since(st.flushed_at).as_micros())
-                                        .unwrap_or(u64::MAX),
+                                latencies_us.record_saturating(
+                                    now.duration_since(st.flushed_at).as_micros(),
                                 );
                             }
                         }

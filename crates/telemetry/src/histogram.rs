@@ -74,6 +74,12 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Observations that arrived wider than `u64` and were clamped into
+    /// the top bucket by [`record_saturating`](Self::record_saturating).
+    /// Kept separate from the buckets so saturation is visible: a
+    /// nonzero cell means quantile estimates near the cap undercount
+    /// the true tail and must not be trusted blindly.
+    overflow: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -109,25 +115,46 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
         }
     }
 
-    /// Records one observation. Hot path: one index computation and
-    /// five relaxed atomic RMWs, no branches that allocate or lock.
+    /// Records one observation. Hot path: one index computation, three
+    /// relaxed atomic RMWs, and two relaxed loads — the min/max RMWs
+    /// are elided once the extremes stabilize (see
+    /// [`update_extremes`](Self::update_extremes)). No branch allocates
+    /// or locks.
     #[inline]
     pub fn record(&self, value: u64) {
         // lint:allow(no-panic-path): bucket_index is total over u64 and < BUCKETS
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.update_extremes(value);
     }
 
-    /// Records `n` observations of the same value in one swing — five
-    /// relaxed atomic RMWs total, however large `n` is. Used by batch
-    /// consumers (a shard draining its queue) that attribute one
-    /// amortized value to every element of the batch.
+    /// Folds `value` into `min`/`max`, paying an RMW only when the
+    /// extreme would actually move. `min` is monotonically
+    /// non-increasing, so a stale loaded value only over-approximates:
+    /// when `value >= loaded`, the true min is already `<= loaded <=
+    /// value` and the `fetch_min` would be a no-op — skipping it is
+    /// exact, not approximate. Symmetrically for `max`. In steady state
+    /// the extremes stabilize after the first few observations and both
+    /// RMWs vanish from the hot path.
+    #[inline]
+    fn update_extremes(&self, value: u64) {
+        if value < self.min.load(Ordering::Relaxed) {
+            self.min.fetch_min(value, Ordering::Relaxed);
+        }
+        if value > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` observations of the same value in one swing — at
+    /// most five relaxed atomic RMWs total, however large `n` is. Used
+    /// by batch consumers (a shard draining its queue) that attribute
+    /// one amortized value to every element of the batch.
     #[inline]
     pub fn record_n(&self, value: u64, n: u64) {
         if n == 0 {
@@ -138,14 +165,58 @@ impl Histogram {
         self.count.fetch_add(n, Ordering::Relaxed);
         self.sum
             .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.update_extremes(value);
+    }
+
+    /// Records an observation that may be wider than the histogram's
+    /// `u64` domain (durations in microseconds arrive as `u128`).
+    /// Values that fit are recorded exactly; values past `u64::MAX`
+    /// are clamped into the top bucket **and counted** in the
+    /// [`overflow`](Self::overflow) cell, so saturation is never
+    /// silent. This replaces the old
+    /// `u64::try_from(x).unwrap_or(u64::MAX)` idiom at call sites,
+    /// which recorded the same clamped value but left no trace that
+    /// clamping happened.
+    #[inline]
+    pub fn record_saturating(&self, value: u128) {
+        match u64::try_from(value) {
+            Ok(v) => self.record(v),
+            Err(_) => {
+                self.overflow.fetch_add(1, Ordering::Relaxed);
+                self.record(u64::MAX);
+            }
+        }
+    }
+
+    /// Bulk counterpart of [`record_saturating`](Self::record_saturating):
+    /// `n` observations of one possibly-wider-than-`u64` value. A
+    /// clamped value counts **`n`** overflows — every one of the `n`
+    /// attributed observations is individually untrustworthy near the
+    /// cap.
+    #[inline]
+    pub fn record_n_saturating(&self, value: u128, n: u64) {
+        match u64::try_from(value) {
+            Ok(v) => self.record_n(v, n),
+            Err(_) => {
+                self.overflow.fetch_add(n, Ordering::Relaxed);
+                self.record_n(u64::MAX, n);
+            }
+        }
     }
 
     /// Number of recorded observations.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Observations clamped into the top bucket because they exceeded
+    /// the `u64` domain (see [`record_saturating`](Self::record_saturating)).
+    /// Rendered as the `_overflow` series so scrapes can flag
+    /// untrustworthy near-cap quantiles.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded observations (wrapping on overflow).
@@ -220,6 +291,8 @@ impl Histogram {
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.overflow
+            .fetch_add(other.overflow.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Visits every non-empty bucket as `(upper_bound, count)`, in
@@ -304,6 +377,61 @@ mod tests {
         let p99 = h.quantile(0.99).unwrap();
         assert!((990..=1000).contains(&p99), "p99 {p99}");
         assert_eq!(h.quantile(1.0), Some(1000), "p100 is the exact max");
+    }
+
+    #[test]
+    fn saturation_is_counted_not_silent() {
+        let h = Histogram::new();
+        h.record_saturating(7); // fits: exact, no overflow
+        h.record_saturating(u128::from(u64::MAX)); // top of the domain, still exact
+        assert_eq!(h.overflow(), 0, "in-domain values never count as overflow");
+        h.record_saturating(u128::from(u64::MAX) + 1);
+        h.record_saturating(u128::MAX);
+        assert_eq!(h.overflow(), 2, "clamped values are counted");
+        assert_eq!(h.count(), 4, "clamped values still land in the top bucket");
+        assert_eq!(h.max(), Some(u64::MAX));
+        // The regression this guards against: before the overflow cell,
+        // a clamped record was indistinguishable from a genuine
+        // u64::MAX observation.
+        let quiet = Histogram::new();
+        quiet.record(u64::MAX);
+        assert_eq!(quiet.overflow(), 0);
+    }
+
+    #[test]
+    fn merge_carries_overflow() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_saturating(u128::MAX);
+        b.record_saturating(u128::MAX);
+        b.record_saturating(3);
+        a.merge_from(&b);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn extremes_track_through_the_elided_fast_path() {
+        // Monotone runs in both directions force the slow path every
+        // record; a constant run afterwards must take only the elided
+        // fast path and leave the extremes untouched.
+        let h = Histogram::new();
+        for v in (1..=100u64).rev() {
+            h.record(v); // each is a new min
+        }
+        for v in 101..=200u64 {
+            h.record(v); // each is a new max
+        }
+        for _ in 0..1000 {
+            h.record(150); // neither extreme moves
+        }
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(200));
+        let n = Histogram::new();
+        n.record_n(7, 3);
+        n.record_n(7, 5); // fast path for both extremes
+        assert_eq!(n.min(), Some(7));
+        assert_eq!(n.max(), Some(7));
     }
 
     #[test]

@@ -29,8 +29,9 @@
 
 pub mod histogram;
 pub mod registry;
+pub mod scrape;
 pub mod trace;
 
 pub use histogram::Histogram;
 pub use registry::{global, Counter, Gauge, Registry};
-pub use trace::{now_unix_ms, tracer, Event, Level, Sink, Tracer};
+pub use trace::{now_unix_ms, record_span, tracer, Event, Level, Sink, Tracer};

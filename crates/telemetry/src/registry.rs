@@ -302,11 +302,38 @@ impl Registry {
                             render_labels(labels, &[]),
                             h.count(),
                         );
+                        // Saturation cell: observations clamped into the
+                        // top bucket. Always rendered (not just when
+                        // nonzero) so collectors and the ci.sh greps see
+                        // a stable series and a zero reads as "quantiles
+                        // near the cap are trustworthy".
+                        let _ = writeln!(
+                            out,
+                            "{name}_overflow{} {}",
+                            render_labels(labels, &[]),
+                            h.overflow(),
+                        );
                     }
                 }
             }
         }
         out
+    }
+
+    /// Visits every histogram series as `(family name, labels,
+    /// histogram)`, in the same lexicographic order `render` uses. This
+    /// is the machine-facing counterpart of the text exposition — the
+    /// bench profiler renders its hot-path table from it without
+    /// parsing text.
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &[(String, String)], &Histogram)) {
+        let families = self.families.read().unwrap_or_else(PoisonError::into_inner);
+        for (name, family) in families.iter() {
+            for (labels, ins) in &family.series {
+                if let Instrument::Histogram(h) = ins {
+                    f(name, labels, h);
+                }
+            }
+        }
     }
 }
 
@@ -415,11 +442,33 @@ mod tests {
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("lat_us_sum 101\n"));
         assert!(text.contains("lat_us_count 2\n"));
+        assert!(
+            text.contains("lat_us_overflow 0\n"),
+            "the saturation cell renders even when zero"
+        );
+        h.record_saturating(u128::MAX);
+        assert!(r.render().contains("lat_us_overflow 1\n"));
         // Families render sorted: a_depth before b_total before lat_us.
         let a = text.find("a_depth").unwrap();
         let b = text.find("b_total").unwrap();
         let l = text.find("lat_us").unwrap();
         assert!(a < b && b < l);
+    }
+
+    #[test]
+    fn visit_histograms_sees_every_series_in_render_order() {
+        let r = Registry::new();
+        r.counter("skip_total", "", &[]).inc();
+        r.histogram("b_us", "", &[]).record(9);
+        r.histogram("a_us", "", &[("shard", "1")]).record(4);
+        let mut seen = Vec::new();
+        r.visit_histograms(|name, labels, h| {
+            seen.push((name.to_owned(), labels.to_vec(), h.count()));
+        });
+        assert_eq!(seen.len(), 2, "counters are not visited");
+        assert_eq!(seen[0].0, "a_us");
+        assert_eq!(seen[0].1, vec![("shard".to_owned(), "1".to_owned())]);
+        assert_eq!(seen[1], ("b_us".to_owned(), Vec::new(), 1));
     }
 
     #[test]

@@ -283,9 +283,27 @@ macro_rules! trace_event {
     }};
 }
 
-/// Runs a block and emits a `Debug` event carrying its wall-clock
-/// duration in microseconds as the `elapsed_us` field. Evaluates to the
-/// block's value.
+/// Records one completed [`timed_span!`] duration into the
+/// process-global `span_elapsed_us` histogram, labeled by the span's
+/// target and name. This is what turns spans into a profile: the bench
+/// `--profile` report renders per-span count/total/p50/p99 straight
+/// from the histogram registry, with no dependence on the tracer's
+/// level filter (span histograms record even when `Debug` events are
+/// filtered, so a profile never comes back empty).
+pub fn record_span(target: &'static str, name: &'static str, elapsed: std::time::Duration) {
+    crate::registry::global()
+        .histogram(
+            "span_elapsed_us",
+            "Wall-clock duration of timed_span! blocks by target and span name.",
+            &[("target", target), ("span", name)],
+        )
+        .record_saturating(elapsed.as_micros());
+}
+
+/// Runs a block, records its wall-clock duration into the
+/// `span_elapsed_us{target,span}` histogram (see [`record_span`]), and
+/// emits a `Debug` event carrying the duration in microseconds as the
+/// `elapsed_us` field. Evaluates to the block's value.
 ///
 /// ```
 /// use livephase_telemetry::timed_span;
@@ -298,11 +316,13 @@ macro_rules! timed_span {
         // lint:allow(determinism): timed_span measures wall-clock for telemetry only
         let started = ::std::time::Instant::now();
         let value = $body;
+        let elapsed = started.elapsed();
+        $crate::record_span($target, $name, elapsed);
         $crate::trace_event!(
             $crate::Level::Debug,
             $target,
             $name,
-            elapsed_us = started.elapsed().as_micros()
+            elapsed_us = elapsed.as_micros()
         );
         value
     }};
@@ -399,6 +419,33 @@ mod tests {
             .iter()
             .any(|e| e.message == "span" && e.fields.iter().any(|(k, _)| *k == "elapsed_us")));
         tracer().set_level(Level::Info);
+    }
+
+    #[test]
+    fn timed_span_feeds_the_span_histogram_regardless_of_level() {
+        tracer().set_level(Level::Error); // Debug events filtered
+        let before = span_count("telemetry::test", "histo_span");
+        let v = timed_span!("telemetry::test", "histo_span", { 6 * 7 });
+        assert_eq!(v, 42);
+        assert_eq!(
+            span_count("telemetry::test", "histo_span"),
+            before + 1,
+            "span histograms record even when the tracer filters the event"
+        );
+        tracer().set_level(Level::Info);
+    }
+
+    fn span_count(target: &str, name: &str) -> u64 {
+        let mut count = 0;
+        crate::registry::global().visit_histograms(|metric, labels, h| {
+            if metric == "span_elapsed_us"
+                && labels.iter().any(|(k, v)| k == "target" && v == target)
+                && labels.iter().any(|(k, v)| k == "span" && v == name)
+            {
+                count = h.count();
+            }
+        });
+        count
     }
 
     #[test]

@@ -49,6 +49,7 @@ serve_frame_decode_us_bucket{shard=\"0\",le=\"1007\"} 4
 serve_frame_decode_us_bucket{shard=\"0\",le=\"+Inf\"} 4
 serve_frame_decode_us_sum{shard=\"0\"} 1046
 serve_frame_decode_us_count{shard=\"0\"} 4
+serve_frame_decode_us_overflow{shard=\"0\"} 0
 # HELP serve_shard_queue_depth Messages waiting.
 # TYPE serve_shard_queue_depth gauge
 serve_shard_queue_depth{shard=\"0\"} 2
