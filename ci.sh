@@ -68,6 +68,13 @@ echo "$metrics_out" | grep -q '^serve_frame_decode_us_bucket{' \
     || { echo "smoke: frame-latency histogram missing from scrape"; exit 1; }
 echo "$metrics_out" | grep -q '^governor_decisions_total ' \
     || { echo "smoke: governor decision counter missing from scrape"; exit 1; }
+# The power gauge is set from the last flushed decision, priced at the
+# configured backend's worst-case bound; the bench traffic above decided
+# on at least one shard, so some shard's gauge must be positive.
+echo "$metrics_out" | grep -q '^serve_power_estimate_mw{' \
+    || { echo "smoke: power-estimate gauge missing from scrape"; exit 1; }
+echo "$metrics_out" | sed -n 's/^serve_power_estimate_mw{[^}]*} //p' | grep -qv '^0$' \
+    || { echo "smoke: no shard priced its last decision"; exit 1; }
 
 wait "$serve_pid" || { echo "smoke: serve exited non-zero"; exit 1; }
 grep -q 'served 2 connections' serve_smoke.log || { echo "smoke: bad serve summary"; exit 1; }
@@ -150,3 +157,40 @@ echo "$bench_out" | grep -Eq 'bench gate: (PASS|SKIP)' \
     || { echo "bench gate: no verdict in output"; exit 1; }
 echo "$bench_out" | grep -q 'wrote results/bench/ci-latest/BENCH_engine_step_many.json' \
     || { echo "bench gate: BENCH_*.json records were not written"; exit 1; }
+echo "$bench_out" | grep -q 'wrote results/bench/ci-latest/BENCH_power_model_eval.json' \
+    || { echo "bench gate: the power_model_eval record was not written"; exit 1; }
+
+# Power-model zoo gate. Three claims, each enforced by exit codes and
+# byte-level diffs rather than eyeballs:
+#   1. The analytic backend is the bit-identical default: routing a
+#      published artifact through `--power-model analytic` must produce
+#      byte-identical output (the trait refactor changed no numbers).
+#   2. `power-zoo` holds its train/validate gates — each learned backend
+#      beats the naive frequency-only baseline and stays under the
+#      committed held-out MAPE threshold (exit 1 on violation).
+#   3. The zoo is deterministic: two runs at the same seed are
+#      byte-identical, coefficients included.
+repro_default=$("$cli" repro power_cap)
+repro_analytic=$("$cli" repro power_cap --power-model analytic)
+[ "$repro_default" = "$repro_analytic" ] \
+    || { echo "power zoo: --power-model analytic changed repro power_cap output"; exit 1; }
+table2_default=$("$cli" repro table2)
+table2_analytic=$("$cli" repro table2 --power-model analytic)
+[ "$table2_default" = "$table2_analytic" ] \
+    || { echo "power zoo: --power-model analytic changed repro table2 output"; exit 1; }
+zoo_a=$("$cli" power-zoo) \
+    || { echo "$zoo_a"; echo "power zoo: train/validate gates failed"; exit 1; }
+zoo_b=$("$cli" power-zoo)
+[ "$zoo_a" = "$zoo_b" ] \
+    || { echo "power zoo: output diverged across identical runs"; exit 1; }
+echo "$zoo_a" | grep -q 'held-out' \
+    || { echo "power zoo: no held-out validation table in output"; exit 1; }
+echo "power-model zoo gate passed"
+
+# Bench trend diff: the committed before/after snapshot pair must keep
+# parsing and rendering (the diff itself legitimately flags regressions
+# in that historical pair, so only exit 2 — operational failure — is
+# fatal here).
+compare_out=$("$cli" bench --compare results/bench/2026-08-07-pre-opt results/bench/2026-08-07-post-opt) \
+    || [ $? -eq 1 ] || { echo "bench --compare: operational failure"; exit 1; }
+echo "bench snapshot diff parsed"

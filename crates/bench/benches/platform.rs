@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livephase_pmsim::{
-    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel, TimingModel,
+    AnalyticModel, Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, TimingModel,
 };
 use std::hint::black_box;
 
@@ -21,10 +21,10 @@ fn bench_timing_model(c: &mut Criterion) {
 }
 
 fn bench_power_model(c: &mut Criterion) {
-    let m = PowerModel::pentium_m();
+    let m = AnalyticModel::pentium_m();
     let opp = OperatingPointTable::pentium_m().fastest();
     c.bench_function("power_eval", |b| {
-        b.iter(|| black_box(m.power(opp, black_box(0.7))))
+        b.iter(|| black_box(m.activity_power(opp, black_box(0.7))))
     });
 }
 

@@ -11,6 +11,10 @@
 
 use crate::stats::Summary;
 use livephase_engine::{Decision, DecisionEngine, EngineConfig};
+use livephase_pmsim::{
+    AnalyticModel, LinearModel, OperatingPointTable, PowerInput, PowerModel, TrainingRecord,
+    TreeModel,
+};
 use livephase_serve::wire::{encode_into, Frame, FrameDecoder};
 use livephase_telemetry::Histogram;
 use livephase_tenants::{run_scenario, ScenarioSpec};
@@ -206,6 +210,58 @@ fn run_tenants_quantum(warmup: usize, iters: usize) -> Vec<u64> {
     })
 }
 
+/// Deterministic training set for the power-model area: the analytic
+/// model's output over a fixed feature sweep at every operating point.
+/// The learned backends fit this exactly well enough for the bench to
+/// exercise their real inference paths on realistic coefficients.
+fn power_training_records() -> Vec<TrainingRecord> {
+    let truth = AnalyticModel::pentium_m();
+    let table = OperatingPointTable::pentium_m();
+    let mut out = Vec::new();
+    for (_, opp) in table.iter() {
+        for k in 0..8u32 {
+            let cf = 0.15 + 0.1 * f64::from(k);
+            let input = PowerInput::new(cf, 0.05 * (1.0 - cf), 0.5 + 1.5 * cf);
+            out.push(TrainingRecord {
+                opp,
+                input,
+                measured_w: truth.power(opp, &input),
+            });
+        }
+    }
+    out
+}
+
+/// `power_model_eval`: 1000 sweeps of all three power backends across
+/// the six operating points — the estimator-table / arbiter-costing
+/// inner loop. Fitting happens outside the timed region; only inference
+/// is measured.
+fn run_power_model_eval(warmup: usize, iters: usize) -> Vec<u64> {
+    let records = power_training_records();
+    let analytic = AnalyticModel::pentium_m();
+    let linear = LinearModel::fit(&records).expect("the synthetic sweep is well-posed");
+    let tree = TreeModel::fit(&records).expect("the synthetic sweep is well-posed");
+    let table = OperatingPointTable::pentium_m();
+    let inputs = [
+        PowerInput::from_counters(0.002, 1.8),
+        PowerInput::from_counters(0.031, 0.6),
+        PowerInput::new(0.55, 0.012, 1.1),
+    ];
+    timed(warmup, iters, || {
+        let mut acc = 0.0f64;
+        for _ in 0..1000 {
+            for (_, opp) in table.iter() {
+                for input in &inputs {
+                    acc += analytic.power(opp, input);
+                    acc += linear.power(opp, input);
+                    acc += tree.power(opp, input);
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    })
+}
+
 /// Every registered area, in report order.
 ///
 /// `expected_ratio` values were measured with `livephase-cli bench
@@ -262,6 +318,12 @@ pub fn registry() -> &'static [Area] {
             what: "one 4-tenant/2-core/8-interval cluster scenario",
             expected_ratio: 0.25,
             run: run_tenants_quantum,
+        },
+        Area {
+            name: "power_model_eval",
+            what: "1000 sweeps of analytic/linear/tree power inference over 6 opps",
+            expected_ratio: 0.60,
+            run: run_power_model_eval,
         },
     ]
 }

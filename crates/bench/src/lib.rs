@@ -36,6 +36,7 @@
 
 pub mod areas;
 pub mod calibrate;
+pub mod compare;
 pub mod gate;
 pub mod profile;
 pub mod record;
@@ -43,6 +44,7 @@ pub mod stats;
 
 pub use areas::{find, registry, Area, DEFAULT_ITERS, DEFAULT_WARMUP};
 pub use calibrate::{calibration, measure_calibration, Calibration};
+pub use compare::{compare_dirs, AreaDelta, CompareReport};
 pub use gate::{evaluate, GateConfig, GateOutcome};
 pub use profile::{collect, render, ProfileRow};
 pub use record::{git_rev, BenchRecord, Machine, SCHEMA};

@@ -87,6 +87,8 @@ pub enum Command {
     Lint,
     /// `bench` — run the calibrated in-process benchmark harness
     Bench,
+    /// `power-zoo` — train, validate, and race the power-model backends
+    PowerZoo,
     /// `help` / `--help`
     Help,
 }
@@ -182,6 +184,13 @@ pub struct Parsed {
     /// `--multiplier` gate headroom override for `bench --gate`
     /// (default 5.0; ci.sh passes 2.0 under `LIVEPHASE_BENCH_STRICT`).
     pub multiplier: Option<f64>,
+    /// `--power-model` backend (`analytic` | `linear` | `tree`) for
+    /// `repro`, `serve`, `tenants`, and `power-zoo`; learned backends
+    /// are trained deterministically from the committed training set.
+    pub power_model: String,
+    /// `--compare <dir-a> <dir-b>` for `bench`: diff two directories of
+    /// `BENCH_*.json` records instead of running the harness.
+    pub compare: Option<(String, String)>,
 }
 
 impl Default for Parsed {
@@ -222,6 +231,8 @@ impl Default for Parsed {
             profile: false,
             gate: false,
             multiplier: None,
+            power_model: "analytic".to_owned(),
+            compare: None,
         }
     }
 }
@@ -253,6 +264,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "metrics" => Command::Metrics,
         "lint" => Command::Lint,
         "bench" => Command::Bench,
+        "power-zoo" => Command::PowerZoo,
         "help" | "--help" | "-h" => Command::Help,
         other => {
             return Err(CliError::new(format!(
@@ -397,6 +409,27 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 }
                 parsed.multiplier = Some(v);
             }
+            "--power-model" => {
+                let v = take_value(&mut it, "--power-model")?;
+                if !matches!(v.as_str(), "analytic" | "linear" | "tree") {
+                    return Err(CliError::new(format!(
+                        "--power-model must be analytic, linear, or tree; got {v:?}"
+                    )));
+                }
+                parsed.power_model = v;
+            }
+            "--compare" => {
+                let a = take_value(&mut it, "--compare")?;
+                let b = it.next().cloned().ok_or_else(|| {
+                    CliError::new("--compare requires two directories: <dir-a> <dir-b>")
+                })?;
+                if a.starts_with('-') || b.starts_with('-') {
+                    return Err(CliError::new(
+                        "--compare requires two directories: <dir-a> <dir-b>",
+                    ));
+                }
+                parsed.compare = Some((a, b));
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown option {other:?}")))
             }
@@ -440,6 +473,14 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         return Err(CliError::new(
             "bench takes no argument; use --areas to select a subset",
         ));
+    }
+    if parsed.command == Command::PowerZoo && parsed.target.is_some() {
+        return Err(CliError::new(
+            "power-zoo takes no argument; use --seed to vary the run",
+        ));
+    }
+    if parsed.compare.is_some() && parsed.command != Command::Bench {
+        return Err(CliError::new("--compare only applies to bench"));
     }
     Ok(parsed)
 }
@@ -662,6 +703,34 @@ mod tests {
         assert!(parse(&argv("bench --iters 0")).is_err());
         assert!(parse(&argv("bench --multiplier 0")).is_err());
         assert!(parse(&argv("bench --multiplier nan")).is_err());
+    }
+
+    #[test]
+    fn parses_power_model_flag() {
+        let p = parse(&argv("repro power_cap --power-model linear")).unwrap();
+        assert_eq!(p.power_model, "linear");
+        assert_eq!(parse(&argv("tenants")).unwrap().power_model, "analytic");
+        let p = parse(&argv("power-zoo --seed 7 --power-model tree")).unwrap();
+        assert_eq!(p.command, Command::PowerZoo);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.power_model, "tree");
+        assert!(parse(&argv("serve --power-model perceptron")).is_err());
+        assert!(parse(&argv("power-zoo extra")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_compare() {
+        let p = parse(&argv("bench --compare results/a results/b")).unwrap();
+        assert_eq!(
+            p.compare,
+            Some(("results/a".to_owned(), "results/b".to_owned()))
+        );
+        assert!(parse(&argv("bench --compare results/a")).is_err());
+        assert!(parse(&argv("bench --compare results/a --json")).is_err());
+        assert!(
+            parse(&argv("lint --compare a b")).is_err(),
+            "--compare is bench-only"
+        );
     }
 
     #[test]

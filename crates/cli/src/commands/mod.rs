@@ -29,6 +29,44 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         Command::Metrics => metrics(parsed),
         Command::Lint => lint(parsed),
         Command::Bench => bench(parsed),
+        Command::PowerZoo => power_zoo(parsed),
+    }
+}
+
+/// Resolves `--power-model` into a concrete backend. `analytic` is the
+/// calibrated default; `linear` and `tree` are fitted on the power-zoo
+/// training harvest at the given seed, so the same seed always yields
+/// the same coefficients.
+fn power_model(parsed: &Parsed) -> Result<livephase_pmsim::PowerModelKind, CliError> {
+    livephase_experiments::power_zoo::model(&parsed.power_model, parsed.seed).ok_or_else(|| {
+        CliError::new(format!(
+            "--power-model: unknown backend {:?} (expected `analytic`, `linear` or `tree`)",
+            parsed.power_model
+        ))
+    })
+}
+
+/// Trains, validates and races the power-model zoo: per-backend held-out
+/// error against the DAQ harvest plus the EDP each backend earns when it
+/// prices the capping policy. Gate violations (a learned backend missing
+/// the MAPE gate or losing to the naive baseline) exit 1 for ci.sh.
+fn power_zoo(parsed: &Parsed) -> Result<String, CliError> {
+    use livephase_experiments as exp;
+    let zoo = exp::power_zoo::run(parsed.seed);
+    let violations = exp::power_zoo::check(&zoo);
+    let mut out = zoo.to_string();
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n[power_zoo] all train/validate gates hold (held-out MAPE gate {:.0}%)",
+            exp::power_zoo::MAPE_GATE_PCT
+        );
+        Ok(out)
+    } else {
+        for v in &violations {
+            let _ = writeln!(out, "\n[power_zoo] GATE VIOLATION: {v}");
+        }
+        Err(CliError::gate(out))
     }
 }
 
@@ -42,6 +80,18 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
 /// `timed_span!` hot-path table.
 fn bench(parsed: &Parsed) -> Result<String, CliError> {
     use livephase_bench as bench;
+
+    if let Some((dir_a, dir_b)) = &parsed.compare {
+        // Offline trend diff between two committed snapshot directories:
+        // no measurement runs, so none of the flags below apply.
+        let report = bench::compare_dirs(dir_a, dir_b).map_err(CliError::new)?;
+        let rendered = report.render();
+        return if report.has_regressions() {
+            Err(CliError::gate(rendered))
+        } else {
+            Ok(rendered)
+        };
+    }
 
     let areas: Vec<&'static bench::Area> = if parsed.areas.is_empty() {
         bench::registry().iter().collect()
@@ -213,6 +263,7 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
         write_timeout: std::time::Duration::from_millis(parsed.read_timeout_ms),
         exit_after_conns: parsed.exit_after_conns,
         engine: livephase_serve::EngineConfig::pentium_m(),
+        power: power_model(parsed)?,
         max_outbound_bytes: parsed.max_outbound_bytes,
         sndbuf: parsed.sndbuf,
     };
@@ -244,6 +295,9 @@ fn tenants(parsed: &Parsed) -> Result<String, CliError> {
     spec.noisy = parsed.noisy;
     spec.seed = parsed.seed;
     spec.predictor = parsed.predictor.clone();
+    // The arbiter costs grants at the backend's worst-case bound, so any
+    // zoo backend keeps the never-exceed-budget argument intact.
+    spec.power = power_model(parsed)?;
     if let Some(budget) = parsed.budget_w {
         spec.budget_w = budget;
     }
@@ -506,6 +560,16 @@ fn repro(parsed: &Parsed) -> Result<String, CliError> {
     use livephase_experiments as exp;
     let artifact = parsed.target.as_deref().expect("validated by the parser");
     let seed = parsed.seed;
+    // Only the power_cap extension races alternative estimator backends;
+    // every published table/figure is pinned to the analytic default so
+    // its committed output stays byte-identical.
+    if parsed.power_model != "analytic" && artifact != "power_cap" {
+        return Err(CliError::new(format!(
+            "--power-model {} applies only to the power_cap artifact; \
+             {artifact} is pinned to the analytic backend",
+            parsed.power_model
+        )));
+    }
     let (body, violations): (String, Vec<String>) = match artifact {
         "table1" => {
             let t = exp::table1::run();
@@ -598,7 +662,7 @@ fn repro(parsed: &Parsed) -> Result<String, CliError> {
             (e.to_string(), exp::extensions::dtm::check(&e))
         }
         "power_cap" => {
-            let e = exp::extensions::power_cap::run(seed);
+            let e = exp::extensions::power_cap::run_with_model(seed, &power_model(parsed)?);
             (e.to_string(), exp::extensions::power_cap::check(&e))
         }
         "multiprogram" => {
@@ -751,6 +815,51 @@ mod tests {
                 .contains("unknown bench area"),
             "unknown areas are rejected before any measurement"
         );
+    }
+
+    #[test]
+    fn bench_compare_diffs_committed_snapshots() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench");
+        let pre = root.join("2026-08-07-pre-opt");
+        let post = root.join("2026-08-07-post-opt");
+        if !(pre.is_dir() && post.is_dir()) {
+            return; // packaged builds may omit results/
+        }
+        let line = format!(
+            "bench --compare {} {}",
+            pre.to_str().unwrap(),
+            post.to_str().unwrap()
+        );
+        // Regressions exit through the gate path carrying the rendered
+        // report; a clean diff returns it directly. Either way the full
+        // table must be there.
+        let out = match run(&line) {
+            Ok(out) => out,
+            Err(e) => e.message().to_owned(),
+        };
+        assert!(out.contains("bench compare:"), "{out}");
+        assert!(out.contains("engine_step"), "{out}");
+        assert!(out.contains("regression"), "{out}");
+    }
+
+    #[test]
+    fn repro_power_model_is_power_cap_only() {
+        let err = run("repro table2 --power-model linear").unwrap_err();
+        assert!(
+            err.message()
+                .contains("applies only to the power_cap artifact"),
+            "{}",
+            err.message()
+        );
+    }
+
+    #[test]
+    fn tenants_with_learned_power_model_still_meets_budget() {
+        // The arbiter prices grants at the backend's worst_case, so even
+        // a fitted backend keeps the report's budget line intact.
+        let out =
+            run("tenants --tenants 2 --cores 1 --length 2 --power-model tree --seed 7").unwrap();
+        assert!(out.contains("cluster decision digest"), "{out}");
     }
 
     #[test]

@@ -67,10 +67,17 @@ pub fn usage() -> String {
      \x20 lint [--json]                 run the workspace invariant linter\n\
      \x20                               (exit 0 clean, 1 findings, 2 error)\n\
      \x20 bench                         run the calibrated benchmark harness\n\
+     \x20 power-zoo                     train/validate the power-model zoo and\n\
+     \x20                               race the backends under a power cap\n\
+     \x20                               (exit 0 gates hold, 1 violations)\n\
      \n\
      OPTIONS:\n\
      \x20 --seed <n>            workload seed (default 42)\n\
      \x20 --length <n>          trace length in sampling intervals\n\
+     \x20 --power-model <name>  analytic | linear | tree — power backend for\n\
+     \x20                       serve, tenants and `repro power_cap` (learned\n\
+     \x20                       backends are fitted on the power-zoo harvest;\n\
+     \x20                       default analytic)\n\
      \x20 --predictor <spec>    lastvalue | markov | fixwindow:<n> |\n\
      \x20                       varwindow:<n>:<thr> | gpht:<depth>:<entries> |\n\
      \x20                       hashedgpht:<depth>:<entries>\n\
@@ -120,6 +127,9 @@ pub fn usage() -> String {
      \x20                       (exit 0 pass/skip, 1 findings, 2 error)\n\
      \x20 --multiplier <x>      gate headroom over the expected ratio\n\
      \x20                       (default 5.0; strict CI uses 2.0)\n\
-     \x20 --profile             append the timed_span! hot-path table\n"
+     \x20 --profile             append the timed_span! hot-path table\n\
+     \x20 --compare <a> <b>     diff two BENCH_*.json snapshot directories on\n\
+     \x20                       their calibrated ratios instead of measuring\n\
+     \x20                       (exit 0 clean, 1 regressions past +15%)\n"
         .to_owned()
 }

@@ -10,6 +10,7 @@
 use crate::sampler::DaqSample;
 use crate::sense::SenseCircuit;
 use livephase_pmsim::trace::pport;
+use livephase_pmsim::{OperatingPoint, PowerInput, TrainingRecord};
 use serde::{Deserialize, Serialize};
 
 /// Power/duration statistics for one sampling interval (phase), as
@@ -159,6 +160,29 @@ impl DaqLog {
     pub fn total_energy_j(&self) -> f64 {
         self.power_sum * self.sampling_period_s
     }
+
+    /// Pairs the log's phase-aligned power measurements with the PMC
+    /// features the monitor recorded for the same intervals, yielding
+    /// the structured training records the power-model zoo fits on.
+    ///
+    /// DAQ phases are produced by the manager's parallel-port bit-0
+    /// toggle — one toggle per PMI — so phase `k` *is* sampling interval
+    /// `k` and the zip is positional. Tails are truncated: a partial
+    /// trailing phase (or a feature vector cut short) simply yields
+    /// fewer records, never a misaligned one.
+    pub fn training_records<'a>(
+        &'a self,
+        features: &'a [(OperatingPoint, PowerInput)],
+    ) -> impl Iterator<Item = TrainingRecord> + 'a {
+        self.phases
+            .iter()
+            .zip(features.iter())
+            .map(|(phase, &(opp, input))| TrainingRecord {
+                opp,
+                input,
+                measured_w: phase.avg_power_w,
+            })
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +267,35 @@ mod tests {
         let phase_time: f64 = log.phases().iter().map(|p| p.duration_s).sum();
         assert!((phase_time - log.total_time_s()).abs() < 1e-12);
         assert!((log.average_power_w() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_records_zip_phases_with_features() {
+        use livephase_pmsim::OperatingPointTable;
+        // Three phases of 2/3/2 samples at 10, 2, and 6 watts.
+        let samples = vec![
+            sample(0.0, 10.0, 0b000),
+            sample(40e-6, 10.0, 0b000),
+            sample(80e-6, 2.0, 0b001),
+            sample(120e-6, 2.0, 0b001),
+            sample(160e-6, 2.0, 0b001),
+            sample(200e-6, 6.0, 0b000),
+            sample(240e-6, 6.0, 0b000),
+        ];
+        let log = feed(&samples);
+        assert_eq!(log.phases().len(), 3);
+        let opp = OperatingPointTable::pentium_m().fastest();
+        // One fewer feature than phases: the tail phase is dropped.
+        let features = vec![
+            (opp, PowerInput::from_counters(0.01, 1.0)),
+            (opp, PowerInput::from_counters(0.05, 0.4)),
+        ];
+        let records: Vec<TrainingRecord> = log.training_records(&features).collect();
+        assert_eq!(records.len(), 2);
+        assert!((records[0].measured_w - 10.0).abs() < 1e-9);
+        assert!((records[1].measured_w - 2.0).abs() < 1e-9);
+        assert!((records[0].input.mem_uop - 0.01).abs() < 1e-12);
+        assert!((records[1].input.upc - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::runs::require_benchmark;
 use crate::ShapeViolations;
 use livephase_core::{Gpht, GphtConfig};
 use livephase_governor::{par_map, PowerCap, PowerEstimator, Session};
-use livephase_pmsim::PlatformConfig;
+use livephase_pmsim::{PlatformConfig, PowerModelKind};
 use std::fmt;
 
 /// Caps swept, in watts.
@@ -38,9 +38,18 @@ pub struct PowerCapExperiment {
     pub rows: Vec<CapRow>,
 }
 
-/// Runs applu under each cap.
+/// Runs applu under each cap with the default (analytic) estimator.
 #[must_use]
 pub fn run(seed: u64) -> PowerCapExperiment {
+    run_with_model(seed, &PowerModelKind::default())
+}
+
+/// Runs applu under each cap with the given power backend pricing the
+/// policy's estimator. The platform physics stays analytic — only the
+/// capping policy's beliefs about per-setting power change — so the
+/// measured cap/throughput trade-off isolates the estimator's quality.
+#[must_use]
+pub fn run_with_model(seed: u64, model: &PowerModelKind) -> PowerCapExperiment {
     let trace = require_benchmark("applu_in")
         .with_length(400)
         .generate(seed);
@@ -52,7 +61,10 @@ pub fn run(seed: u64) -> PowerCapExperiment {
         let report = session.run_policy(
             Box::new(PowerCap::new(
                 Gpht::new(GphtConfig::DEPLOYED),
-                PowerEstimator::pentium_m(),
+                PowerEstimator::for_platform(&PlatformConfig {
+                    power: model.clone(),
+                    ..PlatformConfig::pentium_m()
+                }),
                 cap_w,
             )),
             &trace,

@@ -40,6 +40,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod format;
+pub mod power_zoo;
 pub mod predictors;
 pub mod runs;
 pub mod table1;

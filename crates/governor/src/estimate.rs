@@ -7,7 +7,9 @@
 //! band — the same anchor the conservative derivation uses.
 
 use livephase_core::{PhaseId, PhaseMap};
-use livephase_pmsim::{OperatingPointTable, PowerModel, TimingModel};
+use livephase_pmsim::{
+    AnalyticModel, OperatingPointTable, PlatformConfig, PowerInput, PowerModel, TimingModel,
+};
 use livephase_workloads::PhaseLevel;
 
 /// Estimates per-setting power draw for each phase of a map.
@@ -19,12 +21,16 @@ pub struct PowerEstimator {
 
 impl PowerEstimator {
     /// Precomputes the estimate table for a phase map on a platform.
+    /// Works against any [`PowerModel`] backend: the analytic default
+    /// reads the timing model's core fraction (numerically identical to
+    /// the pre-trait estimator), while learned backends additionally see
+    /// the band's reference counter features.
     #[must_use]
     pub fn new(
         map: &PhaseMap,
         opps: &OperatingPointTable,
         timing: &TimingModel,
-        power: &PowerModel,
+        power: &dyn PowerModel,
     ) -> Self {
         let table = map
             .phases()
@@ -38,7 +44,12 @@ impl PowerEstimator {
                 opps.iter()
                     .map(|(_, opp)| {
                         let exec = timing.execute(&work, opp.frequency);
-                        power.power(opp, exec.core_fraction())
+                        let input = PowerInput {
+                            core_fraction: exec.core_fraction(),
+                            mem_uop: band_low,
+                            upc: timing.upc(&work, opp.frequency),
+                        };
+                        power.power(opp, &input)
                     })
                     .collect()
             })
@@ -53,7 +64,20 @@ impl PowerEstimator {
             &PhaseMap::pentium_m(),
             &OperatingPointTable::pentium_m(),
             &TimingModel::pentium_m(),
-            &PowerModel::pentium_m(),
+            &AnalyticModel::pentium_m(),
+        )
+    }
+
+    /// The estimator a platform configuration implies: Table 1 phases
+    /// against the platform's own operating points, timing, and power
+    /// backend — how `--power-model` reaches capping/thermal policies.
+    #[must_use]
+    pub fn for_platform(platform: &PlatformConfig) -> Self {
+        Self::new(
+            &PhaseMap::pentium_m(),
+            &platform.opp_table,
+            &platform.timing,
+            &platform.power,
         )
     }
 

@@ -208,3 +208,35 @@ fn every_fixture_would_fail_the_ci_gate() {
         );
     }
 }
+
+#[test]
+fn power_model_zoo_module_is_inside_the_decision_perimeter() {
+    // The pmsim `power/` subdirectory holds the model zoo; decision-crate
+    // rules are keyed on the crate name, so a panicky construct there
+    // must gate exactly like one in the crate root.
+    let report = lint_fixture(
+        "crates/pmsim/src/power/linear.rs",
+        "pmsim",
+        "fn f(xs: &[f64]) -> f64 { xs[0] }\n",
+    );
+    assert_eq!(
+        lines(&report, "no-panic-path"),
+        vec![1],
+        "{}",
+        report.render_text()
+    );
+
+    // And the workspace walk actually visits every zoo source file (a
+    // rename could otherwise silently drop the module from the scan).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = livephase_lint::workspace::load_sources(&root).unwrap();
+    for module in ["mod.rs", "analytic.rs", "linear.rs", "tree.rs"] {
+        assert!(
+            files
+                .iter()
+                .any(|f| f.crate_name == "pmsim"
+                    && f.path == format!("crates/pmsim/src/power/{module}")),
+            "workspace scan misses power/{module}"
+        );
+    }
+}

@@ -24,7 +24,7 @@
 use crate::dvfs::{DvfsController, InvalidSetting};
 use crate::opp::{OperatingPoint, OperatingPointTable};
 use crate::pmc::{CounterFile, EventCounts};
-use crate::power::PowerModel;
+use crate::power::{PowerInput, PowerModel, PowerModelKind};
 use crate::timing::{IntervalWork, TimingModel};
 use crate::trace::{PowerSegment, PowerTrace};
 use livephase_core::IntervalMetrics;
@@ -41,8 +41,9 @@ pub struct PlatformConfig {
     pub opp_table: OperatingPointTable,
     /// Execution-time model.
     pub timing: TimingModel,
-    /// Power model.
-    pub power: PowerModel,
+    /// Power-model backend (the analytic calibration by default; learned
+    /// backends can be swapped in without touching any consumer).
+    pub power: PowerModelKind,
     /// Micro-ops per sampling interval (the paper uses 100 M).
     pub pmi_granularity_uops: u64,
     /// Stall charged per actual voltage/frequency switch, in seconds.
@@ -60,7 +61,7 @@ impl PlatformConfig {
         Self {
             opp_table: OperatingPointTable::pentium_m(),
             timing: TimingModel::pentium_m(),
-            power: PowerModel::pentium_m(),
+            power: PowerModelKind::default(),
             pmi_granularity_uops: 100_000_000,
             dvfs_transition_s: 50e-6,
             record_power_trace: false,
@@ -468,7 +469,22 @@ impl<'a> Cpu<'a> {
     fn execute_chunk(&mut self, work: &IntervalWork) {
         let opp = self.dvfs.current();
         let exec = self.config.timing.execute(work, opp.frequency);
-        let power_w = self.config.power.power(opp, exec.core_fraction());
+        // Counter features ride along for learned backends; the analytic
+        // default reads only the core fraction, exactly as before.
+        let input = PowerInput {
+            core_fraction: exec.core_fraction(),
+            mem_uop: if work.uops == 0 {
+                0.0
+            } else {
+                work.mem_transactions as f64 / work.uops as f64
+            },
+            upc: if exec.cycles > 0.0 {
+                work.uops as f64 / exec.cycles
+            } else {
+                0.0
+            },
+        };
+        let power_w = self.config.power.power(opp, &input);
         let energy_j = power_w * exec.seconds;
 
         self.counters.record(&EventCounts {

@@ -10,9 +10,11 @@
 //!   scales with frequency and memory work does not. This single structural
 //!   property yields the paper's two key observations (Section 4 /
 //!   Figure 7): **Mem/Uop is DVFS-invariant** while **UPC is not**;
-//! * [`power`] — a `C·V²·f` dynamic + leakage power model calibrated to the
+//! * [`power`] — the power-model zoo behind the [`power::PowerModel`]
+//!   trait: the analytic `C·V²·f` + leakage formula calibrated to the
 //!   Pentium-M package envelope measured in the paper (≈ 13 W at
-//!   1.5 GHz / 1.484 V down to ≈ 3 W at 600 MHz / 0.956 V);
+//!   1.5 GHz / 1.484 V down to ≈ 3 W at 600 MHz / 0.956 V), plus learned
+//!   least-squares and regression-tree backends fit against DAQ output;
 //! * [`pmc`] — performance monitoring counters (`UOPS_RETIRED`,
 //!   `BUS_TRAN_MEM`, …) with an overflow-triggered performance monitoring
 //!   interrupt (PMI), used to sample execution every 100 M uops;
@@ -54,7 +56,10 @@ pub use cpu::{Cpu, PlatformConfig, PmiRecord, VcpuContext};
 pub use dvfs::DvfsController;
 pub use opp::{Frequency, OperatingPoint, OperatingPointTable, Voltage};
 pub use pmc::{CounterFile, Event};
-pub use power::PowerModel;
+pub use power::{
+    AnalyticModel, FitError, LinearModel, PowerInput, PowerModel, PowerModelKind, TrainingRecord,
+    TreeModel,
+};
 pub use thermal::{ThermalModel, ThermalState};
 pub use timing::{Execution, IntervalWork, TimingModel};
 pub use trace::{PowerSegment, PowerTrace};

@@ -1,6 +1,6 @@
-//! The CPU power model.
+//! The analytical backend: switching power plus leakage.
 //!
-//! Package power is modeled as switching power plus leakage:
+//! Package power is modeled as:
 //!
 //! ```text
 //! P(f, V, a) = k_dyn · a · V² · f  +  k_leak · V³
@@ -12,8 +12,8 @@
 //! memory-bound workloads, only possible when the low-voltage settings
 //! shed leakage as well as switching power.
 //!
-//! where the *activity factor* `a` blends full-rate switching during core
-//! work with residual clock/queue activity during memory stalls:
+//! The *activity factor* `a` blends full-rate switching during core work
+//! with residual clock/queue activity during memory stalls:
 //!
 //! ```text
 //! a = core_fraction + stall_activity · (1 − core_fraction)
@@ -23,12 +23,13 @@
 //! paper's DAQ rig (Figure 10): ≈ 13 W running CPU-bound code at
 //! 1.5 GHz / 1.484 V and ≈ 3 W at 600 MHz / 0.956 V.
 
+use super::{PowerInput, PowerModel};
 use crate::opp::OperatingPoint;
 use serde::{Deserialize, Serialize};
 
 /// Coefficients of the analytical power model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PowerModel {
+pub struct AnalyticModel {
     /// Effective switching capacitance coefficient, in watts per V²·GHz at
     /// activity 1.
     pub k_dyn: f64,
@@ -39,7 +40,7 @@ pub struct PowerModel {
     pub k_leak: f64,
 }
 
-impl PowerModel {
+impl AnalyticModel {
     /// Calibration for the paper's Pentium-M prototype: 13 W fully active at
     /// the top operating point, ≈ 3 W at the bottom.
     #[must_use]
@@ -52,13 +53,15 @@ impl PowerModel {
     }
 
     /// Package power at `opp` with the given fraction of time in core
-    /// (non-stall) work.
+    /// (non-stall) work. (Named `activity_power` rather than `power` so
+    /// the inherent method cannot shadow the trait method, whose input
+    /// type differs.)
     ///
     /// # Panics
     ///
     /// Panics if `core_fraction` is outside `[0, 1]`.
     #[must_use]
-    pub fn power(&self, opp: OperatingPoint, core_fraction: f64) -> f64 {
+    pub fn activity_power(&self, opp: OperatingPoint, core_fraction: f64) -> f64 {
         assert!(
             (0.0..=1.0).contains(&core_fraction),
             "core fraction must be in [0,1], got {core_fraction}"
@@ -68,21 +71,34 @@ impl PowerModel {
         self.k_dyn * a * v * v * opp.frequency.ghz() + self.k_leak * v * v * v
     }
 
-    /// Power while fully stalled (e.g. during a DVFS transition when no
-    /// instructions retire).
-    #[must_use]
-    pub fn stall_power(&self, opp: OperatingPoint) -> f64 {
-        self.power(opp, 0.0)
-    }
-
     /// Energy of an execution slice: `power · seconds`.
     #[must_use]
     pub fn energy(&self, opp: OperatingPoint, core_fraction: f64, seconds: f64) -> f64 {
-        self.power(opp, core_fraction) * seconds
+        self.activity_power(opp, core_fraction) * seconds
     }
 }
 
-impl Default for PowerModel {
+impl PowerModel for AnalyticModel {
+    /// Reads only `input.core_fraction` — bit-identical to the pre-trait
+    /// concrete model, which is what keeps every committed decision
+    /// digest unchanged under the default backend.
+    fn power(&self, opp: OperatingPoint, input: &PowerInput) -> f64 {
+        self.activity_power(opp, input.core_fraction)
+    }
+
+    /// The formula is linear and increasing in the activity factor, so
+    /// the bound is full activity — exactly the arbiter's historical
+    /// `P(opp, core_fraction = 1)` grant cost.
+    fn worst_case(&self, opp: OperatingPoint) -> f64 {
+        self.activity_power(opp, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+}
+
+impl Default for AnalyticModel {
     fn default() -> Self {
         Self::pentium_m()
     }
@@ -95,10 +111,10 @@ mod tests {
 
     #[test]
     fn calibration_envelope() {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let t = OperatingPointTable::pentium_m();
-        let top = m.power(t.fastest(), 1.0);
-        let bottom = m.power(t.slowest(), 1.0);
+        let top = m.activity_power(t.fastest(), 1.0);
+        let bottom = m.activity_power(t.slowest(), 1.0);
         assert!(
             (12.0..15.0).contains(&top),
             "top-point active power should be ~13 W, got {top}"
@@ -111,9 +127,9 @@ mod tests {
 
     #[test]
     fn power_is_monotonic_in_operating_point() {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let t = OperatingPointTable::pentium_m();
-        let powers: Vec<f64> = t.iter().map(|(_, p)| m.power(p, 0.7)).collect();
+        let powers: Vec<f64> = t.iter().map(|(_, p)| m.activity_power(p, 0.7)).collect();
         for w in powers.windows(2) {
             assert!(w[0] > w[1], "power must fall with the operating point");
         }
@@ -121,34 +137,49 @@ mod tests {
 
     #[test]
     fn stalls_burn_less_than_active_work() {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let p = OperatingPointTable::pentium_m().fastest();
-        assert!(m.stall_power(p) < m.power(p, 1.0));
+        assert!(m.stall_power(p) < m.activity_power(p, 1.0));
         assert!(m.stall_power(p) > 0.0, "clocks keep running while stalled");
     }
 
     #[test]
     fn activity_blends_linearly() {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let p = OperatingPointTable::pentium_m().fastest();
-        let half = m.power(p, 0.5);
-        let mid = f64::midpoint(m.power(p, 0.0), m.power(p, 1.0));
+        let half = m.activity_power(p, 0.5);
+        let mid = f64::midpoint(m.activity_power(p, 0.0), m.activity_power(p, 1.0));
         assert!((half - mid).abs() < 1e-9);
     }
 
     #[test]
     fn energy_is_power_times_time() {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let p = OperatingPointTable::pentium_m().fastest();
         let e = m.energy(p, 1.0, 0.1);
-        assert!((e - m.power(p, 1.0) * 0.1).abs() < 1e-12);
+        assert!((e - m.activity_power(p, 1.0) * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_power_reads_the_core_fraction_bit_identically() {
+        let m = AnalyticModel::pentium_m();
+        let t = OperatingPointTable::pentium_m();
+        for (_, p) in t.iter() {
+            for cf in [0.0, 0.25, 0.5, 0.7, 1.0] {
+                // Counter features must not perturb the analytic output.
+                let input = PowerInput::new(cf, 0.03, 2.0);
+                assert_eq!(m.power(p, &input), m.activity_power(p, cf));
+            }
+            assert_eq!(m.worst_case(p), m.activity_power(p, 1.0));
+            assert_eq!(m.stall_power(p), m.activity_power(p, 0.0));
+        }
     }
 
     #[test]
     #[should_panic(expected = "core fraction")]
     fn rejects_bad_fraction() {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let p = OperatingPointTable::pentium_m().fastest();
-        let _ = m.power(p, 1.5);
+        let _ = m.activity_power(p, 1.5);
     }
 }

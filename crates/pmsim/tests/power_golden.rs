@@ -1,0 +1,79 @@
+//! Golden-coefficient pin for the learned power backends.
+//!
+//! The model zoo's acceptance story is anchored on determinism: a
+//! learned model is a pure function of its training spec. This test
+//! fits `LinearModel` on a fixed, seeded training sweep and compares
+//! the coefficients against committed values — if the fit pipeline's
+//! numerics change (solver order, ridge term, feature clamps), this
+//! fails loudly instead of silently shifting every downstream digest.
+
+use livephase_pmsim::{
+    AnalyticModel, LinearModel, OperatingPointTable, PowerInput, PowerModel, TrainingRecord,
+    TreeModel,
+};
+
+/// The fixed training sweep: analytic ground truth over every operating
+/// point with a deterministic LCG jitter — the same construction the
+/// property tests train on, pinned here by value.
+fn golden_records() -> Vec<TrainingRecord> {
+    let truth = AnalyticModel::pentium_m();
+    let table = OperatingPointTable::pentium_m();
+    let mut records = Vec::new();
+    let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+    for (_, opp) in table.iter() {
+        for k in 0..12u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let jitter = (state >> 40) as f64 / (1u64 << 24) as f64;
+            let cf = 0.05 + 0.08 * k as f64;
+            let input = PowerInput::new(cf, 0.06 * (1.0 - cf), 0.4 + 3.0 * cf);
+            records.push(TrainingRecord {
+                opp,
+                input,
+                measured_w: truth.power(opp, &input) * (0.985 + 0.03 * jitter),
+            });
+        }
+    }
+    records
+}
+
+#[test]
+fn linear_fit_matches_committed_coefficients() {
+    let records = golden_records();
+    let fitted = LinearModel::fit(&records).expect("the golden sweep is well-posed");
+    let again = LinearModel::fit(&records).expect("the golden sweep is well-posed");
+    assert_eq!(
+        fitted.weights(),
+        again.weights(),
+        "refitting identical records must be bit-identical"
+    );
+    // Committed coefficients, printed by this test's first run and
+    // pinned. A tight tolerance (not bit-equality) keeps the pin stable
+    // across std/libm rounding differences between toolchains while
+    // still catching any change to the fit pipeline itself.
+    let committed = [
+        -2.533495816632397_f64,
+        2.2189944170885223,
+        0.5909388708547293,
+        -0.19973517051268244,
+        1.3717668926979,
+    ];
+    let weights = fitted.weights();
+    println!("fitted weights: {weights:?}");
+    for (got, want) in weights.iter().zip(committed.iter()) {
+        assert!(
+            (got - want).abs() <= 1e-9_f64.max(want.abs() * 1e-9),
+            "coefficient drifted: fitted {weights:?}, committed {committed:?}"
+        );
+    }
+}
+
+#[test]
+fn tree_fit_is_deterministic_on_the_golden_sweep() {
+    let records = golden_records();
+    let a = TreeModel::fit(&records).expect("the golden sweep is well-posed");
+    let b = TreeModel::fit(&records).expect("the golden sweep is well-posed");
+    assert_eq!(a, b, "refitting identical records must be bit-identical");
+    assert!(a.leaf_count() >= 2, "the sweep has counter structure");
+}

@@ -1,9 +1,44 @@
 //! Property-based tests for the platform simulator.
 
 use livephase_pmsim::{
-    Cpu, Frequency, IntervalWork, OperatingPointTable, PlatformConfig, PowerModel, TimingModel,
+    AnalyticModel, Cpu, Frequency, IntervalWork, LinearModel, OperatingPointTable, PlatformConfig,
+    PowerInput, PowerModel, PowerModelKind, TimingModel, TrainingRecord, TreeModel,
 };
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One canonical fitted model per learned backend, trained once on a
+/// deterministic sweep of analytic ground truth plus bounded jitter, so
+/// every property case exercises the same (realistic) coefficients.
+fn backend_zoo() -> &'static [PowerModelKind; 3] {
+    static ZOO: OnceLock<[PowerModelKind; 3]> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        let truth = AnalyticModel::pentium_m();
+        let table = OperatingPointTable::pentium_m();
+        let mut records = Vec::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for (_, opp) in table.iter() {
+            for k in 0..10u64 {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let jitter = (state >> 40) as f64 / (1u64 << 24) as f64;
+                let cf = 0.1 + 0.09 * k as f64;
+                let input = PowerInput::new(cf, 0.05 * (1.0 - cf), 0.5 + 2.5 * cf);
+                records.push(TrainingRecord {
+                    opp,
+                    input,
+                    measured_w: truth.power(opp, &input) * (0.98 + 0.04 * jitter),
+                });
+            }
+        }
+        [
+            PowerModelKind::default(),
+            PowerModelKind::Linear(LinearModel::fit(&records).expect("sweep is well-posed")),
+            PowerModelKind::Tree(TreeModel::fit(&records).expect("sweep is well-posed")),
+        ]
+    })
+}
 
 fn arb_work() -> impl Strategy<Value = IntervalWork> {
     (
@@ -48,18 +83,50 @@ proptest! {
         prop_assert!(t.bips(&work, Frequency::from_mhz(hi)) >= t.bips(&work, Frequency::from_mhz(lo)) - 1e-12);
     }
 
-    /// Power is monotone in activity and in the operating point.
+    /// Analytic power is monotone in activity and strictly monotone in
+    /// the operating point.
     #[test]
     fn power_monotonicity(a in 0.0f64..1.0, b in 0.0f64..1.0) {
-        let m = PowerModel::pentium_m();
+        let m = AnalyticModel::pentium_m();
         let table = OperatingPointTable::pentium_m();
         let (lo_a, hi_a) = if a <= b { (a, b) } else { (b, a) };
         for (_, opp) in table.iter() {
-            prop_assert!(m.power(opp, hi_a) >= m.power(opp, lo_a));
-            prop_assert!(m.power(opp, lo_a) > 0.0);
+            prop_assert!(m.activity_power(opp, hi_a) >= m.activity_power(opp, lo_a));
+            prop_assert!(m.activity_power(opp, lo_a) > 0.0);
         }
         for w in table.points().windows(2) {
-            prop_assert!(m.power(w[0], a) > m.power(w[1], a));
+            prop_assert!(m.activity_power(w[0], a) > m.activity_power(w[1], a));
+        }
+    }
+
+    /// Every backend in the zoo is (weakly) monotone along the
+    /// operating-point table for any generated counter vector, and its
+    /// worst-case bound dominates its output — the invariant the tenants
+    /// arbiter's budget proof rests on.
+    #[test]
+    fn every_backend_is_monotone_and_bounded(
+        cf in 0.0f64..=1.0,
+        mem_uop in 0.0f64..0.2,
+        upc in 0.0f64..12.0,
+    ) {
+        let table = OperatingPointTable::pentium_m();
+        let input = PowerInput::new(cf, mem_uop, upc);
+        for model in backend_zoo() {
+            let powers: Vec<f64> = table.iter().map(|(_, opp)| model.power(opp, &input)).collect();
+            for w in powers.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12,
+                    "{} must not rise toward slower settings: {powers:?}", model.name());
+            }
+            for (_, opp) in table.iter() {
+                let p = model.power(opp, &input);
+                prop_assert!(p.is_finite() && p >= 0.0);
+                prop_assert!(
+                    p <= model.worst_case(opp) + 1e-12,
+                    "{}: power {p} exceeds worst_case {} at {opp:?}",
+                    model.name(), model.worst_case(opp)
+                );
+                prop_assert!(model.stall_power(opp) <= model.worst_case(opp) + 1e-12);
+            }
         }
     }
 

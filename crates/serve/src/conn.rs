@@ -90,6 +90,10 @@ pub(crate) struct Cx<'a> {
     pub(crate) samples: &'a mut Vec<Sample>,
     /// Shard-owned decision reuse buffer for `apply_batch`.
     pub(crate) decisions: &'a mut Vec<Decision>,
+    /// Per-operating-point worst-case power bound in milliwatts, indexed
+    /// by the decision's `op_point`. Precomputed once per shard from the
+    /// configured power backend so flushing a run costs one table lookup.
+    pub(crate) power_mw: &'a [i64],
     /// The event loop's notion of now (one clock read per wake).
     pub(crate) now: Instant, // lint:allow(determinism): I/O timeouts and telemetry only, never a decision input
 }
@@ -528,6 +532,14 @@ impl Conn {
         cx.shared
             .decisions
             .fetch_add(cx.decisions.len() as u64, Ordering::Relaxed);
+        // Price the shard's latest decision at the configured backend's
+        // worst-case bound. Out-of-table op points (foreign platform
+        // tables can be wider) leave the gauge untouched.
+        if let Some(d) = cx.decisions.last() {
+            if let Some(&mw) = cx.power_mw.get(usize::from(d.op_point)) {
+                cx.metrics.shard.power_estimate_mw.set(mw);
+            }
+        }
         cx.samples.clear();
     }
 

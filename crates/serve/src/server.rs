@@ -85,6 +85,7 @@ pub(crate) struct ShardMetrics {
     pub(crate) sessions: Arc<Gauge>,
     pub(crate) samples_total: Arc<Counter>,
     pub(crate) decision_us: Arc<Histogram>,
+    pub(crate) power_estimate_mw: Arc<Gauge>,
 }
 
 impl ShardMetrics {
@@ -111,6 +112,16 @@ impl ShardMetrics {
             decision_us: reg.histogram(
                 "serve_shard_decision_us",
                 "Classify-predict-translate latency in microseconds.",
+                label,
+            ),
+            // Priced by the configured power backend's worst-case bound —
+            // the same pessimistic cost the tenants arbiter charges — so a
+            // dashboard can overlay "what the fleet could draw" on top of
+            // decision throughput without any per-sample model evaluation.
+            power_estimate_mw: reg.gauge(
+                "serve_power_estimate_mw",
+                "Worst-case power bound of this shard's latest decided \
+                 operating point, in milliwatts.",
                 label,
             ),
         }
@@ -140,6 +151,11 @@ pub struct ServerConfig {
     pub exit_after_conns: Option<u64>,
     /// Phase map, translation table and platform name served.
     pub engine: EngineConfig,
+    /// Power backend pricing the per-shard `serve_power_estimate_mw`
+    /// gauge: each decided operating point is costed at the backend's
+    /// declared worst-case bound, precomputed per shard so the hot path
+    /// only indexes a table.
+    pub power: livephase_pmsim::PowerModelKind,
     /// A connection whose un-drained outbound queue exceeds this many
     /// bytes is shed with a typed slow-consumer error.
     pub max_outbound_bytes: usize,
@@ -159,6 +175,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             exit_after_conns: None,
             engine: EngineConfig::pentium_m(),
+            power: livephase_pmsim::PowerModelKind::default(),
             max_outbound_bytes: 256 * 1024,
             sndbuf: None,
         }

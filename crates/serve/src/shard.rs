@@ -21,6 +21,7 @@
 use crate::conn::{Conn, Cx};
 use crate::engine::{Decision, EngineConfig, Sample};
 use crate::server::{ServerConfig, ShardMetrics, Shared};
+use livephase_pmsim::{OperatingPointTable, PowerModel};
 use livephase_telemetry::{trace_event, Counter, Gauge, Histogram, Level};
 use std::collections::BTreeMap;
 use std::io;
@@ -219,6 +220,15 @@ fn shard_reactor_loop(
     let mut events = Events::with_capacity(EVENTS_PER_WAIT);
     let mut conns: BTreeMap<RawFd, Conn> = BTreeMap::new();
     let mut scratch = vec![0u8; READ_SCRATCH_BYTES];
+    // Worst-case milliwatts per operating point, priced once here by the
+    // configured power backend so `flush_run` only indexes by op_point.
+    // Rounded rather than truncated so the analytic default's table
+    // survives a backend swap to any model agreeing within half a mW.
+    let power_mw: Vec<i64> = OperatingPointTable::pentium_m()
+        .points()
+        .iter()
+        .map(|opp| (config.power.worst_case(*opp) * 1000.0).round() as i64)
+        .collect();
     let mut samples: Vec<Sample> = Vec::new();
     let mut decisions: Vec<Decision> = Vec::new();
     let mut to_close: Vec<RawFd> = Vec::new();
@@ -246,6 +256,7 @@ fn shard_reactor_loop(
                     max_outbound: config.max_outbound_bytes,
                     samples: &mut samples,
                     decisions: &mut decisions,
+                    power_mw: &power_mw,
                     now,
                 };
                 conn.begin_drain(&mut cx);
@@ -273,6 +284,7 @@ fn shard_reactor_loop(
                 max_outbound: config.max_outbound_bytes,
                 samples: &mut samples,
                 decisions: &mut decisions,
+                power_mw: &power_mw,
                 now,
             };
             if ev.readable || ev.hangup {
@@ -301,6 +313,7 @@ fn shard_reactor_loop(
                     max_outbound: config.max_outbound_bytes,
                     samples: &mut samples,
                     decisions: &mut decisions,
+                    power_mw: &power_mw,
                     now,
                 };
                 conn.reap(&mut cx, config.read_timeout, config.write_timeout);

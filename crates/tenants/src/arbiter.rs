@@ -8,10 +8,12 @@
 //! the index), never faster — so the budget argument is local and
 //! airtight:
 //!
-//! * a grant is costed at the platform's worst case for that setting,
-//!   `P(opp, core_fraction = 1)`, an upper bound on anything a tenant can
-//!   actually draw there (stalls draw less, memory-bound phases draw
-//!   less);
+//! * a grant is costed at the power backend's declared
+//!   [`worst_case`](livephase_pmsim::PowerModel::worst_case) for that
+//!   setting — an upper bound on anything a tenant can actually draw
+//!   there, for *any* backend in the model zoo (the analytic model's
+//!   bound is full-activity power; learned models bound their clamped
+//!   feature boxes);
 //! * tenants are pinned to cores and a core runs one tenant at a time,
 //!   so a core's instantaneous draw is bounded by the *maximum* grant
 //!   cost among its tenants, not the sum;
@@ -26,7 +28,7 @@
 //! while the budget holds, converging to the most even feasible
 //! allocation.
 
-use livephase_pmsim::PlatformConfig;
+use livephase_pmsim::{PlatformConfig, PowerModel};
 use livephase_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -115,7 +117,7 @@ impl Arbiter {
         let cost_w = platform
             .opp_table
             .iter()
-            .map(|(_, opp)| platform.power.power(opp, 1.0))
+            .map(|(_, opp)| platform.power.worst_case(opp))
             .collect();
         let starvation_us = livephase_telemetry::global().histogram(
             "tenants_arbiter_starvation_us",

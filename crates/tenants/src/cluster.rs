@@ -168,7 +168,10 @@ fn step_decision(
 /// an unknown benchmark or predictor.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ClusterReport, ScenarioError> {
     spec.validate()?;
-    let platform = PlatformConfig::pentium_m();
+    let platform = PlatformConfig {
+        power: spec.power.clone(),
+        ..PlatformConfig::pentium_m()
+    };
     let mut engine = DecisionEngine::from_spec(EngineConfig::pentium_m(), &spec.predictor)
         .map_err(|e| ScenarioError::BadPredictor(e.to_string()))?;
     let mut arbiter = Arbiter::new(&platform, spec.budget_w, spec.policy, spec.cores);

@@ -8,6 +8,7 @@
 //! the arbiter's per-core worst-case budget accounting airtight).
 
 use crate::arbiter::ArbiterPolicy;
+use livephase_pmsim::PowerModelKind;
 use livephase_workloads::{benchmark, WorkloadTrace};
 use std::fmt;
 
@@ -52,6 +53,10 @@ pub struct ScenarioSpec {
     pub policy: ArbiterPolicy,
     /// Per-tenant predictor specification (e.g. `gpht:8:128`).
     pub predictor: String,
+    /// Power backend every tenant platform and the arbiter price from.
+    /// The arbiter costs grants at the backend's `worst_case` bound, so
+    /// the never-exceed-budget argument survives a model swap.
+    pub power: PowerModelKind,
     /// Base seed; per-tenant seeds are derived deterministically.
     pub seed: u64,
 }
@@ -75,6 +80,7 @@ impl ScenarioSpec {
             noisy: 0,
             policy: ArbiterPolicy::WaterFill,
             predictor: "gpht:8:128".to_owned(),
+            power: PowerModelKind::default(),
             seed: 42,
         }
     }
