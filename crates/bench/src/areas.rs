@@ -262,6 +262,21 @@ fn run_power_model_eval(warmup: usize, iters: usize) -> Vec<u64> {
     })
 }
 
+/// `lint_full`: one full-workspace lint pass — read, lex, parse, build
+/// the call graph, and run all rules over every first-party source
+/// file. Gated so lint v2's interprocedural analyses cannot silently
+/// blow up CI latency.
+fn run_lint_full(warmup: usize, iters: usize) -> Vec<u64> {
+    let cwd = std::env::current_dir().expect("bench needs a working directory");
+    let root = livephase_lint::workspace::find_workspace_root(&cwd)
+        .expect("lint_full runs inside the livephase workspace");
+    timed(warmup, iters, || {
+        let report = livephase_lint::lint_workspace(&root)
+            .expect("the workspace lint_full just scanned is readable");
+        std::hint::black_box(report.files_scanned + report.findings.len());
+    })
+}
+
 /// Every registered area, in report order.
 ///
 /// `expected_ratio` values were measured with `livephase-cli bench
@@ -318,6 +333,12 @@ pub fn registry() -> &'static [Area] {
             what: "one 4-tenant/2-core/8-interval cluster scenario",
             expected_ratio: 0.25,
             run: run_tenants_quantum,
+        },
+        Area {
+            name: "lint_full",
+            what: "full-workspace lint: lex, parse, call graph, all rules",
+            expected_ratio: 110.0,
+            run: run_lint_full,
         },
         Area {
             name: "power_model_eval",

@@ -191,6 +191,9 @@ pub struct Parsed {
     /// `--compare <dir-a> <dir-b>` for `bench`: diff two directories of
     /// `BENCH_*.json` records instead of running the harness.
     pub compare: Option<(String, String)>,
+    /// `--baseline <file>` for `lint`: a committed `lint --json` report;
+    /// findings it records are reported but do not gate.
+    pub baseline: Option<String>,
 }
 
 impl Default for Parsed {
@@ -233,6 +236,7 @@ impl Default for Parsed {
             multiplier: None,
             power_model: "analytic".to_owned(),
             compare: None,
+            baseline: None,
         }
     }
 }
@@ -418,6 +422,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 }
                 parsed.power_model = v;
             }
+            "--baseline" => parsed.baseline = Some(take_value(&mut it, "--baseline")?),
             "--compare" => {
                 let a = take_value(&mut it, "--compare")?;
                 let b = it.next().cloned().ok_or_else(|| {
@@ -481,6 +486,9 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
     }
     if parsed.compare.is_some() && parsed.command != Command::Bench {
         return Err(CliError::new("--compare only applies to bench"));
+    }
+    if parsed.baseline.is_some() && parsed.command != Command::Lint {
+        return Err(CliError::new("--baseline only applies to lint"));
     }
     Ok(parsed)
 }
@@ -741,5 +749,17 @@ mod tests {
         let p = parse(&argv("lint --json")).unwrap();
         assert!(p.json);
         assert!(parse(&argv("lint extra")).is_err(), "lint takes no target");
+    }
+
+    #[test]
+    fn parses_lint_baseline() {
+        let p = parse(&argv("lint --json --baseline results/lint/baseline.json")).unwrap();
+        assert_eq!(p.baseline.as_deref(), Some("results/lint/baseline.json"));
+        assert_eq!(parse(&argv("lint")).unwrap().baseline, None);
+        assert!(parse(&argv("lint --baseline")).is_err(), "value required");
+        assert!(
+            parse(&argv("bench --baseline x.json")).is_err(),
+            "--baseline is lint-only"
+        );
     }
 }

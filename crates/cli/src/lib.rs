@@ -66,6 +66,8 @@ pub fn usage() -> String {
      \x20 metrics <addr> [--json]       scrape a running daemon's telemetry\n\
      \x20 lint [--json]                 run the workspace invariant linter\n\
      \x20                               (exit 0 clean, 1 findings, 2 error)\n\
+     \x20 --baseline <file>             lint: committed `lint --json` report whose\n\
+     \x20                               recorded findings are reported, not gating\n\
      \x20 bench                         run the calibrated benchmark harness\n\
      \x20 power-zoo                     train/validate the power-model zoo and\n\
      \x20                               race the backends under a power cap\n\

@@ -21,10 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod taint;
 pub mod workspace;
 
 use std::path::Path;
@@ -42,8 +46,34 @@ pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
 
 /// Lints a set of analyzed files (plus the optional CI script) with the
 /// full ruleset, applies suppressions, and returns the sorted report.
+///
+/// Partial-scan entry point (unit tests, fixtures): no docs, and
+/// whole-workspace-only guards (hot-path-root existence) are off. The
+/// CLI path is [`lint_workspace`], which turns both on.
 #[must_use]
 pub fn lint_files(files: &[SourceFile], ci_script: Option<&CiScript>) -> Report {
+    lint_with(files, ci_script, &[], false)
+}
+
+/// [`lint_files`] with documentation artifacts and the strictness of a
+/// full-workspace scan made explicit.
+#[must_use]
+pub fn lint_with(
+    files: &[SourceFile],
+    ci_script: Option<&CiScript>,
+    docs: &[rules::Doc],
+    strict_roots: bool,
+) -> Report {
+    let asts: Vec<ast::Ast> = files.iter().map(parser::parse).collect();
+    let graph = callgraph::CallGraph::build(files, &asts);
+    let ws = rules::Workspace {
+        files,
+        asts: &asts,
+        graph: &graph,
+        ci_script,
+        docs,
+        strict_roots,
+    };
     let rules = rules::all_rules();
     let mut raw: Vec<Finding> = Vec::new();
     for file in files {
@@ -52,7 +82,7 @@ pub fn lint_files(files: &[SourceFile], ci_script: Option<&CiScript>) -> Report 
         }
     }
     for rule in &rules {
-        rule.check_workspace(files, ci_script, &mut raw);
+        rule.check_workspace(&ws, &mut raw);
     }
 
     let mut report = Report {
@@ -120,7 +150,8 @@ pub fn lint_files(files: &[SourceFile], ci_script: Option<&CiScript>) -> Report 
 pub fn lint_workspace(root: &Path) -> Result<Report, workspace::WorkspaceError> {
     let files = workspace::load_sources(root)?;
     let ci = workspace::load_ci_script(root);
-    Ok(lint_files(&files, ci.as_ref()))
+    let docs = workspace::load_docs(root);
+    Ok(lint_with(&files, ci.as_ref(), &docs, true))
 }
 
 #[cfg(test)]

@@ -32,6 +32,147 @@ const ITER_METHODS: [&str; 10] = [
     "retain",
 ];
 
+/// One nondeterminism source in non-test code, crate-agnostic: a
+/// wall-clock read, an environment read, or a hash-order iteration.
+/// The local `determinism` rule reports these inside the decision
+/// crates; the interprocedural `determinism-taint` rule reports the
+/// ones any hot-path root can reach, whatever crate they live in.
+pub(crate) struct DetSite {
+    /// Byte offset of the construct (for enclosing-fn attribution).
+    pub byte: usize,
+    /// 1-based location.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short construct name: `` wall-clock `Instant` ``,
+    /// `` `std::env` ``, `` iteration of `seen` (HashMap/HashSet) ``.
+    pub what: String,
+    /// The full local-rule message.
+    pub message: String,
+}
+
+/// Scans one file for nondeterminism sources in non-test code.
+pub(crate) fn determinism_sites(file: &SourceFile) -> Vec<DetSite> {
+    let toks: Vec<_> = file.code_tokens().collect();
+    let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+
+    // Aliases of map types (`type PidMap = HashMap<...>;`) count too.
+    let mut map_types: Vec<String> = MAP_TYPES.iter().map(|s| (*s).to_owned()).collect();
+    for k in 0..toks.len() {
+        if text(k) == "type" && toks.get(k + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            let mut m = k + 2;
+            while m < toks.len() && text(m) != ";" {
+                if MAP_TYPES.contains(&text(m)) {
+                    map_types.push(text(k + 1).to_owned());
+                    break;
+                }
+                m += 1;
+            }
+        }
+    }
+
+    // Variables declared with a map type: `name: HashMap<..>`,
+    // `name: PidMap`, or `let [mut] name = HashMap::new()`.
+    let mut map_vars: Vec<String> = Vec::new();
+    for k in 0..toks.len() {
+        if toks[k].kind != TokenKind::Ident || !map_types.contains(&text(k).to_owned()) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::`-style path prefix.
+        let mut j = k;
+        while j >= 3 && text(j - 1) == ":" && text(j - 2) == ":" {
+            j -= 3; // the preceding path segment ident
+        }
+        if j >= 2 && text(j - 1) == ":" && text(j - 2) != ":" {
+            // `name : <map type>` — an annotation.
+            if toks[j - 2].kind == TokenKind::Ident {
+                map_vars.push(text(j - 2).to_owned());
+            }
+        } else if j >= 2 && text(j - 1) == "=" && toks[j - 2].kind == TokenKind::Ident {
+            // `let [mut] name = HashMap::new()` — a constructor bind.
+            map_vars.push(text(j - 2).to_owned());
+        }
+    }
+
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = toks[k];
+        if file.in_test(t.start) || file.in_attr(t.start) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident && WALL_CLOCK_TYPES.contains(&text(k)) {
+            out.push(DetSite {
+                byte: t.start,
+                line: t.line,
+                col: t.col,
+                what: format!("wall-clock `{}`", text(k)),
+                message: format!(
+                    "wall-clock `{}` in a decision-path crate; decisions must use \
+                         simulated time (telemetry-only reads need a justified lint:allow)",
+                    text(k)
+                ),
+            });
+        }
+        if text(k) == "std" && text(k + 1) == ":" && text(k + 2) == ":" && text(k + 3) == "env" {
+            out.push(DetSite {
+                byte: t.start,
+                line: t.line,
+                col: t.col,
+                what: "`std::env`".to_owned(),
+                message: "`std::env` makes behavior environment-dependent in a decision-path crate"
+                    .to_owned(),
+            });
+        }
+        // `map.iter()`-family calls on a known map variable.
+        if t.kind == TokenKind::Ident
+            && map_vars.contains(&text(k).to_owned())
+            && text(k + 1) == "."
+            && ITER_METHODS.contains(&text(k + 2))
+            && text(k + 3) == "("
+        {
+            out.push(DetSite {
+                byte: t.start,
+                line: t.line,
+                col: t.col,
+                what: format!("iteration of `{}` (HashMap/HashSet)", text(k)),
+                message: format!(
+                    "iterating `{}` (a HashMap/HashSet) is order-nondeterministic; \
+                         use a BTreeMap/Vec, sort first, or justify order-independence",
+                    text(k)
+                ),
+            });
+        }
+        // `for ... in <expr mentioning a map var> {`
+        if text(k) == "for" {
+            let mut m = k + 1;
+            let mut seen_in = false;
+            while m < toks.len() && m < k + 64 && text(m) != "{" {
+                if text(m) == "in" {
+                    seen_in = true;
+                } else if seen_in
+                        && toks[m].kind == TokenKind::Ident
+                        && map_vars.contains(&text(m).to_owned())
+                        // `for x in map.keys()` is already reported above.
+                        && text(m + 1) != "."
+                {
+                    out.push(DetSite {
+                        byte: toks[m].start,
+                        line: toks[m].line,
+                        col: toks[m].col,
+                        what: format!("iteration of `{}` (HashMap/HashSet)", text(m)),
+                        message: format!(
+                            "`for` over `{}` (a HashMap/HashSet) is order-nondeterministic",
+                            text(m)
+                        ),
+                    });
+                }
+                m += 1;
+            }
+        }
+    }
+    out
+}
+
 impl Rule for Determinism {
     fn id(&self) -> &'static str {
         "determinism"
@@ -41,122 +182,21 @@ impl Rule for Determinism {
         if !DECISION_CRATES.contains(&file.crate_name.as_str()) {
             return;
         }
-        let toks: Vec<_> = file.code_tokens().collect();
-        let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
-
-        // Aliases of map types (`type PidMap = HashMap<...>;`) count too.
-        let mut map_types: Vec<String> = MAP_TYPES.iter().map(|s| (*s).to_owned()).collect();
-        for k in 0..toks.len() {
-            if text(k) == "type" && toks.get(k + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
-                let mut m = k + 2;
-                while m < toks.len() && text(m) != ";" {
-                    if MAP_TYPES.contains(&text(m)) {
-                        map_types.push(text(k + 1).to_owned());
-                        break;
-                    }
-                    m += 1;
-                }
-            }
-        }
-
-        // Variables declared with a map type: `name: HashMap<..>`,
-        // `name: PidMap`, or `let [mut] name = HashMap::new()`.
-        let mut map_vars: Vec<String> = Vec::new();
-        for k in 0..toks.len() {
-            if toks[k].kind != TokenKind::Ident || !map_types.contains(&text(k).to_owned()) {
-                continue;
-            }
-            // Walk back over a `std :: collections ::`-style path prefix.
-            let mut j = k;
-            while j >= 3 && text(j - 1) == ":" && text(j - 2) == ":" {
-                j -= 3; // the preceding path segment ident
-            }
-            if j >= 2 && text(j - 1) == ":" && text(j - 2) != ":" {
-                // `name : <map type>` — an annotation.
-                if toks[j - 2].kind == TokenKind::Ident {
-                    map_vars.push(text(j - 2).to_owned());
-                }
-            } else if j >= 2 && text(j - 1) == "=" && toks[j - 2].kind == TokenKind::Ident {
-                // `let [mut] name = HashMap::new()` — a constructor bind.
-                map_vars.push(text(j - 2).to_owned());
-            }
-        }
-
-        for k in 0..toks.len() {
-            let t = toks[k];
-            if file.in_test(t.start) || file.in_attr(t.start) {
-                continue;
-            }
-            if t.kind == TokenKind::Ident && WALL_CLOCK_TYPES.contains(&text(k)) {
-                out.push(finding_at(
-                    self.id(),
-                    self.severity(),
-                    file,
-                    t,
-                    format!(
-                        "wall-clock `{}` in a decision-path crate; decisions must use \
-                         simulated time (telemetry-only reads need a justified lint:allow)",
-                        text(k)
-                    ),
-                ));
-            }
-            if text(k) == "std" && text(k + 1) == ":" && text(k + 2) == ":" && text(k + 3) == "env"
-            {
-                out.push(finding_at(
-                    self.id(),
-                    self.severity(),
-                    file,
-                    t,
-                    "`std::env` makes behavior environment-dependent in a decision-path crate"
-                        .to_owned(),
-                ));
-            }
-            // `map.iter()`-family calls on a known map variable.
-            if t.kind == TokenKind::Ident
-                && map_vars.contains(&text(k).to_owned())
-                && text(k + 1) == "."
-                && ITER_METHODS.contains(&text(k + 2))
-                && text(k + 3) == "("
-            {
-                out.push(finding_at(
-                    self.id(),
-                    self.severity(),
-                    file,
-                    t,
-                    format!(
-                        "iterating `{}` (a HashMap/HashSet) is order-nondeterministic; \
-                         use a BTreeMap/Vec, sort first, or justify order-independence",
-                        text(k)
-                    ),
-                ));
-            }
-            // `for ... in <expr mentioning a map var> {`
-            if text(k) == "for" {
-                let mut m = k + 1;
-                let mut seen_in = false;
-                while m < toks.len() && m < k + 64 && text(m) != "{" {
-                    if text(m) == "in" {
-                        seen_in = true;
-                    } else if seen_in
-                        && toks[m].kind == TokenKind::Ident
-                        && map_vars.contains(&text(m).to_owned())
-                        // `for x in map.keys()` is already reported above.
-                        && text(m + 1) != "."
-                    {
-                        out.push(finding_at(
-                            self.id(),
-                            self.severity(),
-                            file,
-                            toks[m],
-                            format!(
-                                "`for` over `{}` (a HashMap/HashSet) is order-nondeterministic",
-                                text(m)
-                            ),
-                        ));
-                    }
-                    m += 1;
-                }
-            }
+        for site in determinism_sites(file) {
+            let at = crate::lexer::Token {
+                kind: TokenKind::Ident,
+                start: site.byte,
+                end: site.byte,
+                line: site.line,
+                col: site.col,
+            };
+            out.push(finding_at(
+                self.id(),
+                self.severity(),
+                file,
+                &at,
+                site.message,
+            ));
         }
     }
 }

@@ -1,0 +1,114 @@
+//! `determinism-taint`: the interprocedural upgrade of `determinism`.
+//! The local rule polices nondeterminism *inside* the decision crates;
+//! this one proves the hot-path roots cannot *reach* a wall-clock read,
+//! `std::env` access, or hash-order iteration anywhere in the
+//! workspace, including helper crates outside the decision perimeter.
+//! Each violation prints the shortest call chain from the root to the
+//! tainting construct.
+//!
+//! Suppression mirrors `panic-reachable`: a justified
+//! `lint:allow(determinism-taint)` on a call-site line cuts that edge;
+//! a site's existing justified `lint:allow(determinism)` (the
+//! telemetry-only wall-clock exception) lifts to chain level.
+
+use super::{determinism, Rule, Workspace};
+use crate::report::Finding;
+use crate::taint;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct DeterminismTaint;
+
+impl Rule for DeterminismTaint {
+    fn id(&self) -> &'static str {
+        "determinism-taint"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+        let sources: Vec<Vec<taint::Source>> = ws
+            .files
+            .iter()
+            .map(|f| {
+                determinism::determinism_sites(f)
+                    .into_iter()
+                    .map(|s| taint::Source {
+                        byte: s.byte,
+                        line: s.line,
+                        col: s.col,
+                        what: s.what,
+                    })
+                    .collect()
+            })
+            .collect();
+        out.extend(taint::analyze_reachable(
+            self.id(),
+            ws.files,
+            ws.graph,
+            &sources,
+            &["determinism-taint"],
+            &["determinism"],
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_workspace_rule;
+    use crate::source::SourceFile;
+
+    fn check(sources: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, c, s)| SourceFile::analyze(*p, *c, (*s).to_owned()))
+            .collect();
+        run_workspace_rule(&DeterminismTaint, &files, None, &[])
+    }
+
+    #[test]
+    fn wall_clock_behind_a_helper_crate_is_caught() {
+        let got = check(&[
+            (
+                "crates/engine/src/engine.rs",
+                "engine",
+                "use livephase_clock::stamp;\n\
+                 pub struct DecisionEngine;\n\
+                 impl DecisionEngine { pub fn step(&mut self) -> u64 { stamp() } }\n",
+            ),
+            (
+                "crates/clock/src/lib.rs",
+                "clock",
+                "pub fn stamp() -> u64 { Instant::now().elapsed().as_micros() as u64 }\n",
+            ),
+        ]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "determinism-taint");
+        assert!(
+            got[0].message.contains("engine::DecisionEngine::step")
+                && got[0].message.contains("clock::stamp")
+                && got[0].message.contains("wall-clock `Instant`"),
+            "{}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn local_determinism_allow_lifts_and_cold_sites_stay_quiet() {
+        let got = check(&[
+            (
+                "crates/engine/src/engine.rs",
+                "engine",
+                "use livephase_clock::stamp;\n\
+                 pub struct DecisionEngine;\n\
+                 impl DecisionEngine { pub fn step(&mut self) -> u64 { stamp() } }\n",
+            ),
+            (
+                "crates/clock/src/lib.rs",
+                "clock",
+                "pub fn stamp() -> u64 { Instant::now().elapsed().as_micros() as u64 } // lint:allow(determinism): telemetry-only timestamp, never feeds a decision\n\
+                 pub fn cold() -> String { std::env::var(\"HOME\").unwrap_or_default() }\n",
+            ),
+        ]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

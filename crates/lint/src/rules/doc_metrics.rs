@@ -1,0 +1,112 @@
+//! `doc-metric-names`: metric names the README mentions must actually
+//! be registered by the code. The `telemetry-naming` rule already keeps
+//! registration, rendering, and the `ci.sh` greps consistent; this rule
+//! closes the last artifact, so a dashboard reader following the README
+//! never queries a series that does not exist.
+//!
+//! A README word is metric-like under the same predicate `ci.sh`
+//! scraping uses: snake_case, at least 6 chars, ending `_total` or
+//! `_us` after stripping a rendered-series suffix
+//! (`_bucket`/`_sum`/`_count`/`_overflow`).
+
+use super::{telemetry_names, Rule, Workspace};
+use crate::report::{Finding, Severity};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct DocMetricNames;
+
+impl Rule for DocMetricNames {
+    fn id(&self) -> &'static str {
+        "doc-metric-names"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+        let registered = telemetry_names::registered_names(ws.files);
+        if registered.is_empty() {
+            return; // no telemetry in the scan set: nothing to check against
+        }
+        for doc in ws.docs {
+            let mut reported: Vec<String> = Vec::new();
+            for (i, line) in doc.text.lines().enumerate() {
+                for word in line
+                    .split(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+                {
+                    let name = telemetry_names::normalize_rendered(word);
+                    let metric_like = name.ends_with("_total") || name.ends_with("_us");
+                    if !metric_like
+                        || !telemetry_names::is_snake_case(name)
+                        || name.len() < 6
+                        || registered.iter().any(|r| r == name)
+                        || reported.iter().any(|r| r == name)
+                    {
+                        continue;
+                    }
+                    reported.push(name.to_owned());
+                    out.push(Finding {
+                        rule: self.id(),
+                        severity: Severity::Deny,
+                        path: doc.path.clone(),
+                        line: u32::try_from(i).unwrap_or(u32::MAX - 1) + 1,
+                        col: 1,
+                        message: format!(
+                            "mentions metric `{name}` but no registration site defines it; \
+                             rename the doc or register the series"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{run_workspace_rule, Doc};
+    use crate::source::SourceFile;
+
+    fn telemetry_file() -> SourceFile {
+        SourceFile::analyze(
+            "crates/telemetry/src/lib.rs",
+            "telemetry",
+            "fn wire() { reg.counter(\"serve_frames_total\"); reg.histogram(\"serve_frame_decode_us\"); }"
+                .to_owned(),
+        )
+    }
+
+    #[test]
+    fn registered_mentions_pass_including_rendered_series() {
+        let docs = [Doc {
+            path: "README.md".to_owned(),
+            text: "Watch `serve_frames_total` and `serve_frame_decode_us_bucket` climb.\n"
+                .to_owned(),
+        }];
+        let got = run_workspace_rule(&DocMetricNames, &[telemetry_file()], None, &docs);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn an_unregistered_mention_fires_at_its_readme_line() {
+        let docs = [Doc {
+            path: "README.md".to_owned(),
+            text: "Intro.\nQuery `serve_ghosts_total` for ghosts.\n".to_owned(),
+        }];
+        let got = run_workspace_rule(&DocMetricNames, &[telemetry_file()], None, &docs);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!((got[0].path.as_str(), got[0].line), ("README.md", 2));
+        assert!(got[0].message.contains("`serve_ghosts_total`"));
+    }
+
+    #[test]
+    fn non_metric_words_and_empty_registries_are_quiet() {
+        let docs = [Doc {
+            path: "README.md".to_owned(),
+            text: "results_total is not snake? it is; but short_us too.\ntotal_us_whatever no.\n"
+                .to_owned(),
+        }];
+        // Empty registry: the rule disarms rather than flagging every word.
+        let f = SourceFile::analyze("crates/core/src/lib.rs", "core", "fn f() {}".to_owned());
+        assert!(run_workspace_rule(&DocMetricNames, &[f], None, &docs).is_empty());
+    }
+}

@@ -1,27 +1,43 @@
 //! The rule set: each rule encodes one invariant the workspace's tests
 //! and review process previously enforced only by convention.
 //!
-//! | rule                  | scope                  | invariant |
-//! |-----------------------|------------------------|-----------|
-//! | `no-panic-path`       | decision-path crates   | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`[...]` indexing in non-test code |
-//! | `determinism`         | decision-path crates   | no `Instant`/`SystemTime`/`std::env`, no `HashMap`/`HashSet` iteration in non-test code |
-//! | `safety-comment`      | whole workspace        | every `unsafe` is preceded by a `// SAFETY:` comment |
-//! | `telemetry-naming`    | whole workspace        | metric names are snake_case, kind-suffixed, consistent, and cover what `ci.sh` scrapes |
-//! | `wire-tag-uniqueness` | `serve`                | frame tag constants are unique within a protocol version |
+//! | rule                       | scope                  | invariant |
+//! |----------------------------|------------------------|-----------|
+//! | `no-panic-path`            | decision-path crates   | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`[...]` indexing in non-test code |
+//! | `determinism`              | decision-path crates   | no `Instant`/`SystemTime`/`std::env`, no `HashMap`/`HashSet` iteration in non-test code |
+//! | `panic-reachable`          | whole workspace        | no panic construct is transitively reachable from the deployed hot-path roots (call graph) |
+//! | `determinism-taint`        | whole workspace        | no nondeterminism source is transitively reachable from the hot-path roots (call graph) |
+//! | `safety-comment`           | whole workspace        | every `unsafe` is preceded by a `// SAFETY:` comment |
+//! | `telemetry-naming`         | whole workspace        | metric names are snake_case, kind-suffixed, consistent, and cover what `ci.sh` scrapes |
+//! | `doc-metric-names`         | README                 | metric names the docs mention are actually registered |
+//! | `wire-tag-uniqueness`      | `serve`                | frame tag constants are unique within a protocol version |
+//! | `wire-dispatch-exhaustive` | `serve`                | every declared `TAG_*` constant is handled by a decoder dispatch `match` arm |
+//! | `cli-flag-docs`            | `cli` + README         | parsed `--flags` and documented `--flags` agree in both directions |
 //!
 //! The *decision-path crates* are the ones whose code can run between a
 //! counter sample arriving and a DVFS decision leaving: `core`,
 //! `engine`, `serve`, `governor`, `pmsim`, `tenants` (its scheduler and
 //! arbiter sit between every tenant's samples and their DVFS grants),
 //! and `telemetry` (its instruments run inside the decision loop even
-//! though they never influence it).
+//! though they never influence it). The interprocedural rules go
+//! further: they start from the *hot-path roots* (see
+//! [`crate::taint::HOT_PATH_ROOTS`]) and follow the workspace call
+//! graph, so a helper crate outside the decision perimeter can no
+//! longer launder a panic or a wall-clock read into the decision path.
 
+pub mod cli_docs;
 pub mod determinism;
+pub mod determinism_taint;
+pub mod doc_metrics;
 pub mod panic_path;
+pub mod panic_reachable;
 pub mod safety;
 pub mod telemetry_names;
+pub mod wire_dispatch;
 pub mod wire_tags;
 
+use crate::ast::Ast;
+use crate::callgraph::CallGraph;
 use crate::report::{Finding, Severity};
 use crate::source::SourceFile;
 
@@ -48,6 +64,39 @@ pub struct CiScript {
     pub text: String,
 }
 
+/// A non-source artifact the cross-artifact rules read (README and
+/// friends). Findings can anchor into it: `path` feeds straight into
+/// [`Finding::path`].
+#[derive(Debug)]
+pub struct Doc {
+    /// Workspace-relative path (e.g. `README.md`).
+    pub path: String,
+    /// The document's text.
+    pub text: String,
+}
+
+/// Everything a workspace-level check can see: the analyzed files, their
+/// ASTs (parallel to `files`), the resolved cross-crate call graph, the
+/// CI driver, and the documentation artifacts. Built once per lint run
+/// and shared by every rule.
+#[derive(Debug)]
+pub struct Workspace<'a> {
+    /// Every analyzed first-party source file.
+    pub files: &'a [SourceFile],
+    /// `asts[i]` is the parse of `files[i]`.
+    pub asts: &'a [Ast],
+    /// The workspace call graph over `files`/`asts`.
+    pub graph: &'a CallGraph,
+    /// The CI driver script, when present.
+    pub ci_script: Option<&'a CiScript>,
+    /// Documentation artifacts (README.md), when present.
+    pub docs: &'a [Doc],
+    /// Whether the scan set is the *full* workspace. Guards that only
+    /// make sense over everything — "hot-path root exists" — are
+    /// skipped for partial scans (fixtures, unit tests).
+    pub strict_roots: bool,
+}
+
 /// One lint rule.
 pub trait Rule {
     /// Stable rule id, usable in `lint:allow(<id>)`.
@@ -61,14 +110,9 @@ pub trait Rule {
     /// Scans one file in isolation.
     fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Finding>) {}
 
-    /// Scans cross-file state (after every file was analyzed).
-    fn check_workspace(
-        &self,
-        _files: &[SourceFile],
-        _ci_script: Option<&CiScript>,
-        _out: &mut Vec<Finding>,
-    ) {
-    }
+    /// Scans cross-file state (after every file was analyzed and the
+    /// call graph built).
+    fn check_workspace(&self, _ws: &Workspace<'_>, _out: &mut Vec<Finding>) {}
 }
 
 /// The full shipped ruleset, in a fixed order.
@@ -77,10 +121,39 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(panic_path::NoPanicPath),
         Box::new(determinism::Determinism),
+        Box::new(panic_reachable::PanicReachable),
+        Box::new(determinism_taint::DeterminismTaint),
         Box::new(safety::SafetyComment),
         Box::new(telemetry_names::TelemetryNaming),
+        Box::new(doc_metrics::DocMetricNames),
         Box::new(wire_tags::WireTagUniqueness),
+        Box::new(wire_dispatch::WireDispatchExhaustive),
+        Box::new(cli_docs::CliFlagDocs),
     ]
+}
+
+/// Test helper: run one rule's workspace pass over ad-hoc files with a
+/// freshly built AST set and call graph.
+#[cfg(test)]
+pub(crate) fn run_workspace_rule(
+    rule: &dyn Rule,
+    files: &[SourceFile],
+    ci_script: Option<&CiScript>,
+    docs: &[Doc],
+) -> Vec<Finding> {
+    let asts: Vec<Ast> = files.iter().map(crate::parser::parse).collect();
+    let graph = CallGraph::build(files, &asts);
+    let ws = Workspace {
+        files,
+        asts: &asts,
+        graph: &graph,
+        ci_script,
+        docs,
+        strict_roots: false,
+    };
+    let mut out = Vec::new();
+    rule.check_workspace(&ws, &mut out);
+    out
 }
 
 /// Helper: build a finding anchored at a token.

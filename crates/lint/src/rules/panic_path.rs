@@ -19,6 +19,83 @@ pub struct NoPanicPath;
 const METHODS: [&str; 2] = ["unwrap", "expect"];
 const MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 
+/// One panicky construct in non-test code, crate-agnostic. The local
+/// `no-panic-path` rule reports these inside the decision crates; the
+/// interprocedural `panic-reachable` rule reports the ones any hot-path
+/// root can reach, whatever crate they live in.
+pub(crate) struct PanicSite {
+    /// Byte offset of the construct (for enclosing-fn attribution).
+    pub byte: usize,
+    /// 1-based location.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human name of the construct: `` `.unwrap()` ``, `` `panic!` ``,
+    /// `` indexing `[...]` ``.
+    pub what: String,
+}
+
+/// Scans one file for panicky constructs in non-test, non-attr code.
+pub(crate) fn panic_sites(file: &SourceFile) -> Vec<PanicSite> {
+    let toks: Vec<_> = file.code_tokens().collect();
+    let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = toks[k];
+        if file.in_test(t.start) || file.in_attr(t.start) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if text(k) == "."
+            && METHODS.contains(&text(k + 1))
+            && text(k + 2) == "("
+            && !file.in_test(toks[k + 1].start)
+        {
+            let site = toks[k + 1];
+            out.push(PanicSite {
+                byte: site.start,
+                line: site.line,
+                col: site.col,
+                what: format!("`.{}()`", text(k + 1)),
+            });
+        }
+        // `panic!` / `todo!` / `unimplemented!`
+        if t.kind == TokenKind::Ident && MACROS.contains(&text(k)) && text(k + 1) == "!" {
+            out.push(PanicSite {
+                byte: t.start,
+                line: t.line,
+                col: t.col,
+                what: format!("`{}!`", text(k)),
+            });
+        }
+        // Index expressions: `expr[...]`. A `[` is an index when the
+        // previous code token can end an expression (identifier that
+        // is not a keyword, `)`, `]`, or `?`) and is not the tail of
+        // an attribute.
+        if text(k) == "[" && k > 0 {
+            let prev = toks[k - 1];
+            if file.in_attr(prev.start) {
+                continue;
+            }
+            let prev_text = file.tok_text(prev);
+            let indexes = match prev.kind {
+                TokenKind::Ident => !KEYWORDS_BEFORE_BRACKET.contains(&prev_text),
+                TokenKind::Punct => matches!(prev_text, ")" | "]" | "?"),
+                _ => false,
+            };
+            if indexes {
+                out.push(PanicSite {
+                    byte: t.start,
+                    line: t.line,
+                    col: t.col,
+                    what: "indexing `[...]`".to_owned(),
+                });
+            }
+        }
+    }
+    out
+}
+
 impl Rule for NoPanicPath {
     fn id(&self) -> &'static str {
         "no-panic-path"
@@ -28,68 +105,28 @@ impl Rule for NoPanicPath {
         if !DECISION_CRATES.contains(&file.crate_name.as_str()) {
             return;
         }
-        let toks: Vec<_> = file.code_tokens().collect();
-        let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
-        for k in 0..toks.len() {
-            let t = toks[k];
-            if file.in_test(t.start) || file.in_attr(t.start) {
-                continue;
-            }
-            // `.unwrap(` / `.expect(`
-            if text(k) == "."
-                && METHODS.contains(&text(k + 1))
-                && text(k + 2) == "("
-                && !file.in_test(toks[k + 1].start)
-            {
-                out.push(finding_at(
-                    self.id(),
-                    self.severity(),
-                    file,
-                    toks[k + 1],
-                    format!(
-                        "`.{}()` can panic on the decision path; return a typed error, \
-                         restructure, or justify with lint:allow",
-                        text(k + 1)
-                    ),
-                ));
-            }
-            // `panic!` / `todo!` / `unimplemented!`
-            if t.kind == TokenKind::Ident && MACROS.contains(&text(k)) && text(k + 1) == "!" {
-                out.push(finding_at(
-                    self.id(),
-                    self.severity(),
-                    file,
-                    t,
-                    format!("`{}!` is forbidden in decision-path crates", text(k)),
-                ));
-            }
-            // Index expressions: `expr[...]`. A `[` is an index when the
-            // previous code token can end an expression (identifier that
-            // is not a keyword, `)`, `]`, or `?`) and is not the tail of
-            // an attribute.
-            if text(k) == "[" && k > 0 {
-                let prev = toks[k - 1];
-                if file.in_attr(prev.start) {
-                    continue;
-                }
-                let prev_text = file.tok_text(prev);
-                let indexes = match prev.kind {
-                    TokenKind::Ident => !KEYWORDS_BEFORE_BRACKET.contains(&prev_text),
-                    TokenKind::Punct => matches!(prev_text, ")" | "]" | "?"),
-                    _ => false,
-                };
-                if indexes {
-                    out.push(finding_at(
-                        self.id(),
-                        self.severity(),
-                        file,
-                        t,
-                        "indexing with `[...]` hides a bounds panic; use `.get()` \
-                         or justify the bound with lint:allow"
-                            .to_owned(),
-                    ));
-                }
-            }
+        for site in panic_sites(file) {
+            let at = crate::lexer::Token {
+                kind: TokenKind::Ident,
+                start: site.byte,
+                end: site.byte,
+                line: site.line,
+                col: site.col,
+            };
+            let message = if site.what.starts_with("indexing") {
+                "indexing with `[...]` hides a bounds panic; use `.get()` \
+                 or justify the bound with lint:allow"
+                    .to_owned()
+            } else if site.what.ends_with("()`") {
+                format!(
+                    "{} can panic on the decision path; return a typed error, \
+                     restructure, or justify with lint:allow",
+                    site.what
+                )
+            } else {
+                format!("{} is forbidden in decision-path crates", site.what)
+            };
+            out.push(finding_at(self.id(), self.severity(), file, &at, message));
         }
     }
 }

@@ -1,0 +1,203 @@
+//! `panic-reachable`: the interprocedural upgrade of `no-panic-path`.
+//! Instead of asking "is this construct in a decision crate?", it asks
+//! the question the fleet actually cares about: *can the deployed hot
+//! paths reach a panic?* Sources are the same panicky constructs
+//! (`unwrap`/`expect`/`panic!`-family/indexing) in any crate's non-test
+//! code; reachability runs over the workspace call graph from
+//! [`crate::taint::HOT_PATH_ROOTS`]; each violation prints the full
+//! shortest call chain from the root to the site.
+//!
+//! Suppression: a justified `lint:allow(panic-reachable)` on the call
+//! site cuts that edge; on the source line it exempts the site (via the
+//! ordinary suppression pass); and a site's existing justified
+//! `lint:allow(no-panic-path)` lifts to chain level so PR 5's triage is
+//! not re-litigated.
+
+use super::{panic_path, Rule, Workspace};
+use crate::report::Finding;
+use crate::taint;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct PanicReachable;
+
+impl Rule for PanicReachable {
+    fn id(&self) -> &'static str {
+        "panic-reachable"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+        if ws.strict_roots {
+            out.extend(taint::missing_root_findings(
+                self.id(),
+                ws.graph,
+                ws.files,
+                taint::HOT_PATH_ROOTS,
+            ));
+        }
+        let sources: Vec<Vec<taint::Source>> = ws
+            .files
+            .iter()
+            .map(|f| {
+                panic_path::panic_sites(f)
+                    .into_iter()
+                    .map(|s| taint::Source {
+                        byte: s.byte,
+                        line: s.line,
+                        col: s.col,
+                        what: s.what,
+                    })
+                    .collect()
+            })
+            .collect();
+        out.extend(taint::analyze_reachable(
+            self.id(),
+            ws.files,
+            ws.graph,
+            &sources,
+            &["panic-reachable"],
+            &["no-panic-path"],
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_workspace_rule;
+    use crate::source::SourceFile;
+
+    fn check(sources: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, c, s)| SourceFile::analyze(*p, *c, (*s).to_owned()))
+            .collect();
+        run_workspace_rule(&PanicReachable, &files, None, &[])
+    }
+
+    // A minimal tenants crate: both roots present so the missing-root
+    // guard stays quiet even in strict mode.
+    const TENANTS_ROOTS: &str = "pub struct Arbiter;\n\
+         impl Arbiter { pub fn arbitrate(&mut self, r: u32) -> u32 { helper(r) } }\n\
+         pub fn step_decision(x: u32) -> u32 { x }\n";
+
+    #[test]
+    fn reachable_panic_reports_the_full_chain() {
+        let got = check(&[(
+            "crates/tenants/src/cluster.rs",
+            "tenants",
+            &format!("{TENANTS_ROOTS}fn helper(r: u32) -> u32 {{ deep(r) }}\nfn deep(r: u32) -> u32 {{ VALUES[r as usize] }}\nconst VALUES: [u32; 4] = [0, 1, 2, 3];\n"),
+        )]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = &got[0];
+        assert_eq!(f.rule, "panic-reachable");
+        assert!(
+            f.message.contains("tenants::Arbiter::arbitrate")
+                && f.message.contains("tenants::helper")
+                && f.message.contains("tenants::deep"),
+            "chain names every hop: {}",
+            f.message
+        );
+        assert!(f.message.contains("indexing `[...]`"), "{}", f.message);
+    }
+
+    #[test]
+    fn unreachable_panics_do_not_fire() {
+        let got = check(&[(
+            "crates/tenants/src/cluster.rs",
+            "tenants",
+            &format!("{TENANTS_ROOTS}fn cold_path(v: &[u8]) -> u8 {{ v[0] }}\n"),
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn cross_crate_laundering_is_caught() {
+        // A helper crate outside the decision perimeter unwraps; the
+        // tenants hot path calls into it.
+        let got = check(&[
+            (
+                "crates/tenants/src/cluster.rs",
+                "tenants",
+                &format!("{}\n", TENANTS_ROOTS.trim_end()),
+            ),
+            (
+                "crates/util/src/lib.rs",
+                "util",
+                "pub fn helper(r: u32) -> u32 { std::env::var(\"X\").unwrap(); r }\n",
+            ),
+        ]);
+        // The arbiter's bare `helper(r)` resolves within its own crate
+        // only, so wire it explicitly via an import.
+        let got2 = check(&[
+            (
+                "crates/tenants/src/cluster.rs",
+                "tenants",
+                &format!("use livephase_util::helper;\n{TENANTS_ROOTS}"),
+            ),
+            (
+                "crates/util/src/lib.rs",
+                "util",
+                "pub fn helper(r: u32) -> u32 { std::env::var(\"X\").unwrap(); r }\n",
+            ),
+        ]);
+        assert!(got.is_empty(), "bare name does not cross crates: {got:?}");
+        assert_eq!(got2.len(), 1, "{got2:?}");
+        assert!(got2[0].path.contains("util"), "{got2:?}");
+        assert!(got2[0].message.contains("`.unwrap()`"));
+    }
+
+    #[test]
+    fn call_site_allow_cuts_the_edge() {
+        let got = check(&[(
+            "crates/tenants/src/cluster.rs",
+            "tenants",
+            "pub struct Arbiter;\n\
+             impl Arbiter { pub fn arbitrate(&mut self, r: u32) -> u32 { helper(r) } } // lint:allow(panic-reachable): helper's panic is a cold startup path\n\
+             pub fn step_decision(x: u32) -> u32 { x }\n\
+             fn helper(r: u32) -> u32 { panic!(\"boom\") }\n",
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn local_no_panic_path_allow_lifts_to_chain_level() {
+        let got = check(&[(
+            "crates/tenants/src/cluster.rs",
+            "tenants",
+            &format!(
+                "{TENANTS_ROOTS}fn helper(r: u32) -> u32 {{ TABLE[(r % 4) as usize] }} // lint:allow(no-panic-path): index is r % 4, always in bounds\nconst TABLE: [u32; 4] = [0, 1, 2, 3];\n"
+            ),
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn strict_mode_reports_renamed_roots() {
+        let files = vec![SourceFile::analyze(
+            "crates/engine/src/engine.rs",
+            "engine",
+            "pub struct DecisionEngine;\nimpl DecisionEngine { pub fn stepp(&mut self) {} }"
+                .to_owned(),
+        )];
+        let asts: Vec<crate::ast::Ast> = files.iter().map(crate::parser::parse).collect();
+        let graph = crate::callgraph::CallGraph::build(&files, &asts);
+        let ws = Workspace {
+            files: &files,
+            asts: &asts,
+            graph: &graph,
+            ci_script: None,
+            docs: &[],
+            strict_roots: true,
+        };
+        let mut out = Vec::new();
+        PanicReachable.check_workspace(&ws, &mut out);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("engine::step`")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("engine::step_many`")),
+            "{msgs:?}"
+        );
+        assert_eq!(out.len(), 2, "only the engine roots are checked here");
+    }
+}

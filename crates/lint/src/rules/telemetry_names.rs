@@ -14,7 +14,7 @@
 //! (`::`-separated segments for targets) and names must not squat on
 //! the rendered-series suffixes.
 
-use super::{finding_at, CiScript, Rule};
+use super::{finding_at, CiScript, Rule, Workspace};
 use crate::lexer::TokenKind;
 use crate::report::{Finding, Severity};
 use crate::source::SourceFile;
@@ -36,7 +36,7 @@ struct Site {
     col: u32,
 }
 
-fn is_snake_case(name: &str) -> bool {
+pub(crate) fn is_snake_case(name: &str) -> bool {
     let mut chars = name.chars();
     chars.next().is_some_and(|c| c.is_ascii_lowercase())
         && name
@@ -50,6 +50,28 @@ fn strip_quotes(s: &str) -> &str {
     s.strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
         .unwrap_or(s)
+}
+
+/// Every registered metric name in the workspace, for cross-artifact
+/// checks (the doc-metric-names rule).
+pub(crate) fn registered_names(files: &[SourceFile]) -> Vec<String> {
+    let mut names: Vec<String> = files
+        .iter()
+        .flat_map(|f| collect_sites(f).into_iter().map(|s| s.name))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Strips a rendered-series suffix (`_bucket`/`_sum`/`_count`/
+/// `_overflow`) so a mention of a rendered histogram series maps back
+/// to its registered base name.
+pub(crate) fn normalize_rendered(name: &str) -> &str {
+    RESERVED_RENDER_SUFFIXES
+        .iter()
+        .find_map(|s| name.strip_suffix(s))
+        .unwrap_or(name)
 }
 
 fn collect_sites(file: &SourceFile) -> Vec<Site> {
@@ -172,12 +194,9 @@ impl Rule for TelemetryNaming {
         "telemetry-naming"
     }
 
-    fn check_workspace(
-        &self,
-        files: &[SourceFile],
-        ci_script: Option<&CiScript>,
-        out: &mut Vec<Finding>,
-    ) {
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+        let files = ws.files;
+        let ci_script = ws.ci_script;
         let mut sites: Vec<(usize, Site)> = Vec::new();
         for (fi, file) in files.iter().enumerate() {
             for s in collect_sites(file) {
@@ -356,9 +375,7 @@ mod tests {
             path: "ci.sh".to_owned(),
             text: t.to_owned(),
         });
-        let mut out = Vec::new();
-        TelemetryNaming.check_workspace(&fs, ci.as_ref(), &mut out);
-        out
+        crate::rules::run_workspace_rule(&TelemetryNaming, &fs, ci.as_ref(), &[])
     }
 
     #[test]

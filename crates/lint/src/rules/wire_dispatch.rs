@@ -1,0 +1,196 @@
+//! `wire-dispatch-exhaustive`: every declared `TAG_*` frame constant in
+//! the `serve` crate must be handled by the wire decoder's dispatch
+//! `match`. Declaring a tag the decoder never matches means the peer can
+//! send a legal frame kind that falls into the wildcard arm — usually a
+//! protocol error masquerading as "unknown frame".
+//!
+//! A *dispatch match* is any non-test `match` whose arm patterns name at
+//! least two distinct `TAG_*` identifiers (one alone is a guard, not a
+//! decoder). Tags may be handled across several dispatch matches
+//! (encode and decode sides); a tag handled by none is reported at its
+//! declaration site, naming the decoder match it should join.
+
+use super::{Rule, Workspace};
+use crate::ast::{Item, ItemKind};
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Severity};
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct WireDispatchExhaustive;
+
+/// Declared `const TAG_X: u8 = ...` names with their declaration sites,
+/// non-test code only.
+fn declared_tags(file: &SourceFile) -> Vec<(String, u32, u32)> {
+    let toks: Vec<_> = file.code_tokens().collect();
+    let text = |k: usize| toks.get(k).map_or("", |t| file.tok_text(t));
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        if file.in_test(toks[k].start) || text(k) != "const" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(k + 1) else {
+            continue;
+        };
+        let name = file.tok_text(name_tok);
+        if name_tok.kind == TokenKind::Ident
+            && name.starts_with("TAG_")
+            && text(k + 2) == ":"
+            && text(k + 3) == "u8"
+        {
+            out.push((name.to_owned(), name_tok.line, name_tok.col));
+        }
+    }
+    out
+}
+
+/// Walks items collecting, from every non-test fn body, the `TAG_*`
+/// identifiers used in each match's arm patterns.
+fn dispatch_matches(file: &SourceFile, items: &[Item], out: &mut Vec<(u32, Vec<String>)>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                if file.in_test(item.span.start) {
+                    continue;
+                }
+                for m in &f.matches {
+                    let mut tags: Vec<String> = m
+                        .arms
+                        .iter()
+                        .flat_map(|a| a.pat.iter())
+                        .filter(|p| p.starts_with("TAG_"))
+                        .cloned()
+                        .collect();
+                    tags.sort();
+                    tags.dedup();
+                    if tags.len() >= 2 {
+                        out.push((m.span.line, tags));
+                    }
+                }
+            }
+            ItemKind::Impl(i) => dispatch_matches(file, &i.items, out),
+            ItemKind::Mod(items) | ItemKind::Trait(items) => dispatch_matches(file, items, out),
+            _ => {}
+        }
+    }
+}
+
+impl Rule for WireDispatchExhaustive {
+    fn id(&self) -> &'static str {
+        "wire-dispatch-exhaustive"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+        // (file idx, match line, tags) of every dispatch match, and the
+        // declared tags, across the whole serve crate: the decoder and
+        // the tag table may live in different files.
+        let mut decls: Vec<(usize, String, u32, u32)> = Vec::new();
+        let mut dispatches: Vec<(usize, u32, Vec<String>)> = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.crate_name != "serve" {
+                continue;
+            }
+            for (name, line, col) in declared_tags(file) {
+                decls.push((fi, name, line, col));
+            }
+            let mut local = Vec::new();
+            dispatch_matches(file, &ws.asts[fi].items, &mut local);
+            for (line, tags) in local {
+                dispatches.push((fi, line, tags));
+            }
+        }
+        if dispatches.is_empty() {
+            // No decoder in the scan set (single-file fixtures): the
+            // uniqueness rule still covers the tag table.
+            return;
+        }
+        // The canonical decoder: the dispatch handling the most tags.
+        let canonical = dispatches
+            .iter()
+            .max_by_key(|(_, _, tags)| tags.len())
+            .map(|&(fi, line, _)| format!("{}:{}", ws.files[fi].path, line))
+            .unwrap_or_default();
+        for (fi, name, line, col) in decls {
+            let handled = dispatches
+                .iter()
+                .any(|(_, _, tags)| tags.iter().any(|t| t == &name));
+            if !handled {
+                out.push(Finding {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    path: ws.files[fi].path.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "wire tag `{name}` is declared but no dispatch `match` handles it \
+                         (decoder at {canonical}); frames with this tag fall into the \
+                         wildcard arm"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_workspace_rule;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let f = SourceFile::analyze("crates/serve/src/wire.rs", "serve", src.to_owned());
+        run_workspace_rule(&WireDispatchExhaustive, &[f], None, &[])
+    }
+
+    const DECODER: &str = "fn dispatch(tag: u8) -> u8 {\n    match tag {\n        TAG_HELLO => 1,\n        TAG_SAMPLE => 2,\n        _ => 0,\n    }\n}\n";
+
+    #[test]
+    fn handled_tags_pass() {
+        let src = format!("const TAG_HELLO: u8 = 1;\nconst TAG_SAMPLE: u8 = 2;\n{DECODER}");
+        assert!(check(&src).is_empty());
+    }
+
+    #[test]
+    fn unhandled_tag_fires_at_its_declaration() {
+        let src =
+            format!("const TAG_HELLO: u8 = 1;\nconst TAG_SAMPLE: u8 = 2;\nconst TAG_BYE: u8 = 3;\n{DECODER}");
+        let got = check(&src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 3);
+        assert!(got[0].message.contains("TAG_BYE"), "{}", got[0].message);
+        assert!(
+            got[0].message.contains("crates/serve/src/wire.rs:"),
+            "names the decoder: {}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn single_tag_matches_are_not_dispatches() {
+        // A guard match on one tag plus an orphan tag: without a real
+        // (>= 2 tags) dispatch there is nothing to be exhaustive about.
+        let src = "const TAG_A: u8 = 1;\nconst TAG_B: u8 = 2;\nfn f(t: u8) -> bool { match t { TAG_A => true, _ => false } }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn tags_may_be_split_across_encode_and_decode_matches() {
+        let src = "const TAG_A: u8 = 1;\nconst TAG_B: u8 = 2;\nconst TAG_C: u8 = 3;\n\
+             fn dec(t: u8) -> u8 { match t { TAG_A => 1, TAG_B => 2, _ => 0 } }\n\
+             fn enc(t: u8) -> u8 { match t { TAG_B => 2, TAG_C => 3, _ => 0 } }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    const TAG_X: u8 = 9;\n    fn f(t: u8) -> u8 { match t { TAG_X => 1, TAG_Y => 2, _ => 0 } }\n}";
+        assert!(check(src).is_empty());
+        let f = SourceFile::analyze(
+            "crates/engine/src/lib.rs",
+            "engine",
+            "const TAG_A: u8 = 1;\nfn f(t: u8) -> u8 { match t { TAG_A => 1, TAG_B => 2, _ => 0 } }".to_owned(),
+        );
+        assert!(run_workspace_rule(&WireDispatchExhaustive, &[f], None, &[]).is_empty());
+    }
+}

@@ -13,7 +13,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::CiScript;
+use crate::rules::{CiScript, Doc};
 use crate::source::SourceFile;
 
 /// A failure to read the workspace (before any rule ran).
@@ -124,6 +124,23 @@ pub fn load_ci_script(root: &Path) -> Option<CiScript> {
         path: rel(root, &path),
         text,
     })
+}
+
+/// Loads the documentation artifacts the cross-artifact rules read
+/// (currently `README.md`), skipping any that are absent.
+#[must_use]
+pub fn load_docs(root: &Path) -> Vec<Doc> {
+    ["README.md"]
+        .iter()
+        .filter_map(|name| {
+            let path = root.join(name);
+            let text = fs::read_to_string(&path).ok()?;
+            Some(Doc {
+                path: rel(root, &path),
+                text,
+            })
+        })
+        .collect()
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml`

@@ -7,13 +7,21 @@
 //! clean, so `livephase-cli lint` over such code exits 1.
 
 use livephase_lint::report::{Report, Severity};
+use livephase_lint::rules::Doc;
 use livephase_lint::source::SourceFile;
-use livephase_lint::{lint_files, RULE_ALLOW_JUSTIFICATION, RULE_UNUSED_SUPPRESSION};
+use livephase_lint::{lint_files, lint_with, RULE_ALLOW_JUSTIFICATION, RULE_UNUSED_SUPPRESSION};
 
 /// Lints one fixture in isolation under the given crate identity.
 fn lint_fixture(path: &str, crate_name: &str, src: &str) -> Report {
     let files = vec![SourceFile::analyze(path, crate_name, src.to_owned())];
     lint_files(&files, None)
+}
+
+/// Like [`lint_fixture`], with documentation artifacts alongside —
+/// the cross-artifact rules check code against these.
+fn lint_fixture_with_docs(path: &str, crate_name: &str, src: &str, docs: &[Doc]) -> Report {
+    let files = vec![SourceFile::analyze(path, crate_name, src.to_owned())];
+    lint_with(&files, None, docs, false)
 }
 
 /// Lines at which `rule` fired, in report order.
@@ -138,6 +146,168 @@ fn wire_tag_fixture_fires_at_the_later_duplicate() {
 }
 
 #[test]
+fn panic_reachable_fixture_prints_the_full_call_chain() {
+    let report = lint_fixture(
+        "crates/tenants/src/cluster.rs",
+        "tenants",
+        include_str!("lint_fixtures/panic_reachable.rs"),
+    );
+    assert!(!report.is_clean());
+    // The local rule fires at the site; the chain rule proves the hot
+    // path reaches it and names every hop from root to site.
+    assert_eq!(
+        lines(&report, "no-panic-path"),
+        vec![14],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(lines(&report, "panic-reachable"), vec![14]);
+    let chain = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-reachable")
+        .expect("chain finding");
+    assert!(
+        chain
+            .message
+            .contains("reachable from hot path `tenants::step_decision`"),
+        "{}",
+        chain.message
+    );
+    for hop in ["tenants::step_decision", "tenants::route", "tenants::pick"] {
+        assert!(
+            chain.message.contains(hop),
+            "missing hop {hop}: {}",
+            chain.message
+        );
+    }
+    assert!(
+        chain.message.contains(" -> ") && chain.message.contains("crates/tenants/src/cluster.rs:"),
+        "hops carry clickable locations: {}",
+        chain.message
+    );
+    assert_eq!(report.findings.len(), 2);
+}
+
+#[test]
+fn determinism_taint_fixture_chains_through_the_helper() {
+    let report = lint_fixture(
+        "crates/tenants/src/sched.rs",
+        "tenants",
+        include_str!("lint_fixtures/determinism_taint.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "determinism"),
+        vec![10],
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(lines(&report, "determinism-taint"), vec![10]);
+    let chain = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "determinism-taint")
+        .expect("chain finding");
+    assert!(
+        chain.message.contains("tenants::step_decision")
+            && chain.message.contains("tenants::jitter"),
+        "{}",
+        chain.message
+    );
+    assert_eq!(report.findings.len(), 2);
+}
+
+#[test]
+fn wire_dispatch_fixture_fires_at_the_unhandled_declaration() {
+    let report = lint_fixture(
+        "crates/serve/src/wire.rs",
+        "serve",
+        include_str!("lint_fixtures/wire_dispatch.rs"),
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "wire-dispatch-exhaustive"),
+        vec![6],
+        "{}",
+        report.render_text()
+    );
+    let finding = &report.findings[0];
+    assert!(
+        finding.message.contains("TAG_BYE")
+            && finding.message.contains("crates/serve/src/wire.rs:9"),
+        "names the tag and the decoder: {}",
+        finding.message
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn cli_docs_fixture_fires_in_both_directions() {
+    let docs = [Doc {
+        path: "README.md".to_owned(),
+        text: "Run it like so:\n\n    livephase-cli run --seed 7 --vanished\n".to_owned(),
+    }];
+    let report = lint_fixture_with_docs(
+        "crates/cli/src/args.rs",
+        "cli",
+        include_str!("lint_fixtures/cli_docs.rs"),
+        &docs,
+    );
+    assert!(!report.is_clean());
+    // `--ghost` is parsed but documented nowhere: fires at its arm.
+    // `--vanished` is documented but parsed nowhere: fires in the README.
+    assert_eq!(
+        lines(&report, "cli-flag-docs"),
+        vec![3, 8],
+        "{}",
+        report.render_text()
+    );
+    let by_path = |p: &str| {
+        report
+            .findings
+            .iter()
+            .find(|f| f.path == p)
+            .map(|f| f.message.as_str())
+            .unwrap_or_default()
+    };
+    assert!(by_path("crates/cli/src/args.rs").contains("`--ghost`"));
+    assert!(by_path("README.md").contains("`--vanished`"));
+    assert_eq!(report.findings.len(), 2);
+}
+
+#[test]
+fn doc_metrics_fixture_fires_only_on_the_ghost_metric() {
+    let docs = [Doc {
+        path: "README.md".to_owned(),
+        text: "Watch `fixture_frames_total` and `fixture_decode_us_bucket` climb.\n\
+               Query `fixture_ghosts_total` for ghosts.\n"
+            .to_owned(),
+    }];
+    let report = lint_fixture_with_docs(
+        "crates/telemetry/src/fixture.rs",
+        "telemetry",
+        include_str!("lint_fixtures/doc_metrics.rs"),
+        &docs,
+    );
+    assert!(!report.is_clean());
+    assert_eq!(
+        lines(&report, "doc-metric-names"),
+        vec![2],
+        "{}",
+        report.render_text()
+    );
+    assert!(
+        report.findings[0]
+            .message
+            .contains("`fixture_ghosts_total`"),
+        "{}",
+        report.findings[0].message
+    );
+    assert_eq!(report.findings.len(), 1, "registered mentions pass");
+}
+
+#[test]
 fn lint_allow_fixture_exercises_the_suppression_protocol() {
     let report = lint_fixture(
         "lint_allow.rs",
@@ -167,7 +337,9 @@ fn lint_allow_fixture_exercises_the_suppression_protocol() {
 fn every_fixture_would_fail_the_ci_gate() {
     // The gate's contract: any fixture-bearing tree exits 1. Checked at
     // the library level: no fixture report is clean.
-    let fixtures: [(&str, &str, &str); 6] = [
+    // `doc_metrics.rs` is absent: it gates only alongside its README
+    // artifact, which its own test supplies.
+    let fixtures: [(&str, &str, &str); 10] = [
         (
             "no_panic_path.rs",
             "core",
@@ -197,6 +369,26 @@ fn every_fixture_would_fail_the_ci_gate() {
             "lint_allow.rs",
             "core",
             include_str!("lint_fixtures/lint_allow.rs"),
+        ),
+        (
+            "crates/tenants/src/cluster.rs",
+            "tenants",
+            include_str!("lint_fixtures/panic_reachable.rs"),
+        ),
+        (
+            "crates/tenants/src/sched.rs",
+            "tenants",
+            include_str!("lint_fixtures/determinism_taint.rs"),
+        ),
+        (
+            "crates/serve/src/wire.rs",
+            "serve",
+            include_str!("lint_fixtures/wire_dispatch.rs"),
+        ),
+        (
+            "crates/cli/src/args.rs",
+            "cli",
+            include_str!("lint_fixtures/cli_docs.rs"),
         ),
     ];
     for (path, crate_name, src) in fixtures {

@@ -1,0 +1,12 @@
+//! Fixture for `cli-flag-docs`: `--ghost` is parsed below but
+//! documented nowhere; the companion README in the test documents
+//! `--vanished`, which no arm parses.
+
+fn parse(arg: &str) -> u8 {
+    match arg {
+        "--seed" => 1,
+        "--ghost" => 2,
+        "help" | "--help" => 3,
+        _ => 0,
+    }
+}

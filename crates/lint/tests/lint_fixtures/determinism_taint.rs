@@ -1,0 +1,13 @@
+//! Fixture for `determinism-taint`: the hot-path root `step_decision`
+//! reaches a wall-clock read through a helper. The local `determinism`
+//! rule and the chain rule both fire at the read site.
+
+pub fn step_decision(budget: u64) -> u64 {
+    jitter(budget)
+}
+
+fn jitter(budget: u64) -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    budget
+}

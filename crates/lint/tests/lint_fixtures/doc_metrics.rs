@@ -1,0 +1,7 @@
+//! Fixture for `doc-metric-names`: registers two series the test's
+//! README may mention; a ghost metric in the README must fire.
+
+fn wire(reg: &Registry) {
+    reg.counter("fixture_frames_total", "Frames seen.", &[]);
+    reg.histogram("fixture_decode_us", "Decode latency.", &[]);
+}

@@ -1,0 +1,15 @@
+//! Fixture for `panic-reachable`: the hot-path root `step_decision`
+//! reaches an indexing site two calls deep. The finding must print
+//! the full root-to-site chain, hop by hop.
+
+pub fn step_decision(xs: &[u64], i: usize) -> u64 {
+    route(xs, i)
+}
+
+fn route(xs: &[u64], i: usize) -> u64 {
+    pick(xs, i)
+}
+
+fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}

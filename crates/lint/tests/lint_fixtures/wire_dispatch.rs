@@ -1,0 +1,14 @@
+//! Fixture for `wire-dispatch-exhaustive`: `TAG_BYE` is declared but
+//! no dispatch match handles it; frames with it hit the wildcard.
+
+const TAG_HELLO: u8 = 1;
+const TAG_SAMPLE: u8 = 2;
+const TAG_BYE: u8 = 3;
+
+fn dispatch(tag: u8) -> u8 {
+    match tag {
+        TAG_HELLO => 1,
+        TAG_SAMPLE => 2,
+        _ => 0,
+    }
+}

@@ -462,6 +462,9 @@ impl Conn {
                     self.poison(cx);
                     self.start_closing(cx.now);
                 } else {
+                    // lint:allow(panic-reachable): `.render()` is the telemetry
+                    // Registry's; the fan-out to `experiments::Table::render`
+                    // is a false edge.
                     let text = wire::truncate_metrics_text(&livephase_telemetry::global().render())
                         .to_owned();
                     self.queue_frame(&Frame::Metrics { text });
